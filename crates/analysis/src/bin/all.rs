@@ -1,0 +1,73 @@
+//! Run every exhibit in sequence, writing text + JSON under `results/`.
+use ibp_analysis::exhibits;
+
+fn main() {
+    std::fs::create_dir_all("results").ok();
+    let mut summary = String::new();
+
+    println!("[1/7] Table II (parameters)");
+    let params = ibp_network::SimParams::paper().describe();
+    summary.push_str(&format!("== Table II ==\n{params}\n\n"));
+
+    println!("[2/7] Table I (idle intervals)");
+    let t1 = exhibits::table1(exhibits::SEED);
+    summary.push_str("== Table I ==\n");
+    summary.push_str(&exhibits::render_table1(&t1));
+    std::fs::write("results/table1.json", serde_json::to_string_pretty(&t1).unwrap()).ok();
+
+    println!("[3/7] Table III (GT selection)");
+    let t3 = exhibits::table3(exhibits::SEED);
+    summary.push_str("\n== Table III ==\n");
+    summary.push_str(&exhibits::render_table3(&t3));
+    std::fs::write("results/table3.json", serde_json::to_string_pretty(&t3).unwrap()).ok();
+
+    println!("[4/7] Table IV (PPA overheads)");
+    let t4 = exhibits::table4(exhibits::SEED);
+    summary.push_str("\n== Table IV ==\n");
+    summary.push_str(&exhibits::render_table4(&t4));
+    std::fs::write("results/table4.json", serde_json::to_string_pretty(&t4).unwrap()).ok();
+
+    for (i, (name, disp)) in [("fig7", 0.10), ("fig8", 0.05), ("fig9", 0.01)]
+        .iter()
+        .enumerate()
+    {
+        println!("[{}/7] {} (displacement {:.0}%)", i + 5, name, disp * 100.0);
+        let fig = exhibits::figure(*disp, exhibits::SEED);
+        summary.push_str(&format!("\n== {name} ==\n"));
+        summary.push_str(&exhibits::render_figure(&fig));
+        std::fs::write(
+            format!("results/{name}.json"),
+            serde_json::to_string_pretty(&fig).unwrap(),
+        )
+        .ok();
+        std::fs::write(
+            format!("results/{name}.svg"),
+            ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
+        )
+        .ok();
+        std::fs::write(
+            format!("results/{name}-dark.svg"),
+            ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
+        )
+        .ok();
+    }
+
+    println!("[7/7] Fig. 10 (GT sweep)");
+    let f10 = exhibits::fig10(exhibits::SEED);
+    summary.push_str("\n");
+    summary.push_str(&exhibits::render_fig10(&f10));
+    std::fs::write("results/fig10.json", serde_json::to_string_pretty(&f10).unwrap()).ok();
+    std::fs::write(
+        "results/fig10.svg",
+        ibp_analysis::svg::fig10_svg(&f10, ibp_analysis::svg::Mode::Light),
+    )
+    .ok();
+    std::fs::write(
+        "results/fig10-dark.svg",
+        ibp_analysis::svg::fig10_svg(&f10, ibp_analysis::svg::Mode::Dark),
+    )
+    .ok();
+
+    std::fs::write("results/summary.txt", &summary).ok();
+    println!("\nAll exhibits written to results/ (summary.txt holds everything).");
+}

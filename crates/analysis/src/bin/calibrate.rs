@@ -1,0 +1,34 @@
+//! Calibration probe: full pipeline on every app × scale at a default GT,
+//! printing replay savings / slowdown / hit rate next to the paper's
+//! numbers. Used while tuning workload-generator constants.
+
+use ibp_analysis::{paper_ref, run, RunConfig};
+use ibp_workloads::AppKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<&str> = args.get(1).map(|s| s.as_str());
+    let disp = 0.01;
+    println!("app        n    GTus  hit%  sav%  (paper)  slow%  (paper)  est%");
+    for app in AppKind::ALL {
+        if let Some(o) = only {
+            if app.name() != o {
+                continue;
+            }
+        }
+        let procs = paper_ref::paper_procs(app);
+        let gts = paper_ref::table3_gt(app);
+        let ps = paper_ref::savings_disp1(app);
+        let sl = paper_ref::slowdown_disp1(app);
+        let ph = paper_ref::table3_hit(app);
+        for i in 0..5 {
+            let cfg = RunConfig::new(gts[i], disp);
+            let r = run(app, procs[i], &cfg);
+            println!(
+                "{:<9} {:>4} {:>6} {:>5.1} {:>5.1}  ({:>5.1})  {:>5.2}  ({:>5.2})  {:>5.1}   [paper hit {:.0}]",
+                app.name(), procs[i], gts[i], r.hit_rate_pct, r.power_saving_pct, ps[i],
+                r.slowdown_pct, sl[i], r.est_saving_pct, ph[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 10 reproduction: GT sweep for GROMACS at 64 and 128 ranks.
+use ibp_analysis::exhibits::{fig10, render_fig10, SEED};
+
+fn main() {
+    let data = fig10(SEED);
+    print!("{}", render_fig10(&data));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig10.json",
+        serde_json::to_string_pretty(&data).unwrap(),
+    )
+    .ok();
+    std::fs::write(
+        "results/fig10.svg",
+        ibp_analysis::svg::fig10_svg(&data, ibp_analysis::svg::Mode::Light),
+    )
+    .ok();
+    std::fs::write(
+        "results/fig10-dark.svg",
+        ibp_analysis::svg::fig10_svg(&data, ibp_analysis::svg::Mode::Dark),
+    )
+    .ok();
+}

@@ -1,0 +1,25 @@
+//! Fig. 9 reproduction: power savings and execution-time increase at
+//! displacement factor 0.01.
+use ibp_analysis::exhibits::{figure, render_figure, SEED};
+
+fn main() {
+    let fig = figure(0.01, SEED);
+    println!("== Fig. 9 (displacement {:.0}%) ==", 0.01 * 100.0);
+    print!("{}", render_figure(&fig));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fig9.json",
+        serde_json::to_string_pretty(&fig).unwrap(),
+    )
+    .ok();
+    std::fs::write(
+        "results/fig9.svg",
+        ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
+    )
+    .ok();
+    std::fs::write(
+        "results/fig9-dark.svg",
+        ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
+    )
+    .ok();
+}

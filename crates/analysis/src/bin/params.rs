@@ -1,0 +1,5 @@
+//! Table II reproduction: print the simulation parameters.
+fn main() {
+    println!("== Table II: parameters used in simulations ==");
+    println!("{}", ibp_network::SimParams::paper().describe());
+}

@@ -1,0 +1,20 @@
+//! Failure injection: amplify compute jitter on ALYA and measure how the
+//! mechanism degrades (hit rate, savings, late wake-ups, slowdown).
+use ibp_analysis::extensions::{render_robustness, robustness_study};
+
+fn main() {
+    let nprocs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    println!("== Robustness: ALYA at {nprocs} ranks under jitter amplification ==");
+    println!("(displacement 1%; stalls are capped at T_react per wake-up)\n");
+    let rows = robustness_study(nprocs, 0xD1C0);
+    print!("{}", render_robustness(&rows));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/robustness.json",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    )
+    .ok();
+}

@@ -1,0 +1,15 @@
+//! Table I reproduction: distribution of link idle intervals.
+use ibp_analysis::exhibits::{render_table1, table1, SEED};
+
+fn main() {
+    let rows = table1(SEED);
+    println!("== Table I: distribution of link idle intervals ==");
+    println!("(buckets: <20us unusable, 20-200us exploitable, >200us high-value)");
+    print!("{}", render_table1(&rows));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/table1.json",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    )
+    .ok();
+}

@@ -1,0 +1,14 @@
+//! Table III reproduction: chosen grouping thresholds and hit rates.
+use ibp_analysis::exhibits::{render_table3, table3, SEED};
+
+fn main() {
+    let rows = table3(SEED);
+    println!("== Table III: chosen GT across HPC applications ==");
+    print!("{}", render_table3(&rows));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/table3.json",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    )
+    .ok();
+}

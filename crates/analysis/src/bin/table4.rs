@@ -1,0 +1,14 @@
+//! Table IV reproduction: PPA overheads at 16 ranks.
+use ibp_analysis::exhibits::{render_table4, table4, SEED};
+
+fn main() {
+    let rows = table4(SEED);
+    println!("== Table IV: PPA overheads, 16 MPI processes ==");
+    print!("{}", render_table4(&rows));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/table4.json",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    )
+    .ok();
+}

@@ -1,0 +1,401 @@
+//! Assembly of the paper's tables and figures from experiment runs.
+//!
+//! Each function produces both the data (serialisable) and a rendered
+//! text block; the binaries print the text and dump the JSON next to it.
+
+use crate::experiment::{make_trace, run_on_trace, RunConfig, RunResult};
+use crate::gt_select::{choose_gt, sweep, GtPoint};
+use crate::paper_ref;
+use crate::report::{f1, f2, Table};
+use ibp_trace::IdleDistribution;
+use ibp_workloads::AppKind;
+use serde::{Deserialize, Serialize};
+
+/// Default experiment seed (all exhibits share it; the workloads are
+/// deterministic in it).
+pub const SEED: u64 = 0xD1C0;
+
+/// Displacement used for GT selection (the paper's best case, 1%).
+pub const SELECT_DISPLACEMENT: f64 = 0.01;
+
+/// Table I: idle-interval distribution rows for every app × scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Process count.
+    pub nprocs: u32,
+    /// The three-bucket distribution.
+    pub idle: IdleDistribution,
+}
+
+/// Compute Table I.
+pub fn table1(seed: u64) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        for &n in &paper_ref::paper_procs(app) {
+            let trace = make_trace(app, n, seed);
+            rows.push(Table1Row {
+                app: app.name().to_string(),
+                nprocs: n,
+                idle: IdleDistribution::from_trace(&trace),
+            });
+        }
+    }
+    rows
+}
+
+/// Render Table I like the paper (counts, % of intervals, % of idle time
+/// per bucket).
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut t = Table::new(&[
+        "app", "N", "<20us n", "<20us %", "<20us t%", "20-200 n", "20-200 %", "20-200 t%",
+        ">200 n", ">200 %", ">200 t%",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.app.clone(),
+            r.nprocs.to_string(),
+            r.idle.short.intervals.to_string(),
+            f2(r.idle.short.interval_pct),
+            f2(r.idle.short.time_pct),
+            r.idle.medium.intervals.to_string(),
+            f2(r.idle.medium.interval_pct),
+            f2(r.idle.medium.time_pct),
+            r.idle.long.intervals.to_string(),
+            f2(r.idle.long.interval_pct),
+            f2(r.idle.long.time_pct),
+        ]);
+    }
+    t.render()
+}
+
+/// Table III: chosen GT and hit rate per app × scale.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: String,
+    /// Process count.
+    pub nprocs: u32,
+    /// Our selected grouping threshold, µs.
+    pub gt_us: f64,
+    /// Hit rate at the selected GT, %.
+    pub hit_rate_pct: f64,
+    /// The paper's chosen GT, µs.
+    pub paper_gt_us: f64,
+    /// The paper's hit rate, %.
+    pub paper_hit_pct: f64,
+}
+
+/// Compute Table III (GT selection sweep per cell).
+pub fn table3(seed: u64) -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let procs = paper_ref::paper_procs(app);
+        let gts = paper_ref::table3_gt(app);
+        let hits = paper_ref::table3_hit(app);
+        for i in 0..procs.len() {
+            let trace = make_trace(app, procs[i], seed);
+            let best = choose_gt(&trace, app, SELECT_DISPLACEMENT);
+            rows.push(Table3Row {
+                app: app.name().to_string(),
+                nprocs: procs[i],
+                gt_us: best.gt_us,
+                hit_rate_pct: best.hit_rate_pct,
+                paper_gt_us: gts[i],
+                paper_hit_pct: hits[i],
+            });
+        }
+    }
+    rows
+}
+
+/// Render Table III with paper columns alongside.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut t = Table::new(&[
+        "app", "N", "GT us", "hit %", "paper GT", "paper hit",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.app.clone(),
+            r.nprocs.to_string(),
+            f1(r.gt_us),
+            f1(r.hit_rate_pct),
+            f1(r.paper_gt_us),
+            f1(r.paper_hit_pct),
+        ]);
+    }
+    t.render()
+}
+
+/// Table IV: PPA overheads at 16 ranks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Application name.
+    pub app: String,
+    /// Calls on which the PPA ran, %.
+    pub ppa_invoked_pct: f64,
+    /// Overhead per PPA-invoking call, µs.
+    pub overhead_per_invoked_us: f64,
+    /// Overhead amortised over all calls, µs.
+    pub overhead_per_call_us: f64,
+    /// Paper's three values.
+    pub paper: (f64, f64, f64),
+}
+
+/// Compute Table IV (16 ranks, selected GT, displacement 1%).
+pub fn table4(seed: u64) -> Vec<Table4Row> {
+    AppKind::ALL
+        .iter()
+        .map(|&app| {
+            let trace = make_trace(app, 16, seed);
+            let best = choose_gt(&trace, app, SELECT_DISPLACEMENT);
+            let cfg = RunConfig::new(best.gt_us, SELECT_DISPLACEMENT);
+            let r = crate::experiment::run_runtime_only(&trace, app, &cfg);
+            Table4Row {
+                app: app.name().to_string(),
+                ppa_invoked_pct: r.stats.ppa_invocation_pct(),
+                overhead_per_invoked_us: r.stats.overhead_per_invoked_call_us(),
+                overhead_per_call_us: r.stats.overhead_per_call_us(),
+                paper: paper_ref::table4(app),
+            }
+        })
+        .collect()
+}
+
+/// Render Table IV.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut t = Table::new(&[
+        "app", "PPA calls %", "(paper)", "us/invoked", "(paper)", "us/call", "(paper)",
+    ]);
+    let mut avg = (0.0, 0.0, 0.0);
+    for r in rows {
+        avg.0 += r.ppa_invoked_pct / rows.len() as f64;
+        avg.1 += r.overhead_per_invoked_us / rows.len() as f64;
+        avg.2 += r.overhead_per_call_us / rows.len() as f64;
+        t.row(vec![
+            r.app.clone(),
+            f2(r.ppa_invoked_pct),
+            f2(r.paper.0),
+            f1(r.overhead_per_invoked_us),
+            f1(r.paper.1),
+            f2(r.overhead_per_call_us),
+            f2(r.paper.2),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        f2(avg.0),
+        "2.10".into(),
+        f1(avg.1),
+        "16.5".into(),
+        f2(avg.2),
+        "1.30".into(),
+    ]);
+    t.render()
+}
+
+/// One figure (7, 8 or 9): savings and slowdown per app × scale at one
+/// displacement factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Displacement factor.
+    pub displacement: f64,
+    /// Per-app rows (5 scales each).
+    pub rows: Vec<FigureRow>,
+}
+
+/// One application's series in a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Application name.
+    pub app: String,
+    /// Process counts.
+    pub procs: Vec<u32>,
+    /// GT used per scale (selected by sweep), µs.
+    pub gt_us: Vec<f64>,
+    /// Measured power savings, %.
+    pub savings_pct: Vec<f64>,
+    /// Measured execution-time increase, %.
+    pub slowdown_pct: Vec<f64>,
+    /// Paper's savings, %.
+    pub paper_savings_pct: Vec<f64>,
+    /// Paper's slowdown, %.
+    pub paper_slowdown_pct: Vec<f64>,
+}
+
+/// Run one full figure: GT selection + double replay per cell.
+pub fn figure(displacement: f64, seed: u64) -> FigureData {
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let procs = paper_ref::paper_procs(app);
+        let mut row = FigureRow {
+            app: app.name().to_string(),
+            procs: procs.to_vec(),
+            gt_us: Vec::new(),
+            savings_pct: Vec::new(),
+            slowdown_pct: Vec::new(),
+            paper_savings_pct: paper_ref::savings(app, displacement).to_vec(),
+            paper_slowdown_pct: if displacement <= 0.02 {
+                paper_ref::slowdown_disp1(app).to_vec()
+            } else {
+                Vec::new()
+            },
+        };
+        for &n in &procs {
+            let trace = make_trace(app, n, seed);
+            let best = choose_gt(&trace, app, SELECT_DISPLACEMENT);
+            let cfg = RunConfig::new(best.gt_us, displacement);
+            let r: RunResult = run_on_trace(&trace, app, &cfg);
+            row.gt_us.push(best.gt_us);
+            row.savings_pct.push(r.power_saving_pct);
+            row.slowdown_pct.push(r.slowdown_pct);
+        }
+        rows.push(row);
+    }
+    FigureData {
+        displacement,
+        rows,
+    }
+}
+
+/// Render a figure as two tables (savings, slowdown) with the AVERAGE
+/// series the paper plots.
+pub fn render_figure(fig: &FigureData) -> String {
+    let mut out = format!(
+        "== Power savings in IB switches [%], displacement {:.0}% ==\n",
+        fig.displacement * 100.0
+    );
+    let mut t = Table::new(&["app", "8/9", "16", "32/36", "64", "128/100"]);
+    let napps = fig.rows.len() as f64;
+    let mut avg = vec![0.0; 5];
+    let mut paper_avg = vec![0.0; 5];
+    for row in &fig.rows {
+        let mut cells = vec![row.app.clone()];
+        for i in 0..5 {
+            avg[i] += row.savings_pct[i] / napps;
+            paper_avg[i] += row.paper_savings_pct[i] / napps;
+            cells.push(format!(
+                "{:.1} ({:.1})",
+                row.savings_pct[i], row.paper_savings_pct[i]
+            ));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["AVERAGE".to_string()];
+    for i in 0..5 {
+        cells.push(format!("{:.1} ({:.1})", avg[i], paper_avg[i]));
+    }
+    t.row(cells);
+    out.push_str(&t.render());
+
+    out.push_str(&format!(
+        "\n== Execution time increase [%], displacement {:.0}% ==\n",
+        fig.displacement * 100.0
+    ));
+    let mut t = Table::new(&["app", "8/9", "16", "32/36", "64", "128/100"]);
+    let mut avg = vec![0.0; 5];
+    for row in &fig.rows {
+        let mut cells = vec![row.app.clone()];
+        for i in 0..5 {
+            avg[i] += row.slowdown_pct[i] / napps;
+            let cell = if row.paper_slowdown_pct.is_empty() {
+                format!("{:.2}", row.slowdown_pct[i])
+            } else {
+                format!("{:.2} ({:.2})", row.slowdown_pct[i], row.paper_slowdown_pct[i])
+            };
+            cells.push(cell);
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["AVERAGE".to_string()];
+    for i in 0..5 {
+        cells.push(format!("{:.2}", avg[i]));
+    }
+    t.row(cells);
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 10 data: GT sweep hit-rate curves for GROMACS at 64 and 128.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Data {
+    /// (nprocs, sweep points) per curve.
+    pub curves: Vec<(u32, Vec<GtPoint>)>,
+}
+
+/// Compute Fig. 10.
+pub fn fig10(seed: u64) -> Fig10Data {
+    let curves = [64u32, 128]
+        .iter()
+        .map(|&n| {
+            let trace = make_trace(AppKind::Gromacs, n, seed);
+            (n, sweep(&trace, AppKind::Gromacs, SELECT_DISPLACEMENT))
+        })
+        .collect();
+    Fig10Data { curves }
+}
+
+/// Render Fig. 10 as a table plus ASCII curves.
+pub fn render_fig10(data: &Fig10Data) -> String {
+    let mut out = String::from(
+        "== Fig. 10: correctly predicted MPI calls vs grouping threshold (GROMACS) ==\n",
+    );
+    let mut t = Table::new(&["GT us", "hit% @64", "hit% @128"]);
+    let (c64, c128) = (&data.curves[0].1, &data.curves[1].1);
+    for (a, b) in c64.iter().zip(c128) {
+        t.row(vec![f1(a.gt_us), f1(a.hit_rate_pct), f1(b.hit_rate_pct)]);
+    }
+    out.push_str(&t.render());
+    for (n, curve) in &data.curves {
+        out.push_str(&format!("\n{n} processes:\n"));
+        for p in curve {
+            let bar = "#".repeat((p.hit_rate_pct / 2.0).round() as usize);
+            out.push_str(&format!("{:>6.0} |{bar} {:.1}%\n", p.gt_us, p.hit_rate_pct));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_25_rows() {
+        // Uses the real (full-length) generators; keep to one seed.
+        let rows = table1(SEED);
+        assert_eq!(rows.len(), 25);
+        // Every row: percentages of intervals sum to ~100 when non-empty.
+        for r in &rows {
+            let s =
+                r.idle.short.interval_pct + r.idle.medium.interval_pct + r.idle.long.interval_pct;
+            assert!((s - 100.0).abs() < 1e-6, "{} @{}: {s}", r.app, r.nprocs);
+        }
+        let text = render_table1(&rows);
+        assert!(text.contains("alya"));
+        assert_eq!(text.lines().count(), 27);
+    }
+
+    #[test]
+    fn figure_renderer_shapes() {
+        // Synthetic figure data: rendering must include the AVERAGE row
+        // and paper comparisons.
+        let fig = FigureData {
+            displacement: 0.01,
+            rows: vec![FigureRow {
+                app: "alya".into(),
+                procs: vec![8, 16, 32, 64, 128],
+                gt_us: vec![20.0; 5],
+                savings_pct: vec![15.0, 13.0, 9.0, 5.0, 2.0],
+                slowdown_pct: vec![0.1; 5],
+                paper_savings_pct: vec![14.5, 12.6, 8.9, 5.2, 2.3],
+                paper_slowdown_pct: vec![0.01, 0.03, 0.06, 0.11, 0.13],
+            }],
+        };
+        let text = render_figure(&fig);
+        assert!(text.contains("AVERAGE"));
+        assert!(text.contains("15.0 (14.5)"));
+        assert!(text.contains("Execution time increase"));
+    }
+}

@@ -1,0 +1,428 @@
+//! Studies beyond the paper's published evaluation.
+//!
+//! * [`policy_ablation`] — the predictive mechanism between its bounds:
+//!   a clairvoyant oracle (max savings at zero stalls) and reactive
+//!   idle-timeout hardware policies (more savings, every wake-up on the
+//!   critical path) — quantifying the related-work trade-off the paper
+//!   argues qualitatively.
+//! * [`deep_sleep_study`] — the paper's §VI future work: let long
+//!   predicted idles power down switch buffers/crossbar too
+//!   (millisecond reactivation, ~10% draw) and measure what the
+//!   prediction accuracy buys.
+//! * [`weak_scaling_study`] — the paper's §VI conjecture that the
+//!   mechanism "would benefit more in weak scaling runs".
+//! * [`robustness_study`] — failure injection: amplify compute jitter
+//!   and watch mispredictions, savings, and slowdown degrade.
+
+use crate::experiment::{make_trace, RunConfig};
+use crate::report::{f1, f2, Table};
+use ibp_core::{
+    annotate_trace, history_annotate_trace, oracle_annotate_trace, reactive_annotate_trace,
+    PowerConfig, TraceAnnotations,
+};
+use ibp_network::{replay, ReplayOptions, SimParams, SimResult};
+use ibp_simcore::SimDuration;
+use ibp_trace::Trace;
+use ibp_workloads::{AppKind, Scaling, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One policy's outcome on one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Application name.
+    pub app: String,
+    /// Policy label.
+    pub policy: String,
+    /// IB switch power saving, %.
+    pub saving_pct: f64,
+    /// Execution-time increase vs the unmanaged baseline, %.
+    pub slowdown_pct: f64,
+}
+
+fn run_policy(
+    trace: &Trace,
+    baseline: &SimResult,
+    ann: &TraceAnnotations,
+    params: &SimParams,
+) -> (f64, f64) {
+    let managed = replay(trace, Some(ann), params, &ReplayOptions::default());
+    (managed.power_saving_pct(), managed.slowdown_pct(baseline))
+}
+
+/// Compare the predictive mechanism against the oracle and reactive
+/// baselines on every application at `nprocs` ranks.
+pub fn policy_ablation(nprocs: u32, seed: u64) -> Vec<PolicyOutcome> {
+    let params = SimParams::paper();
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let mut out = Vec::new();
+    for app in AppKind::ALL {
+        let n = if app == AppKind::NasBt {
+            // Nearest square count.
+            match nprocs {
+                8 => 9,
+                32 => 36,
+                128 => 100,
+                other => other,
+            }
+        } else {
+            nprocs
+        };
+        let trace = make_trace(app, n, seed);
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+
+        let policies: Vec<(String, TraceAnnotations)> = vec![
+            ("ppa".into(), annotate_trace(&trace, &cfg)),
+            ("oracle".into(), oracle_annotate_trace(&trace, &cfg)),
+            (
+                "reactive-0us".into(),
+                reactive_annotate_trace(&trace, &cfg, SimDuration::ZERO),
+            ),
+            (
+                "reactive-50us".into(),
+                reactive_annotate_trace(&trace, &cfg, SimDuration::from_us(50)),
+            ),
+            (
+                "history-8".into(),
+                history_annotate_trace(&trace, &cfg, 8),
+            ),
+        ];
+        for (name, ann) in policies {
+            let (saving, slowdown) = run_policy(&trace, &baseline, &ann, &params);
+            out.push(PolicyOutcome {
+                app: app.name().to_string(),
+                policy: name,
+                saving_pct: saving,
+                slowdown_pct: slowdown,
+            });
+        }
+    }
+    out
+}
+
+/// Render the policy ablation.
+pub fn render_policy_ablation(rows: &[PolicyOutcome]) -> String {
+    let mut t = Table::new(&["app", "policy", "saving %", "slowdown %"]);
+    for r in rows {
+        t.row(vec![
+            r.app.clone(),
+            r.policy.clone(),
+            f1(r.saving_pct),
+            f2(r.slowdown_pct),
+        ]);
+    }
+    t.render()
+}
+
+/// WRPS-only vs two-tier (WRPS + deep) policy per application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeepSleepOutcome {
+    /// Application name.
+    pub app: String,
+    /// WRPS-only saving, %.
+    pub wrps_saving_pct: f64,
+    /// WRPS-only slowdown, %.
+    pub wrps_slowdown_pct: f64,
+    /// Two-tier saving, %.
+    pub deep_saving_pct: f64,
+    /// Two-tier slowdown, %.
+    pub deep_slowdown_pct: f64,
+    /// Share of sleep windows that went deep, %.
+    pub deep_window_pct: f64,
+}
+
+/// Run the §VI deep-sleep study at `nprocs` ranks with the given deep
+/// threshold.
+pub fn deep_sleep_study(nprocs: u32, threshold: SimDuration, seed: u64) -> Vec<DeepSleepOutcome> {
+    let params = SimParams::paper();
+    let base_cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let deep_cfg = base_cfg.clone().with_deep_sleep(threshold);
+    AppKind::ALL
+        .iter()
+        .map(|&app| {
+            let n = if app == AppKind::NasBt { 9 } else { nprocs };
+            let trace = make_trace(app, n, seed);
+            let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+            let wrps_ann = annotate_trace(&trace, &base_cfg);
+            let deep_ann = annotate_trace(&trace, &deep_cfg);
+            let (ws, wd) = run_policy(&trace, &baseline, &wrps_ann, &params);
+            let (ds, dd) = run_policy(&trace, &baseline, &deep_ann, &params);
+            let total: usize = deep_ann.ranks.iter().map(|r| r.directives.len()).sum();
+            let deep: usize = deep_ann
+                .ranks
+                .iter()
+                .flat_map(|r| &r.directives)
+                .filter(|d| d.kind == ibp_core::SleepKind::Deep)
+                .count();
+            DeepSleepOutcome {
+                app: app.name().to_string(),
+                wrps_saving_pct: ws,
+                wrps_slowdown_pct: wd,
+                deep_saving_pct: ds,
+                deep_slowdown_pct: dd,
+                deep_window_pct: if total == 0 {
+                    0.0
+                } else {
+                    100.0 * deep as f64 / total as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Render the deep-sleep study.
+pub fn render_deep_sleep(rows: &[DeepSleepOutcome]) -> String {
+    let mut t = Table::new(&[
+        "app",
+        "WRPS sav%",
+        "WRPS slow%",
+        "deep sav%",
+        "deep slow%",
+        "deep windows %",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.app.clone(),
+            f1(r.wrps_saving_pct),
+            f2(r.wrps_slowdown_pct),
+            f1(r.deep_saving_pct),
+            f2(r.deep_slowdown_pct),
+            f1(r.deep_window_pct),
+        ]);
+    }
+    t.render()
+}
+
+/// Strong vs weak scaling of the savings for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingOutcome {
+    /// Application name.
+    pub app: String,
+    /// Process counts.
+    pub procs: Vec<u32>,
+    /// Strong-scaling savings per count, %.
+    pub strong_saving_pct: Vec<f64>,
+    /// Weak-scaling savings per count, %.
+    pub weak_saving_pct: Vec<f64>,
+}
+
+/// Build an app's workload in the requested scaling mode.
+fn scaled_workload(app: AppKind, mode: Scaling) -> Box<dyn Workload> {
+    match app {
+        AppKind::Gromacs => Box::new(ibp_workloads::Gromacs {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::Alya => Box::new(ibp_workloads::Alya {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::Wrf => Box::new(ibp_workloads::Wrf {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::NasBt => Box::new(ibp_workloads::NasBt {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::NasMg => Box::new(ibp_workloads::NasMg {
+            scaling: mode,
+            ..Default::default()
+        }),
+    }
+}
+
+/// The §VI conjecture: weak-scaling savings stay flat where strong
+/// scaling collapses.
+pub fn weak_scaling_study(app: AppKind, seed: u64) -> ScalingOutcome {
+    let procs: Vec<u32> = if app == AppKind::NasBt {
+        vec![9, 16, 36, 64]
+    } else {
+        vec![8, 16, 32, 64]
+    };
+    let params = SimParams::paper();
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let mut strong = Vec::new();
+    let mut weak = Vec::new();
+    for &n in &procs {
+        for (mode, out) in [(Scaling::Strong, &mut strong), (Scaling::Weak, &mut weak)] {
+            let trace = scaled_workload(app, mode).generate(n, seed);
+            let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+            let ann = annotate_trace(&trace, &cfg);
+            let (saving, _) = run_policy(&trace, &baseline, &ann, &params);
+            out.push(saving);
+        }
+    }
+    ScalingOutcome {
+        app: app.name().to_string(),
+        procs,
+        strong_saving_pct: strong,
+        weak_saving_pct: weak,
+    }
+}
+
+/// Render a weak-scaling study.
+pub fn render_weak_scaling(rows: &[ScalingOutcome]) -> String {
+    let mut t = Table::new(&["app", "mode", "@8/9", "@16", "@32/36", "@64"]);
+    for r in rows {
+        let mut strong = vec![r.app.clone(), "strong".into()];
+        let mut weak = vec![r.app.clone(), "weak".into()];
+        for i in 0..4 {
+            strong.push(f1(r.strong_saving_pct[i]));
+            weak.push(f1(r.weak_saving_pct[i]));
+        }
+        t.row(strong);
+        t.row(weak);
+    }
+    t.render()
+}
+
+/// One jitter level's outcome in the robustness study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessPoint {
+    /// Jitter multiplier applied to the generator's sigma.
+    pub jitter_multiplier: f64,
+    /// Hit rate, %.
+    pub hit_rate_pct: f64,
+    /// Power saving, %.
+    pub saving_pct: f64,
+    /// Slowdown, %.
+    pub slowdown_pct: f64,
+    /// Timing mispredictions per 1000 calls.
+    pub timing_miss_per_kcall: f64,
+}
+
+/// Failure injection: scale ALYA's compute jitter and displacement-test
+/// the mechanism.
+pub fn robustness_study(nprocs: u32, seed: u64) -> Vec<RobustnessPoint> {
+    let params = SimParams::paper();
+    let cfg = RunConfig::new(20.0, 0.01).power_config();
+    [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0]
+        .iter()
+        .map(|&mult| {
+            let mut alya = ibp_workloads::Alya::default();
+            alya.assembly_gap.sigma *= mult;
+            alya.solver_gap.sigma *= mult;
+            let trace = alya.generate(nprocs, seed);
+            let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+            let ann = annotate_trace(&trace, &cfg);
+            let agg = ann.aggregate_stats();
+            let managed = replay(&trace, Some(&ann), &params, &ReplayOptions::default());
+            RobustnessPoint {
+                jitter_multiplier: mult,
+                hit_rate_pct: agg.hit_rate_pct(),
+                saving_pct: managed.power_saving_pct(),
+                slowdown_pct: managed.slowdown_pct(&baseline),
+                timing_miss_per_kcall: 1000.0 * agg.timing_mispredictions as f64
+                    / agg.total_calls.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Render the robustness study.
+pub fn render_robustness(rows: &[RobustnessPoint]) -> String {
+    let mut t = Table::new(&[
+        "jitter x",
+        "hit %",
+        "saving %",
+        "slowdown %",
+        "late wakes /kcall",
+    ]);
+    for r in rows {
+        t.row(vec![
+            f1(r.jitter_multiplier),
+            f1(r.hit_rate_pct),
+            f1(r.saving_pct),
+            f2(r.slowdown_pct),
+            f1(r.timing_miss_per_kcall),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_bounds_ppa_from_above() {
+        // Use a small ALYA for speed.
+        let mut alya = ibp_workloads::Alya::default();
+        alya.iterations = 40;
+        let trace = alya.generate(8, 1);
+        let params = SimParams::paper();
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let (ppa_s, ppa_d) = run_policy(&trace, &baseline, &annotate_trace(&trace, &cfg), &params);
+        let (ora_s, ora_d) =
+            run_policy(&trace, &baseline, &oracle_annotate_trace(&trace, &cfg), &params);
+        assert!(ora_s >= ppa_s, "oracle {ora_s} < ppa {ppa_s}");
+        assert!(ora_d <= ppa_d + 0.05, "oracle slowdown {ora_d} vs ppa {ppa_d}");
+    }
+
+    #[test]
+    fn reactive_trades_stalls_for_savings() {
+        let mut alya = ibp_workloads::Alya::default();
+        alya.iterations = 40;
+        let trace = alya.generate(8, 2);
+        let params = SimParams::paper();
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let (ppa_s, ppa_d) = run_policy(&trace, &baseline, &annotate_trace(&trace, &cfg), &params);
+        let (rea_s, rea_d) = run_policy(
+            &trace,
+            &baseline,
+            &reactive_annotate_trace(&trace, &cfg, SimDuration::ZERO),
+            &params,
+        );
+        // Reactive exploits every gap (even unpredictable ones) → more
+        // savings, but pays T_react on every wake-up → more slowdown.
+        assert!(rea_s >= ppa_s, "reactive {rea_s} < ppa {ppa_s}");
+        assert!(rea_d > ppa_d, "reactive slowdown {rea_d} <= ppa {ppa_d}");
+    }
+
+    #[test]
+    fn deep_sleep_increases_savings_on_long_gap_apps() {
+        // WRF at 8 ranks has ~18 ms physics gaps: deep sleep (threshold
+        // 5 ms) should beat WRPS-only on savings.
+        let mut wrf = ibp_workloads::Wrf::default();
+        wrf.iterations = 30;
+        let trace = ibp_workloads::Workload::generate(&wrf, 8, 3);
+        let params = SimParams::paper();
+        let base_cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let deep_cfg = base_cfg.clone().with_deep_sleep(SimDuration::from_ms(5));
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let (ws, _) = run_policy(&trace, &baseline, &annotate_trace(&trace, &base_cfg), &params);
+        let (ds, _) = run_policy(&trace, &baseline, &annotate_trace(&trace, &deep_cfg), &params);
+        assert!(
+            ds > ws + 5.0,
+            "deep sleep should add savings on WRF: {ds} vs {ws}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_flattens_the_collapse() {
+        let out = weak_scaling_study(AppKind::Alya, 4);
+        // Strong scaling collapses from @8 to @64…
+        let s_drop = out.strong_saving_pct[0] - out.strong_saving_pct[3];
+        // …weak scaling must retain much more of the saving.
+        let w_drop = out.weak_saving_pct[0] - out.weak_saving_pct[3];
+        assert!(
+            w_drop < s_drop * 0.6,
+            "weak drop {w_drop} not much flatter than strong drop {s_drop}\n{out:?}"
+        );
+        assert!(out.weak_saving_pct[3] > out.strong_saving_pct[3]);
+    }
+
+    #[test]
+    fn robustness_degrades_gracefully() {
+        let rows = robustness_study(8, 5);
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        // Extreme jitter must cost late wake-ups and savings…
+        assert!(last.timing_miss_per_kcall > first.timing_miss_per_kcall);
+        assert!(last.saving_pct < first.saving_pct);
+        // …but never catastrophic slowdown (stalls are T_react-capped).
+        assert!(last.slowdown_pct < 5.0, "{}", last.slowdown_pct);
+    }
+}

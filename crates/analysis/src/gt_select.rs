@@ -1,0 +1,121 @@
+//! Grouping-threshold evaluation and selection (Table III, Fig. 10).
+//!
+//! The paper evaluates PPA prediction quality across a range of GT values
+//! (Fig. 10 shows the GROMACS curves) and picks, per application and
+//! scale, the GT that maximises correct prediction while not grouping
+//! away the exploitable idle intervals (Table III). We sweep the same
+//! range with the runtime-only pass (no network replay needed) and select
+//! by the quick power-saving estimate, which penalises both failure
+//! modes: mispredictions (low coverage) and over-grouping (idle windows
+//! swallowed into grams). Hit rate breaks ties.
+
+use crate::experiment::{run_runtime_only, RunConfig, RunResult};
+use ibp_trace::Trace;
+use ibp_workloads::AppKind;
+use serde::{Deserialize, Serialize};
+
+/// The GT grid swept, in µs. Starts at the legal minimum `2·T_react`
+/// and covers the paper's Fig. 10 range (up to 400 µs), including every
+/// value Table III reports.
+pub const GT_GRID_US: &[f64] = &[
+    20.0, 22.0, 26.0, 30.0, 36.0, 46.0, 50.0, 56.0, 72.0, 100.0, 136.0, 150.0, 186.0, 222.0,
+    260.0, 290.0, 300.0, 340.0, 382.0, 400.0,
+];
+
+/// One sweep point (one GT value on one trace).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GtPoint {
+    /// Grouping threshold, µs.
+    pub gt_us: f64,
+    /// Correctly predicted MPI calls, %.
+    pub hit_rate_pct: f64,
+    /// Quick power-saving estimate, %.
+    pub est_saving_pct: f64,
+}
+
+/// Sweep the GT grid over one trace (runtime pass only).
+pub fn sweep(trace: &Trace, app: AppKind, displacement: f64) -> Vec<GtPoint> {
+    GT_GRID_US
+        .iter()
+        .map(|&gt| {
+            let cfg = RunConfig::new(gt, displacement);
+            let r: RunResult = run_runtime_only(trace, app, &cfg);
+            GtPoint {
+                gt_us: gt,
+                hit_rate_pct: r.hit_rate_pct,
+                est_saving_pct: r.est_saving_pct,
+            }
+        })
+        .collect()
+}
+
+/// Select the best GT from a sweep: maximise the saving estimate, break
+/// ties by hit rate, then by the smaller threshold.
+pub fn select(points: &[GtPoint]) -> &GtPoint {
+    points
+        .iter()
+        .max_by(|a, b| {
+            a.est_saving_pct
+                .partial_cmp(&b.est_saving_pct)
+                .unwrap()
+                .then(a.hit_rate_pct.partial_cmp(&b.hit_rate_pct).unwrap())
+                .then(b.gt_us.partial_cmp(&a.gt_us).unwrap())
+        })
+        .expect("non-empty sweep")
+}
+
+/// Sweep + select in one step for an application at one scale.
+pub fn choose_gt(trace: &Trace, app: AppKind, displacement: f64) -> GtPoint {
+    let points = sweep(trace, app, displacement);
+    select(&points).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_workloads::Workload;
+
+    fn small_alya(n: u32) -> Trace {
+        let alya = ibp_workloads::Alya {
+            iterations: 40,
+            ..Default::default()
+        };
+        alya.generate(n, 5)
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let t = small_alya(8);
+        let pts = sweep(&t, AppKind::Alya, 0.01);
+        assert_eq!(pts.len(), GT_GRID_US.len());
+        assert!(pts.iter().all(|p| p.hit_rate_pct >= 0.0));
+    }
+
+    #[test]
+    fn grid_starts_at_legal_minimum() {
+        assert_eq!(GT_GRID_US[0], 20.0);
+        assert!(GT_GRID_US.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn selection_maximises_estimate() {
+        let t = small_alya(8);
+        let pts = sweep(&t, AppKind::Alya, 0.01);
+        let best = select(&pts);
+        assert!(pts.iter().all(|p| p.est_saving_pct <= best.est_saving_pct));
+        // ALYA at 8 ranks saves meaningfully at its best GT.
+        assert!(best.est_saving_pct > 20.0, "{:?}", best);
+    }
+
+    #[test]
+    fn over_grouping_hurts_alya() {
+        // A 400 µs GT at 8 ranks swallows ALYA's solver gaps (600 µs
+        // survives, but the structure coarsens): the estimate at GT=400
+        // must not beat the selected one.
+        let t = small_alya(8);
+        let pts = sweep(&t, AppKind::Alya, 0.01);
+        let best = select(&pts);
+        let last = pts.last().unwrap();
+        assert!(last.est_saving_pct <= best.est_saving_pct);
+    }
+}

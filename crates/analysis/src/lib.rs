@@ -1,0 +1,33 @@
+//! # ibp-analysis — experiment drivers for every table and figure
+//!
+//! Reproduction harness for the paper's evaluation: each module (and the
+//! matching binary in `src/bin/`) regenerates one exhibit:
+//!
+//! | exhibit | module / binary |
+//! |---|---|
+//! | Table I (idle-interval distribution) | [`table1`] / `table1` |
+//! | Table II (simulation parameters) | `params` binary |
+//! | Table III (chosen GT + hit rate) | [`gt_select`] / `table3` |
+//! | Table IV (PPA overheads) | [`table4`] / `table4` |
+//! | Figs. 7–9 (savings + slowdown per displacement) | [`figures`] / `fig7`–`fig9` |
+//! | Fig. 10 (GT sweep) | [`gt_select`] / `fig10` |
+//!
+//! [`paper_ref`] holds the published values so every binary prints
+//! ours-vs-paper columns, and `EXPERIMENTS.md` is assembled from the same
+//! data.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exhibits;
+pub mod experiment;
+pub mod extensions;
+pub mod gt_select;
+pub mod paper_ref;
+pub mod report;
+pub mod svg;
+
+pub use experiment::{make_trace, run, run_on_trace, run_runtime_only, RunConfig, RunResult};
+pub use exhibits::{fig10, figure, table1, table3, table4};
+pub use gt_select::{choose_gt, select, sweep, GtPoint, GT_GRID_US};
+pub use report::Table;

@@ -1,0 +1,151 @@
+//! The paper's published numbers, for side-by-side comparison.
+//!
+//! Values transcribed from Dickov et al., ICPP 2014: Figs. 7–9 (power
+//! savings and execution-time increase per displacement factor), Table
+//! III (chosen grouping thresholds and hit rates) and Table IV (PPA
+//! overheads at 16 ranks). `EXPERIMENTS.md` is generated against these.
+
+use ibp_workloads::AppKind;
+
+/// The scale axis as the paper labels it (BT/“100” column uses square
+/// counts).
+pub const SCALE_LABELS: [&str; 5] = ["8/9", "16", "32/36", "64", "128/100"];
+
+/// Process counts per application, paper order.
+pub fn paper_procs(app: AppKind) -> [u32; 5] {
+    match app {
+        AppKind::NasBt => [9, 16, 36, 64, 100],
+        _ => [8, 16, 32, 64, 128],
+    }
+}
+
+/// Fig. 9a (displacement 1%): IB switch power savings, %.
+pub fn savings_disp1(app: AppKind) -> [f64; 5] {
+    match app {
+        AppKind::Gromacs => [36.0, 33.1, 30.6, 25.7, 17.0],
+        AppKind::Alya => [14.5, 12.6, 8.9, 5.2, 2.3],
+        AppKind::Wrf => [38.1, 31.0, 22.0, 11.4, 4.1],
+        AppKind::NasBt => [51.3, 46.1, 33.3, 20.4, 5.5],
+        AppKind::NasMg => [27.7, 29.0, 19.3, 12.3, 3.7],
+    }
+}
+
+/// Fig. 8a (displacement 5%): IB switch power savings, %.
+pub fn savings_disp5(app: AppKind) -> [f64; 5] {
+    match app {
+        AppKind::Gromacs => [34.6, 31.8, 29.4, 24.7, 16.3],
+        AppKind::Alya => [13.9, 12.1, 8.5, 5.1, 2.2],
+        AppKind::Wrf => [36.8, 30.0, 21.2, 10.9, 3.8],
+        AppKind::NasBt => [49.3, 44.2, 32.0, 19.6, 5.5],
+        AppKind::NasMg => [26.6, 27.9, 18.5, 11.9, 3.6],
+    }
+}
+
+/// Fig. 7a (displacement 10%): IB switch power savings, %.
+pub fn savings_disp10(app: AppKind) -> [f64; 5] {
+    match app {
+        AppKind::Gromacs => [32.8, 30.2, 27.8, 23.4, 15.0],
+        AppKind::Alya => [13.2, 11.5, 8.1, 4.8, 2.1],
+        AppKind::Wrf => [35.1, 28.5, 20.21, 10.45, 3.6],
+        AppKind::NasBt => [46.7, 41.9, 30.3, 18.5, 5.5],
+        AppKind::NasMg => [25.2, 26.4, 17.5, 11.3, 3.4],
+    }
+}
+
+/// Fig. 9b (displacement 1%): execution-time increase, %.
+pub fn slowdown_disp1(app: AppKind) -> [f64; 5] {
+    match app {
+        AppKind::Gromacs => [0.01, 0.02, 0.06, 0.10, 4.19],
+        AppKind::Alya => [0.01, 0.03, 0.06, 0.11, 0.13],
+        AppKind::Wrf => [0.15, 0.26, 0.40, 0.56, 0.79],
+        AppKind::NasBt => [0.01, 0.01, 0.04, 0.06, 0.13],
+        AppKind::NasMg => [0.26, 0.42, 0.56, 0.70, 1.05],
+    }
+}
+
+/// Savings for a displacement factor (1%, 5% or 10%).
+pub fn savings(app: AppKind, displacement: f64) -> [f64; 5] {
+    if displacement <= 0.02 {
+        savings_disp1(app)
+    } else if displacement <= 0.07 {
+        savings_disp5(app)
+    } else {
+        savings_disp10(app)
+    }
+}
+
+/// Table III: chosen grouping threshold (µs) per application and scale.
+pub fn table3_gt(app: AppKind) -> [f64; 5] {
+    match app {
+        AppKind::Gromacs => [20.0, 222.0, 20.0, 22.0, 136.0],
+        AppKind::Alya => [20.0, 72.0, 36.0, 36.0, 20.0],
+        AppKind::Wrf => [56.0, 30.0, 30.0, 36.0, 22.0],
+        AppKind::NasBt => [20.0, 22.0, 46.0, 20.0, 50.0],
+        AppKind::NasMg => [300.0, 382.0, 300.0, 290.0, 150.0],
+    }
+}
+
+/// Table III: MPI call hit rate (%) per application and scale.
+pub fn table3_hit(app: AppKind) -> [f64; 5] {
+    match app {
+        AppKind::Gromacs => [42.0, 44.0, 48.0, 44.0, 59.0],
+        AppKind::Alya => [93.0, 93.0, 93.0, 93.0, 93.0],
+        AppKind::Wrf => [25.0, 33.0, 32.0, 31.0, 31.0],
+        AppKind::NasBt => [97.0, 98.0, 98.0, 98.0, 98.0],
+        AppKind::NasMg => [74.0, 79.0, 70.0, 74.0, 74.0],
+    }
+}
+
+/// Table IV at 16 ranks: (PPA-invoking calls %, overhead per invoking
+/// call µs, overhead per call µs).
+pub fn table4(app: AppKind) -> (f64, f64, f64) {
+    match app {
+        AppKind::Gromacs => (4.7, 25.1, 2.1),
+        AppKind::Alya => (1.2, 16.1, 1.2),
+        AppKind::Wrf => (0.4, 7.8, 1.1),
+        AppKind::NasBt => (3.7, 6.9, 1.1),
+        AppKind::NasMg => (0.5, 26.4, 1.05),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_match_paper_headlines() {
+        // Fig. 9a: maximum average power reduction 33.52% at 8/9 ranks.
+        let avg: f64 = AppKind::ALL
+            .iter()
+            .map(|&a| savings_disp1(a)[0])
+            .sum::<f64>()
+            / 5.0;
+        assert!((avg - 33.52).abs() < 0.01, "avg {avg}");
+        // Fig. 7a: 30.6% at 10% displacement.
+        let avg10: f64 = AppKind::ALL
+            .iter()
+            .map(|&a| savings_disp10(a)[0])
+            .sum::<f64>()
+            / 5.0;
+        assert!((avg10 - 30.6).abs() < 0.01, "avg {avg10}");
+    }
+
+    #[test]
+    fn displacement_dispatch() {
+        assert_eq!(savings(AppKind::Alya, 0.01), savings_disp1(AppKind::Alya));
+        assert_eq!(savings(AppKind::Alya, 0.05), savings_disp5(AppKind::Alya));
+        assert_eq!(savings(AppKind::Alya, 0.10), savings_disp10(AppKind::Alya));
+    }
+
+    #[test]
+    fn monotone_savings_with_smaller_displacement() {
+        // Smaller displacement ⇒ larger savings, app by app, scale by
+        // scale (the paper's central trade-off).
+        for app in AppKind::ALL {
+            let (d1, d5, d10) = (savings_disp1(app), savings_disp5(app), savings_disp10(app));
+            for i in 0..5 {
+                assert!(d1[i] >= d5[i] && d5[i] >= d10[i], "{app:?} col {i}");
+            }
+        }
+    }
+}

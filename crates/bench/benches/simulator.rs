@@ -1,0 +1,61 @@
+//! Microbenchmarks of the replay engine and fabric.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ibp_network::{decompose, replay, Fabric, ReplayOptions, SimParams};
+use ibp_simcore::SimTime;
+use ibp_trace::MpiOp;
+use ibp_workloads::{Alya, Workload};
+
+fn bench_fabric_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("transfer_cross_leaf", |b| {
+        let mut f = Fabric::new(SimParams::paper(), 128, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            f.transfer(SimTime::from_ns(t), 0, 100, 4096)
+        })
+    });
+    g.finish();
+}
+
+fn bench_collective_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    for n in [8u32, 128] {
+        g.bench_function(format!("allreduce_decompose_n{n}"), |b| {
+            b.iter(|| {
+                (0..n)
+                    .map(|r| decompose(&MpiOp::Allreduce { bytes: 8 }, r, n).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let alya = Alya {
+        iterations: 40,
+        ..Default::default()
+    };
+    let trace = alya.generate(16, 1);
+    let events = trace.total_calls() as u64;
+    let params = SimParams::paper();
+    let opts = ReplayOptions::default();
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("alya_16ranks_baseline", |b| {
+        b.iter(|| replay(&trace, None, &params, &opts))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fabric_transfer,
+    bench_collective_decompose,
+    bench_replay
+);
+criterion_main!(benches);

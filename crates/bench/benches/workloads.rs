@@ -1,0 +1,23 @@
+//! Trace-generation throughput for the five applications.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ibp_workloads::AppKind;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+    for app in AppKind::ALL {
+        let n = if app == AppKind::NasBt { 16 } else { 16 };
+        let w = app.workload();
+        let events = w.generate(n, 0).total_calls() as u64;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("generate_{}_16ranks", app.name()), |b| {
+            let w = app.workload();
+            b.iter(|| w.generate(n, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark support crate; benches live in `benches/`.

@@ -1,0 +1,371 @@
+//! # ibpower-cli — command-line front end
+//!
+//! A small, dependency-free argument layer over the `ibpower` workspace:
+//!
+//! ```text
+//! ibpower generate <app> <nprocs> [--seed N] [--weak] [-o trace.json]
+//! ibpower inspect  <trace.json>
+//! ibpower annotate <trace.json> [--gt US] [--disp F] [-o ann.json]
+//! ibpower replay   <trace.json> [--ann ann.json] [--timeline]
+//! ibpower experiment <app> <nprocs> [--gt US] [--disp F] [--seed N]
+//! ibpower prv      <trace.json> [-o out.prv]
+//! ```
+//!
+//! The parsing layer is exposed as a library so it can be unit-tested
+//! without spawning processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ibp_simcore::SimDuration;
+use ibp_workloads::{AppKind, Scaling, Workload};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a workload trace.
+    Generate {
+        /// Application name.
+        app: String,
+        /// Rank count.
+        nprocs: u32,
+        /// Generation seed.
+        seed: u64,
+        /// Weak scaling instead of strong.
+        weak: bool,
+        /// Output path (stdout summary only if absent).
+        output: Option<String>,
+    },
+    /// Print trace statistics.
+    Inspect {
+        /// Trace path.
+        trace: String,
+    },
+    /// Run the power-saving runtime over a trace.
+    Annotate {
+        /// Trace path.
+        trace: String,
+        /// Grouping threshold, µs.
+        gt_us: f64,
+        /// Displacement factor.
+        displacement: f64,
+        /// Output path for the annotations JSON.
+        output: Option<String>,
+    },
+    /// Replay a trace (optionally with annotations).
+    Replay {
+        /// Trace path.
+        trace: String,
+        /// Annotations path.
+        ann: Option<String>,
+        /// Render a link-power timeline.
+        timeline: bool,
+    },
+    /// Full pipeline in one shot: generate + annotate + double replay.
+    Experiment {
+        /// Application name.
+        app: String,
+        /// Rank count.
+        nprocs: u32,
+        /// Grouping threshold, µs.
+        gt_us: f64,
+        /// Displacement factor.
+        displacement: f64,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// Export a trace in the simplified Paraver dialect.
+    Prv {
+        /// Trace path.
+        trace: String,
+        /// Output path (stdout if absent).
+        output: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(|s| s.as_str()).unwrap_or("help");
+    let rest: Vec<&String> = it.collect();
+
+    let flag_val = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let has_flag = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    let positional: Vec<&str> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in rest.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with('-') {
+                // Flags with values.
+                if ["--seed", "--gt", "--disp", "-o", "--ann"].contains(&a.as_str()) {
+                    skip = true;
+                }
+                let _ = i;
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    };
+
+    let parse_seed = || -> Result<u64, String> {
+        match flag_val("--seed") {
+            Some(s) => s.parse().map_err(|_| format!("bad --seed: {s}")),
+            None => Ok(0xD1C0),
+        }
+    };
+    let parse_gt = || -> Result<f64, String> {
+        match flag_val("--gt") {
+            Some(s) => s.parse().map_err(|_| format!("bad --gt: {s}")),
+            None => Ok(20.0),
+        }
+    };
+    let parse_disp = || -> Result<f64, String> {
+        match flag_val("--disp") {
+            Some(s) => s.parse().map_err(|_| format!("bad --disp: {s}")),
+            None => Ok(0.01),
+        }
+    };
+    let app_and_n = || -> Result<(String, u32), String> {
+        let app = positional
+            .first()
+            .ok_or("missing <app> (gromacs|alya|wrf|nas-bt|nas-mg)")?
+            .to_string();
+        if AppKind::from_name(&app).is_none() {
+            return Err(format!("unknown app '{app}'"));
+        }
+        let n: u32 = positional
+            .get(1)
+            .ok_or("missing <nprocs>")?
+            .parse()
+            .map_err(|_| "bad <nprocs>".to_string())?;
+        Ok((app, n))
+    };
+
+    match cmd {
+        "generate" => {
+            let (app, nprocs) = app_and_n()?;
+            Ok(Command::Generate {
+                app,
+                nprocs,
+                seed: parse_seed()?,
+                weak: has_flag("--weak"),
+                output: flag_val("-o").map(str::to_string),
+            })
+        }
+        "inspect" => Ok(Command::Inspect {
+            trace: positional
+                .first()
+                .ok_or("missing <trace.json>")?
+                .to_string(),
+        }),
+        "annotate" => Ok(Command::Annotate {
+            trace: positional
+                .first()
+                .ok_or("missing <trace.json>")?
+                .to_string(),
+            gt_us: parse_gt()?,
+            displacement: parse_disp()?,
+            output: flag_val("-o").map(str::to_string),
+        }),
+        "replay" => Ok(Command::Replay {
+            trace: positional
+                .first()
+                .ok_or("missing <trace.json>")?
+                .to_string(),
+            ann: flag_val("--ann").map(str::to_string),
+            timeline: has_flag("--timeline"),
+        }),
+        "experiment" => {
+            let (app, nprocs) = app_and_n()?;
+            Ok(Command::Experiment {
+                app,
+                nprocs,
+                gt_us: parse_gt()?,
+                displacement: parse_disp()?,
+                seed: parse_seed()?,
+            })
+        }
+        "prv" => Ok(Command::Prv {
+            trace: positional
+                .first()
+                .ok_or("missing <trace.json>")?
+                .to_string(),
+            output: flag_val("-o").map(str::to_string),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}' (try 'ibpower help')")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ibpower — software-managed InfiniBand link power reduction (ICPP 2014 reproduction)
+
+USAGE:
+  ibpower generate <app> <nprocs> [--seed N] [--weak] [-o trace.json]
+  ibpower inspect  <trace.json>
+  ibpower annotate <trace.json> [--gt US] [--disp F] [-o ann.json]
+  ibpower replay   <trace.json> [--ann ann.json] [--timeline]
+  ibpower experiment <app> <nprocs> [--gt US] [--disp F] [--seed N]
+  ibpower prv      <trace.json> [-o out.prv]
+
+APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
+
+DEFAULTS: --seed 0xD1C0, --gt 20 (µs), --disp 0.01
+";
+
+/// Build the workload named `app` with the requested scaling mode.
+pub fn workload_of(app: &str, weak: bool) -> Option<Box<dyn Workload>> {
+    let kind = AppKind::from_name(app)?;
+    let mode = if weak { Scaling::Weak } else { Scaling::Strong };
+    Some(match kind {
+        AppKind::Gromacs => Box::new(ibp_workloads::Gromacs {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::Alya => Box::new(ibp_workloads::Alya {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::Wrf => Box::new(ibp_workloads::Wrf {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::NasBt => Box::new(ibp_workloads::NasBt {
+            scaling: mode,
+            ..Default::default()
+        }),
+        AppKind::NasMg => Box::new(ibp_workloads::NasMg {
+            scaling: mode,
+            ..Default::default()
+        }),
+    })
+}
+
+/// The `PowerConfig` for CLI parameters.
+pub fn power_config(gt_us: f64, displacement: f64) -> ibp_core::PowerConfig {
+    ibp_core::PowerConfig::paper(SimDuration::from_us_f64(gt_us), displacement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse(&argv("generate alya 8 --seed 7 -o t.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                app: "alya".into(),
+                nprocs: 8,
+                seed: 7,
+                weak: false,
+                output: Some("t.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_weak_flag() {
+        let c = parse(&argv("generate nas-bt 16 --weak")).unwrap();
+        match c {
+            Command::Generate { weak, seed, .. } => {
+                assert!(weak);
+                assert_eq!(seed, 0xD1C0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_app() {
+        assert!(parse(&argv("generate lammps 8")).unwrap_err().contains("unknown app"));
+    }
+
+    #[test]
+    fn parses_annotate_with_defaults() {
+        let c = parse(&argv("annotate t.json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Annotate {
+                trace: "t.json".into(),
+                gt_us: 20.0,
+                displacement: 0.01,
+                output: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_replay_with_ann() {
+        let c = parse(&argv("replay t.json --ann a.json --timeline")).unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                trace: "t.json".into(),
+                ann: Some("a.json".into()),
+                timeline: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_experiment() {
+        let c = parse(&argv("experiment wrf 32 --gt 36 --disp 0.05")).unwrap();
+        assert_eq!(
+            c,
+            Command::Experiment {
+                app: "wrf".into(),
+                nprocs: 32,
+                gt_us: 36.0,
+                displacement: 0.05,
+                seed: 0xD1C0,
+            }
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&argv(h)).unwrap(), Command::Help);
+        }
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn missing_positionals_error() {
+        assert!(parse(&argv("generate")).is_err());
+        assert!(parse(&argv("generate alya")).is_err());
+        assert!(parse(&argv("inspect")).is_err());
+    }
+
+    #[test]
+    fn workload_construction() {
+        assert!(workload_of("alya", false).is_some());
+        assert!(workload_of("alya", true).is_some());
+        assert!(workload_of("nonesuch", false).is_none());
+        assert_eq!(workload_of("wrf", false).unwrap().name(), "wrf");
+    }
+}

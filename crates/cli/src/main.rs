@@ -1,0 +1,230 @@
+//! The `ibpower` binary: see [`ibpower_cli::USAGE`].
+
+use ibp_core::annotate_trace;
+use ibp_network::{replay, LinkPower, ReplayOptions, SimParams};
+use ibp_simcore::{SimDuration, SimTime};
+use ibp_trace::{ActivityProfile, CallProfile, CommMatrix, IdleDistribution, Trace};
+use ibpower_cli::{parse, power_config, workload_of, Command, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(cmd) => match run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    ibp_trace::io::load(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate {
+            app,
+            nprocs,
+            seed,
+            weak,
+            output,
+        } => {
+            let w = workload_of(&app, weak).expect("validated by parse");
+            if !w.valid_nprocs(nprocs) {
+                return Err(format!("{app} cannot run at {nprocs} ranks"));
+            }
+            let trace = w.generate(nprocs, seed);
+            println!(
+                "{}: {} ranks, {} MPI calls{}",
+                trace.name,
+                trace.nprocs,
+                trace.total_calls(),
+                if weak { " (weak scaling)" } else { "" }
+            );
+            if let Some(path) = output {
+                ibp_trace::io::save(&trace, &path).map_err(|e| e.to_string())?;
+                println!("written to {path}");
+            }
+            Ok(())
+        }
+        Command::Inspect { trace } => {
+            let t = load_trace(&trace)?;
+            println!("trace   : {} ({} ranks, {} calls)", t.name, t.nprocs, t.total_calls());
+
+            let idle = IdleDistribution::from_trace(&t);
+            println!(
+                "idle    : {} intervals, {:.1}% of idle time exploitable (> 20 us)",
+                idle.total_intervals,
+                idle.exploitable_time_pct()
+            );
+            println!(
+                "          buckets: <20us {:.1}% | 20-200us {:.1}% | >200us {:.1}% (of intervals)",
+                idle.short.interval_pct, idle.medium.interval_pct, idle.long.interval_pct
+            );
+
+            let prof = CallProfile::of(&t);
+            println!("calls   :");
+            for (id, s) in &prof.by_call {
+                println!(
+                    "          id {id:>3}: {:>8} calls, {:>12} B sent, {} idle before",
+                    s.count, s.send_bytes, s.preceding_idle
+                );
+            }
+            if let Some(guard) = prof.dominant_idle_guard() {
+                println!("          dominant idle guard: {guard}");
+            }
+
+            let m = CommMatrix::of(&t);
+            println!(
+                "p2p     : {} bytes over {} pairs{}",
+                m.total(),
+                m.pairs(),
+                if m.is_symmetric() { " (symmetric)" } else { "" }
+            );
+
+            let act = ActivityProfile::of(&t, SimDuration::from_ms(1));
+            println!(
+                "activity: peak {} calls/ms, {:.0}% of 1 ms windows quiet",
+                act.peak(),
+                100.0 * act.quiet_fraction()
+            );
+            Ok(())
+        }
+        Command::Annotate {
+            trace,
+            gt_us,
+            displacement,
+            output,
+        } => {
+            let t = load_trace(&trace)?;
+            let cfg = power_config(gt_us, displacement);
+            let ann = annotate_trace(&t, &cfg);
+            let agg = ann.aggregate_stats();
+            println!("hit rate            : {:.1}%", agg.hit_rate_pct());
+            println!("lane-off directives : {}", ann.total_directives());
+            println!("pattern mispredicts : {}", agg.pattern_mispredictions);
+            println!("late wake-ups       : {}", agg.timing_mispredictions);
+            println!(
+                "PPA overhead        : {:.2}% of calls, {:.1} us per invoking call",
+                agg.ppa_invocation_pct(),
+                agg.overhead_per_invoked_call_us()
+            );
+            println!(
+                "estimated saving    : {:.1}% (quick estimate, no replay)",
+                ann.mean_est_power_saving_pct(cfg.low_power_fraction)
+            );
+            if let Some(path) = output {
+                let json = serde_json::to_string(&ann.ranks).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json).map_err(|e| e.to_string())?;
+                println!("annotations written to {path}");
+            }
+            Ok(())
+        }
+        Command::Replay {
+            trace,
+            ann,
+            timeline,
+        } => {
+            let t = load_trace(&trace)?;
+            let annotations = match &ann {
+                Some(path) => {
+                    let json =
+                        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    let ranks: Vec<ibp_core::RankAnnotation> =
+                        serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+                    Some(ibp_core::TraceAnnotations { ranks })
+                }
+                None => None,
+            };
+            let opts = ReplayOptions {
+                record_timelines: timeline,
+                ..ReplayOptions::default()
+            };
+            let result = replay(&t, annotations.as_ref(), &SimParams::paper(), &opts);
+            println!("execution time : {}", result.exec_time);
+            println!("messages       : {} ({} bytes)", result.fabric.messages, result.fabric.bytes);
+            println!("contended      : {}", result.fabric.contended);
+            if annotations.is_some() {
+                println!("power saving   : {:.1}%", result.power_saving_pct());
+            }
+            if timeline {
+                let tls = result.timelines.as_ref().expect("requested");
+                let end = tls
+                    .iter()
+                    .map(|x| x.last_transition())
+                    .max()
+                    .unwrap_or(SimTime::ZERO)
+                    .max(SimTime::ZERO + result.exec_time);
+                let rows: Vec<(String, &ibp_simcore::StateTimeline<LinkPower>)> = tls
+                    .iter()
+                    .enumerate()
+                    .take(32)
+                    .map(|(r, tl)| (format!("rank {r:>3}"), tl))
+                    .collect();
+                print!(
+                    "{}",
+                    ibp_trace::viz::render_timelines(&rows, end, 100, |s| match s {
+                        LinkPower::Low => '.',
+                        LinkPower::Deep => 'o',
+                        LinkPower::Full => '#',
+                        LinkPower::Transition => '+',
+                    })
+                );
+            }
+            Ok(())
+        }
+        Command::Experiment {
+            app,
+            nprocs,
+            gt_us,
+            displacement,
+            seed,
+        } => {
+            let w = workload_of(&app, false).expect("validated by parse");
+            if !w.valid_nprocs(nprocs) {
+                return Err(format!("{app} cannot run at {nprocs} ranks"));
+            }
+            let trace = w.generate(nprocs, seed);
+            let cfg = power_config(gt_us, displacement);
+            let params = SimParams::paper();
+            let opts = ReplayOptions::default();
+            let ann = annotate_trace(&trace, &cfg);
+            let baseline = replay(&trace, None, &params, &opts);
+            let managed = replay(&trace, Some(&ann), &params, &opts);
+            println!(
+                "{app} @{nprocs}: GT {gt_us} us, displacement {:.0}%",
+                displacement * 100.0
+            );
+            println!("hit rate      : {:.1}%", ann.mean_hit_rate_pct());
+            println!("baseline exec : {}", baseline.exec_time);
+            println!("managed exec  : {}", managed.exec_time);
+            println!("slowdown      : {:.3}%", managed.slowdown_pct(&baseline));
+            println!("power saving  : {:.1}%", managed.power_saving_pct());
+            Ok(())
+        }
+        Command::Prv { trace, output } => {
+            let t = load_trace(&trace)?;
+            let prv = ibp_trace::paraver::to_prv(&t);
+            match output {
+                Some(path) => {
+                    std::fs::write(&path, prv).map_err(|e| e.to_string())?;
+                    println!("written to {path}");
+                }
+                None => print!("{prv}"),
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Whole-trace annotation: run the runtime over every rank.
+//!
+//! This mirrors the paper's evaluation methodology: the PPA runs over the
+//! recorded traces, the resulting lane-off events / overheads /
+//! reactivation delays are inserted, and the modified traces are then
+//! replayed through the network simulator (`ibp-network`).
+
+use crate::config::PowerConfig;
+use crate::runtime::{annotate_rank, RankAnnotation};
+use crate::stats::RankStats;
+use ibp_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A trace plus everything the power-saving runtime derived from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAnnotations {
+    /// Per-rank annotations, indexed by rank.
+    pub ranks: Vec<RankAnnotation>,
+}
+
+impl TraceAnnotations {
+    /// Aggregate statistics over all ranks (sums of counters; ratios are
+    /// recomputed from the sums, which matches the paper's "averaged over
+    /// all MPI processes").
+    pub fn aggregate_stats(&self) -> RankStats {
+        let mut agg = RankStats::default();
+        for r in &self.ranks {
+            agg.merge(&r.stats);
+        }
+        agg
+    }
+
+    /// Mean per-rank hit rate (Table III averages per process).
+    pub fn mean_hit_rate_pct(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks
+            .iter()
+            .map(|r| r.stats.hit_rate_pct())
+            .sum::<f64>()
+            / self.ranks.len() as f64
+    }
+
+    /// Mean per-rank quick power-saving estimate (%), see
+    /// [`RankStats::est_power_saving_pct`].
+    pub fn mean_est_power_saving_pct(&self, low_power_draw: f64) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks
+            .iter()
+            .map(|r| r.stats.est_power_saving_pct(low_power_draw))
+            .sum::<f64>()
+            / self.ranks.len() as f64
+    }
+
+    /// Total number of lane-off directives across ranks.
+    pub fn total_directives(&self) -> usize {
+        self.ranks.iter().map(|r| r.directives.len()).sum()
+    }
+}
+
+/// Run the power-saving runtime over every rank of `trace`.
+pub fn annotate_trace(trace: &Trace, cfg: &PowerConfig) -> TraceAnnotations {
+    TraceAnnotations {
+        ranks: trace
+            .ranks
+            .iter()
+            .map(|r| annotate_rank(r, cfg))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_simcore::SimDuration;
+    use ibp_trace::{MpiOp, TraceBuilder};
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_us(x)
+    }
+
+    fn alya_like(nprocs: u32, iters: usize) -> Trace {
+        let mut b = TraceBuilder::new("alya-like", nprocs);
+        for it in 0..iters {
+            for r in 0..nprocs {
+                let lead = if it == 0 { us(0) } else { us(300) };
+                b.compute(r, lead);
+                for k in 0..3u64 {
+                    if k > 0 {
+                        b.compute(r, us(2));
+                    }
+                    b.op(
+                        r,
+                        MpiOp::Sendrecv {
+                            to: (r + 1) % nprocs,
+                            send_bytes: 2048,
+                            from: (r + nprocs - 1) % nprocs,
+                            recv_bytes: 2048,
+                        },
+                    );
+                }
+                b.compute(r, us(300));
+                b.op(r, MpiOp::Allreduce { bytes: 8 });
+                b.compute(r, us(300));
+                b.op(r, MpiOp::Allreduce { bytes: 8 });
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn annotates_every_rank() {
+        let trace = alya_like(4, 20);
+        let cfg = PowerConfig::default();
+        let ann = annotate_trace(&trace, &cfg);
+        assert_eq!(ann.ranks.len(), 4);
+        for (i, r) in ann.ranks.iter().enumerate() {
+            assert_eq!(r.rank as usize, i);
+            assert_eq!(r.overhead.len(), trace.ranks[i].call_count());
+            assert!(r.stats.correct_calls > 0, "rank {i} never predicted");
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_counters() {
+        let trace = alya_like(3, 15);
+        let ann = annotate_trace(&trace, &PowerConfig::default());
+        let agg = ann.aggregate_stats();
+        assert_eq!(
+            agg.total_calls as usize,
+            trace.total_calls(),
+            "aggregate call count must equal the trace's"
+        );
+        let sum: u64 = ann.ranks.iter().map(|r| r.stats.correct_calls).sum();
+        assert_eq!(agg.correct_calls, sum);
+    }
+
+    #[test]
+    fn symmetric_ranks_have_symmetric_outcomes() {
+        // Every rank runs the same pattern, so hit rates must agree.
+        let trace = alya_like(4, 30);
+        let ann = annotate_trace(&trace, &PowerConfig::default());
+        let rates: Vec<f64> = ann.ranks.iter().map(|r| r.stats.hit_rate_pct()).collect();
+        for r in &rates[1..] {
+            assert!((r - rates[0]).abs() < 1e-9, "rates diverged: {rates:?}");
+        }
+        assert!(ann.mean_hit_rate_pct() > 80.0);
+        assert!(ann.mean_est_power_saving_pct(0.43) > 10.0);
+        assert!(ann.total_directives() > 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Configuration of the power-saving mechanism.
+//!
+//! All defaults are the values the paper uses:
+//!
+//! * `T_react = 10 µs` — worst-case lane activation/deactivation time
+//!   (Hoefler's figure, used symmetrically for on and off);
+//! * grouping threshold `GT ≥ 2·T_react` — the minimum exploitable idle
+//!   interval (per-application values in Table III);
+//! * displacement factor ∈ {1%, 5%, 10%} — the safety margin of Figs. 7–9;
+//! * low-power draw = 43% of nominal — Mellanox SX6036 under WRPS;
+//! * 3 consecutive appearances before a pattern is declared predictable;
+//! * ≈1 µs per-call interception overhead (gettimeofday + PMPI hook).
+
+use ibp_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which sleep depths the controller may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerPolicy {
+    /// The paper's mechanism: WRPS lane-width reduction only.
+    WidthReduction,
+    /// The paper's §VI extension: predicted idles of at least
+    /// `deep_threshold` power down switch buffers/crossbar too
+    /// (millisecond-class reactivation, much deeper power state);
+    /// shorter idles still use WRPS.
+    DeepSleep,
+}
+
+/// The depth chosen for one sleep window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SleepKind {
+    /// Lane-width reduction (4X → 1X), `T_react ≈ 10 µs`, 43% draw.
+    Wrps,
+    /// Deep switch sleep, `T_react ≈ 1 ms`, ~10% draw.
+    Deep,
+}
+
+/// Tunable parameters of the prediction + power-control mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Lane reactivation (and deactivation) time, `T_react`.
+    pub t_react: SimDuration,
+    /// Grouping threshold `GT`: adjacent MPI calls closer than this are
+    /// grouped into one gram; gaps of at least `GT` separate grams and are
+    /// the candidate lane-off intervals.
+    pub grouping_threshold: SimDuration,
+    /// Displacement factor: fraction of the predicted idle time reserved
+    /// as a safety margin so lanes are back up *before* the next call.
+    pub displacement: f64,
+    /// Consecutive pattern appearances required before prediction starts.
+    pub min_consecutive: u32,
+    /// Hard cap on pattern length (in grams) before a pattern is declared;
+    /// once declared, the declared length becomes the cap (the paper's
+    /// `maxPatternSize` freeze that pins the natural iteration).
+    pub max_pattern_size: usize,
+    /// Relative power draw of a link with 3 of 4 lanes off (WRPS 1X mode).
+    pub low_power_fraction: f64,
+    /// Fixed overhead charged to every intercepted MPI call.
+    pub intercept_overhead: SimDuration,
+    /// Base overhead of one PPA invocation (hash lookups, bookkeeping).
+    pub ppa_base_overhead: SimDuration,
+    /// Additional PPA overhead per gram element examined in the invocation.
+    pub ppa_per_element_overhead: SimDuration,
+    /// Sleep-depth policy.
+    pub policy: PowerPolicy,
+    /// Minimum predicted idle for a deep sleep (only with
+    /// [`PowerPolicy::DeepSleep`]).
+    pub deep_threshold: SimDuration,
+    /// Reactivation time of the deep state (buffers/crossbar power-up;
+    /// the paper quotes "up to a millisecond").
+    pub deep_t_react: SimDuration,
+    /// Relative power draw of the deep state.
+    pub deep_power_fraction: f64,
+}
+
+impl PowerConfig {
+    /// The paper's baseline configuration with a caller-chosen GT and
+    /// displacement factor.
+    ///
+    /// # Panics
+    /// Panics if `gt < 2·T_react` (such intervals cannot be exploited:
+    /// the off+on transitions would outlast the idle gap) or if
+    /// `displacement` is outside `[0, 1)`.
+    pub fn paper(gt: SimDuration, displacement: f64) -> Self {
+        let t_react = SimDuration::from_us(10);
+        assert!(
+            gt >= t_react * 2,
+            "grouping threshold {gt} below 2*T_react = {}",
+            t_react * 2
+        );
+        assert!(
+            (0.0..1.0).contains(&displacement),
+            "displacement factor must be in [0, 1): {displacement}"
+        );
+        PowerConfig {
+            t_react,
+            grouping_threshold: gt,
+            displacement,
+            min_consecutive: 3,
+            max_pattern_size: 64,
+            low_power_fraction: 0.43,
+            intercept_overhead: SimDuration::from_us(1),
+            ppa_base_overhead: SimDuration::from_us(5),
+            ppa_per_element_overhead: SimDuration::from_ns(200),
+            policy: PowerPolicy::WidthReduction,
+            deep_threshold: SimDuration::from_ms(5),
+            deep_t_react: SimDuration::from_ms(1),
+            deep_power_fraction: 0.10,
+        }
+    }
+
+    /// Minimum legal grouping threshold, `2·T_react`.
+    pub fn min_gt(&self) -> SimDuration {
+        self.t_react * 2
+    }
+
+    /// The lane-off timer for a predicted idle interval, per Algorithm 3:
+    ///
+    /// ```text
+    /// safetyLimit      = idleTime * displacement + T_react
+    /// predictIdleTime  = idleTime - safetyLimit
+    /// ```
+    ///
+    /// Returns `None` when the resulting window leaves no net low-power
+    /// time (i.e. `predictIdleTime ≤ T_react`, since the off-transition
+    /// itself consumes `T_react` at full power).
+    pub fn lane_off_timer(&self, predicted_idle: SimDuration) -> Option<SimDuration> {
+        let safety = predicted_idle.mul_f64(self.displacement) + self.t_react;
+        let timer = predicted_idle.saturating_sub(safety);
+        (timer > self.t_react).then_some(timer)
+    }
+
+    /// Relative power saved while a link sits in low-power mode
+    /// (`1 − low_power_fraction`, ≈ 0.57 for WRPS).
+    pub fn low_power_saving(&self) -> f64 {
+        1.0 - self.low_power_fraction
+    }
+
+    /// The paper's §VI extension: same mechanism, but predicted idles of
+    /// at least `threshold` also power down switch buffers/crossbar
+    /// (deep state: 1 ms reactivation, 10% draw).
+    pub fn with_deep_sleep(mut self, threshold: SimDuration) -> Self {
+        assert!(
+            threshold >= self.deep_t_react * 2,
+            "deep threshold {threshold} below 2×deep T_react"
+        );
+        self.policy = PowerPolicy::DeepSleep;
+        self.deep_threshold = threshold;
+        self
+    }
+
+    /// Reactivation time of a sleep kind.
+    pub fn react_of(&self, kind: SleepKind) -> SimDuration {
+        match kind {
+            SleepKind::Wrps => self.t_react,
+            SleepKind::Deep => self.deep_t_react,
+        }
+    }
+
+    /// Relative draw of a sleep kind.
+    pub fn draw_of(&self, kind: SleepKind) -> f64 {
+        match kind {
+            SleepKind::Wrps => self.low_power_fraction,
+            SleepKind::Deep => self.deep_power_fraction,
+        }
+    }
+
+    /// Plan a sleep for a predicted idle interval: pick the depth (per
+    /// the policy) and compute the Algorithm 3 timer for it. Deep sleep
+    /// falls back to WRPS when the idle is below the deep threshold or
+    /// the deep timer would be unprofitable.
+    pub fn plan_sleep(&self, predicted_idle: SimDuration) -> Option<(SleepKind, SimDuration)> {
+        if self.policy == PowerPolicy::DeepSleep && predicted_idle >= self.deep_threshold {
+            let safety = predicted_idle.mul_f64(self.displacement) + self.deep_t_react;
+            let timer = predicted_idle.saturating_sub(safety);
+            if timer > self.deep_t_react {
+                return Some((SleepKind::Deep, timer));
+            }
+        }
+        self.lane_off_timer(predicted_idle)
+            .map(|t| (SleepKind::Wrps, t))
+    }
+}
+
+impl Default for PowerConfig {
+    /// Paper defaults with `GT = 2·T_react = 20 µs` and the 10%
+    /// displacement of Fig. 7.
+    fn default() -> Self {
+        PowerConfig::paper(SimDuration::from_us(20), 0.10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PowerConfig::default();
+        assert_eq!(c.t_react, SimDuration::from_us(10));
+        assert_eq!(c.grouping_threshold, SimDuration::from_us(20));
+        assert_eq!(c.displacement, 0.10);
+        assert_eq!(c.min_consecutive, 3);
+        assert!((c.low_power_fraction - 0.43).abs() < 1e-12);
+        assert_eq!(c.intercept_overhead, SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn lane_off_timer_follows_algorithm3() {
+        let c = PowerConfig::paper(SimDuration::from_us(20), 0.10);
+        // idle = 1000 µs: safety = 100 + 10 = 110 µs, timer = 890 µs.
+        let timer = c.lane_off_timer(SimDuration::from_us(1000)).unwrap();
+        assert_eq!(timer, SimDuration::from_us(890));
+    }
+
+    #[test]
+    fn lane_off_timer_rejects_unprofitable_windows() {
+        let c = PowerConfig::paper(SimDuration::from_us(20), 0.10);
+        // idle = 20 µs: timer = 20 - 2 - 10 = 8 µs ≤ T_react → no saving.
+        assert!(c.lane_off_timer(SimDuration::from_us(20)).is_none());
+        // idle = 0 must not underflow.
+        assert!(c.lane_off_timer(SimDuration::ZERO).is_none());
+    }
+
+    #[test]
+    fn lane_off_timer_monotone_in_idle() {
+        let c = PowerConfig::paper(SimDuration::from_us(36), 0.05);
+        let mut last = SimDuration::ZERO;
+        for us in (40..2000).step_by(37) {
+            if let Some(t) = c.lane_off_timer(SimDuration::from_us(us)) {
+                assert!(t >= last, "timer must grow with idle time");
+                last = t;
+            }
+        }
+        assert!(last > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2*T_react")]
+    fn rejects_too_small_gt() {
+        let _ = PowerConfig::paper(SimDuration::from_us(5), 0.10);
+    }
+
+    #[test]
+    #[should_panic(expected = "displacement")]
+    fn rejects_bad_displacement() {
+        let _ = PowerConfig::paper(SimDuration::from_us(20), 1.5);
+    }
+
+    #[test]
+    fn low_power_saving_is_complement() {
+        let c = PowerConfig::default();
+        assert!((c.low_power_saving() - 0.57).abs() < 1e-12);
+    }
+}

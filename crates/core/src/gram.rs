@@ -1,0 +1,287 @@
+//! Gram formation — Algorithm 1 of the paper.
+//!
+//! A *gram* is a maximal group of consecutive MPI calls whose pairwise
+//! inter-communication gaps are all below the grouping threshold GT. Gaps
+//! of at least GT separate grams; those gaps are exactly the candidate
+//! lane-off intervals (by construction they satisfy
+//! `T_idle ≥ GT ≥ 2·T_react`).
+//!
+//! For the Alya stream of Fig. 2 (`41 41 41 ___ 10 ___ 10 ___ …` where
+//! `___` marks a long gap) the grams are `[41,41,41]`, `[10]`, `[10]`, …
+//!
+//! Grams are *interned*: each distinct call-id sequence receives a small
+//! integer [`GramId`], so patterns (sequences of grams) compare and hash
+//! as slices of integers rather than nested vectors.
+
+use crate::config::PowerConfig;
+use ibp_simcore::SimDuration;
+use ibp_trace::MpiCall;
+use std::collections::HashMap;
+
+/// Identifier of a distinct gram *shape* (call-id sequence).
+pub type GramId = u32;
+
+/// A completed gram occurrence in the event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gram {
+    /// Interned shape id (equal ids ⇔ equal call sequences).
+    pub id: GramId,
+    /// Index of the gram's first MPI event in the rank's call stream.
+    pub first_event: usize,
+    /// Number of MPI calls in the gram.
+    pub len: u32,
+    /// The idle gap that *preceded* this gram (≥ GT for every gram except
+    /// the very first of the stream).
+    pub preceding_idle: SimDuration,
+}
+
+/// Interner mapping call-id sequences to dense [`GramId`]s.
+#[derive(Debug, Default)]
+pub struct GramInterner {
+    ids: HashMap<Box<[u16]>, GramId>,
+    shapes: Vec<Box<[u16]>>,
+}
+
+impl GramInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a call sequence, returning its stable id.
+    pub fn intern(&mut self, calls: &[u16]) -> GramId {
+        if let Some(&id) = self.ids.get(calls) {
+            return id;
+        }
+        let id = self.shapes.len() as GramId;
+        let boxed: Box<[u16]> = calls.into();
+        self.shapes.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// The call sequence behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn shape(&self, id: GramId) -> &[u16] {
+        &self.shapes[id as usize]
+    }
+
+    /// Number of distinct shapes interned so far.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Render a gram id the way the paper prints them: calls joined with
+    /// dashes, e.g. `"41-41-41"`.
+    pub fn display(&self, id: GramId) -> String {
+        self.shape(id)
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+}
+
+/// Online gram formation (Algorithm 1): feed MPI events one at a time;
+/// grams are emitted as they *close* (when the first event of the next
+/// gram arrives).
+#[derive(Debug)]
+pub struct GramBuilder {
+    gt: SimDuration,
+    current_calls: Vec<u16>,
+    current_first_event: usize,
+    current_preceding_idle: SimDuration,
+    next_event: usize,
+}
+
+impl GramBuilder {
+    /// Create a builder using the grouping threshold from `cfg`.
+    pub fn new(cfg: &PowerConfig) -> Self {
+        GramBuilder {
+            gt: cfg.grouping_threshold,
+            current_calls: Vec::new(),
+            current_first_event: 0,
+            current_preceding_idle: SimDuration::ZERO,
+            next_event: 0,
+        }
+    }
+
+    /// Feed one MPI event (its call type and the idle time since the
+    /// previous call on this rank). If the event *opens a new gram*, the
+    /// now-complete previous gram is returned.
+    pub fn push(
+        &mut self,
+        call: MpiCall,
+        previous_idle: SimDuration,
+        interner: &mut GramInterner,
+    ) -> Option<Gram> {
+        let event_idx = self.next_event;
+        self.next_event += 1;
+
+        if self.current_calls.is_empty() {
+            // Very first event of the stream opens gram 0.
+            self.current_calls.push(call.id());
+            self.current_first_event = event_idx;
+            self.current_preceding_idle = previous_idle;
+            return None;
+        }
+
+        if previous_idle < self.gt {
+            // Algorithm 1 line 1–2: close together → same gram.
+            self.current_calls.push(call.id());
+            None
+        } else {
+            // Algorithm 1 line 3–7: gap ≥ GT → close current gram, open new.
+            let closed = self.finish_current(interner);
+            self.current_calls.push(call.id());
+            self.current_first_event = event_idx;
+            self.current_preceding_idle = previous_idle;
+            Some(closed)
+        }
+    }
+
+    /// Close and return the gram currently being built, if any. Call at
+    /// end of stream to flush the trailing gram.
+    pub fn flush(&mut self, interner: &mut GramInterner) -> Option<Gram> {
+        if self.current_calls.is_empty() {
+            None
+        } else {
+            Some(self.finish_current(interner))
+        }
+    }
+
+    /// Number of calls accumulated in the open gram.
+    pub fn open_len(&self) -> usize {
+        self.current_calls.len()
+    }
+
+    fn finish_current(&mut self, interner: &mut GramInterner) -> Gram {
+        let id = interner.intern(&self.current_calls);
+        let gram = Gram {
+            id,
+            first_event: self.current_first_event,
+            len: self.current_calls.len() as u32,
+            preceding_idle: self.current_preceding_idle,
+        };
+        self.current_calls.clear();
+        gram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_trace::MpiCall::{Allreduce, Sendrecv};
+
+    fn cfg() -> PowerConfig {
+        PowerConfig::paper(SimDuration::from_us(20), 0.10)
+    }
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_us(x)
+    }
+
+    /// The Fig. 2 stream: three Sendrecvs close together, then two
+    /// Allreduces each preceded by a long gap, repeated.
+    fn feed_fig2(iterations: usize) -> (Vec<Gram>, GramInterner) {
+        let cfg = cfg();
+        let mut b = GramBuilder::new(&cfg);
+        let mut interner = GramInterner::new();
+        let mut grams = Vec::new();
+        for it in 0..iterations {
+            let lead = if it == 0 { us(0) } else { us(300) };
+            for (i, gap) in [(0, lead), (1, us(2)), (2, us(3))] {
+                let _ = i;
+                if let Some(g) = b.push(Sendrecv, gap, &mut interner) {
+                    grams.push(g);
+                }
+            }
+            for _ in 0..2 {
+                if let Some(g) = b.push(Allreduce, us(250), &mut interner) {
+                    grams.push(g);
+                }
+            }
+        }
+        if let Some(g) = b.flush(&mut interner) {
+            grams.push(g);
+        }
+        (grams, interner)
+    }
+
+    #[test]
+    fn fig2_grouping() {
+        let (grams, interner) = feed_fig2(2);
+        // Two iterations → grams: [41-41-41], [10], [10] × 2.
+        assert_eq!(grams.len(), 6);
+        assert_eq!(interner.display(grams[0].id), "41-41-41");
+        assert_eq!(interner.display(grams[1].id), "10");
+        assert_eq!(interner.display(grams[2].id), "10");
+        // Same shapes intern to same ids across iterations.
+        assert_eq!(grams[0].id, grams[3].id);
+        assert_eq!(grams[1].id, grams[2].id);
+        assert_eq!(grams[1].id, grams[4].id);
+        // Only 2 distinct shapes exist.
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn preceding_idle_recorded() {
+        let (grams, _) = feed_fig2(2);
+        assert_eq!(grams[0].preceding_idle, us(0));
+        assert_eq!(grams[1].preceding_idle, us(250));
+        assert_eq!(grams[3].preceding_idle, us(300));
+    }
+
+    #[test]
+    fn first_event_indices() {
+        let (grams, _) = feed_fig2(2);
+        assert_eq!(grams[0].first_event, 0);
+        assert_eq!(grams[1].first_event, 3);
+        assert_eq!(grams[2].first_event, 4);
+        assert_eq!(grams[3].first_event, 5);
+    }
+
+    #[test]
+    fn gap_exactly_gt_splits() {
+        let cfg = cfg();
+        let mut b = GramBuilder::new(&cfg);
+        let mut i = GramInterner::new();
+        assert!(b.push(Sendrecv, us(0), &mut i).is_none());
+        // A gap of exactly GT must start a new gram (Alg. 1 uses `<` GT to
+        // group, so `== GT` separates).
+        let closed = b.push(Sendrecv, us(20), &mut i);
+        assert!(closed.is_some());
+        assert_eq!(closed.unwrap().len, 1);
+    }
+
+    #[test]
+    fn flush_emits_trailing_gram() {
+        let cfg = cfg();
+        let mut b = GramBuilder::new(&cfg);
+        let mut i = GramInterner::new();
+        b.push(Allreduce, us(0), &mut i);
+        b.push(Allreduce, us(1), &mut i);
+        let g = b.flush(&mut i).unwrap();
+        assert_eq!(g.len, 2);
+        assert!(b.flush(&mut i).is_none(), "second flush is empty");
+    }
+
+    #[test]
+    fn interner_roundtrip() {
+        let mut i = GramInterner::new();
+        let a = i.intern(&[41, 41, 41]);
+        let b = i.intern(&[10]);
+        let a2 = i.intern(&[41, 41, 41]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.shape(a), &[41, 41, 41]);
+        assert_eq!(i.display(b), "10");
+    }
+}

@@ -1,0 +1,192 @@
+//! The pattern list — the hash table of observed gram patterns.
+//!
+//! The paper stores pattern objects in a `uthash` table keyed by the
+//! pattern string; we key a `HashMap` by the interned gram-id sequence.
+//! Each entry remembers where the pattern was observed, whether it was
+//! ever *declared* predictable (the `detected` flag that enables the
+//! fast re-arm after a misprediction), and the running mean of the idle
+//! gap preceding each slot of the pattern (what the power controller
+//! uses to program the lane-off timer).
+
+use ibp_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::gram::GramId;
+
+/// A pattern key: the sequence of gram shape-ids.
+pub type PatternKey = Box<[GramId]>;
+
+/// Running mean over `u64` nanosecond durations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMean {
+    n: u64,
+    mean_ns: f64,
+}
+
+impl RunningMean {
+    /// Create an empty mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, d: SimDuration) {
+        self.n += 1;
+        self.mean_ns += (d.as_ns() as f64 - self.mean_ns) / self.n as f64;
+    }
+
+    /// Current mean (zero when empty).
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_ns(self.mean_ns.round() as u64)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// One pattern object (the paper's `pattern` struct: sequence, length,
+/// positions, frequency, inter-gram times, number of MPI calls).
+#[derive(Debug, Clone)]
+pub struct PatternEntry {
+    /// Gram positions at which the scanner observed this pattern.
+    pub occurrences: Vec<usize>,
+    /// Set when the pattern was declared predictable; enables immediate
+    /// re-arm on the first later re-appearance.
+    pub detected: bool,
+    /// Running mean of the idle gap preceding each pattern slot
+    /// (`slot_gaps[j]` = gap before the j-th gram of the pattern).
+    /// Populated at declaration and refined while predicting.
+    pub slot_gaps: Vec<RunningMean>,
+    /// Total number of MPI calls covered by one pattern occurrence.
+    pub mpi_calls: u32,
+}
+
+impl PatternEntry {
+    fn new(first_pos: usize) -> Self {
+        PatternEntry {
+            occurrences: vec![first_pos],
+            detected: false,
+            slot_gaps: Vec::new(),
+            mpi_calls: 0,
+        }
+    }
+
+    /// Number of recorded occurrences (the paper's `frequency`).
+    pub fn frequency(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+/// The pattern list: hash table keyed by gram-id sequence.
+#[derive(Debug, Default)]
+pub struct PatternList {
+    map: HashMap<PatternKey, PatternEntry>,
+}
+
+impl PatternList {
+    /// Create an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an occurrence of `key` at gram position `pos`
+    /// (the paper's `updatePL`). Returns `true` if the pattern is *new*
+    /// (first occurrence), `false` if it already existed.
+    ///
+    /// Duplicate positions are ignored (a rescans after relaunch may
+    /// revisit positions).
+    pub fn update(&mut self, key: &[GramId], pos: usize) -> bool {
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                if entry.occurrences.last() != Some(&pos) {
+                    entry.occurrences.push(pos);
+                }
+                false
+            }
+            None => {
+                self.map.insert(key.into(), PatternEntry::new(pos));
+                true
+            }
+        }
+    }
+
+    /// Look up a pattern.
+    pub fn get(&self, key: &[GramId]) -> Option<&PatternEntry> {
+        self.map.get(key)
+    }
+
+    /// Look up a pattern mutably.
+    pub fn get_mut(&mut self, key: &[GramId]) -> Option<&mut PatternEntry> {
+        self.map.get_mut(key)
+    }
+
+    /// Remove a pattern (Algorithm 2 line 38: a grown n-gram whose
+    /// construction check failed is discarded).
+    pub fn remove(&mut self, key: &[GramId]) -> Option<PatternEntry> {
+        self.map.remove(key)
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no patterns are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_basic() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), SimDuration::ZERO);
+        m.push(SimDuration::from_us(100));
+        m.push(SimDuration::from_us(200));
+        assert_eq!(m.mean(), SimDuration::from_us(150));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn update_reports_novelty() {
+        let mut pl = PatternList::new();
+        assert!(pl.update(&[1, 2], 0), "first occurrence is new");
+        assert!(!pl.update(&[1, 2], 3), "second occurrence is not");
+        assert_eq!(pl.get(&[1, 2]).unwrap().frequency(), 2);
+        assert_eq!(pl.get(&[1, 2]).unwrap().occurrences, vec![0, 3]);
+    }
+
+    #[test]
+    fn duplicate_position_ignored() {
+        let mut pl = PatternList::new();
+        pl.update(&[1, 2], 5);
+        pl.update(&[1, 2], 5);
+        assert_eq!(pl.get(&[1, 2]).unwrap().frequency(), 1);
+    }
+
+    #[test]
+    fn remove_discards_entry() {
+        let mut pl = PatternList::new();
+        pl.update(&[1, 2, 3], 0);
+        assert!(pl.remove(&[1, 2, 3]).is_some());
+        assert!(pl.get(&[1, 2, 3]).is_none());
+        assert!(pl.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let mut pl = PatternList::new();
+        pl.update(&[1, 2], 0);
+        pl.update(&[2, 1], 1);
+        assert_eq!(pl.len(), 2);
+        assert_eq!(pl.get(&[1, 2]).unwrap().occurrences, vec![0]);
+        assert_eq!(pl.get(&[2, 1]).unwrap().occurrences, vec![1]);
+    }
+}

@@ -1,0 +1,566 @@
+//! The Pattern Prediction Algorithm (PPA) — Algorithm 2 of the paper.
+//!
+//! The PPA scans the (growing) array of grams produced by gram formation
+//! and looks for *continuously repeating* patterns. Its observable policy,
+//! validated against the paper's Fig. 3 walk-through:
+//!
+//! 1. Bi-grams (pairs of grams) are read left to right and inserted into
+//!    the pattern list.
+//! 2. When a bi-gram re-appears, the scanner locks onto that position and
+//!    tries to *grow* the pattern one gram at a time. A growth step is
+//!    accepted only if the grown pattern can also be constructed at a
+//!    previous occurrence of its prefix (`checkO`); otherwise the grown
+//!    candidate is discarded and scanning resumes with bi-grams.
+//! 3. After a candidate stops growing, consecutive repetitions are
+//!    counted. Once the pattern has appeared at `min_consecutive`
+//!    consecutive positions (3 in the paper), it is **declared**: the
+//!    `detected` flag is set, `maxPatternSize` is frozen to the declared
+//!    length (pinning the application's natural iteration), and
+//!    prediction begins at the next position.
+//! 4. A pattern that was declared once re-arms on its *first*
+//!    re-appearance after a misprediction — no need for three consecutive
+//!    sightings again.
+//!
+//! For the Fig. 2 Alya stream (grams `A B B A B B …`, `A = 41-41-41`,
+//! `B = 10`) this declares `A,B,B` with occurrences {3, 6, 9} and starts
+//! predicting from gram position 12, exactly as printed in Fig. 3.
+
+use crate::gram::GramId;
+use crate::pattern::{PatternList, RunningMean};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a PPA declaration: prediction may start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// The declared pattern (gram shape-id sequence).
+    pub pattern: Box<[GramId]>,
+    /// Gram position from which occurrences are predicted (the position
+    /// immediately after the last observed occurrence).
+    pub predict_from: usize,
+    /// True when this declaration re-armed a previously detected pattern
+    /// (single sighting) rather than completing a fresh 3-repeat proof.
+    pub rearmed: bool,
+}
+
+/// Scanner phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    /// Sliding over bi-grams looking for a repeat.
+    Seek,
+    /// Locked on a candidate at `pos`; growing it and counting
+    /// consecutive repeats.
+    Track {
+        /// Number of consecutive repeats observed so far.
+        consecutive: u32,
+    },
+}
+
+/// Counters describing how much work the PPA has done — inputs to the
+/// Table IV overhead model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PpaWork {
+    /// Number of `advance` calls that made progress (PPA invocations).
+    pub invocations: u64,
+    /// Gram elements examined across all invocations (comparisons,
+    /// hash-key constructions).
+    pub elements: u64,
+}
+
+/// The PPA state machine for one MPI process.
+#[derive(Debug)]
+pub struct Ppa {
+    pl: PatternList,
+    pos: usize,
+    pattern_size: usize,
+    phase: Phase,
+    min_consecutive: u32,
+    max_pattern_size: usize,
+    /// Set once a pattern has been declared; freezes `max_pattern_size`.
+    frozen: bool,
+    /// Patterns that have been declared at least once, newest last. After
+    /// a misprediction these re-arm on a *single* re-appearance (checked
+    /// against the gram-array suffix on every advance).
+    detected_keys: Vec<Box<[GramId]>>,
+    /// First gram position that counts as "fresh" for the re-arm check:
+    /// a re-appearance must consist entirely of grams observed after the
+    /// last declaration or relaunch.
+    min_fresh: usize,
+    work: PpaWork,
+    /// Work done by the most recent `advance` call (for per-call overhead
+    /// attribution).
+    last_elements: u64,
+}
+
+impl Ppa {
+    /// Create a scanner with the given declaration policy.
+    pub fn new(min_consecutive: u32, max_pattern_size: usize) -> Self {
+        assert!(min_consecutive >= 2, "need at least 2 consecutive repeats");
+        assert!(max_pattern_size >= 2, "patterns are at least bi-grams");
+        Ppa {
+            pl: PatternList::new(),
+            pos: 0,
+            pattern_size: 2,
+            phase: Phase::Seek,
+            min_consecutive,
+            max_pattern_size,
+            frozen: false,
+            detected_keys: Vec::new(),
+            min_fresh: 0,
+            work: PpaWork::default(),
+            last_elements: 0,
+        }
+    }
+
+    /// The pattern list (exposed for statistics and for the runtime to
+    /// seed/refresh slot-gap means).
+    pub fn pattern_list(&self) -> &PatternList {
+        &self.pl
+    }
+
+    /// Mutable access to the pattern list (the runtime updates slot-gap
+    /// means while predicting).
+    pub fn pattern_list_mut(&mut self) -> &mut PatternList {
+        &mut self.pl
+    }
+
+    /// Cumulative work counters.
+    pub fn work(&self) -> PpaWork {
+        self.work
+    }
+
+    /// Gram elements examined by the most recent `advance` call.
+    pub fn last_elements(&self) -> u64 {
+        self.last_elements
+    }
+
+    /// Restart scanning from gram position `from` after a misprediction.
+    /// The pattern list (with its `detected` flags) is retained, so a
+    /// re-appearing pattern re-arms on first sighting.
+    pub fn relaunch(&mut self, from: usize) {
+        self.pos = self.pos.max(from);
+        self.min_fresh = self.min_fresh.max(from);
+        self.pattern_size = 2;
+        self.phase = Phase::Seek;
+    }
+
+    /// Advance the scan over the gram array (shape ids). Call after each
+    /// newly closed gram. Returns a [`Declaration`] when a pattern becomes
+    /// predictable.
+    pub fn advance(&mut self, grams: &[GramId]) -> Option<Declaration> {
+        self.last_elements = 0;
+        let mut progressed = false;
+        // Fast re-arm: a previously declared pattern re-appears once. The
+        // paper: "if the pattern is mispredicted and in near future the
+        // same pattern appears again we don't wait for three consecutive
+        // appearances but declare on the first new appearance". Checked
+        // against the newly-closed suffix of the gram array so rotated
+        // re-alignments cannot hide the pattern from the scanner.
+        if let Some(decl) = self.check_rearm(grams, &mut progressed) {
+            if progressed {
+                self.work.invocations += 1;
+                self.work.elements += self.last_elements;
+            }
+            return Some(decl);
+        }
+        let result = self.scan(grams, &mut progressed);
+        if progressed {
+            self.work.invocations += 1;
+            self.work.elements += self.last_elements;
+        }
+        result
+    }
+
+    fn check_rearm(&mut self, grams: &[GramId], progressed: &mut bool) -> Option<Declaration> {
+        if self.detected_keys.is_empty() {
+            return None;
+        }
+        // The suffix must be entirely fresh material (observed after the
+        // last declaration or relaunch).
+        let min_fresh = self.min_fresh;
+        let idx = self.detected_keys.iter().rposition(|key| {
+            let len = key.len();
+            grams.len() >= len
+                && grams.len() - len >= min_fresh
+                && grams[grams.len() - len..] == **key
+        })?;
+        *progressed = true;
+        let key = self.detected_keys[idx].clone();
+        self.last_elements += key.len() as u64;
+        let predict_from = grams.len();
+        self.pl.update(&key, predict_from - key.len());
+        self.after_declaration(predict_from);
+        Some(Declaration {
+            pattern: key,
+            predict_from,
+            rearmed: true,
+        })
+    }
+
+    fn scan(&mut self, grams: &[GramId], progressed: &mut bool) -> Option<Declaration> {
+        loop {
+            match self.phase {
+                Phase::Seek => {
+                    // Need the bi-gram at `pos`.
+                    if self.pos + 2 > grams.len() {
+                        return None;
+                    }
+                    *progressed = true;
+                    self.last_elements += 2;
+                    let key = &grams[self.pos..self.pos + 2];
+                    let is_new = self.pl.update(key, self.pos);
+                    let entry = self.pl.get(key).expect("just inserted");
+                    if entry.detected {
+                        // Fast re-arm: a previously declared (bi-gram)
+                        // pattern re-appeared once.
+                        let pattern: Box<[GramId]> = key.into();
+                        let predict_from = self.pos + 2;
+                        self.after_declaration(predict_from);
+                        return Some(Declaration {
+                            pattern,
+                            predict_from,
+                            rearmed: true,
+                        });
+                    }
+                    if !is_new {
+                        // Bi-gram match detected: lock on and try to grow.
+                        self.pattern_size = 2;
+                        self.phase = Phase::Track { consecutive: 0 };
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                Phase::Track { consecutive } => {
+                    let size = self.pattern_size;
+                    // Need the window at pos and the candidate repeat
+                    // window right after it.
+                    if self.pos + 2 * size > grams.len() {
+                        return None;
+                    }
+                    *progressed = true;
+                    self.last_elements += 2 * size as u64;
+                    let (cur, rest) = grams[self.pos..].split_at(size);
+                    if &rest[..size] == cur {
+                        // Consecutive repeat found.
+                        let repeats = consecutive + 1;
+                        let repeat_pos = self.pos + size;
+                        self.pl.update(cur, repeat_pos);
+                        self.pos = repeat_pos;
+                        let detected = self.pl.get(cur).map_or(false, |e| e.detected);
+                        if repeats + 1 >= self.min_consecutive || detected {
+                            // Declared: `min_consecutive` consecutive
+                            // occurrences observed (start + repeats), or a
+                            // previously detected pattern re-armed.
+                            let pattern: Box<[GramId]> = cur.into();
+                            let predict_from = self.pos + size;
+                            {
+                                let entry =
+                                    self.pl.get_mut(&pattern).expect("pattern present");
+                                entry.detected = true;
+                            }
+                            if !self.detected_keys.contains(&pattern) {
+                                self.detected_keys.push(pattern.clone());
+                            }
+                            if !self.frozen {
+                                self.max_pattern_size = size;
+                                self.frozen = true;
+                            }
+                            self.after_declaration(predict_from);
+                            return Some(Declaration {
+                                pattern,
+                                predict_from,
+                                rearmed: detected,
+                            });
+                        }
+                        self.phase = Phase::Track {
+                            consecutive: repeats,
+                        };
+                    } else if consecutive > 0 {
+                        // The run of repeats ended before reaching the
+                        // threshold; resume seeking after the run.
+                        self.pattern_size = 2;
+                        self.pos += 1;
+                        self.phase = Phase::Seek;
+                    } else {
+                        // No immediate repeat: try to grow the pattern.
+                        if size < self.max_pattern_size && self.try_grow(grams) {
+                            // Grown (checkO succeeded). If the grown
+                            // pattern was previously declared, re-arm now.
+                            let grown = &grams[self.pos..self.pos + self.pattern_size];
+                            if self.pl.get(grown).map_or(false, |e| e.detected) {
+                                let pattern: Box<[GramId]> = grown.into();
+                                let predict_from = self.pos + self.pattern_size;
+                                self.after_declaration(predict_from);
+                                return Some(Declaration {
+                                    pattern,
+                                    predict_from,
+                                    rearmed: true,
+                                });
+                            }
+                            self.phase = Phase::Track { consecutive: 0 };
+                        } else {
+                            // Growth impossible or rejected: discard and
+                            // resume bi-gram seeking one position on.
+                            self.pattern_size = 2;
+                            self.pos += 1;
+                            self.phase = Phase::Seek;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempt to grow the candidate at `pos` from `pattern_size` to
+    /// `pattern_size + 1` grams. Implements the paper's `appendGram` +
+    /// `checkO`: the grown pattern is kept only if it can also be
+    /// constructed at a previous occurrence of its prefix. Returns whether
+    /// growth succeeded (and bumps `pattern_size` if so).
+    fn try_grow(&mut self, grams: &[GramId]) -> bool {
+        let size = self.pattern_size;
+        if self.pos + size + 1 > grams.len() {
+            return false;
+        }
+        let prefix = &grams[self.pos..self.pos + size];
+        let grown = &grams[self.pos..self.pos + size + 1];
+        self.last_elements += (size + 1) as u64;
+
+        // checkO: find a previous, non-overlapping occurrence of the
+        // prefix that extends to the same grown pattern.
+        let constructible = self
+            .pl
+            .get(prefix)
+            .map_or(false, |entry| {
+                entry.occurrences.iter().any(|&q| {
+                    q + size <= self.pos
+                        && q + size + 1 <= grams.len()
+                        && grams[q..q + size + 1] == *grown
+                })
+            });
+
+        if constructible {
+            // Frequency transfer: the grown pattern absorbs the occurrence;
+            // (the paper increments the (n+1)-gram and decrements the
+            // n-gram — we record the grown occurrence at `pos`).
+            self.pl.update(grown, self.pos);
+            self.pattern_size = size + 1;
+            true
+        } else {
+            // Algorithm 2 line 38: discard the failed candidate if it was
+            // speculatively inserted (we never inserted it, so this is a
+            // no-op kept for parity with the paper).
+            self.pl.remove(grown);
+            false
+        }
+    }
+
+    /// Reset scan state after a declaration so that a later `relaunch`
+    /// resumes cleanly past the declared region.
+    fn after_declaration(&mut self, predict_from: usize) {
+        self.pos = predict_from;
+        self.min_fresh = predict_from;
+        self.pattern_size = 2;
+        self.phase = Phase::Seek;
+    }
+}
+
+/// Compute per-slot idle-gap running means for a declared pattern from its
+/// observed occurrences (used to seed the power controller's timers).
+///
+/// `slot_gap(j)` is the idle preceding the pattern's j-th gram; for each
+/// occurrence position `p` in `occurrences`, the gap of gram `p + j` is
+/// accumulated. Out-of-range grams (occurrence at the array edge) are
+/// skipped.
+pub fn seed_slot_gaps(
+    occurrences: &[usize],
+    pattern_len: usize,
+    gap_of: impl Fn(usize) -> Option<ibp_simcore::SimDuration>,
+) -> Vec<RunningMean> {
+    let mut slots = vec![RunningMean::new(); pattern_len];
+    for &p in occurrences {
+        for (j, slot) in slots.iter_mut().enumerate() {
+            if let Some(gap) = gap_of(p + j) {
+                slot.push(gap);
+            }
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shape ids: A = 0 (the `41-41-41` gram), B = 1 (the `10` gram).
+    const A: GramId = 0;
+    const B: GramId = 1;
+
+    /// The Fig. 2/Fig. 3 gram stream: A B B repeated.
+    fn alya_grams(n: usize) -> Vec<GramId> {
+        (0..n).map(|i| if i % 3 == 0 { A } else { B }).collect()
+    }
+
+    /// Feed grams one at a time, as the online pipeline does, returning
+    /// the first declaration and the gram count at which it fired.
+    fn feed_until_declaration(grams: &[GramId], ppa: &mut Ppa) -> Option<(Declaration, usize)> {
+        for n in 1..=grams.len() {
+            if let Some(d) = ppa.advance(&grams[..n]) {
+                return Some((d, n));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn fig3_walkthrough_declares_abb_from_position_12() {
+        let grams = alya_grams(18);
+        let mut ppa = Ppa::new(3, 64);
+        let (decl, at) = feed_until_declaration(&grams, &mut ppa).expect("must declare");
+        // Fig. 3: pattern "41-41-41,10,10" = (A,B,B); predicted from
+        // gram position 12; declared once gram 11 is available.
+        assert_eq!(&*decl.pattern, &[A, B, B]);
+        assert_eq!(decl.predict_from, 12);
+        assert!(!decl.rearmed);
+        assert_eq!(at, 12, "declaration needs grams 0..=11");
+        // Fig. 3 insertion table: occurrences {3, 6, 9}, frequency 3.
+        let entry = ppa.pattern_list().get(&[A, B, B]).unwrap();
+        assert_eq!(entry.occurrences, vec![3, 6, 9]);
+        assert!(entry.detected);
+    }
+
+    #[test]
+    fn fig3_bigram_bookkeeping() {
+        let grams = alya_grams(18);
+        let mut ppa = Ppa::new(3, 64);
+        let _ = feed_until_declaration(&grams, &mut ppa);
+        // The seed bi-grams of Fig. 3's insertion table are present.
+        let ab = ppa.pattern_list().get(&[A, B]).unwrap();
+        assert!(ab.occurrences.contains(&0));
+        assert!(ab.occurrences.contains(&3));
+        assert!(ppa.pattern_list().get(&[B, B]).is_some());
+        assert!(ppa.pattern_list().get(&[B, A]).is_some());
+    }
+
+    #[test]
+    fn rearm_after_relaunch_is_immediate() {
+        let grams = alya_grams(30);
+        let mut ppa = Ppa::new(3, 64);
+        let (first, _) = feed_until_declaration(&grams, &mut ppa).unwrap();
+        assert_eq!(first.predict_from, 12);
+
+        // Simulate a misprediction at gram 15; scanning relaunches there.
+        ppa.relaunch(15);
+        // Feed grams one at a time, as the online pipeline does; the
+        // detected (A,B,B) must re-arm on its first complete re-sighting,
+        // not after three repeats.
+        let mut fired = None;
+        for n in 16..=grams.len() {
+            if let Some(d) = ppa.advance(&grams[..n]) {
+                fired = Some(d);
+                break;
+            }
+        }
+        let d = fired.expect("re-arm expected");
+        assert_eq!(&*d.pattern, &[A, B, B]);
+        assert!(d.rearmed);
+        // Re-arm must happen at the first complete fresh occurrence
+        // (grams 15..18 → predict_from 18), far earlier than three full
+        // repeats (15 + 3*3 = 24) would allow.
+        assert_eq!(d.predict_from, 18);
+    }
+
+    #[test]
+    fn no_declaration_without_three_consecutive_repeats() {
+        // A B B A B B — only two occurrences of (A,B,B).
+        let grams = alya_grams(6);
+        let mut ppa = Ppa::new(3, 64);
+        assert!(feed_until_declaration(&grams, &mut ppa).is_none());
+    }
+
+    #[test]
+    fn aperiodic_stream_never_declares() {
+        // Distinct gram ids: nothing ever repeats.
+        let grams: Vec<GramId> = (0..50).collect();
+        let mut ppa = Ppa::new(3, 64);
+        assert!(feed_until_declaration(&grams, &mut ppa).is_none());
+        // But the pattern list has been filling with unique bi-grams.
+        assert!(ppa.pattern_list().len() >= 48);
+    }
+
+    #[test]
+    fn period_one_stream_declares_bigram() {
+        // B B B B B … : the bi-gram (B,B) repeats consecutively.
+        let grams = vec![B; 10];
+        let mut ppa = Ppa::new(3, 64);
+        let (d, _) = feed_until_declaration(&grams, &mut ppa).expect("declare");
+        assert_eq!(&*d.pattern, &[B, B]);
+    }
+
+    #[test]
+    fn long_period_pattern_declares() {
+        // Period-4 pattern: A B A B B? no — use distinct: 0 1 2 3 repeated.
+        let base = [0u32, 1, 2, 3];
+        let grams: Vec<GramId> = (0..40).map(|i| base[i % 4]).collect();
+        let mut ppa = Ppa::new(3, 64);
+        let (d, _) = feed_until_declaration(&grams, &mut ppa).expect("declare");
+        assert_eq!(d.pattern.len(), 4, "pattern {:?}", d.pattern);
+        // The declared pattern is a rotation of the base period.
+        let doubled: Vec<GramId> = base.iter().chain(base.iter()).copied().collect();
+        assert!(
+            doubled.windows(4).any(|w| w == &*d.pattern),
+            "declared pattern {:?} is not a rotation of {:?}",
+            d.pattern,
+            base
+        );
+    }
+
+    #[test]
+    fn max_pattern_size_freezes_after_declaration() {
+        let grams = alya_grams(18);
+        let mut ppa = Ppa::new(3, 64);
+        let _ = feed_until_declaration(&grams, &mut ppa).unwrap();
+        assert!(ppa.frozen);
+        assert_eq!(ppa.max_pattern_size, 3);
+    }
+
+    #[test]
+    fn work_counters_accumulate() {
+        let grams = alya_grams(18);
+        let mut ppa = Ppa::new(3, 64);
+        let _ = feed_until_declaration(&grams, &mut ppa);
+        let w = ppa.work();
+        assert!(w.invocations > 0);
+        assert!(w.elements >= w.invocations, "each invocation examines >= 1 element");
+    }
+
+    #[test]
+    fn seed_slot_gaps_averages_occurrences() {
+        use ibp_simcore::SimDuration;
+        // Gaps: gram i has gap 100 + i µs.
+        let gap_of =
+            |i: usize| (i < 12).then(|| SimDuration::from_us(100 + i as u64));
+        let slots = seed_slot_gaps(&[3, 6, 9], 3, gap_of);
+        // Slot 0: gaps of grams 3, 6, 9 → mean 106 µs.
+        assert_eq!(slots[0].mean(), SimDuration::from_us(106));
+        // Slot 2: grams 5, 8, 11 → mean 108 µs.
+        assert_eq!(slots[2].mean(), SimDuration::from_us(108));
+        assert_eq!(slots[0].count(), 3);
+    }
+
+    #[test]
+    fn noise_between_repeats_still_declares_eventually() {
+        // Pattern with occasional noise grams; consecutive runs of 3+
+        // exist after the noise.
+        let mut grams = Vec::new();
+        for block in 0..4 {
+            if block == 1 {
+                grams.push(99); // noise gram breaks the run
+            }
+            for _ in 0..4 {
+                grams.extend_from_slice(&[A, B, B]);
+            }
+        }
+        let mut ppa = Ppa::new(3, 64);
+        let (d, _) = feed_until_declaration(&grams, &mut ppa).expect("declare");
+        assert_eq!(d.pattern.len(), 3);
+    }
+}

@@ -1,0 +1,582 @@
+//! The PMPI-layer runtime: interception loop + power-mode control.
+//!
+//! [`RankRuntime`] is the per-process state machine of the paper's Fig. 1.
+//! It consumes the stream of MPI events exactly as a PMPI hook would —
+//! one `(call, idle-since-previous-call)` pair at a time — and transitions
+//! between two components:
+//!
+//! * **Pattern prediction** (mode [`Mode::Learning`]): gram formation
+//!   (Algorithm 1) feeds the PPA (Algorithm 2). On a declaration the
+//!   runtime switches to…
+//! * **Power-mode control** (mode [`Mode::Predicting`], Algorithm 3): the
+//!   PPA is disabled (its overhead vanishes); arriving calls are checked
+//!   against the declared pattern; when an expected gram completes, a
+//!   lane-off directive with a programmed wake-up timer is issued for the
+//!   predicted idle gap. Inter-communication times keep being folded into
+//!   the per-slot running means so timers track drift.
+//!
+//! Two misprediction kinds are handled as in the paper: a *pattern*
+//! misprediction (the call stream diverges) falls back to Learning and
+//! relaunches the PPA; a *timing* misprediction (idle shorter than
+//! predicted) charges a reactivation stall of at most `T_react` to the
+//! affected call.
+
+use crate::config::{PowerConfig, SleepKind};
+use crate::gram::{Gram, GramBuilder, GramId, GramInterner};
+use crate::ppa::{seed_slot_gaps, Ppa};
+use crate::stats::RankStats;
+use ibp_simcore::SimDuration;
+use ibp_trace::{MpiCall, Rank, RankTrace};
+use serde::{Deserialize, Serialize};
+
+/// A lane power directive: after event `after_event` completes, shut the
+/// three inactive lanes down and program the HCA timer to wake them after
+/// `timer` (lanes ready `timer + T_react` after the event completes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneDirective {
+    /// Index of the MPI event (within the rank's stream) whose completion
+    /// triggers the lane shutdown.
+    pub after_event: usize,
+    /// Delay between the event's completion and the shutdown. Zero for
+    /// the paper's predictive mechanism (deactivation overlaps compute);
+    /// non-zero for reactive idle-timeout baselines.
+    #[serde(default)]
+    pub delay: SimDuration,
+    /// Programmed timer: low-power window measured from the shutdown.
+    pub timer: SimDuration,
+    /// The full predicted idle interval the timer was derived from.
+    pub predicted_idle: SimDuration,
+    /// Depth of the sleep (WRPS lane reduction or deep switch sleep).
+    #[serde(default = "default_kind")]
+    pub kind: SleepKind,
+}
+
+fn default_kind() -> SleepKind {
+    SleepKind::Wrps
+}
+
+/// Everything the runtime derived for one rank: directives for the
+/// network simulator, per-event overheads/penalties to replay, and the
+/// summary counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankAnnotation {
+    /// The rank these annotations apply to.
+    pub rank: Rank,
+    /// Lane-off directives in event order.
+    pub directives: Vec<LaneDirective>,
+    /// Per-event mechanism overhead (interception + PPA), added to the
+    /// compute burst preceding the event.
+    pub overhead: Vec<SimDuration>,
+    /// Per-event reactivation stall (late lane wake-up), added before the
+    /// event's communication can start.
+    pub penalty: Vec<SimDuration>,
+    /// Summary counters.
+    pub stats: RankStats,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Learning,
+    Predicting {
+        /// The declared pattern (gram shape ids).
+        pattern: Box<[GramId]>,
+        /// Expected call-id sequence of each pattern slot.
+        shapes: Vec<Box<[u16]>>,
+        /// Slot whose gram is currently being matched.
+        slot: usize,
+        /// Calls already matched within the current slot's gram.
+        progress: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSleep {
+    timer: SimDuration,
+    kind: SleepKind,
+}
+
+/// Per-rank interception runtime (see module docs).
+#[derive(Debug)]
+pub struct RankRuntime {
+    cfg: PowerConfig,
+    rank: Rank,
+    interner: GramInterner,
+    builder: GramBuilder,
+    grams: Vec<Gram>,
+    gram_ids: Vec<GramId>,
+    ppa: Ppa,
+    mode: Mode,
+    pending: Option<PendingSleep>,
+    stats: RankStats,
+    directives: Vec<LaneDirective>,
+    overhead: Vec<SimDuration>,
+    penalty: Vec<SimDuration>,
+    event_idx: usize,
+}
+
+impl RankRuntime {
+    /// Create a runtime for `rank` with the given configuration.
+    pub fn new(rank: Rank, cfg: PowerConfig) -> Self {
+        let ppa = Ppa::new(cfg.min_consecutive, cfg.max_pattern_size);
+        let builder = GramBuilder::new(&cfg);
+        RankRuntime {
+            cfg,
+            rank,
+            interner: GramInterner::new(),
+            builder,
+            grams: Vec::new(),
+            gram_ids: Vec::new(),
+            ppa,
+            mode: Mode::Learning,
+            pending: None,
+            stats: RankStats::default(),
+            directives: Vec::new(),
+            overhead: Vec::new(),
+            penalty: Vec::new(),
+            event_idx: 0,
+        }
+    }
+
+    /// Whether prediction (power-mode control) is currently active.
+    pub fn predicting(&self) -> bool {
+        matches!(self.mode, Mode::Predicting { .. })
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// Intercept one MPI call: `gap` is the idle time since the previous
+    /// call on this rank (the `compute_before` of the trace record).
+    pub fn intercept(&mut self, call: MpiCall, gap: SimDuration) {
+        let mut event_overhead = self.cfg.intercept_overhead;
+        let mut event_penalty = SimDuration::ZERO;
+        self.stats.total_calls += 1;
+        self.stats.intercept_overhead += self.cfg.intercept_overhead;
+        self.stats.nominal_duration += gap;
+
+        match &mut self.mode {
+            Mode::Learning => {
+                if let Some(closed) = self.builder.push(call, gap, &mut self.interner) {
+                    self.grams.push(closed.clone());
+                    self.gram_ids.push(closed.id);
+                    let decl = self.ppa.advance(&self.gram_ids);
+                    if self.ppa.last_elements() > 0 {
+                        self.stats.ppa_invoked_calls += 1;
+                        let cost = self.cfg.ppa_base_overhead
+                            + self.cfg.ppa_per_element_overhead * self.ppa.last_elements();
+                        self.stats.ppa_overhead += cost;
+                        event_overhead += cost;
+                    }
+                    if let Some(decl) = decl {
+                        self.stats.declarations += 1;
+                        if decl.rearmed {
+                            self.stats.rearms += 1;
+                        }
+                        self.enter_prediction(decl.pattern, call);
+                    }
+                }
+            }
+            Mode::Predicting {
+                pattern,
+                shapes,
+                slot,
+                progress,
+            } => {
+                let gt = self.cfg.grouping_threshold;
+                let mut mispredicted = false;
+
+                if *progress == 0 {
+                    // This event terminates the predicted idle gap.
+                    if let Some(p) = self.pending.take() {
+                        let react = self.cfg.react_of(p.kind);
+                        // Lanes ready at gap start + timer + react time.
+                        let ready = p.timer + react;
+                        let stall = ready.saturating_sub(gap).min(react);
+                        if !stall.is_zero() {
+                            self.stats.timing_mispredictions += 1;
+                            self.stats.total_penalty += stall;
+                            event_penalty += stall;
+                        }
+                        // Low-power span actually achieved: from the off
+                        // transition's end until the timer fired — or
+                        // until the early call forced a wake-up.
+                        let span = p.timer.min(gap).saturating_sub(react);
+                        match p.kind {
+                            SleepKind::Wrps => self.stats.low_power_time += span,
+                            SleepKind::Deep => self.stats.deep_time += span,
+                        }
+                    }
+                    if gap < gt {
+                        // The previous gram was not over: the pattern has
+                        // more calls than predicted → pattern break.
+                        mispredicted = true;
+                    } else {
+                        // Fold the observed gap into the slot mean so the
+                        // next occurrence's timer tracks drift.
+                        if let Some(entry) = self.ppa.pattern_list_mut().get_mut(pattern) {
+                            if let Some(m) = entry.slot_gaps.get_mut(*slot) {
+                                m.push(gap);
+                            }
+                        }
+                    }
+                } else if gap >= gt {
+                    // A long gap arrived mid-gram: the gram ended early.
+                    mispredicted = true;
+                }
+
+                if !mispredicted {
+                    let shape = &shapes[*slot];
+                    if call.id() != shape[*progress] {
+                        mispredicted = true;
+                    } else {
+                        *progress += 1;
+                        self.stats.predicted_calls += 1;
+                        self.stats.correct_calls += 1;
+                        if *progress == shape.len() {
+                            // Expected gram complete: program the lane-off
+                            // for the gap before the next slot.
+                            let next = (*slot + 1) % shapes.len();
+                            let predicted_idle = self
+                                .ppa
+                                .pattern_list()
+                                .get(pattern)
+                                .and_then(|e| e.slot_gaps.get(next))
+                                .map(|m| m.mean())
+                                .unwrap_or(SimDuration::ZERO);
+                            if let Some((kind, timer)) = self.cfg.plan_sleep(predicted_idle) {
+                                self.directives.push(LaneDirective {
+                                    after_event: self.event_idx,
+                                    delay: SimDuration::ZERO,
+                                    timer,
+                                    predicted_idle,
+                                    kind,
+                                });
+                                self.stats.lane_off_count += 1;
+                                self.pending = Some(PendingSleep { timer, kind });
+                            }
+                            *slot = next;
+                            *progress = 0;
+                        }
+                    }
+                }
+
+                if mispredicted {
+                    self.stats.pattern_mispredictions += 1;
+                    self.fall_back_to_learning(call, gap);
+                }
+            }
+        }
+
+        self.overhead.push(event_overhead);
+        self.penalty.push(event_penalty);
+        self.event_idx += 1;
+    }
+
+    /// Finish the stream and return the annotations.
+    pub fn finish(mut self, final_compute: SimDuration) -> RankAnnotation {
+        self.stats.nominal_duration += final_compute;
+        if let Some(closed) = self.builder.flush(&mut self.interner) {
+            self.grams.push(closed.clone());
+            self.gram_ids.push(closed.id);
+        }
+        RankAnnotation {
+            rank: self.rank,
+            directives: self.directives,
+            overhead: self.overhead,
+            penalty: self.penalty,
+            stats: self.stats,
+        }
+    }
+
+    /// Switch to prediction mode for `pattern`; `first_call` is the call
+    /// that triggered the declaration — it is the first call of the first
+    /// predicted occurrence (it opened the gram at `predict_from`).
+    fn enter_prediction(&mut self, pattern: Box<[GramId]>, first_call: MpiCall) {
+        // Resolve expected call-id sequences.
+        let shapes: Vec<Box<[u16]>> = pattern
+            .iter()
+            .map(|&gid| self.interner.shape(gid).into())
+            .collect();
+
+        // Seed the per-slot idle means from the occurrences that proved
+        // the pattern, unless a previous prediction phase already did.
+        {
+            let grams = &self.grams;
+            let entry = self
+                .ppa
+                .pattern_list_mut()
+                .get_mut(&pattern)
+                .expect("declared pattern is in the list");
+            if entry.slot_gaps.is_empty() {
+                entry.slot_gaps = seed_slot_gaps(&entry.occurrences, pattern.len(), |i| {
+                    grams.get(i).map(|g| g.preceding_idle)
+                });
+                entry.mpi_calls = shapes.iter().map(|s| s.len() as u32).sum();
+            }
+        }
+
+        // The declaring call opened the first predicted occurrence; it is
+        // predicted to be slot 0's first call. If the stream diverges on
+        // this very call (e.g. an aperiodic gram follows a re-arm), that
+        // is an immediate pattern misprediction: stay in learning — the
+        // builder already holds the diverging call as its open gram.
+        if shapes[0][0] != first_call.id() {
+            self.stats.pattern_mispredictions += 1;
+            return;
+        }
+        self.stats.predicted_calls += 1;
+        self.stats.correct_calls += 1;
+
+        // Drop the open gram from the builder: prediction tracks it now.
+        self.builder = GramBuilder::new(&self.cfg);
+
+        let single_call_slot0 = shapes[0].len() == 1;
+        if single_call_slot0 {
+            // Slot 0's gram is already complete; issue its directive and
+            // move to slot 1 (or wrap).
+            let next = 1 % shapes.len();
+            let predicted_idle = self
+                .ppa
+                .pattern_list()
+                .get(&pattern)
+                .and_then(|e| e.slot_gaps.get(next))
+                .map(|m| m.mean())
+                .unwrap_or(SimDuration::ZERO);
+            if let Some((kind, timer)) = self.cfg.plan_sleep(predicted_idle) {
+                self.directives.push(LaneDirective {
+                    after_event: self.event_idx,
+                    delay: SimDuration::ZERO,
+                    timer,
+                    predicted_idle,
+                    kind,
+                });
+                self.stats.lane_off_count += 1;
+                self.pending = Some(PendingSleep { timer, kind });
+            }
+            self.mode = Mode::Predicting {
+                pattern,
+                shapes,
+                slot: next,
+                progress: 0,
+            };
+        } else {
+            self.mode = Mode::Predicting {
+                pattern,
+                shapes,
+                slot: 0,
+                progress: 1,
+            };
+        }
+    }
+
+    /// Pattern misprediction: relaunch the PPA and restart gram formation
+    /// with the diverging call as the first event of a fresh gram.
+    fn fall_back_to_learning(&mut self, call: MpiCall, gap: SimDuration) {
+        self.pending = None;
+        self.mode = Mode::Learning;
+        self.builder = GramBuilder::new(&self.cfg);
+        self.ppa.relaunch(self.gram_ids.len());
+        // Feed the diverging call as the opening event of a new gram (it
+        // cannot close a gram, so no PPA work happens here).
+        let none = self.builder.push(call, gap, &mut self.interner);
+        debug_assert!(none.is_none());
+    }
+}
+
+/// Run the full mechanism over one rank's recorded stream.
+pub fn annotate_rank(trace: &RankTrace, cfg: &PowerConfig) -> RankAnnotation {
+    let mut rt = RankRuntime::new(trace.rank, cfg.clone());
+    for (call, gap) in trace.call_stream() {
+        rt.intercept(call, gap);
+    }
+    rt.finish(trace.final_compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_trace::MpiCall::{Allreduce, Sendrecv};
+
+    fn cfg() -> PowerConfig {
+        PowerConfig::paper(SimDuration::from_us(20), 0.10)
+    }
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_us(x)
+    }
+
+    /// Feed `iters` Alya iterations (Fig. 2): 41,41,41 close together,
+    /// then 10, 10 with long gaps.
+    fn feed_alya(rt: &mut RankRuntime, iters: usize, long_gap: u64) {
+        for it in 0..iters {
+            let lead = if it == 0 { us(0) } else { us(long_gap) };
+            rt.intercept(Sendrecv, lead);
+            rt.intercept(Sendrecv, us(2));
+            rt.intercept(Sendrecv, us(3));
+            rt.intercept(Allreduce, us(long_gap));
+            rt.intercept(Allreduce, us(long_gap));
+        }
+    }
+
+    #[test]
+    fn prediction_activates_at_event_21() {
+        // Fig. 3: prediction flips to true on the 21st MPI event.
+        let mut rt = RankRuntime::new(0, cfg());
+        let mut activation_event = None;
+        let calls: Vec<(MpiCall, SimDuration)> = {
+            let mut v = Vec::new();
+            for it in 0..6 {
+                let lead = if it == 0 { us(0) } else { us(300) };
+                v.push((Sendrecv, lead));
+                v.push((Sendrecv, us(2)));
+                v.push((Sendrecv, us(3)));
+                v.push((Allreduce, us(300)));
+                v.push((Allreduce, us(300)));
+            }
+            v
+        };
+        for (i, (call, gap)) in calls.into_iter().enumerate() {
+            rt.intercept(call, gap);
+            if rt.predicting() && activation_event.is_none() {
+                activation_event = Some(i + 1); // 1-based like the paper
+            }
+        }
+        assert_eq!(activation_event, Some(21));
+    }
+
+    #[test]
+    fn directives_issued_while_predicting() {
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 12, 300);
+        let ann = rt.finish(SimDuration::ZERO);
+        assert!(ann.stats.lane_off_count > 0, "no directives issued");
+        // All timers obey Algorithm 3: timer = idle − idle·disp − T_react.
+        for d in &ann.directives {
+            let expect = d
+                .predicted_idle
+                .saturating_sub(d.predicted_idle.mul_f64(0.10) + us(10));
+            assert_eq!(d.timer, expect);
+            assert!(d.timer > us(10), "unprofitable directive issued");
+        }
+        // Steady state with constant gaps: no penalties.
+        assert_eq!(ann.stats.timing_mispredictions, 0);
+        assert_eq!(ann.stats.pattern_mispredictions, 0);
+        assert!(ann.penalty.iter().all(|p| p.is_zero()));
+    }
+
+    #[test]
+    fn hit_rate_grows_with_iterations() {
+        let run = |iters: usize| {
+            let mut rt = RankRuntime::new(0, cfg());
+            feed_alya(&mut rt, iters, 300);
+            rt.finish(SimDuration::ZERO).stats.hit_rate_pct()
+        };
+        let short = run(6);
+        let long = run(60);
+        assert!(long > short, "hit rate should amortise learning: {short} vs {long}");
+        assert!(long > 85.0, "steady-state Alya hit rate ~93%: got {long}");
+    }
+
+    #[test]
+    fn shorter_gap_than_predicted_charges_bounded_stall() {
+        let mut rt = RankRuntime::new(0, cfg());
+        // Learn with 300 µs gaps…
+        feed_alya(&mut rt, 8, 300);
+        assert!(rt.predicting());
+        // …then one iteration arrives much earlier than predicted.
+        rt.intercept(Sendrecv, us(40)); // expected ~300 µs gap
+        let ann = rt.finish(SimDuration::ZERO);
+        assert!(ann.stats.timing_mispredictions >= 1);
+        let max_pen = ann.penalty.iter().max().copied().unwrap();
+        assert!(max_pen > SimDuration::ZERO);
+        assert!(max_pen <= us(10), "stall capped at T_react");
+    }
+
+    #[test]
+    fn diverging_call_stream_falls_back_and_rearms() {
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 8, 300);
+        assert!(rt.predicting());
+        // Inject a foreign call: pattern break.
+        rt.intercept(ibp_trace::MpiCall::Barrier, us(300));
+        assert!(!rt.predicting(), "must fall back to learning");
+        // Resume the pattern; a detected pattern re-arms on first sighting.
+        feed_alya(&mut rt, 3, 300);
+        assert!(rt.predicting(), "detected pattern should re-arm quickly");
+        let ann = rt.finish(SimDuration::ZERO);
+        assert_eq!(ann.stats.pattern_mispredictions, 1);
+        assert!(ann.stats.rearms >= 1);
+    }
+
+    #[test]
+    fn ppa_overhead_only_during_learning() {
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 30, 300);
+        let ann = rt.finish(SimDuration::ZERO);
+        // PPA ran on a small share of calls (learning prefix only).
+        assert!(ann.stats.ppa_invocation_pct() < 25.0);
+        assert!(ann.stats.ppa_invoked_calls > 0);
+        // Every event carries at least the interception overhead.
+        assert!(ann.overhead.iter().all(|o| *o >= us(1)));
+    }
+
+    #[test]
+    fn low_power_time_accumulates() {
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 40, 500);
+        let ann = rt.finish(SimDuration::ZERO);
+        assert!(ann.stats.low_power_time > SimDuration::ZERO);
+        let frac = ann.stats.low_power_fraction();
+        assert!(frac > 0.3 && frac < 1.0, "fraction {frac}");
+        let est = ann.stats.est_power_saving_pct(0.43);
+        assert!(est > 15.0 && est < 57.0, "estimate {est}");
+    }
+
+    #[test]
+    fn annotate_rank_matches_manual_loop() {
+        use ibp_trace::{MpiOp, TraceBuilder};
+        let mut b = TraceBuilder::new("alya-like", 1);
+        for it in 0..10 {
+            let lead = if it == 0 { us(0) } else { us(300) };
+            b.compute(0, lead);
+            b.op(0, MpiOp::Sendrecv { to: 0, send_bytes: 1, from: 0, recv_bytes: 1 });
+            b.compute(0, us(2));
+            b.op(0, MpiOp::Sendrecv { to: 0, send_bytes: 1, from: 0, recv_bytes: 1 });
+            b.compute(0, us(3));
+            b.op(0, MpiOp::Sendrecv { to: 0, send_bytes: 1, from: 0, recv_bytes: 1 });
+            b.compute(0, us(300));
+            b.op(0, MpiOp::Allreduce { bytes: 8 });
+            b.compute(0, us(300));
+            b.op(0, MpiOp::Allreduce { bytes: 8 });
+        }
+        let trace = b.build();
+        let ann = annotate_rank(&trace.ranks[0], &cfg());
+        assert_eq!(ann.overhead.len(), trace.ranks[0].call_count());
+        assert_eq!(ann.penalty.len(), trace.ranks[0].call_count());
+        assert!(ann.stats.correct_calls > 0);
+
+        let mut rt = RankRuntime::new(0, cfg());
+        for (call, gap) in trace.ranks[0].call_stream() {
+            rt.intercept(call, gap);
+        }
+        let manual = rt.finish(trace.ranks[0].final_compute);
+        assert_eq!(ann, manual);
+    }
+
+    #[test]
+    fn directive_after_event_points_at_gram_last_call() {
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 10, 300);
+        let ann = rt.finish(SimDuration::ZERO);
+        // Every directive is anchored to a valid event index.
+        for d in &ann.directives {
+            assert!(d.after_event < ann.overhead.len());
+        }
+        // Directives are strictly ordered by event.
+        for w in ann.directives.windows(2) {
+            assert!(w[0].after_event < w[1].after_event);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace serialisation.
+//!
+//! Traces are interchanged as JSON (pretty for humans, compact for bulk).
+//! JSON is not on any hot path — generators produce traces in memory and
+//! the simulator consumes them in memory; files exist so that experiments
+//! can be re-run on frozen inputs and so users can inspect what the
+//! generators produce.
+
+use crate::trace::Trace;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors arising from trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+    /// The trace deserialised but fails [`Trace::validate`].
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace format error: {e}"),
+            TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+            TraceIoError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Serialise a trace to compact JSON.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string(trace).expect("trace serialisation cannot fail")
+}
+
+/// Deserialise a trace from JSON and validate it.
+pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
+    let trace: Trace = serde_json::from_str(json)?;
+    trace.validate().map_err(TraceIoError::Invalid)?;
+    Ok(trace)
+}
+
+/// Write a trace to `path` as compact JSON.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, trace)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read and validate a trace from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let file = File::open(path)?;
+    let mut json = String::new();
+    BufReader::new(file).read_to_string(&mut json)?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MpiOp;
+    use crate::trace::TraceBuilder;
+    use ibp_simcore::SimDuration;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("roundtrip", 3);
+        for it in 0..4 {
+            for r in 0..3u32 {
+                b.compute(r, SimDuration::from_us(100 + it * 3 + u64::from(r)));
+                b.op(
+                    r,
+                    MpiOp::Sendrecv {
+                        to: (r + 1) % 3,
+                        send_bytes: 4096,
+                        from: (r + 2) % 3,
+                        recv_bytes: 4096,
+                    },
+                );
+                b.op(r, MpiOp::Allreduce { bytes: 8 });
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let t = sample();
+        let back = from_json(&to_json(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_roundtrip_is_identity() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("ibp-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.json");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn load_rejects_invalid_trace() {
+        // Hand-craft a structurally valid JSON with an out-of-range peer.
+        let mut t = sample();
+        if let MpiOp::Sendrecv { to, .. } = &mut t.ranks[0].events[0].op {
+            *to = 99;
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        match from_json(&json) {
+            Err(TraceIoError::Invalid(msg)) => assert!(msg.contains("out of range")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            from_json("{not json"),
+            Err(TraceIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = from_json("{").unwrap_err();
+        assert!(e.to_string().contains("format"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Link power states and per-link power accounting.
+//!
+//! Each rank's host link (HCA ↔ leaf-switch port) is driven by the lane
+//! directives the runtime issued: after the anchoring MPI call completes,
+//! the three inactive lanes transition off (`T_react`, billed at full
+//! power, per the paper's assumption for the switching mode), sit in
+//! low-power 1X mode (43% of nominal draw), and transition back on when
+//! the HCA timer fires — or earlier, on demand, when the next MPI call
+//! wants the network before the timer.
+
+use crate::config::SimParams;
+use ibp_core::SleepKind;
+use ibp_simcore::{SimDuration, SimTime, StateTimeline};
+use serde::{Deserialize, Serialize};
+
+/// Power state of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPower {
+    /// All four lanes active (nominal draw).
+    Full,
+    /// One lane active, three off (WRPS 1X mode, 43% of nominal).
+    Low,
+    /// Switch buffers/crossbar down too (§VI deep sleep, ~10% draw).
+    Deep,
+    /// Lanes shifting between modes (billed at full power).
+    Transition,
+}
+
+impl LinkPower {
+    /// Relative power draw of the state.
+    pub fn relative_draw(self, low_fraction: f64) -> f64 {
+        match self {
+            LinkPower::Full | LinkPower::Transition => 1.0,
+            LinkPower::Low => low_fraction,
+            LinkPower::Deep => crate::config::DEEP_POWER_FRACTION,
+        }
+    }
+}
+
+/// Power bookkeeping for one host link.
+#[derive(Debug, Clone)]
+pub struct LinkPowerTracker {
+    /// Optional full state timeline (for Fig. 6-style rendering).
+    pub timeline: Option<StateTimeline<LinkPower>>,
+    /// Accumulated time in WRPS low-power mode.
+    pub low_time: SimDuration,
+    /// Accumulated time in the deep sleep state.
+    pub deep_time: SimDuration,
+    /// Accumulated transition time.
+    pub transition_time: SimDuration,
+    /// No new state may begin before this instant (end of the last
+    /// recorded transition).
+    floor: SimTime,
+    /// Number of sleep windows applied.
+    pub sleeps: u64,
+}
+
+impl LinkPowerTracker {
+    /// Create a tracker; `record` enables the full timeline.
+    pub fn new(record: bool) -> Self {
+        LinkPowerTracker {
+            timeline: record.then(|| StateTimeline::new(LinkPower::Full)),
+            low_time: SimDuration::ZERO,
+            deep_time: SimDuration::ZERO,
+            transition_time: SimDuration::ZERO,
+            floor: SimTime::ZERO,
+            sleeps: 0,
+        }
+    }
+
+    /// Earliest instant a new sleep may begin.
+    pub fn floor(&self) -> SimTime {
+        self.floor
+    }
+
+    /// Apply one sleep window: lanes shut down at `t0` with the HCA timer
+    /// programmed to `timer`; the rank next wanted the network at
+    /// `t_want` (demand wake-up if earlier than the timer).
+    ///
+    /// Returns the achieved low-power span.
+    pub fn apply_sleep(
+        &mut self,
+        params: &SimParams,
+        t0: SimTime,
+        timer: SimDuration,
+        t_want: SimTime,
+    ) -> SimDuration {
+        self.apply_sleep_kind(params, t0, timer, t_want, SleepKind::Wrps)
+    }
+
+    /// [`LinkPowerTracker::apply_sleep`] with an explicit sleep depth:
+    /// deep sleeps use the deep reactivation time and are accounted in
+    /// `deep_time`.
+    pub fn apply_sleep_kind(
+        &mut self,
+        params: &SimParams,
+        t0: SimTime,
+        timer: SimDuration,
+        t_want: SimTime,
+        kind: SleepKind,
+    ) -> SimDuration {
+        let react = match kind {
+            SleepKind::Wrps => params.t_react,
+            SleepKind::Deep => params.deep_t_react,
+        };
+        let state = match kind {
+            SleepKind::Wrps => LinkPower::Low,
+            SleepKind::Deep => LinkPower::Deep,
+        };
+        let t0 = t0.max(self.floor);
+        let off_end = t0 + react;
+        let wake_planned = t0 + timer;
+        // Demand wake cannot precede the end of the off transition (the
+        // lanes must finish shutting down before they can start waking).
+        let wake = wake_planned.min(t_want.max(off_end));
+        let low_span = wake.saturating_since(off_end);
+        let full_again = wake + react;
+
+        if let Some(tl) = &mut self.timeline {
+            tl.record(t0, LinkPower::Transition);
+            if !low_span.is_zero() {
+                tl.record(off_end, state);
+            }
+            tl.record(wake, LinkPower::Transition);
+            tl.record(full_again, LinkPower::Full);
+        }
+        match kind {
+            SleepKind::Wrps => self.low_time += low_span,
+            SleepKind::Deep => self.deep_time += low_span,
+        }
+        self.transition_time += full_again.since(wake) + off_end.since(t0);
+        self.floor = full_again;
+        self.sleeps += 1;
+        low_span
+    }
+
+    /// Time-averaged relative power draw over a run of length `total`.
+    pub fn mean_relative_power(&self, params: &SimParams, total: SimDuration) -> f64 {
+        if total.is_zero() {
+            return 1.0;
+        }
+        let t = total.as_secs_f64();
+        let low = (self.low_time.as_secs_f64() / t).min(1.0);
+        let deep = (self.deep_time.as_secs_f64() / t).min(1.0);
+        1.0 - low * (1.0 - params.low_power_fraction)
+            - deep * (1.0 - crate::config::DEEP_POWER_FRACTION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_us(x)
+    }
+
+    fn dur(x: u64) -> SimDuration {
+        SimDuration::from_us(x)
+    }
+
+    #[test]
+    fn normal_sleep_window() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(true);
+        // Sleep at t=100 µs with a 90 µs timer; next demand at 200 µs.
+        let span = t.apply_sleep(&p, us(100), dur(90), us(200));
+        // Low power from 110 to 190 µs.
+        assert_eq!(span, dur(80));
+        assert_eq!(t.low_time, dur(80));
+        assert_eq!(t.transition_time, dur(20));
+        assert_eq!(t.floor(), us(200));
+        let tl = t.timeline.as_ref().unwrap();
+        assert_eq!(tl.time_in(us(300), |s| s == LinkPower::Low), dur(80));
+        assert_eq!(tl.current(), LinkPower::Full);
+    }
+
+    #[test]
+    fn demand_wake_truncates_low_span() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(false);
+        // Timer says 90 µs but the rank wants the network at t=150 µs.
+        let span = t.apply_sleep(&p, us(100), dur(90), us(150));
+        // Low power 110..150 only.
+        assert_eq!(span, dur(40));
+    }
+
+    #[test]
+    fn demand_before_off_transition_gives_zero_span() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(true);
+        let span = t.apply_sleep(&p, us(100), dur(90), us(105));
+        assert_eq!(span, SimDuration::ZERO);
+        // Still pays both transitions.
+        assert_eq!(t.transition_time, dur(20));
+    }
+
+    #[test]
+    fn floor_prevents_overlapping_sleeps() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(true);
+        t.apply_sleep(&p, us(100), dur(90), us(1000));
+        // Second sleep nominally at t=150 (inside the first window) gets
+        // pushed past the first's wake transition.
+        let span = t.apply_sleep(&p, us(150), dur(50), us(1000));
+        // Start shifted to the floor (200 µs): off transition ends at
+        // 210 µs, timer fires at 250 µs → 40 µs of low power.
+        assert_eq!(t.floor(), us(260));
+        assert_eq!(span, dur(40));
+    }
+
+    #[test]
+    fn mean_power_blends_draws() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(false);
+        t.apply_sleep(&p, us(0), dur(580), us(1000));
+        // low = 570 µs of 1000 → draw = 1 − 0.57 × 0.57 = 0.675.
+        let draw = t.mean_relative_power(&p, dur(1000));
+        assert!((draw - (1.0 - 0.57 * 0.57)).abs() < 1e-9, "{draw}");
+        // Zero total → full draw.
+        assert_eq!(t.mean_relative_power(&p, SimDuration::ZERO), 1.0);
+    }
+
+    #[test]
+    fn relative_draw_values() {
+        assert_eq!(LinkPower::Full.relative_draw(0.43), 1.0);
+        assert_eq!(LinkPower::Transition.relative_draw(0.43), 1.0);
+        assert_eq!(LinkPower::Low.relative_draw(0.43), 0.43);
+    }
+}

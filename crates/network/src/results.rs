@@ -1,0 +1,139 @@
+//! Replay results and power/performance summaries.
+
+use crate::fabric::FabricStats;
+use crate::power::LinkPower;
+use ibp_simcore::{SimDuration, SimTime, StateTimeline};
+
+/// Outcome of one replay run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// End-to-end execution time (latest rank finish).
+    pub exec_time: SimDuration,
+    /// Per-rank finish times.
+    pub rank_finish: Vec<SimTime>,
+    /// Per-rank host-link low-power (WRPS) time.
+    pub link_low: Vec<SimDuration>,
+    /// Per-rank host-link deep-sleep time (§VI extension; zero under the
+    /// paper's baseline WRPS policy).
+    pub link_deep: Vec<SimDuration>,
+    /// Per-rank host-link transition time.
+    pub link_transition: Vec<SimDuration>,
+    /// Per-rank sleep-window counts.
+    pub link_sleeps: Vec<u64>,
+    /// Optional per-rank link power timelines (Fig. 6 rendering).
+    pub timelines: Option<Vec<StateTimeline<LinkPower>>>,
+    /// Fabric traffic statistics.
+    pub fabric: FabricStats,
+    /// Relative draw of the low-power state (from the parameters used).
+    pub low_power_fraction: f64,
+}
+
+impl SimResult {
+    /// Number of ranks.
+    pub fn nprocs(&self) -> usize {
+        self.rank_finish.len()
+    }
+
+    /// Fraction of the run each rank's host link spent in low power,
+    /// averaged over ranks.
+    pub fn mean_low_fraction(&self) -> f64 {
+        if self.exec_time.is_zero() || self.link_low.is_empty() {
+            return 0.0;
+        }
+        let total = self.exec_time.as_secs_f64();
+        self.link_low
+            .iter()
+            .map(|l| (l.as_secs_f64() / total).min(1.0))
+            .sum::<f64>()
+            / self.link_low.len() as f64
+    }
+
+    /// IB switch power saving (%) relative to always-on links — the
+    /// paper's Figs. 7a/8a/9a metric: each port in low-power mode draws
+    /// `low_power_fraction` of nominal, so the saving is
+    /// `(1 − low_power_fraction) × low-time share`, averaged over the
+    /// managed (host-facing) ports.
+    pub fn power_saving_pct(&self) -> f64 {
+        100.0 * (1.0 - self.low_power_fraction) * self.mean_low_fraction()
+            + 100.0 * (1.0 - crate::config::DEEP_POWER_FRACTION) * self.mean_deep_fraction()
+    }
+
+    /// Fraction of the run each rank's host link spent in deep sleep,
+    /// averaged over ranks.
+    pub fn mean_deep_fraction(&self) -> f64 {
+        if self.exec_time.is_zero() || self.link_deep.is_empty() {
+            return 0.0;
+        }
+        let total = self.exec_time.as_secs_f64();
+        self.link_deep
+            .iter()
+            .map(|l| (l.as_secs_f64() / total).min(1.0))
+            .sum::<f64>()
+            / self.link_deep.len() as f64
+    }
+
+    /// Mean relative power draw of the managed links (1.0 = always-on).
+    pub fn mean_relative_power(&self) -> f64 {
+        1.0 - self.power_saving_pct() / 100.0
+    }
+
+    /// Execution-time increase (%) of this run relative to `baseline` —
+    /// the paper's Figs. 7b/8b/9b metric.
+    pub fn slowdown_pct(&self, baseline: &SimResult) -> f64 {
+        let b = baseline.exec_time.as_secs_f64();
+        if b == 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.exec_time.as_secs_f64() - b) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(exec_us: u64, low_us: &[u64]) -> SimResult {
+        SimResult {
+            exec_time: SimDuration::from_us(exec_us),
+            rank_finish: low_us
+                .iter()
+                .map(|_| SimTime::from_us(exec_us))
+                .collect(),
+            link_low: low_us.iter().map(|&l| SimDuration::from_us(l)).collect(),
+            link_deep: vec![SimDuration::ZERO; low_us.len()],
+            link_transition: vec![SimDuration::ZERO; low_us.len()],
+            link_sleeps: vec![0; low_us.len()],
+            timelines: None,
+            fabric: FabricStats::default(),
+            low_power_fraction: 0.43,
+        }
+    }
+
+    #[test]
+    fn power_saving_from_low_fraction() {
+        // Both links low for half the run: saving = 57% × 0.5 = 28.5%.
+        let r = result(1000, &[500, 500]);
+        assert!((r.power_saving_pct() - 28.5).abs() < 1e-9);
+        assert!((r.mean_relative_power() - 0.715).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_ranks_average() {
+        let r = result(1000, &[1000, 0]);
+        assert!((r.mean_low_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_relative_to_baseline() {
+        let base = result(1000, &[0]);
+        let managed = result(1010, &[400]);
+        assert!((managed.slowdown_pct(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let r = result(0, &[0]);
+        assert_eq!(r.power_saving_pct(), 0.0);
+        assert_eq!(r.slowdown_pct(&r), 0.0);
+    }
+}

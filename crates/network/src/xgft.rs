@@ -1,0 +1,326 @@
+//! Generalized Extended Generalized Fat Trees — XGFT(h; m₁…m_h; w₁…w_h).
+//!
+//! The paper's Table II names its topology as a member of the XGFT
+//! family (Öhring et al.): a height-`h` tree where level-`i` switches
+//! have `m_i` children and every level-(i−1) node has `w_i` parents.
+//! [`crate::topology::FatTree`] hard-codes the paper's 2-level instance
+//! for the replay fast path; this module implements the general family —
+//! useful for exploring deeper fabrics (3-level trees are the common
+//! datacenter case) with the same power-management machinery.
+//!
+//! Nodes sit at level 0. A level-`i` switch is addressed by the pair
+//! *(group, index)*: which subtree of level-`i+1` it belongs to and its
+//! position. Internally every vertex gets a dense id; unidirectional
+//! channels are enumerated per edge (up and down separately), and routes
+//! follow the standard nearest-common-ancestor up/down scheme with
+//! random up-link choice.
+
+use ibp_simcore::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// A generalized fat tree description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Xgft {
+    /// Children per switch at each level, `m[0]` = nodes per leaf switch.
+    pub m: Vec<u32>,
+    /// Parents per vertex at each level, `w[0]` = parents per node.
+    pub w: Vec<u32>,
+}
+
+/// A vertex in the tree: its level and dense index within the level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vertex {
+    /// 0 = compute node, `h` = top switches.
+    pub level: u32,
+    /// Dense index within the level.
+    pub index: u32,
+}
+
+impl Xgft {
+    /// Create an XGFT(h; m…; w…).
+    ///
+    /// # Panics
+    /// Panics if `m` and `w` differ in length, are empty, or contain
+    /// zeros.
+    pub fn new(m: Vec<u32>, w: Vec<u32>) -> Self {
+        assert_eq!(m.len(), w.len(), "m and w must have equal height");
+        assert!(!m.is_empty(), "height must be at least 1");
+        assert!(m.iter().all(|&x| x > 0), "child counts must be positive");
+        assert!(w.iter().all(|&x| x > 0), "parent counts must be positive");
+        Xgft { m, w }
+    }
+
+    /// The paper's topology, XGFT(2; 18,14; 1,18).
+    pub fn paper() -> Self {
+        Xgft::new(vec![18, 14], vec![1, 18])
+    }
+
+    /// Tree height (number of switch levels).
+    pub fn height(&self) -> u32 {
+        self.m.len() as u32
+    }
+
+    /// Number of vertices at `level` (0 = nodes).
+    ///
+    /// Level `l` has `(∏_{i<l} w_i over upper levels) × (∏_{i≥l} m_i)`
+    /// vertices by the standard XGFT construction:
+    /// `count(l) = w_{l+1}·…·w_h × m_1·…·m_l` — with the convention that
+    /// level 0 counts the compute nodes `m_1·…·m_h / (m_1·…·m_0)`.
+    pub fn level_count(&self, level: u32) -> u32 {
+        let h = self.m.len();
+        let l = level as usize;
+        assert!(l <= h, "level out of range");
+        let mut count: u64 = 1;
+        // m_1 … m_l contribute children multiplicity below the level;
+        // actually vertices at level l are grouped by the m's ABOVE l and
+        // replicated by the w's above l:
+        //   count(l) = (∏_{i=l+1..h} m_i) × (∏_{i=1..l} w_i)… corrected:
+        // standard result: count(l) = w_1·…·w_l × m_{l+1}·…·m_h.
+        for i in 0..l {
+            count *= u64::from(self.w[i]);
+        }
+        for i in l..h {
+            count *= u64::from(self.m[i]);
+        }
+        count as u32
+    }
+
+    /// Number of compute nodes.
+    pub fn node_count(&self) -> u32 {
+        self.level_count(0)
+    }
+
+    /// Parents of a vertex at `level` (level < height): the `w[level]`
+    /// switches one level up it connects to.
+    ///
+    /// Using the standard XGFT addressing: a level-`l` vertex with index
+    /// `x` decomposes as `x = (chunk · m[l] + pos) · R + rep` where the
+    /// replication factor `R = ∏_{i<l} w_i`. Its parents at level `l+1`
+    /// are the `w[l]` vertices `(chunk · R·w[l]) + rep·w[l] + j`.
+    pub fn parents(&self, v: Vertex) -> Vec<Vertex> {
+        let l = v.level as usize;
+        assert!(
+            (v.level) < self.height(),
+            "top-level switches have no parents"
+        );
+        assert!(v.index < self.level_count(v.level), "index out of range");
+        let rep: u32 = self.w[..l].iter().product();
+        let fam = v.index / rep; // which (chunk, pos) family
+        let r = v.index % rep; // replica id within the family
+        let chunk = fam / self.m[l];
+        let parent_rep = rep * self.w[l];
+        (0..self.w[l])
+            .map(|j| Vertex {
+                level: v.level + 1,
+                index: chunk * parent_rep + r * self.w[l] + j,
+            })
+            .collect()
+    }
+
+    /// Children of a switch at `level ≥ 1`: the inverse of [`parents`].
+    pub fn children(&self, v: Vertex) -> Vec<Vertex> {
+        assert!(v.level >= 1, "nodes have no children");
+        let below = v.level - 1;
+        (0..self.level_count(below))
+            .map(|index| Vertex {
+                level: below,
+                index,
+            })
+            .filter(|c| self.parents(*c).contains(&v))
+            .collect()
+    }
+
+    /// Route from node `src` to node `dst` as a list of vertices
+    /// (starting at `src`'s node, ending at `dst`'s node), using the
+    /// nearest-common-ancestor up/down scheme with random parent choice
+    /// on the way up.
+    ///
+    /// # Panics
+    /// Panics on `src == dst` or out-of-range nodes.
+    pub fn route(&self, src: u32, dst: u32, rng: &mut DetRng) -> Vec<Vertex> {
+        assert_ne!(src, dst, "loopback");
+        let mut up = Vertex {
+            level: 0,
+            index: src,
+        };
+        let mut path = vec![up];
+        // Climb until dst is in the subtree: two vertices share an
+        // ancestor at level l iff their indices agree on the "chunk"
+        // coordinate at that level. We climb while the destination is
+        // not reachable downward, i.e. while the subtrees differ.
+        while !self.covers(up, dst) {
+            let parents = self.parents(up);
+            up = parents[rng.index(parents.len())];
+            path.push(up);
+        }
+        // Deterministic descent to dst.
+        let mut down = up;
+        while down.level > 0 {
+            let next = self
+                .children(down)
+                .into_iter()
+                .find(|c| self.covers(*c, dst))
+                .expect("descent must make progress");
+            path.push(next);
+            down = next;
+        }
+        debug_assert_eq!(path.last().unwrap().index, dst);
+        path
+    }
+
+    /// Whether node `dst` lies in the subtree rooted at `v`.
+    fn covers(&self, v: Vertex, dst: u32) -> bool {
+        if v.level == 0 {
+            return v.index == dst;
+        }
+        // Node dst's ancestor-chunk at level l: strip the m-products.
+        let l = v.level as usize;
+        let nodes_per_subtree: u32 = self.m[..l].iter().product();
+        let chunk_of_dst = dst / nodes_per_subtree;
+        // v's chunk coordinate at its level:
+        let rep: u32 = self.w[..l].iter().product();
+        let fam = v.index / rep;
+        fam == chunk_of_dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_counts() {
+        let t = Xgft::paper();
+        assert_eq!(t.node_count(), 252);
+        assert_eq!(t.level_count(1), 14); // leaf switches
+        assert_eq!(t.level_count(2), 18); // top switches
+    }
+
+    #[test]
+    fn three_level_counts() {
+        // XGFT(3; 4,4,4; 1,2,2): 64 nodes; 16 leaves; 8×2=... level 2:
+        // w1·w2 × m3 = 1·2 × 4 = 8; level 3: 1·2·2 = 4.
+        let t = Xgft::new(vec![4, 4, 4], vec![1, 2, 2]);
+        assert_eq!(t.node_count(), 64);
+        assert_eq!(t.level_count(1), 16);
+        assert_eq!(t.level_count(2), 8);
+        assert_eq!(t.level_count(3), 4);
+    }
+
+    #[test]
+    fn node_parent_is_its_leaf() {
+        let t = Xgft::paper();
+        // Node 0..17 hang off leaf 0, 18..35 off leaf 1 …
+        for node in [0u32, 17, 18, 251] {
+            let p = t.parents(Vertex {
+                level: 0,
+                index: node,
+            });
+            assert_eq!(p.len(), 1);
+            assert_eq!(p[0].index, node / 18);
+        }
+    }
+
+    #[test]
+    fn leaf_parents_are_all_tops() {
+        let t = Xgft::paper();
+        let p = t.parents(Vertex { level: 1, index: 3 });
+        assert_eq!(p.len(), 18);
+        let idx: Vec<u32> = p.iter().map(|v| v.index).collect();
+        assert_eq!(idx, (0..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn children_invert_parents() {
+        let t = Xgft::new(vec![3, 2, 2], vec![1, 2, 3]);
+        for level in 1..=t.height() {
+            for index in 0..t.level_count(level) {
+                let v = Vertex { level, index };
+                for c in t.children(v) {
+                    assert!(
+                        t.parents(c).contains(&v),
+                        "child {c:?} does not list {v:?} as parent"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_valid_walks() {
+        let t = Xgft::paper();
+        let mut rng = DetRng::seed_from_u64(5);
+        for (src, dst) in [(0u32, 1u32), (0, 20), (17, 18), (0, 251), (100, 101)] {
+            let path = t.route(src, dst, &mut rng);
+            assert_eq!(path.first().unwrap().index, src);
+            assert_eq!(path.last().unwrap().index, dst);
+            assert_eq!(path.first().unwrap().level, 0);
+            assert_eq!(path.last().unwrap().level, 0);
+            // Consecutive vertices are adjacent (parent/child).
+            for w in path.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let adjacent = if b.level == a.level + 1 {
+                    t.parents(a).contains(&b)
+                } else if a.level == b.level + 1 {
+                    t.parents(b).contains(&a)
+                } else {
+                    false
+                };
+                assert!(adjacent, "non-adjacent hop {a:?} -> {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_leaf_routes_stay_low() {
+        let t = Xgft::paper();
+        let mut rng = DetRng::seed_from_u64(6);
+        let path = t.route(0, 5, &mut rng);
+        // node → leaf → node: 3 vertices, max level 1.
+        assert_eq!(path.len(), 3);
+        assert!(path.iter().all(|v| v.level <= 1));
+    }
+
+    #[test]
+    fn cross_leaf_routes_reach_level_2() {
+        let t = Xgft::paper();
+        let mut rng = DetRng::seed_from_u64(7);
+        let path = t.route(0, 20, &mut rng);
+        assert_eq!(path.len(), 5);
+        assert_eq!(path.iter().map(|v| v.level).max(), Some(2));
+    }
+
+    #[test]
+    fn three_level_routing_works_at_all_distances() {
+        let t = Xgft::new(vec![4, 4, 4], vec![1, 2, 2]);
+        let mut rng = DetRng::seed_from_u64(8);
+        // Same leaf, same middle subtree, cross-tree.
+        for (src, dst, max_level) in [(0u32, 1u32, 1), (0, 5, 2), (0, 63, 3)] {
+            let path = t.route(src, dst, &mut rng);
+            assert_eq!(path.last().unwrap().index, dst);
+            assert!(
+                path.iter().map(|v| v.level).max().unwrap() <= max_level,
+                "route {src}->{dst} climbed too high: {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_up_choice_spreads() {
+        let t = Xgft::paper();
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut tops = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let path = t.route(0, 240, &mut rng);
+            let top = path.iter().find(|v| v.level == 2).unwrap().index;
+            tops.insert(top);
+        }
+        assert!(tops.len() > 12, "only {} tops used", tops.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal height")]
+    fn mismatched_arity_rejected() {
+        Xgft::new(vec![4, 4], vec![1]);
+    }
+}

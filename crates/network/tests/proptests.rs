@@ -1,0 +1,106 @@
+//! Property-based tests for the fabric, topology and power accounting.
+
+use ibp_network::{Fabric, LinkPowerTracker, SimParams, Xgft};
+use ibp_simcore::{DetRng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Transfers are causal (arrival after send) and monotone in size.
+    #[test]
+    fn transfers_are_causal(
+        msgs in proptest::collection::vec((0u32..36, 0u32..36, 1u64..1_000_000, 0u64..1_000_000), 1..100)
+    ) {
+        let mut f = Fabric::new(SimParams::paper(), 36, 7);
+        for &(src, dst, bytes, at_us) in &msgs {
+            let t = SimTime::from_us(at_us);
+            let arrival = f.transfer(t, src, dst, bytes);
+            prop_assert!(arrival > t, "arrival not after send");
+            let min = SimParams::paper().serialize(bytes);
+            if src != dst {
+                prop_assert!(arrival.since(t) >= min, "faster than line rate");
+            }
+        }
+        prop_assert_eq!(f.stats().messages, msgs.len() as u64);
+    }
+
+    /// The same message sequence always produces the same arrivals
+    /// (identity-stable routing).
+    #[test]
+    fn fabric_is_deterministic(
+        msgs in proptest::collection::vec((0u32..128, 0u32..128, 1u64..100_000), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut f = Fabric::new(SimParams::paper(), 128, seed);
+            msgs.iter()
+                .map(|&(s, d, b)| f.transfer(SimTime::ZERO, s, d, b))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// XGFT routes are valid node-to-node walks for arbitrary small
+    /// trees and endpoints.
+    #[test]
+    fn xgft_routes_valid(
+        m in proptest::collection::vec(2u32..5, 1..4),
+        w_seed in any::<u64>(),
+        pair_seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::seed_from_u64(w_seed);
+        let w: Vec<u32> = m.iter().enumerate()
+            .map(|(i, _)| if i == 0 { 1 } else { 1 + rng.index(3) as u32 })
+            .collect();
+        let t = Xgft::new(m.clone(), w);
+        let n = t.node_count();
+        prop_assume!(n >= 2);
+        let mut prng = DetRng::seed_from_u64(pair_seed);
+        let src = prng.index(n as usize) as u32;
+        let mut dst = prng.index(n as usize) as u32;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        let path = t.route(src, dst, &mut prng);
+        prop_assert_eq!(path.first().unwrap().index, src);
+        prop_assert_eq!(path.last().unwrap().index, dst);
+        prop_assert!(path.len() >= 3);
+        // Up then down: levels rise to a single peak then fall.
+        let levels: Vec<u32> = path.iter().map(|v| v.level).collect();
+        let peak = levels.iter().position(|&l| l == *levels.iter().max().unwrap()).unwrap();
+        prop_assert!(levels[..=peak].windows(2).all(|x| x[1] == x[0] + 1));
+        prop_assert!(levels[peak..].windows(2).all(|x| x[1] + 1 == x[0]));
+    }
+
+    /// Power tracker: sleep windows never overlap, accumulated times are
+    /// consistent with the recorded timeline, and 2 transitions are paid
+    /// per sleep.
+    #[test]
+    fn tracker_accounting_consistent(
+        sleeps in proptest::collection::vec((0u64..10_000, 21u64..5_000, 0u64..10_000), 1..50)
+    ) {
+        use ibp_network::LinkPower;
+        let p = SimParams::paper();
+        let mut tracker = LinkPowerTracker::new(true);
+        let mut t_cursor = SimTime::ZERO;
+        for &(gap_us, timer_us, want_extra_us) in &sleeps {
+            let t0 = t_cursor + SimDuration::from_us(gap_us);
+            let timer = SimDuration::from_us(timer_us);
+            let t_want = t0 + timer + SimDuration::from_us(want_extra_us);
+            tracker.apply_sleep(&p, t0, timer, t_want);
+            t_cursor = tracker.floor();
+        }
+        prop_assert_eq!(tracker.sleeps, sleeps.len() as u64);
+        // Timeline agreement.
+        let end = tracker.floor();
+        let tl = tracker.timeline.as_ref().unwrap();
+        let low = tl.time_in(end, |s| s == LinkPower::Low);
+        let trans = tl.time_in(end, |s| s == LinkPower::Transition);
+        prop_assert_eq!(low, tracker.low_time);
+        prop_assert_eq!(trans, tracker.transition_time);
+        prop_assert_eq!(
+            trans,
+            SimDuration::from_us(20) * sleeps.len() as u64,
+            "2 × T_react per sleep"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Online statistics and histograms.
+//!
+//! The evaluation pipeline aggregates per-rank and per-link quantities
+//! (idle-interval lengths, power savings, slowdown percentages). These
+//! helpers keep that aggregation allocation-light and numerically stable.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A histogram over explicit, caller-supplied bucket boundaries.
+///
+/// Bucket `i` covers `[edges[i-1], edges[i])`, with an implicit underflow
+/// bucket `(-inf, edges[0])` at index 0 and an overflow bucket
+/// `[edges.last(), +inf)` at the end — the same bucketing scheme as the
+/// paper's Table I (`<20 µs`, `20–200 µs`, `>200 µs` with edges 20 and 200).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    /// Sum of observed values per bucket (lets callers report "% of total
+    /// time" as well as "% of intervals").
+    sums: Vec<f64>,
+}
+
+impl Histogram {
+    /// Create a histogram with the given strictly increasing bucket edges.
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        let buckets = edges.len() + 1;
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+            sums: vec![0.0; buckets],
+        }
+    }
+
+    /// Index of the bucket containing `x`.
+    pub fn bucket_of(&self, x: f64) -> usize {
+        // partition_point returns the count of edges <= x, which is exactly
+        // the bucket index under our [lo, hi) convention.
+        self.edges.partition_point(|&e| e <= x)
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        let b = self.bucket_of(x);
+        self.counts[b] += 1;
+        self.sums[b] += x;
+    }
+
+    /// Number of buckets (edges + 1).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Observation count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Sum of observation values in bucket `i`.
+    pub fn sum(&self, i: usize) -> f64 {
+        self.sums[i]
+    }
+
+    /// Total observation count.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total of all observation values.
+    pub fn total_sum(&self) -> f64 {
+        self.sums.iter().sum()
+    }
+
+    /// Fraction of observations in bucket `i` (0 when empty).
+    pub fn count_fraction(&self, i: usize) -> f64 {
+        let total = self.total_count();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / total as f64
+        }
+    }
+
+    /// Fraction of total value mass in bucket `i` (0 when empty).
+    pub fn sum_fraction(&self, i: usize) -> f64 {
+        let total = self.total_sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.sums[i] / total
+        }
+    }
+}
+
+/// Exact percentile of a sample (nearest-rank method). Sorts a copy.
+///
+/// # Panics
+/// Panics if `data` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        data.iter().for_each(|&x| whole.push(x));
+
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        data[..37].iter().for_each(|&x| a.push(x));
+        data[37..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.mean(), before);
+    }
+
+    #[test]
+    fn histogram_table1_style_buckets() {
+        // Edges at 20 and 200 µs — the paper's Table I buckets.
+        let mut h = Histogram::new(vec![20.0, 200.0]);
+        h.push(5.0); // <20
+        h.push(19.999); // <20
+        h.push(20.0); // [20, 200)
+        h.push(100.0); // [20, 200)
+        h.push(200.0); // >=200
+        h.push(5000.0); // >=200
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.total_count(), 6);
+        assert!((h.sum(2) - 5200.0).abs() < 1e-12);
+        // Time share is dominated by the big bucket even with equal counts.
+        assert!(h.sum_fraction(2) > 0.97);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_edges() {
+        let _ = Histogram::new(vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&data, 30.0), 20.0);
+        assert_eq!(percentile(&data, 100.0), 50.0);
+        assert_eq!(percentile(&data, 0.0), 15.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Whole-fabric view: per-application energy of the XGFT's host links
+//! with and without WRPS management, plus the fleet-level summary the
+//! paper's conclusions imply.
+//!
+//! Run with: `cargo run --release -p ibpower-examples --bin cluster_energy`
+
+use ibp_analysis::{make_trace, RunConfig};
+use ibp_core::annotate_trace;
+use ibp_network::{replay, ReplayOptions, SimParams};
+use ibp_workloads::AppKind;
+
+/// Nominal per-port power of the modelled switch, watts (ballpark for a
+/// 36-port QDR switch: ~130 W, links ≈ 64% → ~2.3 W per active port).
+const PORT_WATTS: f64 = 2.3;
+
+fn main() {
+    let nprocs = 16;
+    let params = SimParams::paper();
+    let opts = ReplayOptions::default();
+    println!("Fabric energy at {nprocs} ranks (host links, {PORT_WATTS} W/port nominal)\n");
+    println!("app       exec      always-on J   managed J   saved J   saving%");
+
+    let mut total_base = 0.0;
+    let mut total_mng = 0.0;
+    for app in AppKind::ALL {
+        let trace = make_trace(app, nprocs, 0xD1C0);
+        let cfg = RunConfig::new(20.0, 0.01).power_config();
+        let ann = annotate_trace(&trace, &cfg);
+        let baseline = replay(&trace, None, &params, &opts);
+        let managed = replay(&trace, Some(&ann), &params, &opts);
+
+        let secs = managed.exec_time.as_secs_f64();
+        let ports = f64::from(nprocs);
+        let base_j = PORT_WATTS * ports * baseline.exec_time.as_secs_f64();
+        let mng_j = PORT_WATTS * ports * secs * managed.mean_relative_power();
+        total_base += base_j;
+        total_mng += mng_j;
+        println!(
+            "{:<9} {:>7.2}s {:>12.2} {:>11.2} {:>9.2} {:>8.1}",
+            app.name(),
+            secs,
+            base_j,
+            mng_j,
+            base_j - mng_j,
+            100.0 * (1.0 - mng_j / base_j),
+        );
+    }
+    println!(
+        "\nfleet: {:.1} J always-on → {:.1} J managed ({:.1}% saved across the five workloads)",
+        total_base,
+        total_mng,
+        100.0 * (1.0 - total_mng / total_base)
+    );
+}

@@ -1,0 +1,113 @@
+//! Two jobs sharing the fat tree: multi-job replay with per-job power
+//! management.
+//!
+//! Job A is a 10-rank ring pipeline moving large blocks; job B is an
+//! 8-rank stencil with long compute phases. They are combined into one
+//! fabric-wide trace (disjoint rank ranges — the replay simulates them
+//! concurrently, sharing top-level channels under random routing), and
+//! the power-saving runtime manages every host link independently.
+//!
+//! Run with: `cargo run --release -p ibpower-examples --bin shared_fabric`
+
+use ibp_core::{annotate_trace, PowerConfig};
+use ibp_network::{replay, ReplayOptions, SimParams};
+use ibp_simcore::{DetRng, SimDuration};
+use ibp_trace::{combine, MpiOp, TraceBuilder};
+
+fn ring_pipeline(nprocs: u32, iters: u32, seed: u64) -> ibp_trace::Trace {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new("pipeline", nprocs);
+    for r in 0..nprocs {
+        for _ in 0..iters {
+            let jitter = rng.lognormal_jitter(0.01);
+            b.compute(r, SimDuration::from_us_f64(350.0 * jitter));
+            b.op(
+                r,
+                MpiOp::Sendrecv {
+                    to: (r + 1) % nprocs,
+                    send_bytes: 256 * 1024,
+                    from: (r + nprocs - 1) % nprocs,
+                    recv_bytes: 256 * 1024,
+                },
+            );
+        }
+    }
+    b.build()
+}
+
+fn stencil(nprocs: u32, iters: u32, seed: u64) -> ibp_trace::Trace {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new("stencil", nprocs);
+    for r in 0..nprocs {
+        for _ in 0..iters {
+            let jitter = rng.lognormal_jitter(0.01);
+            b.compute(r, SimDuration::from_us_f64(1_500.0 * jitter));
+            for hop in [1u32, 2] {
+                if hop == 2 {
+                    b.compute(r, SimDuration::from_us(3));
+                }
+                b.op(
+                    r,
+                    MpiOp::Sendrecv {
+                        to: (r + hop) % nprocs,
+                        send_bytes: 32 * 1024,
+                        from: (r + nprocs - hop) % nprocs,
+                        recv_bytes: 32 * 1024,
+                    },
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let job_a = ring_pipeline(10, 300, 1);
+    let job_b = stencil(8, 200, 2);
+    let (fabric_trace, placements) =
+        combine(&[&job_a, &job_b]).expect("p2p jobs always combine");
+    println!(
+        "combined fabric trace: {} ranks, {} MPI calls ({} + {})",
+        fabric_trace.nprocs,
+        fabric_trace.total_calls(),
+        job_a.total_calls(),
+        job_b.total_calls()
+    );
+
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let ann = annotate_trace(&fabric_trace, &cfg);
+    let params = SimParams::paper();
+    let opts = ReplayOptions::default();
+    let baseline = replay(&fabric_trace, None, &params, &opts);
+    let managed = replay(&fabric_trace, Some(&ann), &params, &opts);
+
+    println!("\nfabric execution: baseline {}, managed {} ({:+.3}%)",
+        baseline.exec_time,
+        managed.exec_time,
+        managed.slowdown_pct(&baseline));
+    println!("fabric-wide IB switch saving: {:.1}%\n", managed.power_saving_pct());
+
+    for (name, place) in [("pipeline", placements[0]), ("stencil", placements[1])] {
+        let lo = place.first_rank as usize;
+        let hi = lo + place.nprocs as usize;
+        let exec = managed.exec_time.as_secs_f64();
+        let frac: f64 = managed.link_low[lo..hi]
+            .iter()
+            .map(|l| l.as_secs_f64() / exec)
+            .sum::<f64>()
+            / place.nprocs as f64;
+        let hit: f64 = ann.ranks[lo..hi]
+            .iter()
+            .map(|r| r.stats.hit_rate_pct())
+            .sum::<f64>()
+            / place.nprocs as f64;
+        println!(
+            "job {name:<9} ranks {lo:>2}..{hi:<2}  hit {hit:>5.1}%  link saving {:>5.1}%",
+            100.0 * 0.57 * frac
+        );
+    }
+    println!(
+        "\nThe long-compute stencil saves far more than the tightly-coupled \
+         pipeline — per-link management adapts to each job individually."
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig. 6 reproduction: render link power states over time, Paraver-style
+//! (dark = low power, bright = full power) as ASCII art.
+//!
+//! Run with:
+//! `cargo run --release -p ibpower-examples --bin trace_visualize [app] [nprocs]`
+
+use ibp_analysis::make_trace;
+use ibp_core::{annotate_trace, PowerConfig};
+use ibp_network::{replay, LinkPower, ReplayOptions, SimParams};
+use ibp_simcore::{SimDuration, SimTime};
+use ibp_trace::viz::render_timelines;
+use ibp_workloads::AppKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args
+        .get(1)
+        .and_then(|s| AppKind::from_name(s))
+        .unwrap_or(AppKind::Gromacs);
+    let nprocs: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    println!(
+        "Link power timeline, {} with {nprocs} MPI processes (paper Fig. 6)",
+        app.display()
+    );
+    println!("legend: '.' low-power (1X)   '#' full power   '+' transition\n");
+
+    let trace = make_trace(app, nprocs, 0xD1C0);
+    let cfg = PowerConfig::paper(SimDuration::from_us(36), 0.01);
+    let ann = annotate_trace(&trace, &cfg);
+    let opts = ReplayOptions {
+        record_timelines: true,
+        ..ReplayOptions::default()
+    };
+    let result = replay(&trace, Some(&ann), &SimParams::paper(), &opts);
+    let timelines = result.timelines.as_ref().expect("recorded");
+
+    // Render the whole run (the horizon must cover every recorded
+    // transition, including trailing wake-ups past the last rank finish).
+    let end = timelines
+        .iter()
+        .map(|tl| tl.last_transition())
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .max(SimTime::ZERO + result.exec_time);
+    let rows: Vec<(String, &ibp_simcore::StateTimeline<LinkPower>)> = timelines
+        .iter()
+        .enumerate()
+        .map(|(r, tl)| (format!("rank {r:>3}"), tl))
+        .collect();
+    print!(
+        "{}",
+        render_timelines(&rows, end, 100, |s| match s {
+            LinkPower::Low => '.',
+            LinkPower::Deep => 'o',
+            LinkPower::Full => '#',
+            LinkPower::Transition => '+',
+        })
+    );
+    println!(
+        "\nIB switch power saving over the whole run: {:.1}%",
+        result.power_saving_pct()
+    );
+}

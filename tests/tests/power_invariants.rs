@@ -1,0 +1,129 @@
+//! Property-based cross-crate invariants of the power accounting and the
+//! prediction mechanism.
+
+use ibp_core::{annotate_rank, PowerConfig, RankRuntime};
+use ibp_simcore::{DetRng, SimDuration};
+use ibp_trace::{MpiCall, MpiOp, TraceBuilder};
+use proptest::prelude::*;
+
+/// Build a single-rank trace from arbitrary (call, gap) streams.
+fn rank_trace(calls: &[(u8, u32)]) -> ibp_trace::RankTrace {
+    let mut b = TraceBuilder::new("prop", 1);
+    for &(c, gap_us) in calls {
+        b.compute(0, SimDuration::from_us(u64::from(gap_us)));
+        let op = match c % 4 {
+            0 => MpiOp::Allreduce { bytes: 8 },
+            1 => MpiOp::Barrier,
+            2 => MpiOp::Sendrecv {
+                to: 0,
+                send_bytes: 64,
+                from: 0,
+                recv_bytes: 64,
+            },
+            _ => MpiOp::Bcast { root: 0, bytes: 64 },
+        };
+        b.op(0, op);
+    }
+    b.build().ranks.remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The runtime never claims more low-power time than the total idle
+    /// time it observed, never predicts more calls than arrived, and
+    /// charges every penalty below T_react.
+    #[test]
+    fn runtime_accounting_invariants(
+        calls in proptest::collection::vec((0u8..4, 0u32..2_000), 1..400)
+    ) {
+        let trace = rank_trace(&calls);
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.05);
+        let ann = annotate_rank(&trace, &cfg);
+        let s = &ann.stats;
+
+        prop_assert_eq!(s.total_calls as usize, calls.len());
+        prop_assert!(s.correct_calls <= s.predicted_calls);
+        prop_assert!(s.predicted_calls <= s.total_calls);
+        prop_assert!(s.low_power_time <= s.nominal_duration);
+        prop_assert!(s.hit_rate_pct() <= 100.0);
+        prop_assert_eq!(ann.overhead.len(), calls.len());
+        prop_assert_eq!(ann.penalty.len(), calls.len());
+        for p in &ann.penalty {
+            prop_assert!(*p <= cfg.t_react, "penalty above T_react");
+        }
+        // Directives are anchored to valid events, in order, with timers
+        // that satisfy Algorithm 3's profitability bound.
+        let mut last = None;
+        for d in &ann.directives {
+            prop_assert!(d.after_event < calls.len());
+            if let Some(prev) = last {
+                prop_assert!(d.after_event > prev);
+            }
+            last = Some(d.after_event);
+            prop_assert!(d.timer > cfg.t_react);
+            prop_assert!(d.timer <= d.predicted_idle);
+        }
+    }
+
+    /// A perfectly periodic stream eventually predicts nearly all calls;
+    /// the declaration happens within the first few periods.
+    #[test]
+    fn periodic_streams_are_learned(
+        period_len in 2usize..6,
+        reps in 20usize..60,
+        gap_us in 25u32..5_000,
+    ) {
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let mut rt = RankRuntime::new(0, cfg);
+        let calls = [
+            MpiCall::Allreduce,
+            MpiCall::Barrier,
+            MpiCall::Bcast,
+            MpiCall::Reduce,
+            MpiCall::Alltoall,
+        ];
+        for _ in 0..reps {
+            for c in calls.iter().take(period_len) {
+                rt.intercept(*c, SimDuration::from_us(u64::from(gap_us)));
+            }
+        }
+        prop_assert!(rt.predicting(), "periodic stream never predicted");
+        let ann = rt.finish(SimDuration::ZERO);
+        // Learning takes at most ~5 periods (3 consecutive sightings of
+        // a pattern of up to period_len grams plus scan lookahead).
+        let hit = ann.stats.hit_rate_pct();
+        prop_assert!(hit > 50.0, "hit rate only {hit}%");
+    }
+
+    /// Random (aperiodic) gap structure must never fabricate directives
+    /// with timers longer than the largest observed idle.
+    #[test]
+    fn timers_bounded_by_observed_idle(
+        gaps in proptest::collection::vec(21u32..10_000, 30..200),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let mut rt = RankRuntime::new(0, cfg);
+        let mut max_gap = 0u32;
+        for &g in &gaps {
+            let call = if rng.chance(0.5) {
+                MpiCall::Allreduce
+            } else {
+                MpiCall::Sendrecv
+            };
+            max_gap = max_gap.max(g);
+            rt.intercept(call, SimDuration::from_us(u64::from(g)));
+        }
+        let ann = rt.finish(SimDuration::ZERO);
+        for d in &ann.directives {
+            prop_assert!(
+                d.predicted_idle <= SimDuration::from_us(u64::from(max_gap)),
+                "predicted idle {} above max observed {}us",
+                d.predicted_idle,
+                max_gap
+            );
+        }
+    }
+}
