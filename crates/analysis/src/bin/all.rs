@@ -54,7 +54,7 @@ fn main() {
 
     println!("[7/7] Fig. 10 (GT sweep)");
     let f10 = exhibits::fig10(exhibits::SEED);
-    summary.push_str("\n");
+    summary.push('\n');
     summary.push_str(&exhibits::render_fig10(&f10));
     std::fs::write("results/fig10.json", serde_json::to_string_pretty(&f10).unwrap()).ok();
     std::fs::write(

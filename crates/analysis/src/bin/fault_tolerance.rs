@@ -1,0 +1,25 @@
+//! Fault injection: replay ALYA under rising link fault rates (wake
+//! misfires, flaps, 1X degrades), with and without the resilience
+//! controller, and emit `results/fault_tolerance.json`.
+use ibp_analysis::extensions::{fault_tolerance_study, render_fault_tolerance};
+
+fn main() {
+    let nprocs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD1C0);
+    println!("== Fault tolerance: ALYA at {nprocs} ranks under link fault injection ==");
+    println!("(slowdowns vs a power-unaware baseline under the same faults; seed {seed:#x})\n");
+    let rows = fault_tolerance_study(nprocs, seed);
+    print!("{}", render_fault_tolerance(&rows));
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/fault_tolerance.json",
+        serde_json::to_string_pretty(&rows).unwrap(),
+    )
+    .ok();
+}

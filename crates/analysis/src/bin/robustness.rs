@@ -7,9 +7,13 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD1C0);
     println!("== Robustness: ALYA at {nprocs} ranks under jitter amplification ==");
-    println!("(displacement 1%; stalls are capped at T_react per wake-up)\n");
-    let rows = robustness_study(nprocs, 0xD1C0);
+    println!("(displacement 1%; stalls are capped at T_react per wake-up; seed {seed:#x})\n");
+    let rows = robustness_study(nprocs, seed);
     print!("{}", render_robustness(&rows));
     std::fs::create_dir_all("results").ok();
     std::fs::write(

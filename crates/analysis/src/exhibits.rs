@@ -268,8 +268,8 @@ pub fn render_figure(fig: &FigureData) -> String {
     );
     let mut t = Table::new(&["app", "8/9", "16", "32/36", "64", "128/100"]);
     let napps = fig.rows.len() as f64;
-    let mut avg = vec![0.0; 5];
-    let mut paper_avg = vec![0.0; 5];
+    let mut avg = [0.0; 5];
+    let mut paper_avg = [0.0; 5];
     for row in &fig.rows {
         let mut cells = vec![row.app.clone()];
         for i in 0..5 {
@@ -294,11 +294,11 @@ pub fn render_figure(fig: &FigureData) -> String {
         fig.displacement * 100.0
     ));
     let mut t = Table::new(&["app", "8/9", "16", "32/36", "64", "128/100"]);
-    let mut avg = vec![0.0; 5];
+    let mut avg = [0.0; 5];
     for row in &fig.rows {
         let mut cells = vec![row.app.clone()];
-        for i in 0..5 {
-            avg[i] += row.slowdown_pct[i] / napps;
+        for (i, a) in avg.iter_mut().enumerate() {
+            *a += row.slowdown_pct[i] / napps;
             let cell = if row.paper_slowdown_pct.is_empty() {
                 format!("{:.2}", row.slowdown_pct[i])
             } else {
@@ -309,8 +309,8 @@ pub fn render_figure(fig: &FigureData) -> String {
         t.row(cells);
     }
     let mut cells = vec!["AVERAGE".to_string()];
-    for i in 0..5 {
-        cells.push(format!("{:.2}", avg[i]));
+    for a in &avg {
+        cells.push(format!("{a:.2}"));
     }
     t.row(cells);
     out.push_str(&t.render());

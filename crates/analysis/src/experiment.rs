@@ -88,8 +88,8 @@ pub fn run_on_trace(trace: &Trace, app: AppKind, cfg: &RunConfig) -> RunResult {
     let ann = annotate_trace(trace, &pc);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
-    let baseline = replay(trace, None, &params, &opts);
-    let managed = replay(trace, Some(&ann), &params, &opts);
+    let baseline = replay(trace, None, &params, &opts).expect("replay");
+    let managed = replay(trace, Some(&ann), &params, &opts).expect("replay");
     collect(trace, app, cfg, &ann, &baseline, &managed)
 }
 
@@ -153,8 +153,7 @@ mod tests {
     fn alya_small_end_to_end() {
         // Shrunk ALYA run: the full pipeline holds together and produces
         // sane numbers.
-        let mut alya = ibp_workloads::Alya::default();
-        alya.iterations = 40;
+        let alya = ibp_workloads::Alya { iterations: 40, ..Default::default() };
         let trace = ibp_workloads::Workload::generate(&alya, 8, 1);
         let cfg = RunConfig::new(20.0, 0.10);
         let r = run_on_trace(&trace, AppKind::Alya, &cfg);
@@ -167,8 +166,7 @@ mod tests {
 
     #[test]
     fn runtime_only_matches_full_run_hit_rate() {
-        let mut alya = ibp_workloads::Alya::default();
-        alya.iterations = 30;
+        let alya = ibp_workloads::Alya { iterations: 30, ..Default::default() };
         let trace = ibp_workloads::Workload::generate(&alya, 4, 2);
         let cfg = RunConfig::new(20.0, 0.01);
         let fast = run_runtime_only(&trace, AppKind::Alya, &cfg);

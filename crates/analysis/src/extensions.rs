@@ -45,7 +45,7 @@ fn run_policy(
     ann: &TraceAnnotations,
     params: &SimParams,
 ) -> (f64, f64) {
-    let managed = replay(trace, Some(ann), params, &ReplayOptions::default());
+    let managed = replay(trace, Some(ann), params, &ReplayOptions::default()).expect("replay");
     (managed.power_saving_pct(), managed.slowdown_pct(baseline))
 }
 
@@ -68,7 +68,7 @@ pub fn policy_ablation(nprocs: u32, seed: u64) -> Vec<PolicyOutcome> {
             nprocs
         };
         let trace = make_trace(app, n, seed);
-        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
 
         let policies: Vec<(String, TraceAnnotations)> = vec![
             ("ppa".into(), annotate_trace(&trace, &cfg)),
@@ -141,7 +141,7 @@ pub fn deep_sleep_study(nprocs: u32, threshold: SimDuration, seed: u64) -> Vec<D
         .map(|&app| {
             let n = if app == AppKind::NasBt { 9 } else { nprocs };
             let trace = make_trace(app, n, seed);
-            let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+            let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
             let wrps_ann = annotate_trace(&trace, &base_cfg);
             let deep_ann = annotate_trace(&trace, &deep_cfg);
             let (ws, wd) = run_policy(&trace, &baseline, &wrps_ann, &params);
@@ -246,7 +246,7 @@ pub fn weak_scaling_study(app: AppKind, seed: u64) -> ScalingOutcome {
     for &n in &procs {
         for (mode, out) in [(Scaling::Strong, &mut strong), (Scaling::Weak, &mut weak)] {
             let trace = scaled_workload(app, mode).generate(n, seed);
-            let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+            let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
             let ann = annotate_trace(&trace, &cfg);
             let (saving, _) = run_policy(&trace, &baseline, &ann, &params);
             out.push(saving);
@@ -303,10 +303,10 @@ pub fn robustness_study(nprocs: u32, seed: u64) -> Vec<RobustnessPoint> {
             alya.assembly_gap.sigma *= mult;
             alya.solver_gap.sigma *= mult;
             let trace = alya.generate(nprocs, seed);
-            let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+            let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
             let ann = annotate_trace(&trace, &cfg);
             let agg = ann.aggregate_stats();
-            let managed = replay(&trace, Some(&ann), &params, &ReplayOptions::default());
+            let managed = replay(&trace, Some(&ann), &params, &ReplayOptions::default()).expect("replay");
             RobustnessPoint {
                 jitter_multiplier: mult,
                 hit_rate_pct: agg.hit_rate_pct(),
@@ -317,6 +317,90 @@ pub fn robustness_study(nprocs: u32, seed: u64) -> Vec<RobustnessPoint> {
             }
         })
         .collect()
+}
+
+/// One fault-rate level's outcome in the fault-tolerance study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultTolerancePoint {
+    /// Fault-rate multiplier fed to [`ibp_network::FaultConfig::with_rate`].
+    pub fault_rate: f64,
+    /// Fault events injected into the managed (plain) run.
+    pub fault_events: u64,
+    /// Hit rate of the plain annotation, %.
+    pub hit_rate_pct: f64,
+    /// Power saving of the plain mechanism under faults, %.
+    pub plain_saving_pct: f64,
+    /// Slowdown of the plain mechanism vs the power-unaware baseline
+    /// replayed under the *same* faults, %.
+    pub plain_slowdown_pct: f64,
+    /// Power saving with the resilience controller enabled, %.
+    pub resilient_saving_pct: f64,
+    /// Slowdown with the resilience controller enabled, %.
+    pub resilient_slowdown_pct: f64,
+    /// Misprediction storms the resilience controller detected.
+    pub storms: u64,
+}
+
+/// Fault injection sweep: replay ALYA under rising link fault rates,
+/// with and without the resilience controller, always comparing against
+/// a power-unaware baseline subjected to the same faults.
+pub fn fault_tolerance_study(nprocs: u32, seed: u64) -> Vec<FaultTolerancePoint> {
+    let params = SimParams::paper();
+    let plain_cfg = RunConfig::new(20.0, 0.01).power_config();
+    let resilient_cfg = plain_cfg
+        .clone()
+        .with_resilience(ibp_core::ResilienceConfig::standard());
+    let trace = ibp_workloads::Alya::default().generate(nprocs, seed);
+    let plain_ann = annotate_trace(&trace, &plain_cfg);
+    let resilient_ann = annotate_trace(&trace, &resilient_cfg);
+    [0.0, 1.0, 5.0, 10.0, 25.0, 50.0]
+        .iter()
+        .map(|&rate| {
+            let opts = ReplayOptions {
+                faults: (rate > 0.0)
+                    .then(|| ibp_network::FaultConfig::with_rate(seed ^ 0xFA17, rate)),
+                ..ReplayOptions::default()
+            };
+            let baseline = replay(&trace, None, &params, &opts).expect("replay");
+            let plain = replay(&trace, Some(&plain_ann), &params, &opts).expect("replay");
+            let resilient = replay(&trace, Some(&resilient_ann), &params, &opts).expect("replay");
+            FaultTolerancePoint {
+                fault_rate: rate,
+                fault_events: plain.faults.total_events(),
+                hit_rate_pct: plain_ann.aggregate_stats().hit_rate_pct(),
+                plain_saving_pct: plain.power_saving_pct(),
+                plain_slowdown_pct: plain.slowdown_pct(&baseline),
+                resilient_saving_pct: resilient.power_saving_pct(),
+                resilient_slowdown_pct: resilient.slowdown_pct(&baseline),
+                storms: resilient_ann.aggregate_stats().storms,
+            }
+        })
+        .collect()
+}
+
+/// Render the fault-tolerance study.
+pub fn render_fault_tolerance(rows: &[FaultTolerancePoint]) -> String {
+    let mut t = Table::new(&[
+        "fault x",
+        "events",
+        "hit %",
+        "plain sav%",
+        "plain slow%",
+        "resil sav%",
+        "resil slow%",
+    ]);
+    for r in rows {
+        t.row(vec![
+            f1(r.fault_rate),
+            r.fault_events.to_string(),
+            f1(r.hit_rate_pct),
+            f1(r.plain_saving_pct),
+            f2(r.plain_slowdown_pct),
+            f1(r.resilient_saving_pct),
+            f2(r.resilient_slowdown_pct),
+        ]);
+    }
+    t.render()
 }
 
 /// Render the robustness study.
@@ -347,12 +431,11 @@ mod tests {
     #[test]
     fn oracle_bounds_ppa_from_above() {
         // Use a small ALYA for speed.
-        let mut alya = ibp_workloads::Alya::default();
-        alya.iterations = 40;
+        let alya = ibp_workloads::Alya { iterations: 40, ..Default::default() };
         let trace = alya.generate(8, 1);
         let params = SimParams::paper();
         let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
-        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
         let (ppa_s, ppa_d) = run_policy(&trace, &baseline, &annotate_trace(&trace, &cfg), &params);
         let (ora_s, ora_d) =
             run_policy(&trace, &baseline, &oracle_annotate_trace(&trace, &cfg), &params);
@@ -362,12 +445,11 @@ mod tests {
 
     #[test]
     fn reactive_trades_stalls_for_savings() {
-        let mut alya = ibp_workloads::Alya::default();
-        alya.iterations = 40;
+        let alya = ibp_workloads::Alya { iterations: 40, ..Default::default() };
         let trace = alya.generate(8, 2);
         let params = SimParams::paper();
         let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
-        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
         let (ppa_s, ppa_d) = run_policy(&trace, &baseline, &annotate_trace(&trace, &cfg), &params);
         let (rea_s, rea_d) = run_policy(
             &trace,
@@ -385,13 +467,12 @@ mod tests {
     fn deep_sleep_increases_savings_on_long_gap_apps() {
         // WRF at 8 ranks has ~18 ms physics gaps: deep sleep (threshold
         // 5 ms) should beat WRPS-only on savings.
-        let mut wrf = ibp_workloads::Wrf::default();
-        wrf.iterations = 30;
+        let wrf = ibp_workloads::Wrf { iterations: 30, ..Default::default() };
         let trace = ibp_workloads::Workload::generate(&wrf, 8, 3);
         let params = SimParams::paper();
         let base_cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
         let deep_cfg = base_cfg.clone().with_deep_sleep(SimDuration::from_ms(5));
-        let baseline = replay(&trace, None, &params, &ReplayOptions::default());
+        let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
         let (ws, _) = run_policy(&trace, &baseline, &annotate_trace(&trace, &base_cfg), &params);
         let (ds, _) = run_policy(&trace, &baseline, &annotate_trace(&trace, &deep_cfg), &params);
         assert!(
@@ -412,6 +493,23 @@ mod tests {
             "weak drop {w_drop} not much flatter than strong drop {s_drop}\n{out:?}"
         );
         assert!(out.weak_saving_pct[3] > out.strong_saving_pct[3]);
+    }
+
+    #[test]
+    fn fault_tolerance_sweep_is_consistent() {
+        let rows = fault_tolerance_study(4, 6);
+        assert_eq!(rows[0].fault_rate, 0.0);
+        assert_eq!(rows[0].fault_events, 0, "rate 0 must be fault-free");
+        let last = rows.last().unwrap();
+        assert!(last.fault_events > 0, "heavy rate must inject faults");
+        // Fault-free slowdowns of plain and resilient runs stay close:
+        // the resilience controller is near-dormant on a clean trace.
+        assert!(
+            (rows[0].plain_saving_pct - rows[0].resilient_saving_pct).abs() < 1.0,
+            "plain {} vs resilient {}",
+            rows[0].plain_saving_pct,
+            rows[0].resilient_saving_pct
+        );
     }
 
     #[test]

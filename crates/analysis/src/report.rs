@@ -108,8 +108,8 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f1(3.14159), "3.1");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f1(std::f64::consts::PI), "3.1");
+        assert_eq!(f2(std::f64::consts::PI), "3.14");
         assert_eq!(vs(1.23, 4.56), "1.2 (4.6)");
     }
 }

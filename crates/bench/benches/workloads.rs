@@ -7,7 +7,7 @@ fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workloads");
     g.sample_size(10);
     for app in AppKind::ALL {
-        let n = if app == AppKind::NasBt { 16 } else { 16 };
+        let n = 16;
         let w = app.workload();
         let events = w.generate(n, 0).total_calls() as u64;
         g.throughput(Throughput::Elements(events));

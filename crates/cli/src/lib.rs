@@ -49,6 +49,10 @@ pub enum Command {
         gt_us: f64,
         /// Displacement factor.
         displacement: f64,
+        /// Enable the misprediction-backoff resilience controller.
+        resilient: bool,
+        /// Slowdown budget (%, implies `resilient`).
+        budget: Option<f64>,
         /// Output path for the annotations JSON.
         output: Option<String>,
     },
@@ -58,6 +62,10 @@ pub enum Command {
         trace: String,
         /// Annotations path.
         ann: Option<String>,
+        /// Link fault-injection rate multiplier (0 = fault-free).
+        fault_rate: f64,
+        /// Fault-injection RNG seed.
+        fault_seed: u64,
         /// Render a link-power timeline.
         timeline: bool,
     },
@@ -73,6 +81,14 @@ pub enum Command {
         displacement: f64,
         /// Generation seed.
         seed: u64,
+        /// Link fault-injection rate multiplier (0 = fault-free).
+        fault_rate: f64,
+        /// Fault-injection RNG seed.
+        fault_seed: u64,
+        /// Enable the misprediction-backoff resilience controller.
+        resilient: bool,
+        /// Slowdown budget (%, implies `resilient`).
+        budget: Option<f64>,
     },
     /// Export a trace in the simplified Paraver dialect.
     Prv {
@@ -108,7 +124,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             if a.starts_with('-') {
                 // Flags with values.
-                if ["--seed", "--gt", "--disp", "-o", "--ann"].contains(&a.as_str()) {
+                if [
+                    "--seed",
+                    "--gt",
+                    "--disp",
+                    "-o",
+                    "--ann",
+                    "--fault-rate",
+                    "--fault-seed",
+                    "--budget",
+                ]
+                .contains(&a.as_str())
+                {
                     skip = true;
                 }
                 let _ = i;
@@ -135,6 +162,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         match flag_val("--disp") {
             Some(s) => s.parse().map_err(|_| format!("bad --disp: {s}")),
             None => Ok(0.01),
+        }
+    };
+    let parse_fault_rate = || -> Result<f64, String> {
+        match flag_val("--fault-rate") {
+            Some(s) => s
+                .parse::<f64>()
+                .ok()
+                .filter(|r| *r >= 0.0)
+                .ok_or(format!("bad --fault-rate: {s}")),
+            None => Ok(0.0),
+        }
+    };
+    let parse_fault_seed = || -> Result<u64, String> {
+        match flag_val("--fault-seed") {
+            Some(s) => s.parse().map_err(|_| format!("bad --fault-seed: {s}")),
+            None => Ok(0xFA17),
+        }
+    };
+    let parse_budget = || -> Result<Option<f64>, String> {
+        match flag_val("--budget") {
+            Some(s) => s
+                .parse::<f64>()
+                .ok()
+                .filter(|b| *b >= 0.0)
+                .map(Some)
+                .ok_or(format!("bad --budget: {s}")),
+            None => Ok(None),
         }
     };
     let app_and_n = || -> Result<(String, u32), String> {
@@ -177,6 +231,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .to_string(),
             gt_us: parse_gt()?,
             displacement: parse_disp()?,
+            resilient: has_flag("--resilient"),
+            budget: parse_budget()?,
             output: flag_val("-o").map(str::to_string),
         }),
         "replay" => Ok(Command::Replay {
@@ -185,6 +241,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .ok_or("missing <trace.json>")?
                 .to_string(),
             ann: flag_val("--ann").map(str::to_string),
+            fault_rate: parse_fault_rate()?,
+            fault_seed: parse_fault_seed()?,
             timeline: has_flag("--timeline"),
         }),
         "experiment" => {
@@ -195,6 +253,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 gt_us: parse_gt()?,
                 displacement: parse_disp()?,
                 seed: parse_seed()?,
+                fault_rate: parse_fault_rate()?,
+                fault_seed: parse_fault_seed()?,
+                resilient: has_flag("--resilient"),
+                budget: parse_budget()?,
             })
         }
         "prv" => Ok(Command::Prv {
@@ -216,12 +278,23 @@ ibpower — software-managed InfiniBand link power reduction (ICPP 2014 reproduc
 USAGE:
   ibpower generate <app> <nprocs> [--seed N] [--weak] [-o trace.json]
   ibpower inspect  <trace.json>
-  ibpower annotate <trace.json> [--gt US] [--disp F] [-o ann.json]
-  ibpower replay   <trace.json> [--ann ann.json] [--timeline]
+  ibpower annotate <trace.json> [--gt US] [--disp F] [--resilient] [--budget PCT]
+                   [-o ann.json]
+  ibpower replay   <trace.json> [--ann ann.json] [--fault-rate F] [--fault-seed N]
+                   [--timeline]
   ibpower experiment <app> <nprocs> [--gt US] [--disp F] [--seed N]
+                   [--fault-rate F] [--fault-seed N] [--resilient] [--budget PCT]
   ibpower prv      <trace.json> [-o out.prv]
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
+
+FAULTS & RESILIENCE:
+  --fault-rate F   inject link faults (wake misfires, flaps, 1X degrades)
+                   scaled by F; 0 disables (default)
+  --fault-seed N   deterministic fault stream seed (default 0xFA17)
+  --resilient      enable misprediction-storm backoff + adaptive guard band
+  --budget PCT     cap mechanism-added time at PCT% of nominal (implies
+                   --resilient)
 
 DEFAULTS: --seed 0xD1C0, --gt 20 (µs), --disp 0.01
 ";
@@ -257,6 +330,28 @@ pub fn workload_of(app: &str, weak: bool) -> Option<Box<dyn Workload>> {
 /// The `PowerConfig` for CLI parameters.
 pub fn power_config(gt_us: f64, displacement: f64) -> ibp_core::PowerConfig {
     ibp_core::PowerConfig::paper(SimDuration::from_us_f64(gt_us), displacement)
+}
+
+/// [`power_config`] plus the CLI's resilience knobs: `--budget PCT`
+/// overrides the standard slowdown budget and implies `--resilient`.
+pub fn power_config_resilient(
+    gt_us: f64,
+    displacement: f64,
+    resilient: bool,
+    budget: Option<f64>,
+) -> ibp_core::PowerConfig {
+    let cfg = power_config(gt_us, displacement);
+    match (resilient, budget) {
+        (_, Some(pct)) => cfg.with_resilience(ibp_core::ResilienceConfig::with_budget(pct)),
+        (true, None) => cfg.with_resilience(ibp_core::ResilienceConfig::standard()),
+        (false, None) => cfg,
+    }
+}
+
+/// The CLI's `FaultConfig` for `--fault-rate` / `--fault-seed`: `None`
+/// when the rate is zero (fault-free replay).
+pub fn fault_config(fault_rate: f64, fault_seed: u64) -> Option<ibp_network::FaultConfig> {
+    (fault_rate > 0.0).then(|| ibp_network::FaultConfig::with_rate(fault_seed, fault_rate))
 }
 
 #[cfg(test)]
@@ -308,6 +403,8 @@ mod tests {
                 trace: "t.json".into(),
                 gt_us: 20.0,
                 displacement: 0.01,
+                resilient: false,
+                budget: None,
                 output: None,
             }
         );
@@ -321,6 +418,8 @@ mod tests {
             Command::Replay {
                 trace: "t.json".into(),
                 ann: Some("a.json".into()),
+                fault_rate: 0.0,
+                fault_seed: 0xFA17,
                 timeline: true,
             }
         );
@@ -337,8 +436,75 @@ mod tests {
                 gt_us: 36.0,
                 displacement: 0.05,
                 seed: 0xD1C0,
+                fault_rate: 0.0,
+                fault_seed: 0xFA17,
+                resilient: false,
+                budget: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let c = parse(&argv("replay t.json --fault-rate 10 --fault-seed 42")).unwrap();
+        match c {
+            Command::Replay {
+                fault_rate,
+                fault_seed,
+                ..
+            } => {
+                assert_eq!(fault_rate, 10.0);
+                assert_eq!(fault_seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("replay t.json --fault-rate -1"))
+            .unwrap_err()
+            .contains("bad --fault-rate"));
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let c = parse(&argv("annotate t.json --resilient --budget 1.5")).unwrap();
+        match c {
+            Command::Annotate {
+                resilient, budget, ..
+            } => {
+                assert!(resilient);
+                assert_eq!(budget, Some(1.5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Value flags must not leak into positionals: trace is still found.
+        let c = parse(&argv("experiment alya 8 --fault-rate 5 --resilient")).unwrap();
+        match c {
+            Command::Experiment {
+                app,
+                nprocs,
+                fault_rate,
+                resilient,
+                ..
+            } => {
+                assert_eq!(app, "alya");
+                assert_eq!(nprocs, 8);
+                assert_eq!(fault_rate, 5.0);
+                assert!(resilient);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_config_wiring() {
+        assert!(!power_config_resilient(20.0, 0.01, false, None).resilience.enabled);
+        assert!(power_config_resilient(20.0, 0.01, true, None).resilience.enabled);
+        let c = power_config_resilient(20.0, 0.01, false, Some(3.0));
+        assert!(c.resilience.enabled, "--budget implies --resilient");
+        assert_eq!(c.resilience.slowdown_budget_pct, 3.0);
+        assert!(fault_config(0.0, 7).is_none());
+        let f = fault_config(2.0, 7).expect("rate > 0 builds a config");
+        assert_eq!(f.seed, 7);
+        assert!(f.validate().is_ok());
     }
 
     #[test]

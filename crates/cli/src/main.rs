@@ -4,7 +4,9 @@ use ibp_core::annotate_trace;
 use ibp_network::{replay, LinkPower, ReplayOptions, SimParams};
 use ibp_simcore::{SimDuration, SimTime};
 use ibp_trace::{ActivityProfile, CallProfile, CommMatrix, IdleDistribution, Trace};
-use ibpower_cli::{parse, power_config, workload_of, Command, USAGE};
+use ibpower_cli::{
+    fault_config, parse, power_config_resilient, workload_of, Command, USAGE,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -106,16 +108,24 @@ fn run(cmd: Command) -> Result<(), String> {
             trace,
             gt_us,
             displacement,
+            resilient,
+            budget,
             output,
         } => {
             let t = load_trace(&trace)?;
-            let cfg = power_config(gt_us, displacement);
+            let cfg = power_config_resilient(gt_us, displacement, resilient, budget);
             let ann = annotate_trace(&t, &cfg);
             let agg = ann.aggregate_stats();
             println!("hit rate            : {:.1}%", agg.hit_rate_pct());
             println!("lane-off directives : {}", ann.total_directives());
             println!("pattern mispredicts : {}", agg.pattern_mispredictions);
             println!("late wake-ups       : {}", agg.timing_mispredictions);
+            if cfg.resilience.enabled {
+                println!(
+                    "resilience          : {} storms, {} held-off calls, {} suppressed directives",
+                    agg.storms, agg.holdoff_calls, agg.suppressed_directives
+                );
+            }
             println!(
                 "PPA overhead        : {:.2}% of calls, {:.1} us per invoking call",
                 agg.ppa_invocation_pct(),
@@ -135,6 +145,8 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Replay {
             trace,
             ann,
+            fault_rate,
+            fault_seed,
             timeline,
         } => {
             let t = load_trace(&trace)?;
@@ -150,14 +162,27 @@ fn run(cmd: Command) -> Result<(), String> {
             };
             let opts = ReplayOptions {
                 record_timelines: timeline,
+                faults: fault_config(fault_rate, fault_seed),
                 ..ReplayOptions::default()
             };
-            let result = replay(&t, annotations.as_ref(), &SimParams::paper(), &opts);
+            let result = replay(&t, annotations.as_ref(), &SimParams::paper(), &opts)
+                .map_err(|e| format!("replay: {e}"))?;
             println!("execution time : {}", result.exec_time);
             println!("messages       : {} ({} bytes)", result.fabric.messages, result.fabric.bytes);
             println!("contended      : {}", result.fabric.contended);
             if annotations.is_some() {
                 println!("power saving   : {:.1}%", result.power_saving_pct());
+            }
+            if result.faults.total_events() > 0 {
+                println!(
+                    "faults         : {} wake misfires ({} stall), {} flaps ({} outage), {} degraded sends ({} extra)",
+                    result.faults.wake_misfires,
+                    result.faults.misfire_stall,
+                    result.faults.link_flaps,
+                    result.faults.flap_delay,
+                    result.faults.degraded_sends,
+                    result.faults.degraded_extra,
+                );
             }
             if timeline {
                 let tls = result.timelines.as_ref().expect("requested");
@@ -191,18 +216,27 @@ fn run(cmd: Command) -> Result<(), String> {
             gt_us,
             displacement,
             seed,
+            fault_rate,
+            fault_seed,
+            resilient,
+            budget,
         } => {
             let w = workload_of(&app, false).expect("validated by parse");
             if !w.valid_nprocs(nprocs) {
                 return Err(format!("{app} cannot run at {nprocs} ranks"));
             }
             let trace = w.generate(nprocs, seed);
-            let cfg = power_config(gt_us, displacement);
+            let cfg = power_config_resilient(gt_us, displacement, resilient, budget);
             let params = SimParams::paper();
-            let opts = ReplayOptions::default();
+            let opts = ReplayOptions {
+                faults: fault_config(fault_rate, fault_seed),
+                ..ReplayOptions::default()
+            };
             let ann = annotate_trace(&trace, &cfg);
-            let baseline = replay(&trace, None, &params, &opts);
-            let managed = replay(&trace, Some(&ann), &params, &opts);
+            let baseline = replay(&trace, None, &params, &opts)
+                .map_err(|e| format!("baseline replay: {e}"))?;
+            let managed = replay(&trace, Some(&ann), &params, &opts)
+                .map_err(|e| format!("managed replay: {e}"))?;
             println!(
                 "{app} @{nprocs}: GT {gt_us} us, displacement {:.0}%",
                 displacement * 100.0
@@ -212,6 +246,20 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("managed exec  : {}", managed.exec_time);
             println!("slowdown      : {:.3}%", managed.slowdown_pct(&baseline));
             println!("power saving  : {:.1}%", managed.power_saving_pct());
+            if fault_rate > 0.0 {
+                println!(
+                    "faults        : {} events, {} charged (managed run)",
+                    managed.faults.total_events(),
+                    managed.faults.total_charged()
+                );
+            }
+            if cfg.resilience.enabled {
+                let agg = ann.aggregate_stats();
+                println!(
+                    "resilience    : {} storms, {} held-off calls, {} suppressed directives",
+                    agg.storms, agg.holdoff_calls, agg.suppressed_directives
+                );
+            }
             Ok(())
         }
         Command::Prv { trace, output } => {

@@ -32,11 +32,13 @@ use ibp_trace::{RankTrace, Trace};
 pub fn oracle_annotate_rank(trace: &RankTrace, cfg: &PowerConfig) -> RankAnnotation {
     let n = trace.call_count();
     let mut directives = Vec::new();
-    let mut stats = RankStats::default();
-    stats.total_calls = n as u64;
     // The oracle "predicts" everything correctly.
-    stats.predicted_calls = n as u64;
-    stats.correct_calls = n as u64;
+    let mut stats = RankStats {
+        total_calls: n as u64,
+        predicted_calls: n as u64,
+        correct_calls: n as u64,
+        ..RankStats::default()
+    };
 
     for (i, ev) in trace.events.iter().enumerate() {
         let gap = ev.compute_before;
@@ -81,8 +83,10 @@ pub fn reactive_annotate_rank(
     let mut directives = Vec::new();
     let overhead = vec![SimDuration::ZERO; n];
     let mut penalty = vec![SimDuration::ZERO; n];
-    let mut stats = RankStats::default();
-    stats.total_calls = n as u64;
+    let mut stats = RankStats {
+        total_calls: n as u64,
+        ..RankStats::default()
+    };
 
     for (i, ev) in trace.events.iter().enumerate() {
         let gap = ev.compute_before;
@@ -142,8 +146,10 @@ pub fn history_annotate_rank(
     let mut directives: Vec<LaneDirective> = Vec::new();
     let overhead = vec![SimDuration::ZERO; n];
     let mut penalty = vec![SimDuration::ZERO; n];
-    let mut stats = RankStats::default();
-    stats.total_calls = n as u64;
+    let mut stats = RankStats {
+        total_calls: n as u64,
+        ..RankStats::default()
+    };
 
     let mut history: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
     for (i, ev) in trace.events.iter().enumerate() {

@@ -35,6 +35,95 @@ pub enum SleepKind {
     Deep,
 }
 
+/// Adaptive resilience controller parameters (misprediction-storm
+/// backoff + variance-aware guard band + slowdown budget).
+///
+/// Disabled by default so the paper's exact behaviour is preserved; see
+/// [`ResilienceConfig::standard`] for the recommended active values and
+/// [`PowerConfig::with_resilience`] to attach it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Master switch. When `false` the runtime behaves exactly as the
+    /// paper's mechanism (all other fields ignored).
+    #[serde(default)]
+    pub enabled: bool,
+    /// Sliding window, in intercepted MPI calls, over which pattern
+    /// mispredictions are counted for storm detection.
+    #[serde(default)]
+    pub storm_window: u32,
+    /// Pattern mispredictions within one window that declare a storm.
+    #[serde(default)]
+    pub storm_threshold: u32,
+    /// Calls to suspend prediction (and the PPA) after the first storm.
+    #[serde(default)]
+    pub base_holdoff: u32,
+    /// Cap for the exponentially growing hold-off.
+    #[serde(default)]
+    pub max_holdoff: u32,
+    /// Additive widening of the effective displacement factor per timing
+    /// misprediction (late wake-up).
+    #[serde(default)]
+    pub guard_step: f64,
+    /// Multiplicative decay of the guard band per cleanly resolved sleep
+    /// window (wake-up on time).
+    #[serde(default)]
+    pub guard_decay: f64,
+    /// Upper bound on the guard band (extra displacement).
+    #[serde(default)]
+    pub max_guard: f64,
+    /// Worst-case mechanism-added time, as a percentage of the nominal
+    /// trace duration: once interception + PPA overhead + stalls exceed
+    /// this share, no further sleep directives are issued until the
+    /// ratio recovers. Zero disables the budget guard.
+    #[serde(default)]
+    pub slowdown_budget_pct: f64,
+}
+
+impl ResilienceConfig {
+    /// The recommended active configuration: storms are 3 pattern
+    /// mispredictions within 50 calls; the first storm suspends
+    /// prediction for 100 calls, doubling per storm up to 6400; each
+    /// late wake-up widens the guard band by 5 percentage points (decay
+    /// 0.85 per clean wake, capped at +40%); the mechanism may add at
+    /// most 2% to the nominal duration.
+    pub fn standard() -> Self {
+        ResilienceConfig {
+            enabled: true,
+            storm_window: 50,
+            storm_threshold: 3,
+            base_holdoff: 100,
+            max_holdoff: 6400,
+            guard_step: 0.05,
+            guard_decay: 0.85,
+            max_guard: 0.40,
+            slowdown_budget_pct: 2.0,
+        }
+    }
+
+    /// [`ResilienceConfig::standard`] with a caller-chosen slowdown
+    /// budget (percent of nominal duration).
+    pub fn with_budget(budget_pct: f64) -> Self {
+        assert!(
+            budget_pct >= 0.0,
+            "slowdown budget must be non-negative: {budget_pct}"
+        );
+        ResilienceConfig {
+            slowdown_budget_pct: budget_pct,
+            ..ResilienceConfig::standard()
+        }
+    }
+}
+
+impl Default for ResilienceConfig {
+    /// Disabled — exact paper behaviour.
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: false,
+            ..ResilienceConfig::standard()
+        }
+    }
+}
+
 /// Tunable parameters of the prediction + power-control mechanism.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerConfig {
@@ -71,6 +160,9 @@ pub struct PowerConfig {
     pub deep_t_react: SimDuration,
     /// Relative power draw of the deep state.
     pub deep_power_fraction: f64,
+    /// Adaptive resilience controller (disabled by default).
+    #[serde(default)]
+    pub resilience: ResilienceConfig,
 }
 
 impl PowerConfig {
@@ -106,6 +198,7 @@ impl PowerConfig {
             deep_threshold: SimDuration::from_ms(5),
             deep_t_react: SimDuration::from_ms(1),
             deep_power_fraction: 0.10,
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -125,7 +218,18 @@ impl PowerConfig {
     /// time (i.e. `predictIdleTime ≤ T_react`, since the off-transition
     /// itself consumes `T_react` at full power).
     pub fn lane_off_timer(&self, predicted_idle: SimDuration) -> Option<SimDuration> {
-        let safety = predicted_idle.mul_f64(self.displacement) + self.t_react;
+        self.lane_off_timer_with(self.displacement, predicted_idle)
+    }
+
+    /// [`PowerConfig::lane_off_timer`] with an explicit displacement —
+    /// the resilience controller widens the effective displacement (its
+    /// guard band) after timing mispredictions.
+    pub fn lane_off_timer_with(
+        &self,
+        displacement: f64,
+        predicted_idle: SimDuration,
+    ) -> Option<SimDuration> {
+        let safety = predicted_idle.mul_f64(displacement) + self.t_react;
         let timer = predicted_idle.saturating_sub(safety);
         (timer > self.t_react).then_some(timer)
     }
@@ -170,15 +274,55 @@ impl PowerConfig {
     /// falls back to WRPS when the idle is below the deep threshold or
     /// the deep timer would be unprofitable.
     pub fn plan_sleep(&self, predicted_idle: SimDuration) -> Option<(SleepKind, SimDuration)> {
+        self.plan_sleep_with(self.displacement, predicted_idle)
+    }
+
+    /// [`PowerConfig::plan_sleep`] with an explicit (possibly guard-band
+    /// widened) displacement factor.
+    pub fn plan_sleep_with(
+        &self,
+        displacement: f64,
+        predicted_idle: SimDuration,
+    ) -> Option<(SleepKind, SimDuration)> {
         if self.policy == PowerPolicy::DeepSleep && predicted_idle >= self.deep_threshold {
-            let safety = predicted_idle.mul_f64(self.displacement) + self.deep_t_react;
+            let safety = predicted_idle.mul_f64(displacement) + self.deep_t_react;
             let timer = predicted_idle.saturating_sub(safety);
             if timer > self.deep_t_react {
                 return Some((SleepKind::Deep, timer));
             }
         }
-        self.lane_off_timer(predicted_idle)
+        self.lane_off_timer_with(displacement, predicted_idle)
             .map(|t| (SleepKind::Wrps, t))
+    }
+
+    /// Attach a resilience controller configuration.
+    ///
+    /// # Panics
+    /// Panics if the widest possible effective displacement
+    /// (`displacement + max_guard`) reaches 1 (the timer would always be
+    /// unprofitable), or if decay/step parameters are out of range.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        if resilience.enabled {
+            assert!(
+                self.displacement + resilience.max_guard < 1.0,
+                "displacement + max_guard must stay below 1"
+            );
+            assert!(
+                (0.0..=1.0).contains(&resilience.guard_decay),
+                "guard_decay must be in [0, 1]"
+            );
+            assert!(resilience.guard_step >= 0.0, "guard_step must be >= 0");
+            assert!(
+                resilience.slowdown_budget_pct >= 0.0,
+                "slowdown budget must be >= 0"
+            );
+            assert!(
+                resilience.storm_threshold >= 1 && resilience.storm_window >= 1,
+                "storm detection needs a window and threshold of at least 1"
+            );
+        }
+        self.resilience = resilience;
+        self
     }
 }
 

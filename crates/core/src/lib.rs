@@ -55,7 +55,7 @@ pub use baselines::{
     history_annotate_rank, history_annotate_trace, oracle_annotate_rank, oracle_annotate_trace,
     reactive_annotate_rank, reactive_annotate_trace,
 };
-pub use config::{PowerConfig, PowerPolicy, SleepKind};
+pub use config::{PowerConfig, PowerPolicy, ResilienceConfig, SleepKind};
 pub use gram::{Gram, GramBuilder, GramId, GramInterner};
 pub use pattern::{PatternEntry, PatternList, RunningMean};
 pub use ppa::{Declaration, Ppa, PpaWork};

@@ -245,7 +245,7 @@ impl Ppa {
                         let repeat_pos = self.pos + size;
                         self.pl.update(cur, repeat_pos);
                         self.pos = repeat_pos;
-                        let detected = self.pl.get(cur).map_or(false, |e| e.detected);
+                        let detected = self.pl.get(cur).is_some_and(|e| e.detected);
                         if repeats + 1 >= self.min_consecutive || detected {
                             // Declared: `min_consecutive` consecutive
                             // occurrences observed (start + repeats), or a
@@ -286,7 +286,7 @@ impl Ppa {
                             // Grown (checkO succeeded). If the grown
                             // pattern was previously declared, re-arm now.
                             let grown = &grams[self.pos..self.pos + self.pattern_size];
-                            if self.pl.get(grown).map_or(false, |e| e.detected) {
+                            if self.pl.get(grown).is_some_and(|e| e.detected) {
                                 let pattern: Box<[GramId]> = grown.into();
                                 let predict_from = self.pos + self.pattern_size;
                                 self.after_declaration(predict_from);
@@ -329,10 +329,10 @@ impl Ppa {
         let constructible = self
             .pl
             .get(prefix)
-            .map_or(false, |entry| {
+            .is_some_and(|entry| {
                 entry.occurrences.iter().any(|&q| {
                     q + size <= self.pos
-                        && q + size + 1 <= grams.len()
+                        && q + size < grams.len()
                         && grams[q..q + size + 1] == *grown
                 })
             });

@@ -21,13 +21,14 @@
 //! predicted) charges a reactivation stall of at most `T_react` to the
 //! affected call.
 
-use crate::config::{PowerConfig, SleepKind};
+use crate::config::{PowerConfig, ResilienceConfig, SleepKind};
 use crate::gram::{Gram, GramBuilder, GramId, GramInterner};
 use crate::ppa::{seed_slot_gaps, Ppa};
 use crate::stats::RankStats;
 use ibp_simcore::SimDuration;
 use ibp_trace::{MpiCall, Rank, RankTrace};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// A lane power directive: after event `after_event` completes, shut the
 /// three inactive lanes down and program the HCA timer to wake them after
@@ -95,6 +96,117 @@ struct PendingSleep {
     kind: SleepKind,
 }
 
+/// Mutable state of the adaptive resilience controller (see
+/// [`ResilienceConfig`]). All transitions are no-ops when the controller
+/// is disabled, preserving the paper's exact behaviour.
+/// A run of late wake-ups only counts as a storm at this multiple of
+/// [`ResilienceConfig::storm_threshold`]: sparse timing misses are the
+/// guard band's job; the hold-off is for wake-up latencies that stay on
+/// the critical path call after call.
+const TIMING_STORM_FACTOR: u32 = 3;
+
+#[derive(Debug, Default)]
+struct ResilienceState {
+    /// Call indices (1-based `total_calls` values) of recent pattern
+    /// mispredictions, pruned to the sliding storm window.
+    recent_pattern: VecDeque<u64>,
+    /// Call indices of recent timing mispredictions (late wake-ups).
+    recent_timing: VecDeque<u64>,
+    /// Calls left in the current prediction hold-off (0 = armed).
+    holdoff_remaining: u32,
+    /// Length of the next hold-off (doubles per storm, capped).
+    next_holdoff: u32,
+    /// Guard band: extra displacement added to every planned sleep.
+    guard: f64,
+}
+
+/// Push `call_idx` into a sliding misprediction window, prune entries
+/// older than `window` calls, and report the resulting count.
+fn push_window(win: &mut VecDeque<u64>, window: u32, call_idx: u64) -> u32 {
+    win.push_back(call_idx);
+    while let Some(&oldest) = win.front() {
+        if call_idx.saturating_sub(oldest) >= u64::from(window) {
+            win.pop_front();
+        } else {
+            break;
+        }
+    }
+    win.len() as u32
+}
+
+impl ResilienceState {
+    /// Record a pattern misprediction at `call_idx`; returns `true` when
+    /// this tips the window over the storm threshold (the caller then
+    /// finds `holdoff_remaining` armed).
+    fn note_pattern_misprediction(&mut self, cfg: &ResilienceConfig, call_idx: u64) -> bool {
+        if !cfg.enabled {
+            return false;
+        }
+        if push_window(&mut self.recent_pattern, cfg.storm_window, call_idx)
+            >= cfg.storm_threshold
+        {
+            self.recent_pattern.clear();
+            self.arm_holdoff(cfg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A sleep window woke late: widen the guard band, and feed the
+    /// timing-storm window — a dense run of late wake-ups (the guard
+    /// band failing to catch up) also warrants backing off. Returns
+    /// `true` when a storm tips over.
+    fn note_timing_misprediction(&mut self, cfg: &ResilienceConfig, call_idx: u64) -> bool {
+        if !cfg.enabled {
+            return false;
+        }
+        self.guard = (self.guard + cfg.guard_step).min(cfg.max_guard);
+        if push_window(&mut self.recent_timing, cfg.storm_window, call_idx)
+            >= cfg.storm_threshold * TIMING_STORM_FACTOR
+        {
+            self.recent_timing.clear();
+            self.arm_holdoff(cfg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Start (or restart) a hold-off, doubling the next one up to the cap.
+    fn arm_holdoff(&mut self, cfg: &ResilienceConfig) {
+        let hold = if self.next_holdoff == 0 {
+            cfg.base_holdoff
+        } else {
+            self.next_holdoff
+        };
+        self.holdoff_remaining = hold;
+        self.next_holdoff = hold.saturating_mul(2).min(cfg.max_holdoff);
+    }
+
+    /// A sleep window resolved cleanly: decay the guard band.
+    fn note_clean_wake(&mut self, cfg: &ResilienceConfig) {
+        if cfg.enabled {
+            self.guard *= cfg.guard_decay;
+            if self.guard < 1e-6 {
+                self.guard = 0.0;
+            }
+        }
+    }
+}
+
+/// Is the mechanism's added time over the configured share of the
+/// nominal duration? (Free function so call sites can borrow `stats`
+/// and the runtime's other fields disjointly.)
+fn budget_exceeded(cfg: &ResilienceConfig, stats: &RankStats) -> bool {
+    if !cfg.enabled || cfg.slowdown_budget_pct <= 0.0 {
+        return false;
+    }
+    let nominal = stats.nominal_duration.as_secs_f64();
+    nominal > 0.0
+        && stats.mechanism_added_time().as_secs_f64() > nominal * cfg.slowdown_budget_pct / 100.0
+}
+
 /// Per-rank interception runtime (see module docs).
 #[derive(Debug)]
 pub struct RankRuntime {
@@ -107,6 +219,7 @@ pub struct RankRuntime {
     ppa: Ppa,
     mode: Mode,
     pending: Option<PendingSleep>,
+    resilience: ResilienceState,
     stats: RankStats,
     directives: Vec<LaneDirective>,
     overhead: Vec<SimDuration>,
@@ -129,6 +242,7 @@ impl RankRuntime {
             ppa,
             mode: Mode::Learning,
             pending: None,
+            resilience: ResilienceState::default(),
             stats: RankStats::default(),
             directives: Vec::new(),
             overhead: Vec::new(),
@@ -140,6 +254,18 @@ impl RankRuntime {
     /// Whether prediction (power-mode control) is currently active.
     pub fn predicting(&self) -> bool {
         matches!(self.mode, Mode::Predicting { .. })
+    }
+
+    /// Whether the resilience controller currently holds prediction off
+    /// after a misprediction storm.
+    pub fn holdoff_active(&self) -> bool {
+        self.resilience.holdoff_remaining > 0
+    }
+
+    /// Current guard band (extra displacement) of the resilience
+    /// controller; zero when disabled or fully decayed.
+    pub fn guard_band(&self) -> f64 {
+        self.resilience.guard
     }
 
     /// Current statistics snapshot.
@@ -157,6 +283,17 @@ impl RankRuntime {
         self.stats.nominal_duration += gap;
 
         match &mut self.mode {
+            Mode::Learning if self.resilience.holdoff_remaining > 0 => {
+                // Storm hold-off: prediction and the PPA stay suspended;
+                // only the interception cost is charged. When the
+                // hold-off expires, learning restarts from a clean slate.
+                self.resilience.holdoff_remaining -= 1;
+                self.stats.holdoff_calls += 1;
+                if self.resilience.holdoff_remaining == 0 {
+                    self.builder = GramBuilder::new(&self.cfg);
+                    self.ppa.relaunch(self.gram_ids.len());
+                }
+            }
             Mode::Learning => {
                 if let Some(closed) = self.builder.push(call, gap, &mut self.interner) {
                     self.grams.push(closed.clone());
@@ -186,6 +323,7 @@ impl RankRuntime {
             } => {
                 let gt = self.cfg.grouping_threshold;
                 let mut mispredicted = false;
+                let mut timing_storm = false;
 
                 if *progress == 0 {
                     // This event terminates the predicted idle gap.
@@ -198,6 +336,15 @@ impl RankRuntime {
                             self.stats.timing_mispredictions += 1;
                             self.stats.total_penalty += stall;
                             event_penalty += stall;
+                            if self.resilience.note_timing_misprediction(
+                                &self.cfg.resilience,
+                                self.stats.total_calls,
+                            ) {
+                                self.stats.storms += 1;
+                                timing_storm = true;
+                            }
+                        } else {
+                            self.resilience.note_clean_wake(&self.cfg.resilience);
                         }
                         // Low-power span actually achieved: from the off
                         // transition's end until the timer fired — or
@@ -245,7 +392,14 @@ impl RankRuntime {
                                 .and_then(|e| e.slot_gaps.get(next))
                                 .map(|m| m.mean())
                                 .unwrap_or(SimDuration::ZERO);
-                            if let Some((kind, timer)) = self.cfg.plan_sleep(predicted_idle) {
+                            let plan = if budget_exceeded(&self.cfg.resilience, &self.stats) {
+                                self.stats.suppressed_directives += 1;
+                                None
+                            } else {
+                                let disp = self.cfg.displacement + self.resilience.guard;
+                                self.cfg.plan_sleep_with(disp, predicted_idle)
+                            };
+                            if let Some((kind, timer)) = plan {
                                 self.directives.push(LaneDirective {
                                     after_event: self.event_idx,
                                     delay: SimDuration::ZERO,
@@ -264,6 +418,18 @@ impl RankRuntime {
 
                 if mispredicted {
                     self.stats.pattern_mispredictions += 1;
+                    if self
+                        .resilience
+                        .note_pattern_misprediction(&self.cfg.resilience, self.stats.total_calls)
+                    {
+                        self.stats.storms += 1;
+                    }
+                    self.fall_back_to_learning(call, gap);
+                } else if timing_storm {
+                    // A storm of late wake-ups: abandon the (correctly
+                    // matched) pattern and let the hold-off run. The call
+                    // itself was predicted fine, so no pattern
+                    // misprediction is charged.
                     self.fall_back_to_learning(call, gap);
                 }
             }
@@ -324,6 +490,12 @@ impl RankRuntime {
         // builder already holds the diverging call as its open gram.
         if shapes[0][0] != first_call.id() {
             self.stats.pattern_mispredictions += 1;
+            if self
+                .resilience
+                .note_pattern_misprediction(&self.cfg.resilience, self.stats.total_calls)
+            {
+                self.stats.storms += 1;
+            }
             return;
         }
         self.stats.predicted_calls += 1;
@@ -344,7 +516,14 @@ impl RankRuntime {
                 .and_then(|e| e.slot_gaps.get(next))
                 .map(|m| m.mean())
                 .unwrap_or(SimDuration::ZERO);
-            if let Some((kind, timer)) = self.cfg.plan_sleep(predicted_idle) {
+            let plan = if budget_exceeded(&self.cfg.resilience, &self.stats) {
+                self.stats.suppressed_directives += 1;
+                None
+            } else {
+                let disp = self.cfg.displacement + self.resilience.guard;
+                self.cfg.plan_sleep_with(disp, predicted_idle)
+            };
+            if let Some((kind, timer)) = plan {
                 self.directives.push(LaneDirective {
                     after_event: self.event_idx,
                     delay: SimDuration::ZERO,
@@ -563,6 +742,137 @@ mod tests {
         }
         let manual = rt.finish(trace.ranks[0].final_compute);
         assert_eq!(ann, manual);
+    }
+
+    fn resilient_cfg() -> PowerConfig {
+        cfg().with_resilience(crate::config::ResilienceConfig::standard())
+    }
+
+    /// Alternate two incompatible periodic patterns so every declaration
+    /// is broken shortly after it arms: a misprediction storm.
+    fn feed_storm(rt: &mut RankRuntime, rounds: usize) {
+        use ibp_trace::MpiCall::{Barrier, Bcast};
+        for round in 0..rounds {
+            feed_alya(rt, 4, 300);
+            // Foreign tail that breaks whatever was declared.
+            for _ in 0..2 {
+                rt.intercept(Barrier, us(300));
+                rt.intercept(Bcast, us(round as u64 % 7 + 25));
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_resilience_is_bit_identical_to_paper() {
+        let run = |c: PowerConfig| {
+            let mut rt = RankRuntime::new(0, c);
+            feed_storm(&mut rt, 10);
+            feed_alya(&mut rt, 20, 300);
+            rt.finish(SimDuration::ZERO)
+        };
+        let paper = run(cfg());
+        let with_disabled = run(cfg().with_resilience(Default::default()));
+        assert_eq!(paper, with_disabled);
+    }
+
+    #[test]
+    fn storm_triggers_exponential_holdoff() {
+        let mut rt = RankRuntime::new(0, resilient_cfg());
+        feed_storm(&mut rt, 30);
+        let holding = rt.holdoff_active();
+        let ann = rt.finish(SimDuration::ZERO);
+        assert!(
+            ann.stats.storms >= 1,
+            "storm not detected: {:?}",
+            ann.stats
+        );
+        assert!(ann.stats.holdoff_calls > 0 || holding);
+        // The unguarded runtime keeps mispredicting; the hold-off must
+        // cut the misprediction count.
+        let mut raw = RankRuntime::new(0, cfg());
+        feed_storm(&mut raw, 30);
+        let raw_ann = raw.finish(SimDuration::ZERO);
+        assert!(
+            ann.stats.pattern_mispredictions < raw_ann.stats.pattern_mispredictions,
+            "backoff should reduce mispredictions: {} vs {}",
+            ann.stats.pattern_mispredictions,
+            raw_ann.stats.pattern_mispredictions
+        );
+    }
+
+    #[test]
+    fn prediction_rearms_after_holdoff_expires() {
+        let mut rt = RankRuntime::new(0, resilient_cfg());
+        feed_storm(&mut rt, 30);
+        // A long stable run: the hold-off (≤ max 6400 calls) drains and
+        // the clean pattern re-arms.
+        feed_alya(&mut rt, 2000, 300);
+        assert!(rt.predicting(), "prediction must come back after backoff");
+        let ann = rt.finish(SimDuration::ZERO);
+        assert!(ann.stats.lane_off_count > 0);
+    }
+
+    #[test]
+    fn guard_band_widens_on_late_wakes_and_decays() {
+        let mut rt = RankRuntime::new(0, resilient_cfg());
+        feed_alya(&mut rt, 8, 300);
+        assert!(rt.predicting());
+        assert_eq!(rt.guard_band(), 0.0);
+        // Early arrival → late wake-up → guard widens.
+        rt.intercept(Sendrecv, us(40));
+        // That was also a timing mispredict; pattern may have fallen
+        // back. Re-learn, then check the guard decays on clean wakes.
+        let after_miss = rt.guard_band();
+        assert!(after_miss > 0.0, "guard should widen after a late wake");
+        feed_alya(&mut rt, 40, 300);
+        assert!(
+            rt.guard_band() < after_miss,
+            "guard should decay on clean wakes: {} -> {}",
+            after_miss,
+            rt.guard_band()
+        );
+    }
+
+    #[test]
+    fn guarded_timers_are_more_conservative() {
+        // Same pattern; a widened guard must shorten issued timers.
+        let c = resilient_cfg();
+        let mut rt = RankRuntime::new(0, c);
+        feed_alya(&mut rt, 8, 300);
+        rt.intercept(Sendrecv, us(40)); // widen the guard
+        feed_alya(&mut rt, 8, 300);
+        let ann = rt.finish(SimDuration::ZERO);
+
+        let mut plain = RankRuntime::new(0, cfg());
+        feed_alya(&mut plain, 8, 300);
+        plain.intercept(Sendrecv, us(40));
+        feed_alya(&mut plain, 8, 300);
+        let plain_ann = plain.finish(SimDuration::ZERO);
+
+        // Compare the last directive of each (issued post-widening with
+        // the same predicted idle).
+        let g = ann.directives.last().expect("guarded directives");
+        let p = plain_ann.directives.last().expect("plain directives");
+        assert!(
+            g.timer < p.timer,
+            "guarded timer {} not shorter than plain {}",
+            g.timer,
+            p.timer
+        );
+    }
+
+    #[test]
+    fn budget_guard_suppresses_directives() {
+        // A tiny budget: the ~1 µs/call interception overhead over 300 µs
+        // gaps is ~0.33%, so a 0.01% budget is immediately exhausted.
+        let c = cfg().with_resilience(crate::config::ResilienceConfig::with_budget(0.0001));
+        let mut rt = RankRuntime::new(0, c);
+        feed_alya(&mut rt, 40, 300);
+        let ann = rt.finish(SimDuration::ZERO);
+        assert_eq!(ann.stats.lane_off_count, 0, "budget must block sleeps");
+        assert!(ann.stats.suppressed_directives > 0);
+        // Added time stays bounded: no stalls were ever risked.
+        assert_eq!(ann.stats.total_penalty, SimDuration::ZERO);
     }
 
     #[test]

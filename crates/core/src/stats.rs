@@ -49,6 +49,15 @@ pub struct RankStats {
     pub total_penalty: SimDuration,
     /// Nominal (communication-free) duration of the rank's trace.
     pub nominal_duration: SimDuration,
+    /// Misprediction storms detected by the resilience controller.
+    #[serde(default)]
+    pub storms: u64,
+    /// Calls intercepted while prediction was held off after a storm.
+    #[serde(default)]
+    pub holdoff_calls: u64,
+    /// Sleep directives withheld by the slowdown-budget guard.
+    #[serde(default)]
+    pub suppressed_directives: u64,
 }
 
 impl RankStats {
@@ -123,6 +132,27 @@ impl RankStats {
         self.deep_time += other.deep_time;
         self.total_penalty += other.total_penalty;
         self.nominal_duration += other.nominal_duration;
+        self.storms += other.storms;
+        self.holdoff_calls += other.holdoff_calls;
+        self.suppressed_directives += other.suppressed_directives;
+    }
+
+    /// Total mechanism-added time: interception + PPA overheads plus all
+    /// reactivation stalls. This is what the resilience controller's
+    /// slowdown budget bounds against [`RankStats::nominal_duration`].
+    pub fn mechanism_added_time(&self) -> SimDuration {
+        self.intercept_overhead + self.ppa_overhead + self.total_penalty
+    }
+
+    /// Mechanism-added time as a percentage of the nominal duration (an
+    /// upper bound on this rank's slowdown; overlap can only hide cost).
+    pub fn added_time_pct(&self) -> f64 {
+        let total = self.nominal_duration.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            100.0 * self.mechanism_added_time().as_secs_f64() / total
+        }
     }
 }
 

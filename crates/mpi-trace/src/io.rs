@@ -13,45 +13,89 @@ use std::path::Path;
 
 /// Errors arising from trace I/O.
 #[derive(Debug)]
-pub enum TraceIoError {
+pub enum TraceError {
     /// Underlying filesystem error.
     Io(std::io::Error),
     /// Malformed JSON or schema mismatch.
     Format(serde_json::Error),
+    /// The input stops mid-document: every brace that opened never
+    /// closed (a partial download or an interrupted `save`).
+    Truncated {
+        /// Total bytes read before the document ran out.
+        bytes: usize,
+    },
+    /// The input holds no events to replay: a blank file, a trace with
+    /// zero ranks, or ranks that never communicate or compute.
+    Empty,
     /// The trace deserialised but fails [`Trace::validate`].
     Invalid(String),
 }
 
-impl std::fmt::Display for TraceIoError {
+/// Former name of [`TraceError`], kept for downstream code.
+pub type TraceIoError = TraceError;
+
+impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
-            TraceIoError::Format(e) => write!(f, "trace format error: {e}"),
-            TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Format(e) => write!(f, "trace format error: {e}"),
+            TraceError::Truncated { bytes } => {
+                write!(f, "trace truncated: document still open after {bytes} bytes")
+            }
+            TraceError::Empty => write!(f, "empty trace: no ranks or events to replay"),
+            TraceError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
         }
     }
 }
 
-impl std::error::Error for TraceIoError {
+impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceIoError::Io(e) => Some(e),
-            TraceIoError::Format(e) => Some(e),
-            TraceIoError::Invalid(_) => None,
+            TraceError::Io(e) => Some(e),
+            TraceError::Format(e) => Some(e),
+            TraceError::Truncated { .. } | TraceError::Empty | TraceError::Invalid(_) => None,
         }
     }
 }
 
-impl From<std::io::Error> for TraceIoError {
+impl From<std::io::Error> for TraceError {
     fn from(e: std::io::Error) -> Self {
-        TraceIoError::Io(e)
+        TraceError::Io(e)
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
+impl From<serde_json::Error> for TraceError {
     fn from(e: serde_json::Error) -> Self {
-        TraceIoError::Format(e)
+        TraceError::Format(e)
     }
+}
+
+/// Does `json` stop mid-document? Scans brace/bracket depth outside of
+/// string literals; a positive depth (or an unterminated string) at the
+/// end means the document was cut short rather than malformed.
+fn looks_truncated(json: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for b in json.bytes() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    in_str || depth > 0
 }
 
 /// Serialise a trace to compact JSON.
@@ -60,14 +104,27 @@ pub fn to_json(trace: &Trace) -> String {
 }
 
 /// Deserialise a trace from JSON and validate it.
-pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
-    let trace: Trace = serde_json::from_str(json)?;
-    trace.validate().map_err(TraceIoError::Invalid)?;
+pub fn from_json(json: &str) -> Result<Trace, TraceError> {
+    if json.trim().is_empty() {
+        return Err(TraceError::Empty);
+    }
+    let trace: Trace = match serde_json::from_str(json) {
+        Ok(t) => t,
+        Err(e) if looks_truncated(json) => {
+            let _ = e;
+            return Err(TraceError::Truncated { bytes: json.len() });
+        }
+        Err(e) => return Err(TraceError::Format(e)),
+    };
+    if trace.nprocs == 0 || trace.ranks.iter().all(|r| r.events.is_empty()) {
+        return Err(TraceError::Empty);
+    }
+    trace.validate().map_err(TraceError::Invalid)?;
     Ok(trace)
 }
 
 /// Write a trace to `path` as compact JSON.
-pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceError> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     serde_json::to_writer(&mut w, trace)?;
@@ -76,7 +133,7 @@ pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
 }
 
 /// Read and validate a trace from `path`.
-pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
     let file = File::open(path)?;
     let mut json = String::new();
     BufReader::new(file).read_to_string(&mut json)?;
@@ -146,14 +203,41 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage() {
         assert!(matches!(
-            from_json("{not json"),
-            Err(TraceIoError::Format(_))
+            from_json("not json at all"),
+            Err(TraceError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_json_is_a_typed_error() {
+        // Cut a valid document at 60% — braces stay open.
+        let json = to_json(&sample());
+        let cut = &json[..json.len() * 6 / 10];
+        match from_json(cut) {
+            Err(TraceError::Truncated { bytes }) => assert_eq!(bytes, cut.len()),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A lone opening brace is also truncation, not a format error.
+        assert!(matches!(from_json("{"), Err(TraceError::Truncated { .. })));
+    }
+
+    #[test]
+    fn empty_inputs_are_a_typed_error() {
+        assert!(matches!(from_json(""), Err(TraceError::Empty)));
+        assert!(matches!(from_json("  \n"), Err(TraceError::Empty)));
+        // Structurally valid but eventless trace.
+        let t = TraceBuilder::new("hollow", 2).build();
+        assert!(matches!(
+            from_json(&serde_json::to_string(&t).unwrap()),
+            Err(TraceError::Empty)
         ));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let e = from_json("{").unwrap_err();
+        let e = from_json("\"unterminated").unwrap_err();
+        assert!(e.to_string().contains("truncated"));
+        let e = from_json("[1, 2, oops]").unwrap_err();
         assert!(e.to_string().contains("format"));
     }
 }

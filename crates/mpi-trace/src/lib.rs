@@ -25,6 +25,7 @@ pub mod trace;
 pub mod viz;
 
 pub use combine::{can_combine, combine, JobPlacement};
+pub use io::TraceError;
 pub use event::{MpiCall, MpiOp, Rank, ReqId};
 pub use profile::{ActivityProfile, CallProfile, CommMatrix};
 pub use stats::{IdleBucket, IdleDistribution};

@@ -129,15 +129,13 @@ impl Trace {
                     {
                         return err(format!("root {root} out of range"));
                     }
-                    MpiOp::Isend { req, .. } | MpiOp::Irecv { req, .. } => {
-                        if !posted.insert(*req) {
-                            return err(format!("request {req} posted twice"));
-                        }
+                    MpiOp::Isend { req, .. } | MpiOp::Irecv { req, .. }
+                        if !posted.insert(*req) =>
+                    {
+                        return err(format!("request {req} posted twice"));
                     }
-                    MpiOp::Wait { req } => {
-                        if !posted.remove(req) {
-                            return err(format!("wait on unposted request {req}"));
-                        }
+                    MpiOp::Wait { req } if !posted.remove(req) => {
+                        return err(format!("wait on unposted request {req}"));
                     }
                     MpiOp::Waitall { reqs } => {
                         for req in reqs {

@@ -21,6 +21,7 @@
 pub mod collectives;
 pub mod config;
 pub mod fabric;
+pub mod faults;
 pub mod power;
 pub mod replay;
 pub mod results;
@@ -31,8 +32,9 @@ pub mod xgft;
 pub use collectives::{decompose, MicroOp};
 pub use config::{SimParams, DEEP_POWER_FRACTION};
 pub use fabric::{Fabric, FabricStats};
+pub use faults::{FaultConfig, FaultPlan, FaultStats, SendFault};
 pub use power::{LinkPower, LinkPowerTracker};
-pub use replay::{replay, ReplayOptions};
+pub use replay::{replay, ReplayError, ReplayOptions};
 pub use results::SimResult;
 pub use switch_power::{SwitchPowerModel, SwitchPowerReport};
 pub use topology::{ChannelId, FatTree, Route};

@@ -99,6 +99,34 @@ impl LinkPowerTracker {
         t_want: SimTime,
         kind: SleepKind,
     ) -> SimDuration {
+        self.apply_window(params, t0, Some(timer), t_want, kind)
+    }
+
+    /// A sleep window whose wake timer *misfired*: the lanes stay in low
+    /// power past the programmed timer, until the demand at `t_want`
+    /// forces a reactive wake. The link draws less power (longer low
+    /// span) but the rank pays the full reactivation stall — the caller
+    /// charges that separately.
+    pub fn apply_sleep_misfire(
+        &mut self,
+        params: &SimParams,
+        t0: SimTime,
+        t_want: SimTime,
+        kind: SleepKind,
+    ) -> SimDuration {
+        self.apply_window(params, t0, None, t_want, kind)
+    }
+
+    /// Shared window accounting. `timer` of `None` models a misfired
+    /// wake timer: only demand (`t_want`) ends the low-power span.
+    fn apply_window(
+        &mut self,
+        params: &SimParams,
+        t0: SimTime,
+        timer: Option<SimDuration>,
+        t_want: SimTime,
+        kind: SleepKind,
+    ) -> SimDuration {
         let react = match kind {
             SleepKind::Wrps => params.t_react,
             SleepKind::Deep => params.deep_t_react,
@@ -109,10 +137,13 @@ impl LinkPowerTracker {
         };
         let t0 = t0.max(self.floor);
         let off_end = t0 + react;
-        let wake_planned = t0 + timer;
         // Demand wake cannot precede the end of the off transition (the
         // lanes must finish shutting down before they can start waking).
-        let wake = wake_planned.min(t_want.max(off_end));
+        let demand = t_want.max(off_end);
+        let wake = match timer {
+            Some(timer) => (t0 + timer).min(demand),
+            None => demand, // misfired timer: only demand wakes the lanes
+        };
         let low_span = wake.saturating_since(off_end);
         let full_again = wake + react;
 
@@ -219,6 +250,20 @@ mod tests {
         assert!((draw - (1.0 - 0.57 * 0.57)).abs() < 1e-9, "{draw}");
         // Zero total → full draw.
         assert_eq!(t.mean_relative_power(&p, SimDuration::ZERO), 1.0);
+    }
+
+    #[test]
+    fn misfire_extends_low_span_past_timer() {
+        let p = SimParams::paper();
+        let mut ok = LinkPowerTracker::new(false);
+        let mut bad = LinkPowerTracker::new(false);
+        // Timer 90 µs, next demand at 400 µs. A working timer wakes at
+        // 190 µs; a misfired one sleeps until demand.
+        let span_ok = ok.apply_sleep(&p, us(100), dur(90), us(400));
+        let span_bad = bad.apply_sleep_misfire(&p, us(100), us(400), SleepKind::Wrps);
+        assert_eq!(span_ok, dur(80));
+        assert_eq!(span_bad, dur(290)); // 110..400
+        assert!(bad.floor() > us(400)); // wake transition after demand
     }
 
     #[test]

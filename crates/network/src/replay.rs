@@ -21,6 +21,7 @@
 use crate::collectives::{decompose, MicroOp};
 use crate::config::SimParams;
 use crate::fabric::Fabric;
+use crate::faults::{FaultConfig, FaultPlan, FaultStats};
 use crate::power::LinkPowerTracker;
 use crate::results::SimResult;
 use ibp_core::{SleepKind, TraceAnnotations};
@@ -28,6 +29,7 @@ use ibp_simcore::{SimDuration, SimTime};
 use ibp_trace::{MpiOp, Rank, Trace};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
 
 /// Replay options.
 #[derive(Debug, Clone)]
@@ -37,6 +39,9 @@ pub struct ReplayOptions {
     /// Record full per-rank link power timelines (costs memory; needed
     /// only for visualisation).
     pub record_timelines: bool,
+    /// Optional fault injection (see [`crate::faults`]); `None` replays
+    /// a perfectly reliable fabric.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ReplayOptions {
@@ -44,9 +49,87 @@ impl Default for ReplayOptions {
         ReplayOptions {
             seed: 0x1B,
             record_timelines: false,
+            faults: None,
         }
     }
 }
+
+/// Why a replay could not run (or could not finish).
+///
+/// Replay inputs come straight from files and CLI flags, so malformed
+/// input must surface as a value, not a panic: the CLI prints these and
+/// exits non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace has no ranks.
+    EmptyTrace,
+    /// The annotation set covers a different number of ranks than the
+    /// trace.
+    AnnotationRankMismatch {
+        /// Ranks in the trace.
+        trace: u32,
+        /// Ranks in the annotation set.
+        annotated: usize,
+    },
+    /// One rank's annotation arrays do not line up with its call count.
+    AnnotationLengthMismatch {
+        /// The offending rank.
+        rank: usize,
+        /// MPI calls in the trace for that rank.
+        calls: usize,
+        /// Entries in the annotation arrays.
+        annotated: usize,
+    },
+    /// The fault configuration is out of range (probability outside
+    /// `[0, 1]`, inverted outage bounds, …).
+    InvalidFaultConfig(String),
+    /// The trace deadlocked: a rank waits for a message nobody sends.
+    /// Traces accepted by `Trace::validate` cannot reach this.
+    Deadlock {
+        /// First stuck rank.
+        rank: usize,
+        /// Event index the rank is stuck at.
+        event: usize,
+        /// How many ranks were parked on missing messages.
+        parked: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::EmptyTrace => write!(f, "trace has no ranks"),
+            ReplayError::AnnotationRankMismatch { trace, annotated } => write!(
+                f,
+                "annotation/trace rank mismatch: trace has {trace} ranks, \
+                 annotations cover {annotated}"
+            ),
+            ReplayError::AnnotationLengthMismatch {
+                rank,
+                calls,
+                annotated,
+            } => write!(
+                f,
+                "rank {rank}: annotation length mismatch ({calls} MPI calls \
+                 in trace, {annotated} annotated)"
+            ),
+            ReplayError::InvalidFaultConfig(msg) => {
+                write!(f, "invalid fault configuration: {msg}")
+            }
+            ReplayError::Deadlock {
+                rank,
+                event,
+                parked,
+            } => write!(
+                f,
+                "replay deadlock: rank {rank} stuck at event {event} \
+                 ({parked} parked)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// Cost of posting a non-blocking operation (library bookkeeping only).
 const POST_OVERHEAD: SimDuration = SimDuration::from_ns(300);
@@ -98,6 +181,10 @@ struct Replay<'a> {
     parked: HashMap<(u32, u32), Rank>,
     /// Runnable ranks, keyed by (clock, rank) — min first.
     heap: BinaryHeap<Reverse<(SimTime, Rank)>>,
+    /// Fault drawing plan (None on a reliable fabric).
+    faults: Option<FaultPlan>,
+    /// Aggregate fault accounting.
+    fault_stats: FaultStats,
 }
 
 /// Replay `trace` through the modelled network. Supplying `ann` turns on
@@ -108,19 +195,36 @@ pub fn replay(
     ann: Option<&TraceAnnotations>,
     params: &SimParams,
     opts: &ReplayOptions,
-) -> SimResult {
+) -> Result<SimResult, ReplayError> {
     let n = trace.nprocs;
-    assert!(n >= 1, "empty trace");
+    if n < 1 {
+        return Err(ReplayError::EmptyTrace);
+    }
     if let Some(a) = ann {
-        assert_eq!(a.ranks.len(), n as usize, "annotation/trace rank mismatch");
+        if a.ranks.len() != n as usize {
+            return Err(ReplayError::AnnotationRankMismatch {
+                trace: n,
+                annotated: a.ranks.len(),
+            });
+        }
         for (r, ra) in a.ranks.iter().enumerate() {
-            assert_eq!(
-                ra.overhead.len(),
-                trace.ranks[r].call_count(),
-                "rank {r}: annotation length mismatch"
-            );
+            let calls = trace.ranks[r].call_count();
+            if ra.overhead.len() != calls {
+                return Err(ReplayError::AnnotationLengthMismatch {
+                    rank: r,
+                    calls,
+                    annotated: ra.overhead.len(),
+                });
+            }
         }
     }
+    let faults = match &opts.faults {
+        Some(cfg) => {
+            cfg.validate().map_err(ReplayError::InvalidFaultConfig)?;
+            (!cfg.is_quiet()).then(|| FaultPlan::new(cfg, n))
+        }
+        None => None,
+    };
 
     let mut engine = Replay {
         trace,
@@ -143,12 +247,14 @@ pub fn replay(
         recv_next: vec![0; (n as usize) * (n as usize)],
         parked: HashMap::new(),
         heap: BinaryHeap::new(),
+        faults,
+        fault_stats: FaultStats::default(),
     };
 
     for r in 0..n {
         engine.heap.push(Reverse((SimTime::ZERO, r)));
     }
-    engine.run();
+    engine.run()?;
 
     let exec = engine
         .ranks
@@ -156,7 +262,7 @@ pub fn replay(
         .map(|s| s.t)
         .max()
         .unwrap_or(SimTime::ZERO);
-    SimResult {
+    Ok(SimResult {
         exec_time: exec.since(SimTime::ZERO),
         rank_finish: engine.ranks.iter().map(|s| s.t).collect(),
         link_low: engine.ranks.iter().map(|s| s.power.low_time).collect(),
@@ -176,7 +282,8 @@ pub fn replay(
         }),
         fabric: engine.fabric.stats(),
         low_power_fraction: params.low_power_fraction,
-    }
+        faults: engine.fault_stats,
+    })
 }
 
 impl<'a> Replay<'a> {
@@ -184,18 +291,18 @@ impl<'a> Replay<'a> {
         src * self.trace.nprocs + dst
     }
 
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), ReplayError> {
         while let Some(Reverse((_, r))) = self.heap.pop() {
             self.advance_rank(r);
         }
         if let Some((r, s)) = self.ranks.iter().enumerate().find(|(_, s)| !s.done) {
-            panic!(
-                "replay deadlock: rank {r} stuck at event {} t={} ({} parked)",
-                s.ev,
-                s.t,
-                self.parked.len()
-            );
+            return Err(ReplayError::Deadlock {
+                rank: r,
+                event: s.ev,
+                parked: self.parked.len(),
+            });
         }
+        Ok(())
     }
 
     /// Advance rank `r` by one scheduling quantum.
@@ -237,12 +344,24 @@ impl<'a> Replay<'a> {
         let ev = self.ranks[ri].ev;
         if ev >= rank_trace.events.len() {
             // Trailing compute, final sleep resolution, done.
+            let misfire = self.ranks[ri].pending_sleep.is_some()
+                && self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|plan| plan.wake_misfires(ri));
             let state = &mut self.ranks[ri];
             if !state.done {
                 let t = self.params.compute_end(state.t, rank_trace.final_compute);
                 state.t = t;
                 if let Some((t0, timer, kind)) = state.pending_sleep.take() {
-                    state.power.apply_sleep_kind(&self.params, t0, timer, t, kind);
+                    if misfire {
+                        // No later demand exists; the run's end bounds the
+                        // window. The rank is done, so no stall is charged.
+                        state.power.apply_sleep_misfire(&self.params, t0, t, kind);
+                        self.fault_stats.wake_misfires += 1;
+                    } else {
+                        state.power.apply_sleep_kind(&self.params, t0, timer, t, kind);
+                    }
                 }
                 state.done = true;
             }
@@ -259,16 +378,40 @@ impl<'a> Replay<'a> {
         // network: resolve any pending sleep against that demand, then
         // serve the reactivation stall.
         {
+            let misfire = self.ranks[ri].pending_sleep.is_some()
+                && self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|plan| plan.wake_misfires(ri));
             let state = &mut self.ranks[ri];
             state.t = self
                 .params
                 .compute_end(state.t, event.compute_before + overhead);
-            if let Some((t0, timer, kind)) = state.pending_sleep.take() {
-                state
-                    .power
-                    .apply_sleep_kind(&self.params, t0, timer, state.t, kind);
+            match state.pending_sleep.take() {
+                Some((t0, _timer, kind)) if misfire => {
+                    // Misfired wake timer: lanes stay low until this
+                    // demand, and the rank pays the full reactivation
+                    // time *instead of* the runtime's predicted penalty
+                    // (the reactive wake replaces the planned one).
+                    state
+                        .power
+                        .apply_sleep_misfire(&self.params, t0, state.t, kind);
+                    let react = match kind {
+                        SleepKind::Wrps => self.params.t_react,
+                        SleepKind::Deep => self.params.deep_t_react,
+                    };
+                    state.t += react;
+                    self.fault_stats.wake_misfires += 1;
+                    self.fault_stats.misfire_stall += react;
+                }
+                Some((t0, timer, kind)) => {
+                    state
+                        .power
+                        .apply_sleep_kind(&self.params, t0, timer, state.t, kind);
+                    state.t += penalty;
+                }
+                None => state.t += penalty,
             }
-            state.t += penalty;
         }
 
         // Expand the operation.
@@ -354,16 +497,18 @@ impl<'a> Replay<'a> {
         match step {
             Step::Send { to, bytes } => {
                 self.ranks[ri].micro.pop_front();
-                let t = self.ranks[ri].t;
-                self.deliver(r, to, t, bytes);
-                self.ranks[ri].t = self.fabric.inject_done(t, bytes);
+                let t0 = self.ranks[ri].t;
+                let (t, extra) = self.draw_send_fault(ri, t0, bytes);
+                self.deliver(r, to, t, bytes, extra);
+                self.ranks[ri].t = self.fabric.inject_done(t, bytes) + extra;
                 StepOutcome::Ran
             }
             Step::IsendPost { to, bytes, req } => {
                 self.ranks[ri].micro.pop_front();
-                let t = self.ranks[ri].t;
-                self.deliver(r, to, t, bytes);
-                let done = self.fabric.inject_done(t, bytes);
+                let t0 = self.ranks[ri].t;
+                let (t, extra) = self.draw_send_fault(ri, t0, bytes);
+                self.deliver(r, to, t, bytes, extra);
+                let done = self.fabric.inject_done(t, bytes) + extra;
                 self.ranks[ri].reqs.insert(req, Req::Send { done });
                 self.ranks[ri].t += POST_OVERHEAD;
                 StepOutcome::Ran
@@ -429,9 +574,35 @@ impl<'a> Replay<'a> {
         self.arrivals[pair as usize].get(k as usize).copied()
     }
 
-    /// Inject a message and wake any rank parked on it.
-    fn deliver(&mut self, src: Rank, dst: Rank, t: SimTime, bytes: u64) {
-        let arrival = self.fabric.transfer(t, src, dst, bytes);
+    /// Draw fault effects for a send leaving rank `link` at `t`: returns
+    /// the (possibly flap-delayed) injection time and the extra
+    /// serialization charged by a stuck-at-1X degraded link.
+    fn draw_send_fault(&mut self, link: usize, t: SimTime, bytes: u64) -> (SimTime, SimDuration) {
+        let Some(plan) = self.faults.as_mut() else {
+            return (t, SimDuration::ZERO);
+        };
+        let fault = plan.send_fault(link, t);
+        let mut t = t;
+        if fault.flapped {
+            self.fault_stats.link_flaps += 1;
+            self.fault_stats.flap_delay += fault.flap_delay;
+            t += fault.flap_delay;
+        }
+        let extra = if fault.degraded {
+            let extra = FaultPlan::degraded_extra(&self.params, bytes);
+            self.fault_stats.degraded_sends += 1;
+            self.fault_stats.degraded_extra += extra;
+            extra
+        } else {
+            SimDuration::ZERO
+        };
+        (t, extra)
+    }
+
+    /// Inject a message and wake any rank parked on it. `extra` is fault
+    /// surcharge added to the arrival (degraded-link serialization).
+    fn deliver(&mut self, src: Rank, dst: Rank, t: SimTime, bytes: u64, extra: SimDuration) {
+        let arrival = self.fabric.transfer(t, src, dst, bytes) + extra;
         let p = self.pair(src, dst);
         let k = self.arrivals[p as usize].len() as u32;
         self.arrivals[p as usize].push(arrival);
@@ -468,7 +639,7 @@ mod tests {
     #[test]
     fn ping_pong_timing() {
         let t = ping_pong(1, 2048);
-        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default());
+        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
         // One round trip after 100 µs compute each: ~100 + 2×(1 µs + hops
         // + 0.41 µs) ≈ 103 µs.
         let exec = r.exec_time.as_us_f64();
@@ -486,7 +657,7 @@ mod tests {
         b.compute(0, us(200));
         b.compute(1, us(100));
         let t = b.build();
-        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default());
+        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
         // 500 µs + barrier (µs-scale) + 200 µs trailing.
         let exec = r.exec_time.as_us_f64();
         assert!((700.0..705.0).contains(&exec), "exec {exec}");
@@ -501,7 +672,7 @@ mod tests {
             b.compute(r, us(50));
         }
         let t = b.build();
-        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default());
+        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
         // Everyone leaves the barrier after the slowest (400 µs) rank.
         let exec = r.exec_time.as_us_f64();
         assert!((450.0..460.0).contains(&exec), "exec {exec}");
@@ -522,7 +693,7 @@ mod tests {
             let r2 = b.isend(r, peer, bytes);
             b.op(r, MpiOp::Waitall { reqs: vec![r1, r2] });
         }
-        let nb = replay(&b.build(), None, &SimParams::paper(), &ReplayOptions::default());
+        let nb = replay(&b.build(), None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
 
         // One serialization (~210 µs) suffices: the two transfers overlap.
         let one_serial = SimParams::paper().serialize(bytes).as_us_f64();
@@ -539,7 +710,7 @@ mod tests {
         b.op(0, MpiOp::Recv { from: 1, bytes });
         b.op(1, MpiOp::Recv { from: 0, bytes });
         b.op(1, MpiOp::Send { to: 0, bytes });
-        let blk = replay(&b.build(), None, &SimParams::paper(), &ReplayOptions::default());
+        let blk = replay(&b.build(), None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
 
         assert!(
             blk.exec_time.as_us_f64() > 1.8 * one_serial,
@@ -561,7 +732,7 @@ mod tests {
             b.op(0, MpiOp::Recv { from: r, bytes });
         }
         let t = b.build();
-        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default());
+        let r = replay(&t, None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
         // 7 MB must serialise through rank 0's host downlink: ≥ 7 × 210 µs.
         assert!(
             r.exec_time >= us(1400),
@@ -576,8 +747,8 @@ mod tests {
         let t = ping_pong(50, 4096);
         let p = SimParams::paper();
         let o = ReplayOptions::default();
-        let a = replay(&t, None, &p, &o);
-        let b = replay(&t, None, &p, &o);
+        let a = replay(&t, None, &p, &o).expect("replay");
+        let b = replay(&t, None, &p, &o).expect("replay");
         assert_eq!(a.exec_time, b.exec_time);
         assert_eq!(a.rank_finish, b.rank_finish);
     }
@@ -609,8 +780,8 @@ mod tests {
 
         let p = SimParams::paper();
         let o = ReplayOptions::default();
-        let baseline = replay(&t, None, &p, &o);
-        let managed = replay(&t, Some(&ann), &p, &o);
+        let baseline = replay(&t, None, &p, &o).expect("replay");
+        let managed = replay(&t, Some(&ann), &p, &o).expect("replay");
 
         assert!(baseline.link_low.iter().all(|l| l.is_zero()));
         assert!(managed.link_low.iter().all(|l| !l.is_zero()));
@@ -629,19 +800,157 @@ mod tests {
             record_timelines: true,
             ..ReplayOptions::default()
         };
-        let r = replay(&t, None, &SimParams::paper(), &o);
+        let r = replay(&t, None, &SimParams::paper(), &o).expect("replay");
         let tls = r.timelines.expect("timelines requested");
         assert_eq!(tls.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
-    fn unmatched_recv_panics_as_deadlock() {
+    fn unmatched_recv_reports_deadlock_error() {
         // Hand-build an invalid trace (skipping validate) where rank 0
         // waits for a message nobody sends.
         let mut b = TraceBuilder::new("bad", 2);
         b.op(0, MpiOp::Recv { from: 1, bytes: 64 });
         let t = b.build(); // validate() would fail; replay must detect too
-        replay(&t, None, &SimParams::paper(), &ReplayOptions::default());
+        let err = replay(&t, None, &SimParams::paper(), &ReplayOptions::default())
+            .expect_err("deadlock expected");
+        match err {
+            ReplayError::Deadlock { rank, .. } => assert_eq!(rank, 0),
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn empty_trace_is_a_typed_error() {
+        let t = TraceBuilder::new("none", 0).build();
+        let err = replay(&t, None, &SimParams::paper(), &ReplayOptions::default())
+            .expect_err("empty trace");
+        assert_eq!(err, ReplayError::EmptyTrace);
+    }
+
+    #[test]
+    fn annotation_rank_mismatch_is_a_typed_error() {
+        let two = ping_pong(1, 512);
+        let cfg = PowerConfig::paper(us(20), 0.10);
+        let ann = annotate_trace(&two, &cfg);
+        let mut b = TraceBuilder::new("three", 3);
+        b.compute(0, us(10));
+        let three = b.build();
+        let err = replay(&three, Some(&ann), &SimParams::paper(), &ReplayOptions::default())
+            .expect_err("rank mismatch");
+        assert_eq!(
+            err,
+            ReplayError::AnnotationRankMismatch {
+                trace: 3,
+                annotated: 2
+            }
+        );
+    }
+
+    #[test]
+    fn annotation_length_mismatch_is_a_typed_error() {
+        let t = ping_pong(2, 512);
+        let cfg = PowerConfig::paper(us(20), 0.10);
+        let mut ann = annotate_trace(&t, &cfg);
+        ann.ranks[1].overhead.pop();
+        let err = replay(&t, Some(&ann), &SimParams::paper(), &ReplayOptions::default())
+            .expect_err("length mismatch");
+        match err {
+            ReplayError::AnnotationLengthMismatch { rank, .. } => assert_eq!(rank, 1),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_fault_config_is_a_typed_error() {
+        let t = ping_pong(1, 512);
+        let opts = ReplayOptions {
+            faults: Some(FaultConfig {
+                flap_prob: 2.0,
+                ..FaultConfig::quiet(1)
+            }),
+            ..ReplayOptions::default()
+        };
+        let err = replay(&t, None, &SimParams::paper(), &opts).expect_err("bad config");
+        assert!(matches!(err, ReplayError::InvalidFaultConfig(_)));
+    }
+
+    #[test]
+    fn quiet_faults_match_fault_free_exactly() {
+        let t = ping_pong(20, 4096);
+        let p = SimParams::paper();
+        let clean = replay(&t, None, &p, &ReplayOptions::default()).expect("replay");
+        let quiet = ReplayOptions {
+            faults: Some(FaultConfig::quiet(0xD1C0)),
+            ..ReplayOptions::default()
+        };
+        let faulted = replay(&t, None, &p, &quiet).expect("replay");
+        assert_eq!(clean.exec_time, faulted.exec_time);
+        assert_eq!(faulted.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn faults_slow_execution_and_are_counted() {
+        let t = ping_pong(50, 4096);
+        let p = SimParams::paper();
+        let clean = replay(&t, None, &p, &ReplayOptions::default()).expect("replay");
+        let stormy = ReplayOptions {
+            faults: Some(FaultConfig::with_rate(0xD1C0, 100.0)),
+            ..ReplayOptions::default()
+        };
+        let faulted = replay(&t, None, &p, &stormy).expect("replay");
+        assert!(faulted.faults.link_flaps > 0, "{:?}", faulted.faults);
+        assert!(faulted.exec_time > clean.exec_time);
+        // The aggregate charge bounds the observed slowdown.
+        let gap = faulted.exec_time.saturating_sub(clean.exec_time);
+        assert!(gap <= faulted.faults.total_charged());
+    }
+
+    #[test]
+    fn misfires_extend_low_power_and_charge_react() {
+        // Predictable pattern → directives; 100% misfire rate.
+        let mut b = TraceBuilder::new("iter", 2);
+        for _ in 0..40 {
+            for r in 0..2u32 {
+                b.compute(r, us(500));
+                b.op(
+                    r,
+                    MpiOp::Sendrecv {
+                        to: 1 - r,
+                        send_bytes: 4096,
+                        from: 1 - r,
+                        recv_bytes: 4096,
+                    },
+                );
+            }
+        }
+        let t = b.build();
+        let cfg = PowerConfig::paper(us(20), 0.10);
+        let ann = annotate_trace(&t, &cfg);
+        assert!(ann.total_directives() > 0);
+
+        let p = SimParams::paper();
+        let managed = replay(&t, Some(&ann), &p, &ReplayOptions::default()).expect("replay");
+        let misfiring = ReplayOptions {
+            faults: Some(FaultConfig {
+                wake_misfire_prob: 1.0,
+                ..FaultConfig::quiet(9)
+            }),
+            ..ReplayOptions::default()
+        };
+        let faulted = replay(&t, Some(&ann), &p, &misfiring).expect("replay");
+        assert!(faulted.faults.wake_misfires > 0);
+        // Every misfire resolved against a demand stalls exactly T_react
+        // (trailing-window misfires charge nothing; there are at most
+        // nprocs of them).
+        assert!(!faulted.faults.misfire_stall.is_zero());
+        let cap = SimDuration::from_ns(p.t_react.as_ns() * faulted.faults.wake_misfires);
+        assert!(faulted.faults.misfire_stall <= cap);
+        // Lanes stay down until demand → at least as much low-power time.
+        let low_ok: SimDuration = managed.link_low.iter().copied().sum();
+        let low_bad: SimDuration = faulted.link_low.iter().copied().sum();
+        assert!(low_bad >= low_ok, "{low_bad} < {low_ok}");
+        assert!(faulted.exec_time >= managed.exec_time);
     }
 }

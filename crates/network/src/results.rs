@@ -1,6 +1,7 @@
 //! Replay results and power/performance summaries.
 
 use crate::fabric::FabricStats;
+use crate::faults::FaultStats;
 use crate::power::LinkPower;
 use ibp_simcore::{SimDuration, SimTime, StateTimeline};
 
@@ -26,6 +27,8 @@ pub struct SimResult {
     pub fabric: FabricStats,
     /// Relative draw of the low-power state (from the parameters used).
     pub low_power_fraction: f64,
+    /// Fault-injection accounting (all zeros on a reliable fabric).
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -106,6 +109,7 @@ mod tests {
             timelines: None,
             fabric: FabricStats::default(),
             low_power_fraction: 0.43,
+            faults: FaultStats::default(),
         }
     }
 

@@ -230,6 +230,7 @@ mod tests {
             timelines: None,
             fabric: FabricStats::default(),
             low_power_fraction: 0.43,
+            faults: crate::faults::FaultStats::default(),
         };
         let rep = m.report(&result, result.exec_time);
         // Port view: 0.57 × 0.5 = 28.5%.

@@ -1,8 +1,49 @@
 //! Property-based tests for the fabric, topology and power accounting.
 
-use ibp_network::{Fabric, LinkPowerTracker, SimParams, Xgft};
+use ibp_network::{
+    replay, Fabric, FaultConfig, LinkPowerTracker, ReplayOptions, SimParams, Xgft,
+};
 use ibp_simcore::{DetRng, SimDuration, SimTime};
+use ibp_trace::{MpiOp, Trace, TraceBuilder};
 use proptest::prelude::*;
+
+/// A two-rank ping-pong with arbitrary message sizes and compute gaps.
+fn ping_pong(rounds: &[(u32, u32, u32)]) -> Trace {
+    let mut b = TraceBuilder::new("prop-pp", 2);
+    for &(bytes, gap0_us, gap1_us) in rounds {
+        let bytes = u64::from(bytes) + 1;
+        b.compute(0, SimDuration::from_us(u64::from(gap0_us)));
+        b.compute(1, SimDuration::from_us(u64::from(gap1_us)));
+        b.op(0, MpiOp::Send { to: 1, bytes });
+        b.op(1, MpiOp::Recv { from: 0, bytes });
+        b.op(1, MpiOp::Send { to: 0, bytes });
+        b.op(0, MpiOp::Recv { from: 1, bytes });
+    }
+    b.build()
+}
+
+/// Arbitrary — including invalid-free — fault configurations.
+fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        any::<u64>(),
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0u64..1_000,
+        0u64..1_000,
+        0.0f64..=1.0,
+        0u64..10_000,
+    )
+        .prop_map(|(seed, misfire, flap, o_lo, o_extra, degrade, window)| {
+            let mut cfg = FaultConfig::quiet(seed);
+            cfg.wake_misfire_prob = misfire;
+            cfg.flap_prob = flap;
+            cfg.flap_outage_min = SimDuration::from_us(o_lo);
+            cfg.flap_outage_max = SimDuration::from_us(o_lo + o_extra);
+            cfg.degrade_prob = degrade;
+            cfg.degraded_window = SimDuration::from_us(window);
+            cfg
+        })
+}
 
 proptest! {
     /// Transfers are causal (arrival after send) and monotone in size.
@@ -69,6 +110,58 @@ proptest! {
         let peak = levels.iter().position(|&l| l == *levels.iter().max().unwrap()).unwrap();
         prop_assert!(levels[..=peak].windows(2).all(|x| x[1] == x[0] + 1));
         prop_assert!(levels[peak..].windows(2).all(|x| x[1] + 1 == x[0]));
+    }
+
+    /// Replay with an arbitrary fault plan never panics — every outcome
+    /// is an `Ok` result or a typed error — and injected faults can only
+    /// lengthen execution, never shorten it.
+    #[test]
+    fn arbitrary_fault_plans_never_panic(
+        rounds in proptest::collection::vec((0u32..1_000_000, 0u32..3_000, 0u32..3_000), 1..40),
+        faults in arb_fault_config(),
+    ) {
+        let trace = ping_pong(&rounds);
+        let params = SimParams::paper();
+        let cfg = ibp_core::PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let ann = ibp_core::annotate_trace(&trace, &cfg);
+
+        let clean = replay(&trace, Some(&ann), &params, &ReplayOptions::default())
+            .expect("fault-free replay");
+        let opts = ReplayOptions { faults: Some(faults), ..ReplayOptions::default() };
+        let faulted = replay(&trace, Some(&ann), &params, &opts).expect("faulted replay");
+
+        prop_assert!(
+            faulted.exec_time >= clean.exec_time,
+            "faults shortened execution: {} < {}",
+            faulted.exec_time,
+            clean.exec_time
+        );
+        // The execution-time gap is explained by the charged fault costs.
+        prop_assert!(
+            faulted.exec_time - clean.exec_time <= faulted.faults.total_charged(),
+            "gap above charged fault cost"
+        );
+    }
+
+    /// A quiet fault plan (all probabilities zero) is bit-identical to no
+    /// fault plan at all, whatever its seed.
+    #[test]
+    fn quiet_fault_plans_are_inert(
+        rounds in proptest::collection::vec((0u32..100_000, 0u32..2_000, 0u32..2_000), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let trace = ping_pong(&rounds);
+        let params = SimParams::paper();
+        let cfg = ibp_core::PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let ann = ibp_core::annotate_trace(&trace, &cfg);
+        let clean = replay(&trace, Some(&ann), &params, &ReplayOptions::default()).unwrap();
+        let opts = ReplayOptions {
+            faults: Some(FaultConfig::quiet(seed)),
+            ..ReplayOptions::default()
+        };
+        let quiet = replay(&trace, Some(&ann), &params, &opts).unwrap();
+        prop_assert_eq!(clean.exec_time, quiet.exec_time);
+        prop_assert_eq!(quiet.faults.total_events(), 0);
     }
 
     /// Power tracker: sleep windows never overlap, accumulated times are

@@ -134,7 +134,7 @@ impl Workload for NasMg {
         for r in 0..nprocs {
             let mut rng = root.split(1 + u64::from(r));
             let f = factors[r as usize];
-            for it in 0..self.iterations as usize {
+            for &norm_check in norm_checks.iter().take(self.iterations as usize) {
                 // Downward leg: smooth at finest (long gap) + halo, then
                 // restrict through the levels with shrinking gaps.
                 b.compute(r, self.smooth_gap.draw(gn, f, &mut rng));
@@ -176,7 +176,7 @@ impl Workload for NasMg {
                 b.compute(r, self.smooth_gap.draw(gn, f, &mut rng));
                 Self::level_halo(&mut b, r, nprocs, finest_bytes, 3, &mut rng);
                 // Occasional residual-norm check (pattern break).
-                if norm_checks[it] {
+                if norm_check {
                     b.compute(r, intra_gram_gap(&mut rng));
                     b.op(r, MpiOp::Allreduce { bytes: 8 });
                 }

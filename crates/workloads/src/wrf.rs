@@ -154,8 +154,7 @@ impl Workload for Wrf {
         for r in 0..nprocs {
             let mut rng = root.split(1 + u64::from(r));
             let f = factors[r as usize];
-            for it in 0..self.iterations as usize {
-                let exchanges = burst_sizes[it];
+            for (it, &exchanges) in burst_sizes.iter().enumerate().take(self.iterations as usize) {
                 let msg_bytes = (total_halo / u64::from(2 * exchanges)).max(64);
                 // Dynamics, then the first burst group.
                 b.compute(r, self.dynamics_gap.draw(gn, f, &mut rng));

@@ -26,8 +26,8 @@ fn main() {
         let trace = make_trace(app, nprocs, 0xD1C0);
         let cfg = RunConfig::new(20.0, 0.01).power_config();
         let ann = annotate_trace(&trace, &cfg);
-        let baseline = replay(&trace, None, &params, &opts);
-        let managed = replay(&trace, Some(&ann), &params, &opts);
+        let baseline = replay(&trace, None, &params, &opts).expect("replay");
+        let managed = replay(&trace, Some(&ann), &params, &opts).expect("replay");
 
         let secs = managed.exec_time.as_secs_f64();
         let ports = f64::from(nprocs);

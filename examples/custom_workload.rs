@@ -68,8 +68,8 @@ fn main() {
     let ann = annotate_trace(&trace, &cfg);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
-    let baseline = replay(&trace, None, &params, &opts);
-    let managed = replay(&trace, Some(&ann), &params, &opts);
+    let baseline = replay(&trace, None, &params, &opts).expect("replay");
+    let managed = replay(&trace, Some(&ann), &params, &opts).expect("replay");
 
     let agg = ann.aggregate_stats();
     println!("hit rate            : {:.1}%", agg.hit_rate_pct());

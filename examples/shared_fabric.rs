@@ -78,8 +78,8 @@ fn main() {
     let ann = annotate_trace(&fabric_trace, &cfg);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
-    let baseline = replay(&fabric_trace, None, &params, &opts);
-    let managed = replay(&fabric_trace, Some(&ann), &params, &opts);
+    let baseline = replay(&fabric_trace, None, &params, &opts).expect("replay");
+    let managed = replay(&fabric_trace, Some(&ann), &params, &opts).expect("replay");
 
     println!("\nfabric execution: baseline {}, managed {} ({:+.3}%)",
         baseline.exec_time,

@@ -32,7 +32,7 @@ fn main() {
         record_timelines: true,
         ..ReplayOptions::default()
     };
-    let result = replay(&trace, Some(&ann), &SimParams::paper(), &opts);
+    let result = replay(&trace, Some(&ann), &SimParams::paper(), &opts).expect("replay");
     let timelines = result.timelines.as_ref().expect("recorded");
 
     // Render the whole run (the horizon must cover every recorded

@@ -35,8 +35,8 @@ fn replay_is_deterministic() {
     let t = trace(2);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
-    let a = replay(&t, None, &params, &opts);
-    let b = replay(&t, None, &params, &opts);
+    let a = replay(&t, None, &params, &opts).expect("replay");
+    let b = replay(&t, None, &params, &opts).expect("replay");
     assert_eq!(a.exec_time, b.exec_time);
     assert_eq!(a.rank_finish, b.rank_finish);
     assert_eq!(a.fabric.messages, b.fabric.messages);
@@ -68,8 +68,9 @@ fn routing_seed_changes_timing_but_not_traffic() {
         &ReplayOptions {
             seed: 1,
             record_timelines: false,
+            ..ReplayOptions::default()
         },
-    );
+    ).expect("replay");
     let b = replay(
         &t,
         None,
@@ -77,8 +78,9 @@ fn routing_seed_changes_timing_but_not_traffic() {
         &ReplayOptions {
             seed: 2,
             record_timelines: false,
+            ..ReplayOptions::default()
         },
-    );
+    ).expect("replay");
     assert_eq!(a.fabric.messages, b.fabric.messages);
     assert_eq!(a.fabric.bytes, b.fabric.bytes);
 }

@@ -106,8 +106,8 @@ fn managed_run_never_loses_messages() {
     let ann = annotate_trace(&trace, &cfg);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
-    let base = replay(&trace, None, &params, &opts);
-    let managed = replay(&trace, Some(&ann), &params, &opts);
+    let base = replay(&trace, None, &params, &opts).expect("replay");
+    let managed = replay(&trace, Some(&ann), &params, &opts).expect("replay");
     assert_eq!(base.fabric.messages, managed.fabric.messages);
     assert_eq!(base.fabric.bytes, managed.fabric.bytes);
 }
@@ -122,7 +122,7 @@ fn per_rank_low_power_is_within_run_bounds() {
         Some(&ann),
         &SimParams::paper(),
         &ReplayOptions::default(),
-    );
+    ).expect("replay");
     for (r, low) in result.link_low.iter().enumerate() {
         assert!(
             *low <= result.exec_time,
@@ -150,7 +150,7 @@ fn gromacs_timelines_render_like_fig6() {
         record_timelines: true,
         ..ReplayOptions::default()
     };
-    let result = replay(&trace, Some(&ann), &SimParams::paper(), &opts);
+    let result = replay(&trace, Some(&ann), &SimParams::paper(), &opts).expect("replay");
     let tls = result.timelines.expect("recorded");
     let end = tls
         .iter()

@@ -96,6 +96,49 @@ proptest! {
         prop_assert!(hit > 50.0, "hit rate only {hit}%");
     }
 
+    /// Under wake-timer misfire injection, every misfired wake-up is
+    /// charged at most the active sleep kind's reactivation latency:
+    /// T_react for WRPS-only configs, deep_t_react with deep sleep on.
+    #[test]
+    fn per_wake_misfire_stall_capped_at_active_react(
+        rounds in proptest::collection::vec((1u32..100_000, 21u32..3_000, 21u32..3_000), 5..40),
+        misfire in 0.05f64..=1.0,
+        seed in proptest::prelude::any::<u64>(),
+        deep in proptest::prelude::any::<bool>(),
+    ) {
+        use ibp_network::{replay, FaultConfig, ReplayOptions, SimParams};
+
+        let mut b = TraceBuilder::new("misfire-cap", 2);
+        for &(bytes, g0, g1) in &rounds {
+            b.compute(0, SimDuration::from_us(u64::from(g0)));
+            b.compute(1, SimDuration::from_us(u64::from(g1)));
+            b.op(0, MpiOp::Send { to: 1, bytes: u64::from(bytes) });
+            b.op(1, MpiOp::Recv { from: 0, bytes: u64::from(bytes) });
+            b.op(1, MpiOp::Send { to: 0, bytes: u64::from(bytes) });
+            b.op(0, MpiOp::Recv { from: 1, bytes: u64::from(bytes) });
+        }
+        let trace = b.build();
+
+        let mut cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        if deep {
+            cfg = cfg.with_deep_sleep(SimDuration::from_ms(5));
+        }
+        let ann = ibp_core::annotate_trace(&trace, &cfg);
+        let mut faults = FaultConfig::quiet(seed);
+        faults.wake_misfire_prob = misfire;
+        let opts = ReplayOptions { faults: Some(faults), ..ReplayOptions::default() };
+        let result = replay(&trace, Some(&ann), &SimParams::paper(), &opts).expect("replay");
+
+        let cap = if deep { cfg.deep_t_react } else { cfg.t_react };
+        prop_assert!(
+            result.faults.misfire_stall <= cap * result.faults.wake_misfires,
+            "misfire stall {} above {} x {} wakes",
+            result.faults.misfire_stall,
+            cap,
+            result.faults.wake_misfires
+        );
+    }
+
     /// Random (aperiodic) gap structure must never fabricate directives
     /// with timers longer than the largest observed idle.
     #[test]

@@ -59,7 +59,7 @@ proptest! {
     ) {
         let trace = random_spmd_trace(nprocs, &schedule, seed);
         trace.validate().unwrap();
-        let result = replay(&trace, None, &SimParams::paper(), &ReplayOptions::default());
+        let result = replay(&trace, None, &SimParams::paper(), &ReplayOptions::default()).expect("replay");
         for (r, finish) in result.rank_finish.iter().enumerate() {
             let own = trace.ranks[r].total_compute();
             prop_assert!(
@@ -87,8 +87,8 @@ proptest! {
         }
         let params = SimParams::paper();
         let opts = ReplayOptions::default();
-        let a = replay(&base, None, &params, &opts);
-        let b = replay(&inflated, None, &params, &opts);
+        let a = replay(&base, None, &params, &opts).expect("replay");
+        let b = replay(&inflated, None, &params, &opts).expect("replay");
         prop_assert!(
             b.exec_time >= a.exec_time,
             "adding compute shortened the run: {} -> {}",
@@ -113,7 +113,7 @@ fn bcast_reaches_all_ranks_after_root_compute() {
         None,
         &SimParams::paper(),
         &ReplayOptions::default(),
-    );
+    ).expect("replay");
     for (r, f) in result.rank_finish.iter().enumerate() {
         assert!(
             f.as_us_f64() >= 10_000.0,
@@ -135,7 +135,7 @@ fn reduce_waits_for_slowest_contributor() {
         None,
         &SimParams::paper(),
         &ReplayOptions::default(),
-    );
+    ).expect("replay");
     assert!(
         result.rank_finish[0].as_us_f64() >= 7_000.0,
         "root finished before the late contributor: {}",
@@ -158,7 +158,7 @@ fn alltoall_transports_n_squared_messages() {
         None,
         &SimParams::paper(),
         &ReplayOptions::default(),
-    );
+    ).expect("replay");
     assert_eq!(result.fabric.messages, u64::from(n) * u64::from(n - 1));
 }
 
@@ -177,7 +177,7 @@ fn wait_enforces_request_completion_time() {
         None,
         &SimParams::paper(),
         &ReplayOptions::default(),
-    );
+    ).expect("replay");
     assert!(
         result.rank_finish[0].as_us_f64() > 5_000.0,
         "wait returned before the message existed: {}",
@@ -201,7 +201,7 @@ fn message_ordering_is_fifo_per_pair() {
         None,
         &SimParams::paper(),
         &ReplayOptions::default(),
-    );
+    ).expect("replay");
     let serial_big = SimParams::paper().serialize(4 << 20);
     assert!(
         result.rank_finish[1].as_ns() >= serial_big.as_ns(),

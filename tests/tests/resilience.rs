@@ -1,0 +1,112 @@
+//! Integration tests for the resilience controller under fault storms.
+//!
+//! The headline guarantee: with the slowdown budget configured, a fault
+//! storm (10× fault rate on every link plus heavily amplified compute
+//! jitter) cannot slow the managed run down by more than the configured
+//! cap relative to a power-unaware baseline replayed under the *same*
+//! faults. And on a clean trace the controller must be free: hit rate
+//! and savings within 1% of the resilience-disabled mechanism.
+
+use ibp_core::{annotate_trace, PowerConfig, ResilienceConfig};
+use ibp_network::{replay, FaultConfig, ReplayOptions, SimParams};
+use ibp_simcore::SimDuration;
+use ibp_trace::Trace;
+use ibp_workloads::{Alya, Workload};
+
+fn jittery_alya(jitter_mult: f64, nprocs: u32, seed: u64) -> Trace {
+    let mut alya = Alya::default();
+    alya.assembly_gap.sigma *= jitter_mult;
+    alya.solver_gap.sigma *= jitter_mult;
+    alya.generate(nprocs, seed)
+}
+
+fn paper_cfg() -> PowerConfig {
+    PowerConfig::paper(SimDuration::from_us(20), 0.01)
+}
+
+#[test]
+fn fault_storm_slowdown_bounded_by_budget() {
+    // ≥10× fault rate and 25× compute jitter: a hostile environment for
+    // a pattern predictor.
+    let trace = jittery_alya(25.0, 8, 0xBEEF);
+    let params = SimParams::paper();
+    let budget_pct = 2.0;
+    let cfg = paper_cfg().with_resilience(ResilienceConfig::with_budget(budget_pct));
+    let ann = annotate_trace(&trace, &cfg);
+    let opts = ReplayOptions {
+        faults: Some(FaultConfig::with_rate(0xF00D, 10.0)),
+        ..ReplayOptions::default()
+    };
+    let baseline = replay(&trace, None, &params, &opts).expect("baseline");
+    let managed = replay(&trace, Some(&ann), &params, &opts).expect("managed");
+    let slowdown = managed.slowdown_pct(&baseline);
+    assert!(
+        slowdown <= budget_pct,
+        "storm slowdown {slowdown:.3}% above the {budget_pct}% budget"
+    );
+    // The per-rank accounting the budget guard enforces holds too.
+    for rank in &ann.ranks {
+        assert!(
+            rank.stats.added_time_pct() <= budget_pct + 0.5,
+            "rank added time {:.3}% far above budget",
+            rank.stats.added_time_pct()
+        );
+    }
+}
+
+#[test]
+fn backoff_beats_unguarded_mechanism_in_the_storm() {
+    let trace = jittery_alya(25.0, 8, 0xBEEF);
+    let params = SimParams::paper();
+    let plain_ann = annotate_trace(&trace, &paper_cfg());
+    let resilient_ann = annotate_trace(
+        &trace,
+        &paper_cfg().with_resilience(ResilienceConfig::standard()),
+    );
+    let opts = ReplayOptions {
+        faults: Some(FaultConfig::with_rate(0xF00D, 10.0)),
+        ..ReplayOptions::default()
+    };
+    let baseline = replay(&trace, None, &params, &opts).expect("baseline");
+    let plain = replay(&trace, Some(&plain_ann), &params, &opts).expect("plain");
+    let resilient = replay(&trace, Some(&resilient_ann), &params, &opts).expect("resilient");
+    let plain_slow = plain.slowdown_pct(&baseline);
+    let resilient_slow = resilient.slowdown_pct(&baseline);
+    assert!(
+        resilient_slow <= plain_slow,
+        "backoff made the storm worse: {resilient_slow:.3}% vs plain {plain_slow:.3}%"
+    );
+    // The backoff fired: storms were detected and calls were held off.
+    let agg = resilient_ann.aggregate_stats();
+    assert!(agg.storms > 0, "no storm detected at 25x jitter");
+    assert!(agg.holdoff_calls > 0);
+}
+
+#[test]
+fn fault_free_alya_parity_within_one_percent() {
+    // On the clean paper workload the resilience controller must not
+    // change the outcome: hit rate and savings within 1% absolute.
+    let trace = Alya::default().generate(8, 0xA17A);
+    let params = SimParams::paper();
+    let plain_ann = annotate_trace(&trace, &paper_cfg());
+    let resilient_ann = annotate_trace(
+        &trace,
+        &paper_cfg().with_resilience(ResilienceConfig::standard()),
+    );
+    let plain_hit = plain_ann.aggregate_stats().hit_rate_pct();
+    let resilient_hit = resilient_ann.aggregate_stats().hit_rate_pct();
+    assert!(
+        (plain_hit - resilient_hit).abs() < 1.0,
+        "hit rate drifted: {plain_hit:.2}% vs {resilient_hit:.2}%"
+    );
+    let opts = ReplayOptions::default();
+    let plain = replay(&trace, Some(&plain_ann), &params, &opts).expect("plain");
+    let resilient = replay(&trace, Some(&resilient_ann), &params, &opts).expect("resilient");
+    assert!(
+        (plain.power_saving_pct() - resilient.power_saving_pct()).abs() < 1.0,
+        "savings drifted: {:.2}% vs {:.2}%",
+        plain.power_saving_pct(),
+        resilient.power_saving_pct()
+    );
+    assert_eq!(resilient.faults.total_events(), 0);
+}

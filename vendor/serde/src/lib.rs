@@ -1,0 +1,440 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework that is **API-compatible with
+//! the subset of serde this repository uses**: the `Serialize` and
+//! `Deserialize` traits, their derive macros (including `#[serde(default)]`
+//! and `#[serde(default = "path")]` field attributes), and implementations
+//! for the standard types that appear in trace, annotation, and result
+//! records.
+//!
+//! Unlike real serde there is no zero-copy visitor machinery: values are
+//! funnelled through an owned [`Value`] tree, which `serde_json` (also
+//! vendored) renders to and parses from JSON. That is plenty for this
+//! workspace — serialization is explicitly not on any hot path (see
+//! `ibp-trace::io`) — and keeps the vendored code small and auditable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// An owned, JSON-shaped data tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path + message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from anything displayable.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::custom(format!("integer {u} out of range")))?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom(format!("expected array, got {}", v.kind())))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if s.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected array of {LEN}, got {}",
+                        s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+/// Types usable as JSON object keys.
+pub trait MapKey: Sized + Ord {
+    /// Render as an object key.
+    fn to_key(&self) -> String;
+    /// Parse back from an object key.
+    fn from_key(k: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(k: &str) -> Result<Self, DeError> {
+        Ok(k.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(k: &str) -> Result<Self, DeError> {
+                k.parse()
+                    .map_err(|_| DeError::custom(format!("bad integer key {k:?}")))
+            }
+        }
+    )*};
+}
+
+impl_mapkey_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {}", v.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+// ---- helpers used by derived code ----
+
+/// Fetch and deserialize a required field from derived struct output.
+pub fn __field<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::custom(format!("field `{key}`: {e}")))
+        }
+        None => Err(DeError::custom(format!("missing field `{key}`"))),
+    }
+}
+
+/// Fetch a `#[serde(default)]` field, falling back to `Default`.
+pub fn __field_or_default<T: Deserialize + Default>(
+    m: &[(String, Value)],
+    key: &str,
+) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::custom(format!("field `{key}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+/// Fetch a `#[serde(default = "path")]` field, falling back to `path()`.
+pub fn __field_or_else<T: Deserialize>(
+    m: &[(String, Value)],
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::custom(format!("field `{key}`: {e}")))
+        }
+        None => Ok(default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::from_value(&t.to_value()).unwrap(), t);
+        let mut m = BTreeMap::new();
+        m.insert(3u16, 9u64);
+        assert_eq!(BTreeMap::<u16, u64>::from_value(&m.to_value()).unwrap(), m);
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let v = Value::Map(vec![("a".into(), Value::Str("nope".into()))]);
+        let e = __field::<u32>(v.as_map().unwrap(), "a").unwrap_err();
+        assert!(e.to_string().contains("`a`"));
+        let e = __field::<u32>(v.as_map().unwrap(), "b").unwrap_err();
+        assert!(e.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,626 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-tree `serde` without depending on `syn`/`quote` (the build
+//! environment has no crates.io access). The item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is generated as source text, which
+//! is parsed back into a token stream.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - structs with named fields, including generic ones (`StateInterval<S>`)
+//! - tuple structs (newtypes like `SimTime(pub u64)` serialize transparently;
+//!   wider tuples serialize as arrays)
+//! - enums with unit variants (discriminants like `Send = 1` are accepted and
+//!   ignored), struct variants, and tuple/newtype variants, using serde's
+//!   externally-tagged representation
+//! - field attributes `#[serde(default)]` and `#[serde(default = "path")]`
+
+// The attribute walker uses `while … { …; break/panic }` as a readable
+// "match the first token" idiom; clippy's never_loop objects.
+#![allow(clippy::never_loop)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---- item model ----
+
+struct Item {
+    name: String,
+    /// Verbatim tokens between `<` and `>` of the declaration (with bounds).
+    generic_decl: String,
+    /// Just the type-parameter idents, e.g. `["S"]`.
+    generic_params: Vec<String>,
+    /// Verbatim `where` clause predicates (without the keyword), if any.
+    where_clause: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Struct with named fields.
+    Named(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: DefaultAttr,
+}
+
+enum DefaultAttr {
+    None,
+    /// `#[serde(default)]`
+    Default,
+    /// `#[serde(default = "path")]`
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Struct(Vec<Field>),
+    Tuple(usize),
+}
+
+// ---- parsing ----
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Skip attributes and doc comments, returning any `#[serde(...)]`
+    /// default directive found among them.
+    fn skip_attrs(&mut self) -> DefaultAttr {
+        let mut out = DefaultAttr::None;
+        while self.eat_punct('#') {
+            // `#![...]` inner attrs don't occur in derive input; only `#[...]`.
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: malformed attribute near {other:?}"),
+            };
+            if let Some(attr) = parse_serde_attr(group.stream()) {
+                out = attr;
+            }
+        }
+        out
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+    fn skip_vis(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level `,` (consumed) or end of stream,
+    /// tracking `<`/`>` nesting so commas inside generics don't terminate.
+    fn skip_until_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// If `stream` is the contents of a `serde(...)` attribute, extract the
+/// default directive; returns `None` for non-serde attrs (doc, repr, ...).
+fn parse_serde_attr(stream: TokenStream) -> Option<DefaultAttr> {
+    let mut cur = Cursor::new(stream);
+    if cur.peek_ident().as_deref() != Some("serde") {
+        return None;
+    }
+    cur.pos += 1;
+    let inner = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Some(DefaultAttr::None),
+    };
+    let mut cur = Cursor::new(inner);
+    while let Some(word) = cur.peek_ident() {
+        cur.pos += 1;
+        if word == "default" {
+            if cur.eat_punct('=') {
+                match cur.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        let path = s.trim_matches('"').to_string();
+                        return Some(DefaultAttr::Path(path));
+                    }
+                    other => panic!("serde_derive: expected path literal after `default =`, got {other:?}"),
+                }
+            }
+            return Some(DefaultAttr::Default);
+        }
+        // Unknown serde directive (rename, skip, ...): not used in this
+        // workspace; fail loudly rather than silently misbehave.
+        panic!("serde_derive: unsupported serde attribute `{word}`");
+    }
+    Some(DefaultAttr::None)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+
+    let keyword = cur
+        .peek_ident()
+        .unwrap_or_else(|| panic!("serde_derive: expected `struct` or `enum`"));
+    cur.pos += 1;
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    // Generics: verbatim decl between `<` `>` plus the bare param names.
+    let mut generic_decl = String::new();
+    let mut generic_params = Vec::new();
+    if cur.eat_punct('<') {
+        let mut depth = 1i32;
+        let mut decl_toks: Vec<TokenTree> = Vec::new();
+        loop {
+            let t = cur
+                .next()
+                .unwrap_or_else(|| panic!("serde_derive: unterminated generics on {name}"));
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            decl_toks.push(t);
+        }
+        generic_decl = decl_toks
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Param names: the ident opening each top-level comma-separated
+        // chunk, skipping lifetimes (`'a`) and const params.
+        let mut depth = 0i32;
+        let mut at_start = true;
+        let mut i = 0usize;
+        while i < decl_toks.len() {
+            match &decl_toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => at_start = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' && at_start && depth == 0 => {
+                    // lifetime param: skip the quote and its ident
+                    i += 1;
+                    at_start = false;
+                }
+                TokenTree::Ident(id) if at_start && depth == 0 => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        i += 1; // skip the const param's name too
+                    } else {
+                        generic_params.push(s);
+                    }
+                    at_start = false;
+                }
+                _ => at_start = false,
+            }
+            i += 1;
+        }
+    }
+
+    // Optional where clause: collect predicates verbatim until the body.
+    let mut where_clause = String::new();
+    if cur.peek_ident().as_deref() == Some("where") {
+        cur.pos += 1;
+        let mut toks = Vec::new();
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Group(g)
+                    if g.delimiter() == Delimiter::Brace
+                        || g.delimiter() == Delimiter::Parenthesis =>
+                {
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => {
+                    toks.push(cur.next().unwrap());
+                }
+            }
+        }
+        where_clause = toks
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generic_decl,
+        generic_params,
+        where_clause,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let default = cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_vis();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        if !cur.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        cur.skip_until_comma(); // the type itself is irrelevant to codegen
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut n = 0usize;
+    while cur.peek().is_some() {
+        cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_vis();
+        cur.skip_until_comma();
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= 1`) and the trailing comma.
+        cur.skip_until_comma();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- codegen ----
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    let mut s = String::from("impl");
+    if !item.generic_decl.is_empty() {
+        s.push('<');
+        s.push_str(&item.generic_decl);
+        s.push('>');
+    }
+    s.push(' ');
+    s.push_str(trait_path);
+    s.push_str(" for ");
+    s.push_str(&item.name);
+    if !item.generic_params.is_empty() {
+        s.push('<');
+        s.push_str(&item.generic_params.join(", "));
+        s.push('>');
+    }
+    let mut preds: Vec<String> = Vec::new();
+    if !item.where_clause.is_empty() {
+        preds.push(item.where_clause.clone());
+    }
+    for p in &item.generic_params {
+        preds.push(format!("{p}: {trait_path}"));
+    }
+    if !preds.is_empty() {
+        s.push_str(" where ");
+        s.push_str(&preds.join(", "));
+    }
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{elems}])")
+        }
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Struct(fields) => {
+                            let pats = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(vec![{entries}]))]),"
+                            )
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let pats = (0..*n)
+                                .map(|i| format!("x{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let elems: String = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({pats}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(vec![{elems}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let header = impl_header(item, "::serde::Deserialize");
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let field_lines: String = fields
+                .iter()
+                .map(|f| match &f.default {
+                    DefaultAttr::None => {
+                        format!("{0}: ::serde::__field(m, \"{0}\")?,", f.name)
+                    }
+                    DefaultAttr::Default => {
+                        format!("{0}: ::serde::__field_or_default(m, \"{0}\")?,", f.name)
+                    }
+                    DefaultAttr::Path(p) => {
+                        format!("{0}: ::serde::__field_or_else(m, \"{0}\", {p})?,", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(format!(\"expected object for {name}, got {{}}\", v.kind())))?; \
+                 ::std::result::Result::Ok({name} {{ {field_lines} }})"
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?,"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::DeError::custom(format!(\"expected array for {name}, got {{}}\", v.kind())))?; \
+                 if s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(format!(\"expected array of {n} for {name}, got {{}}\", s.len()))); }} \
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let str_arm = format!(
+                "::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{}}` for {name}\", other))), }},"
+            );
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+            let map_arm = if tagged.is_empty() {
+                String::new()
+            } else {
+                let tag_arms: String = tagged
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.shape {
+                            VariantShape::Struct(fields) => {
+                                let field_lines: String = fields
+                                    .iter()
+                                    .map(|f| match &f.default {
+                                        DefaultAttr::None => format!(
+                                            "{0}: ::serde::__field(m, \"{0}\")?,",
+                                            f.name
+                                        ),
+                                        DefaultAttr::Default => format!(
+                                            "{0}: ::serde::__field_or_default(m, \"{0}\")?,",
+                                            f.name
+                                        ),
+                                        DefaultAttr::Path(p) => format!(
+                                            "{0}: ::serde::__field_or_else(m, \"{0}\", {p})?,",
+                                            f.name
+                                        ),
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vn}\" => {{ let m = inner.as_map().ok_or_else(|| ::serde::DeError::custom(format!(\"expected object for {name}::{vn}, got {{}}\", inner.kind())))?; ::std::result::Result::Ok({name}::{vn} {{ {field_lines} }}) }}"
+                                )
+                            }
+                            VariantShape::Tuple(1) => format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                            ),
+                            VariantShape::Tuple(n) => {
+                                let elems: String = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&s[{i}])?,")
+                                    })
+                                    .collect();
+                                format!(
+                                    "\"{vn}\" => {{ let s = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(format!(\"expected array for {name}::{vn}, got {{}}\", inner.kind())))?; if s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(format!(\"expected array of {n} for {name}::{vn}, got {{}}\", s.len()))); }} ::std::result::Result::Ok({name}::{vn}({elems})) }}"
+                                )
+                            }
+                            VariantShape::Unit => unreachable!(),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{ let (tag, inner) = &entries[0]; match tag.as_str() {{ {tag_arms} other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{}}` for {name}\", other))), }} }},"
+                )
+            };
+            format!(
+                "match v {{ {str_arm} {map_arm} other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"expected variant of {name}, got {{}}\", other.kind()))), }}"
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
