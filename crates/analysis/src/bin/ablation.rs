@@ -1,21 +1,20 @@
 //! Policy ablation: the predictive mechanism between its bounds — the
 //! clairvoyant oracle and reactive idle-timeout hardware policies.
 use ibp_analysis::extensions::{policy_ablation, render_policy_ablation};
+use ibp_analysis::{bin_main, OutputDir, SweepEngine};
 
 fn main() {
-    let nprocs: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    println!("== Policy ablation at {nprocs} ranks (displacement 1%, GT 20us) ==");
-    println!("oracle: perfect idle knowledge, zero stalls (upper bound)");
-    println!("reactive-Xus: hardware idle-timeout, full T_react stall per wake\n");
-    let rows = policy_ablation(nprocs, 0xD1C0);
-    print!("{}", render_policy_ablation(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/ablation.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, args| {
+        let out = OutputDir::default_dir()?;
+        let nprocs: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+        let engine = SweepEngine::new(opts);
+        println!("== Policy ablation at {nprocs} ranks (displacement 1%, GT 20us) ==");
+        println!("oracle: perfect idle knowledge, zero stalls (upper bound)");
+        println!("reactive-Xus: hardware idle-timeout, full T_react stall per wake\n");
+        let rows = policy_ablation(&engine, nprocs, 0xD1C0);
+        print!("{}", render_policy_ablation(&rows));
+        out.write_json("ablation.json", &rows)?;
+        out.write_stats("ablation", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,73 +1,110 @@
-//! Run every exhibit in sequence, writing text + JSON under `results/`.
-use ibp_analysis::exhibits;
+//! Run every exhibit on one shared sweep engine, writing text + JSON
+//! under the results directory. Sharing the engine means each unique
+//! (app, nprocs, seed) trace is generated once and its baseline
+//! replayed once for the whole batch; Table III's GT selections are
+//! reused verbatim by Figs. 7–9.
+//!
+//! Any write failure aborts the run with a nonzero exit naming the
+//! failing path — no more silently empty `results/` directories.
+use ibp_analysis::exhibits::{self, SEED};
+use ibp_analysis::{bin_main, ExhibitGrid, OutputDir, SweepEngine, SweepStats};
 
 fn main() {
-    std::fs::create_dir_all("results").ok();
-    let mut summary = String::new();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let grid = ExhibitGrid::paper();
+        let mut summary = String::new();
+        // Stats checkpoint: each exhibit's stats file records only the
+        // work that exhibit added on top of the shared caches.
+        let mut mark = SweepStats::default();
+        let mut checkpoint = |engine: &SweepEngine| {
+            let now = engine.stats();
+            let delta = now.since(&mark);
+            mark = now;
+            delta
+        };
 
-    println!("[1/7] Table II (parameters)");
-    let params = ibp_network::SimParams::paper().describe();
-    summary.push_str(&format!("== Table II ==\n{params}\n\n"));
+        println!("[1/7] Table II (parameters)");
+        let params = ibp_network::SimParams::paper().describe();
+        summary.push_str(&format!("== Table II ==\n{params}\n\n"));
 
-    println!("[2/7] Table I (idle intervals)");
-    let t1 = exhibits::table1(exhibits::SEED);
-    summary.push_str("== Table I ==\n");
-    summary.push_str(&exhibits::render_table1(&t1));
-    std::fs::write("results/table1.json", serde_json::to_string_pretty(&t1).unwrap()).ok();
+        println!("[2/7] Table I (idle intervals)");
+        let t1 = exhibits::table1(&engine, &grid, SEED);
+        summary.push_str("== Table I ==\n");
+        summary.push_str(&exhibits::render_table1(&t1));
+        out.write_json("table1.json", &t1)?;
+        out.write_stats("table1", &checkpoint(&engine))?;
 
-    println!("[3/7] Table III (GT selection)");
-    let t3 = exhibits::table3(exhibits::SEED);
-    summary.push_str("\n== Table III ==\n");
-    summary.push_str(&exhibits::render_table3(&t3));
-    std::fs::write("results/table3.json", serde_json::to_string_pretty(&t3).unwrap()).ok();
+        println!("[3/7] Table III (GT selection)");
+        let t3 = exhibits::table3(&engine, &grid, SEED);
+        summary.push_str("\n== Table III ==\n");
+        summary.push_str(&exhibits::render_table3(&t3));
+        out.write_json("table3.json", &t3)?;
+        out.write_stats("table3", &checkpoint(&engine))?;
 
-    println!("[4/7] Table IV (PPA overheads)");
-    let t4 = exhibits::table4(exhibits::SEED);
-    summary.push_str("\n== Table IV ==\n");
-    summary.push_str(&exhibits::render_table4(&t4));
-    std::fs::write("results/table4.json", serde_json::to_string_pretty(&t4).unwrap()).ok();
+        println!("[4/7] Table IV (PPA overheads)");
+        let t4 = exhibits::table4(&engine, SEED);
+        summary.push_str("\n== Table IV ==\n");
+        summary.push_str(&exhibits::render_table4(&t4));
+        out.write_json("table4.json", &t4)?;
+        out.write_stats("table4", &checkpoint(&engine))?;
 
-    for (i, (name, disp)) in [("fig7", 0.10), ("fig8", 0.05), ("fig9", 0.01)]
-        .iter()
-        .enumerate()
-    {
-        println!("[{}/7] {} (displacement {:.0}%)", i + 5, name, disp * 100.0);
-        let fig = exhibits::figure(*disp, exhibits::SEED);
-        summary.push_str(&format!("\n== {name} ==\n"));
-        summary.push_str(&exhibits::render_figure(&fig));
-        std::fs::write(
-            format!("results/{name}.json"),
-            serde_json::to_string_pretty(&fig).unwrap(),
-        )
-        .ok();
-        std::fs::write(
-            format!("results/{name}.svg"),
-            ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
-        )
-        .ok();
-        std::fs::write(
-            format!("results/{name}-dark.svg"),
-            ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
-        )
-        .ok();
-    }
+        for (i, (name, disp)) in [("fig7", 0.10), ("fig8", 0.05), ("fig9", 0.01)]
+            .iter()
+            .enumerate()
+        {
+            println!("[{}/7] {} (displacement {:.0}%)", i + 5, name, disp * 100.0);
+            let fig = exhibits::figure(&engine, &grid, *disp, SEED);
+            summary.push_str(&format!("\n== {name} ==\n"));
+            summary.push_str(&exhibits::render_figure(&fig));
+            out.write_json(&format!("{name}.json"), &fig)?;
+            out.write_text(
+                &format!("{name}.svg"),
+                &ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
+            )?;
+            out.write_text(
+                &format!("{name}-dark.svg"),
+                &ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
+            )?;
+            out.write_stats(name, &checkpoint(&engine))?;
+        }
 
-    println!("[7/7] Fig. 10 (GT sweep)");
-    let f10 = exhibits::fig10(exhibits::SEED);
-    summary.push('\n');
-    summary.push_str(&exhibits::render_fig10(&f10));
-    std::fs::write("results/fig10.json", serde_json::to_string_pretty(&f10).unwrap()).ok();
-    std::fs::write(
-        "results/fig10.svg",
-        ibp_analysis::svg::fig10_svg(&f10, ibp_analysis::svg::Mode::Light),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig10-dark.svg",
-        ibp_analysis::svg::fig10_svg(&f10, ibp_analysis::svg::Mode::Dark),
-    )
-    .ok();
+        println!("[7/7] Fig. 10 (GT sweep)");
+        let f10 = exhibits::fig10(&engine, SEED);
+        summary.push('\n');
+        summary.push_str(&exhibits::render_fig10(&f10));
+        out.write_json("fig10.json", &f10)?;
+        out.write_text(
+            "fig10.svg",
+            &ibp_analysis::svg::fig10_svg(&f10, ibp_analysis::svg::Mode::Light),
+        )?;
+        out.write_text(
+            "fig10-dark.svg",
+            &ibp_analysis::svg::fig10_svg(&f10, ibp_analysis::svg::Mode::Dark),
+        )?;
+        out.write_stats("fig10", &checkpoint(&engine))?;
 
-    std::fs::write("results/summary.txt", &summary).ok();
-    println!("\nAll exhibits written to results/ (summary.txt holds everything).");
+        out.write_text("summary.txt", &summary)?;
+        out.write_stats("all", &engine.stats())?;
+        let s = engine.stats();
+        println!(
+            "\nAll exhibits written to {} (summary.txt holds everything).",
+            out.root().display()
+        );
+        println!(
+            "sweep: {} cells on {} job(s) in {:.1}s — {} traces generated ({} cache hits), \
+             {} baselines ({} hits), {} GT selections ({} hits)",
+            s.cells,
+            s.jobs,
+            s.wall_ms as f64 / 1000.0,
+            s.traces_generated,
+            s.trace_hits,
+            s.baselines_computed,
+            s.baseline_hits,
+            s.gt_selections,
+            s.gt_hits,
+        );
+        Ok(())
+    });
 }

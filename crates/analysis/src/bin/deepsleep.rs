@@ -1,22 +1,21 @@
 //! The paper's §VI future work: deep switch sleep (buffers/crossbar down,
 //! millisecond reactivation) for long predicted idles, on top of WRPS.
 use ibp_analysis::extensions::{deep_sleep_study, render_deep_sleep};
+use ibp_analysis::{bin_main, OutputDir, SweepEngine};
 use ibp_simcore::SimDuration;
 
 fn main() {
-    let nprocs: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    let threshold = SimDuration::from_ms(5);
-    println!("== Deep-sleep extension at {nprocs} ranks (threshold {threshold}) ==");
-    println!("deep state: 1 ms reactivation, 10% draw; WRPS: 10 us, 43% draw\n");
-    let rows = deep_sleep_study(nprocs, threshold, 0xD1C0);
-    print!("{}", render_deep_sleep(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/deepsleep.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, args| {
+        let out = OutputDir::default_dir()?;
+        let nprocs: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
+        let threshold = SimDuration::from_ms(5);
+        let engine = SweepEngine::new(opts);
+        println!("== Deep-sleep extension at {nprocs} ranks (threshold {threshold}) ==");
+        println!("deep state: 1 ms reactivation, 10% draw; WRPS: 10 us, 43% draw\n");
+        let rows = deep_sleep_study(&engine, nprocs, threshold, 0xD1C0);
+        print!("{}", render_deep_sleep(&rows));
+        out.write_json("deepsleep.json", &rows)?;
+        out.write_stats("deepsleep", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,25 +1,21 @@
 //! Fault injection: replay ALYA under rising link fault rates (wake
 //! misfires, flaps, 1X degrades), with and without the resilience
-//! controller, and emit `results/fault_tolerance.json`.
+//! controller, and emit `fault_tolerance.json`.
 use ibp_analysis::extensions::{fault_tolerance_study, render_fault_tolerance};
+use ibp_analysis::{bin_main, OutputDir, SweepEngine};
 
 fn main() {
-    let nprocs: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let seed: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xD1C0);
-    println!("== Fault tolerance: ALYA at {nprocs} ranks under link fault injection ==");
-    println!("(slowdowns vs a power-unaware baseline under the same faults; seed {seed:#x})\n");
-    let rows = fault_tolerance_study(nprocs, seed);
-    print!("{}", render_fault_tolerance(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/fault_tolerance.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, args| {
+        let out = OutputDir::default_dir()?;
+        let nprocs: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+        let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0xD1C0);
+        let engine = SweepEngine::new(opts);
+        println!("== Fault tolerance: ALYA at {nprocs} ranks under link fault injection ==");
+        println!("(slowdowns vs a power-unaware baseline under the same faults; seed {seed:#x})\n");
+        let rows = fault_tolerance_study(&engine, nprocs, seed);
+        print!("{}", render_fault_tolerance(&rows));
+        out.write_json("fault_tolerance.json", &rows)?;
+        out.write_stats("fault_tolerance", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,23 +1,23 @@
 //! Fig. 10 reproduction: GT sweep for GROMACS at 64 and 128 ranks.
 use ibp_analysis::exhibits::{fig10, render_fig10, SEED};
+use ibp_analysis::{bin_main, OutputDir, SweepEngine};
 
 fn main() {
-    let data = fig10(SEED);
-    print!("{}", render_fig10(&data));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/fig10.json",
-        serde_json::to_string_pretty(&data).unwrap(),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig10.svg",
-        ibp_analysis::svg::fig10_svg(&data, ibp_analysis::svg::Mode::Light),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig10-dark.svg",
-        ibp_analysis::svg::fig10_svg(&data, ibp_analysis::svg::Mode::Dark),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let data = fig10(&engine, SEED);
+        print!("{}", render_fig10(&data));
+        out.write_json("fig10.json", &data)?;
+        out.write_text(
+            "fig10.svg",
+            &ibp_analysis::svg::fig10_svg(&data, ibp_analysis::svg::Mode::Light),
+        )?;
+        out.write_text(
+            "fig10-dark.svg",
+            &ibp_analysis::svg::fig10_svg(&data, ibp_analysis::svg::Mode::Dark),
+        )?;
+        out.write_stats("fig10", &engine.stats())?;
+        Ok(())
+    });
 }

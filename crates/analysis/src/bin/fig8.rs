@@ -1,25 +1,25 @@
 //! Fig. 8 reproduction: power savings and execution-time increase at
 //! displacement factor 0.05.
 use ibp_analysis::exhibits::{figure, render_figure, SEED};
+use ibp_analysis::{bin_main, ExhibitGrid, OutputDir, SweepEngine};
 
 fn main() {
-    let fig = figure(0.05, SEED);
-    println!("== Fig. 8 (displacement {:.0}%) ==", 0.05 * 100.0);
-    print!("{}", render_figure(&fig));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/fig8.json",
-        serde_json::to_string_pretty(&fig).unwrap(),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig8.svg",
-        ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig8-dark.svg",
-        ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let fig = figure(&engine, &ExhibitGrid::paper(), 0.05, SEED);
+        println!("== Fig. 8 (displacement {:.0}%) ==", 0.05 * 100.0);
+        print!("{}", render_figure(&fig));
+        out.write_json("fig8.json", &fig)?;
+        out.write_text(
+            "fig8.svg",
+            &ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
+        )?;
+        out.write_text(
+            "fig8-dark.svg",
+            &ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
+        )?;
+        out.write_stats("fig8", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,25 +1,25 @@
 //! Fig. 9 reproduction: power savings and execution-time increase at
 //! displacement factor 0.01.
 use ibp_analysis::exhibits::{figure, render_figure, SEED};
+use ibp_analysis::{bin_main, ExhibitGrid, OutputDir, SweepEngine};
 
 fn main() {
-    let fig = figure(0.01, SEED);
-    println!("== Fig. 9 (displacement {:.0}%) ==", 0.01 * 100.0);
-    print!("{}", render_figure(&fig));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/fig9.json",
-        serde_json::to_string_pretty(&fig).unwrap(),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig9.svg",
-        ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
-    )
-    .ok();
-    std::fs::write(
-        "results/fig9-dark.svg",
-        ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let fig = figure(&engine, &ExhibitGrid::paper(), 0.01, SEED);
+        println!("== Fig. 9 (displacement {:.0}%) ==", 0.01 * 100.0);
+        print!("{}", render_figure(&fig));
+        out.write_json("fig9.json", &fig)?;
+        out.write_text(
+            "fig9.svg",
+            &ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Light),
+        )?;
+        out.write_text(
+            "fig9-dark.svg",
+            &ibp_analysis::svg::figure_svg(&fig, ibp_analysis::svg::Mode::Dark),
+        )?;
+        out.write_stats("fig9", &engine.stats())?;
+        Ok(())
+    });
 }

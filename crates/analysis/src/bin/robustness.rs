@@ -1,24 +1,19 @@
 //! Failure injection: amplify compute jitter on ALYA and measure how the
 //! mechanism degrades (hit rate, savings, late wake-ups, slowdown).
 use ibp_analysis::extensions::{render_robustness, robustness_study};
+use ibp_analysis::{bin_main, OutputDir};
 
 fn main() {
-    let nprocs: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let seed: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xD1C0);
-    println!("== Robustness: ALYA at {nprocs} ranks under jitter amplification ==");
-    println!("(displacement 1%; stalls are capped at T_react per wake-up; seed {seed:#x})\n");
-    let rows = robustness_study(nprocs, seed);
-    print!("{}", render_robustness(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/robustness.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, args| {
+        let out = OutputDir::default_dir()?;
+        let nprocs: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+        let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0xD1C0);
+        println!("== Robustness: ALYA at {nprocs} ranks under jitter amplification ==");
+        println!("(displacement 1%; stalls are capped at T_react per wake-up; seed {seed:#x})\n");
+        let (rows, stats) = robustness_study(opts, nprocs, seed);
+        print!("{}", render_robustness(&rows));
+        out.write_json("robustness.json", &rows)?;
+        out.write_stats("robustness", &stats)?;
+        Ok(())
+    });
 }

@@ -1,15 +1,17 @@
 //! Table I reproduction: distribution of link idle intervals.
 use ibp_analysis::exhibits::{render_table1, table1, SEED};
+use ibp_analysis::{bin_main, ExhibitGrid, OutputDir, SweepEngine};
 
 fn main() {
-    let rows = table1(SEED);
-    println!("== Table I: distribution of link idle intervals ==");
-    println!("(buckets: <20us unusable, 20-200us exploitable, >200us high-value)");
-    print!("{}", render_table1(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/table1.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let rows = table1(&engine, &ExhibitGrid::paper(), SEED);
+        println!("== Table I: distribution of link idle intervals ==");
+        println!("(buckets: <20us unusable, 20-200us exploitable, >200us high-value)");
+        print!("{}", render_table1(&rows));
+        out.write_json("table1.json", &rows)?;
+        out.write_stats("table1", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,14 +1,16 @@
 //! Table III reproduction: chosen grouping thresholds and hit rates.
 use ibp_analysis::exhibits::{render_table3, table3, SEED};
+use ibp_analysis::{bin_main, ExhibitGrid, OutputDir, SweepEngine};
 
 fn main() {
-    let rows = table3(SEED);
-    println!("== Table III: chosen GT across HPC applications ==");
-    print!("{}", render_table3(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/table3.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let rows = table3(&engine, &ExhibitGrid::paper(), SEED);
+        println!("== Table III: chosen GT across HPC applications ==");
+        print!("{}", render_table3(&rows));
+        out.write_json("table3.json", &rows)?;
+        out.write_stats("table3", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,14 +1,16 @@
 //! Table IV reproduction: PPA overheads at 16 ranks.
 use ibp_analysis::exhibits::{render_table4, table4, SEED};
+use ibp_analysis::{bin_main, OutputDir, SweepEngine};
 
 fn main() {
-    let rows = table4(SEED);
-    println!("== Table IV: PPA overheads, 16 MPI processes ==");
-    print!("{}", render_table4(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/table4.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        let rows = table4(&engine, SEED);
+        println!("== Table IV: PPA overheads, 16 MPI processes ==");
+        print!("{}", render_table4(&rows));
+        out.write_json("table4.json", &rows)?;
+        out.write_stats("table4", &engine.stats())?;
+        Ok(())
+    });
 }

@@ -1,19 +1,21 @@
 //! The paper's §VI conjecture: the mechanism benefits more under weak
 //! scaling (per-rank work fixed) than under the evaluated strong scaling.
 use ibp_analysis::extensions::{render_weak_scaling, weak_scaling_study};
+use ibp_analysis::{bin_main, OutputDir, SweepEngine};
 use ibp_workloads::AppKind;
 
 fn main() {
-    println!("== Strong vs weak scaling: IB switch power savings [%] ==\n");
-    let rows: Vec<_> = AppKind::ALL
-        .iter()
-        .map(|&app| weak_scaling_study(app, 0xD1C0))
-        .collect();
-    print!("{}", render_weak_scaling(&rows));
-    std::fs::create_dir_all("results").ok();
-    std::fs::write(
-        "results/weak_scaling.json",
-        serde_json::to_string_pretty(&rows).unwrap(),
-    )
-    .ok();
+    bin_main(|opts, _args| {
+        let out = OutputDir::default_dir()?;
+        let engine = SweepEngine::new(opts);
+        println!("== Strong vs weak scaling: IB switch power savings [%] ==\n");
+        let rows: Vec<_> = AppKind::ALL
+            .iter()
+            .map(|&app| weak_scaling_study(&engine, app, 0xD1C0))
+            .collect();
+        print!("{}", render_weak_scaling(&rows));
+        out.write_json("weak_scaling.json", &rows)?;
+        out.write_stats("weak_scaling", &engine.stats())?;
+        Ok(())
+    });
 }

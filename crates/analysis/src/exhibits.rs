@@ -3,10 +3,11 @@
 //! Each function produces both the data (serialisable) and a rendered
 //! text block; the binaries print the text and dump the JSON next to it.
 
-use crate::experiment::{make_trace, run_on_trace, RunConfig, RunResult};
-use crate::gt_select::{choose_gt, sweep, GtPoint};
+use crate::experiment::{run_runtime_only, run_with_baseline, RunConfig, RunResult};
+use crate::gt_select::{sweep, GtPoint};
 use crate::paper_ref;
 use crate::report::{f1, f2, Table};
+use crate::sweep::{CellKey, SweepEngine};
 use ibp_trace::IdleDistribution;
 use ibp_workloads::AppKind;
 use serde::{Deserialize, Serialize};
@@ -17,6 +18,55 @@ pub const SEED: u64 = 0xD1C0;
 
 /// Displacement used for GT selection (the paper's best case, 1%).
 pub const SELECT_DISPLACEMENT: f64 = 0.01;
+
+/// Which slice of the paper's `app × nprocs` grid an exhibit covers.
+///
+/// The full paper grid (`ExhibitGrid::paper()`) is what the binaries
+/// run; the golden-exhibit regression suite runs a capped grid
+/// (`ExhibitGrid::capped(16)`) so the snapshots stay cheap enough for
+/// debug-profile CI while still pinning every metric the engine can
+/// perturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhibitGrid {
+    /// Keep only process counts `<=` this bound (`None` = full grid).
+    pub max_procs: Option<u32>,
+}
+
+impl ExhibitGrid {
+    /// The paper's full grid (5 scales per application).
+    pub fn paper() -> Self {
+        ExhibitGrid { max_procs: None }
+    }
+
+    /// The grid restricted to process counts `<= cap`.
+    pub fn capped(cap: u32) -> Self {
+        ExhibitGrid {
+            max_procs: Some(cap),
+        }
+    }
+
+    /// The process counts this grid evaluates `app` at.
+    pub fn procs(&self, app: AppKind) -> Vec<u32> {
+        paper_ref::paper_procs(app)
+            .iter()
+            .copied()
+            .filter(|&n| self.max_procs.is_none_or(|cap| n <= cap))
+            .collect()
+    }
+
+    /// The flat `(app, nprocs)` cell list in the paper's presentation
+    /// order (the deterministic result order of every exhibit).
+    pub fn cells(&self, seed: u64) -> Vec<CellKey> {
+        AppKind::ALL
+            .iter()
+            .flat_map(|&app| {
+                self.procs(app)
+                    .into_iter()
+                    .map(move |n| CellKey::new(app, n, seed))
+            })
+            .collect()
+    }
+}
 
 /// Table I: idle-interval distribution rows for every app × scale.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,20 +79,19 @@ pub struct Table1Row {
     pub idle: IdleDistribution,
 }
 
-/// Compute Table I.
-pub fn table1(seed: u64) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        for &n in &paper_ref::paper_procs(app) {
-            let trace = make_trace(app, n, seed);
-            rows.push(Table1Row {
-                app: app.name().to_string(),
-                nprocs: n,
-                idle: IdleDistribution::from_trace(&trace),
-            });
-        }
-    }
-    rows
+/// Compute Table I on `grid` (cells run on the engine's pool; rows come
+/// back in grid order regardless of completion order).
+pub fn table1(engine: &SweepEngine, grid: &ExhibitGrid, seed: u64) -> Vec<Table1Row> {
+    let cells = grid.cells(seed);
+    engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| Table1Row {
+            app: key.app.name().to_string(),
+            nprocs: key.nprocs,
+            idle: IdleDistribution::from_trace(&ctx.trace),
+        },
+    )
 }
 
 /// Render Table I like the paper (counts, % of intervals, % of idle time
@@ -87,27 +136,31 @@ pub struct Table3Row {
     pub paper_hit_pct: f64,
 }
 
-/// Compute Table III (GT selection sweep per cell).
-pub fn table3(seed: u64) -> Vec<Table3Row> {
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        let procs = paper_ref::paper_procs(app);
-        let gts = paper_ref::table3_gt(app);
-        let hits = paper_ref::table3_hit(app);
-        for i in 0..procs.len() {
-            let trace = make_trace(app, procs[i], seed);
-            let best = choose_gt(&trace, app, SELECT_DISPLACEMENT);
-            rows.push(Table3Row {
-                app: app.name().to_string(),
-                nprocs: procs[i],
+/// Compute Table III (GT selection sweep per cell) on `grid`.
+pub fn table3(engine: &SweepEngine, grid: &ExhibitGrid, seed: u64) -> Vec<Table3Row> {
+    let cells = grid.cells(seed);
+    engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            let best = ctx.choose_gt(SELECT_DISPLACEMENT);
+            // The paper columns are indexed by the cell's position in
+            // the *full* paper grid, even on a capped grid.
+            let full = paper_ref::paper_procs(key.app);
+            let i = full
+                .iter()
+                .position(|&n| n == key.nprocs)
+                .expect("grid cell comes from the paper's proc list");
+            Table3Row {
+                app: key.app.name().to_string(),
+                nprocs: key.nprocs,
                 gt_us: best.gt_us,
                 hit_rate_pct: best.hit_rate_pct,
-                paper_gt_us: gts[i],
-                paper_hit_pct: hits[i],
-            });
-        }
-    }
-    rows
+                paper_gt_us: paper_ref::table3_gt(key.app)[i],
+                paper_hit_pct: paper_ref::table3_hit(key.app)[i],
+            }
+        },
+    )
 }
 
 /// Render Table III with paper columns alongside.
@@ -144,23 +197,27 @@ pub struct Table4Row {
 }
 
 /// Compute Table IV (16 ranks, selected GT, displacement 1%).
-pub fn table4(seed: u64) -> Vec<Table4Row> {
-    AppKind::ALL
+pub fn table4(engine: &SweepEngine, seed: u64) -> Vec<Table4Row> {
+    let cells: Vec<CellKey> = AppKind::ALL
         .iter()
-        .map(|&app| {
-            let trace = make_trace(app, 16, seed);
-            let best = choose_gt(&trace, app, SELECT_DISPLACEMENT);
+        .map(|&app| CellKey::new(app, 16, seed))
+        .collect();
+    engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            let best = ctx.choose_gt(SELECT_DISPLACEMENT);
             let cfg = RunConfig::new(best.gt_us, SELECT_DISPLACEMENT);
-            let r = crate::experiment::run_runtime_only(&trace, app, &cfg);
+            let r = run_runtime_only(&ctx.trace, key.app, &cfg);
             Table4Row {
-                app: app.name().to_string(),
+                app: key.app.name().to_string(),
                 ppa_invoked_pct: r.stats.ppa_invocation_pct(),
                 overhead_per_invoked_us: r.stats.overhead_per_invoked_call_us(),
                 overhead_per_call_us: r.stats.overhead_per_call_us(),
-                paper: paper_ref::table4(app),
+                paper: paper_ref::table4(key.app),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Render Table IV.
@@ -224,30 +281,59 @@ pub struct FigureRow {
     pub paper_slowdown_pct: Vec<f64>,
 }
 
-/// Run one full figure: GT selection + double replay per cell.
-pub fn figure(displacement: f64, seed: u64) -> FigureData {
+/// Run one full figure on `grid`: GT selection + managed replay per
+/// cell, with the baseline replay shared through the engine's cache.
+pub fn figure(
+    engine: &SweepEngine,
+    grid: &ExhibitGrid,
+    displacement: f64,
+    seed: u64,
+) -> FigureData {
+    let cells = grid.cells(seed);
+    let measured: Vec<(f64, RunResult)> = engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            let best = ctx.choose_gt(SELECT_DISPLACEMENT);
+            let cfg = RunConfig::new(best.gt_us, displacement);
+            let r = run_with_baseline(&ctx.trace, key.app, &cfg, &ctx.baseline());
+            (best.gt_us, r)
+        },
+    );
+
+    // Group the flat, grid-ordered cell results back into per-app rows.
     let mut rows = Vec::new();
+    let mut flat = cells.iter().zip(measured);
     for app in AppKind::ALL {
-        let procs = paper_ref::paper_procs(app);
+        let procs = grid.procs(app);
+        let full = paper_ref::paper_procs(app);
+        let indices: Vec<usize> = procs
+            .iter()
+            .map(|&n| full.iter().position(|&m| m == n).expect("paper proc"))
+            .collect();
         let mut row = FigureRow {
             app: app.name().to_string(),
-            procs: procs.to_vec(),
+            procs: procs.clone(),
             gt_us: Vec::new(),
             savings_pct: Vec::new(),
             slowdown_pct: Vec::new(),
-            paper_savings_pct: paper_ref::savings(app, displacement).to_vec(),
+            paper_savings_pct: indices
+                .iter()
+                .map(|&i| paper_ref::savings(app, displacement)[i])
+                .collect(),
             paper_slowdown_pct: if displacement <= 0.02 {
-                paper_ref::slowdown_disp1(app).to_vec()
+                indices
+                    .iter()
+                    .map(|&i| paper_ref::slowdown_disp1(app)[i])
+                    .collect()
             } else {
                 Vec::new()
             },
         };
-        for &n in &procs {
-            let trace = make_trace(app, n, seed);
-            let best = choose_gt(&trace, app, SELECT_DISPLACEMENT);
-            let cfg = RunConfig::new(best.gt_us, displacement);
-            let r: RunResult = run_on_trace(&trace, app, &cfg);
-            row.gt_us.push(best.gt_us);
+        for _ in &procs {
+            let (key, (gt, r)) = flat.next().expect("one result per grid cell");
+            debug_assert_eq!(key.app, app);
+            row.gt_us.push(gt);
             row.savings_pct.push(r.power_saving_pct);
             row.slowdown_pct.push(r.slowdown_pct);
         }
@@ -262,17 +348,30 @@ pub fn figure(displacement: f64, seed: u64) -> FigureData {
 /// Render a figure as two tables (savings, slowdown) with the AVERAGE
 /// series the paper plots.
 pub fn render_figure(fig: &FigureData) -> String {
+    // Column labels for the paper's scale axis; a capped grid (the
+    // golden suite) renders a prefix of them.
+    const SCALE_LABELS: [&str; 5] = ["8/9", "16", "32/36", "64", "128/100"];
+    let ncols = fig
+        .rows
+        .iter()
+        .map(|r| r.procs.len())
+        .max()
+        .unwrap_or(0)
+        .min(SCALE_LABELS.len());
+    let mut header = vec!["app"];
+    header.extend_from_slice(&SCALE_LABELS[..ncols]);
+
     let mut out = format!(
         "== Power savings in IB switches [%], displacement {:.0}% ==\n",
         fig.displacement * 100.0
     );
-    let mut t = Table::new(&["app", "8/9", "16", "32/36", "64", "128/100"]);
+    let mut t = Table::new(&header);
     let napps = fig.rows.len() as f64;
-    let mut avg = [0.0; 5];
-    let mut paper_avg = [0.0; 5];
+    let mut avg = vec![0.0; ncols];
+    let mut paper_avg = vec![0.0; ncols];
     for row in &fig.rows {
         let mut cells = vec![row.app.clone()];
-        for i in 0..5 {
+        for i in 0..ncols {
             avg[i] += row.savings_pct[i] / napps;
             paper_avg[i] += row.paper_savings_pct[i] / napps;
             cells.push(format!(
@@ -283,7 +382,7 @@ pub fn render_figure(fig: &FigureData) -> String {
         t.row(cells);
     }
     let mut cells = vec!["AVERAGE".to_string()];
-    for i in 0..5 {
+    for i in 0..ncols {
         cells.push(format!("{:.1} ({:.1})", avg[i], paper_avg[i]));
     }
     t.row(cells);
@@ -293,8 +392,8 @@ pub fn render_figure(fig: &FigureData) -> String {
         "\n== Execution time increase [%], displacement {:.0}% ==\n",
         fig.displacement * 100.0
     ));
-    let mut t = Table::new(&["app", "8/9", "16", "32/36", "64", "128/100"]);
-    let mut avg = [0.0; 5];
+    let mut t = Table::new(&header);
+    let mut avg = vec![0.0; ncols];
     for row in &fig.rows {
         let mut cells = vec![row.app.clone()];
         for (i, a) in avg.iter_mut().enumerate() {
@@ -325,14 +424,21 @@ pub struct Fig10Data {
 }
 
 /// Compute Fig. 10.
-pub fn fig10(seed: u64) -> Fig10Data {
-    let curves = [64u32, 128]
+pub fn fig10(engine: &SweepEngine, seed: u64) -> Fig10Data {
+    let cells: Vec<CellKey> = [64u32, 128]
         .iter()
-        .map(|&n| {
-            let trace = make_trace(AppKind::Gromacs, n, seed);
-            (n, sweep(&trace, AppKind::Gromacs, SELECT_DISPLACEMENT))
-        })
+        .map(|&n| CellKey::new(AppKind::Gromacs, n, seed))
         .collect();
+    let curves = engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            (
+                key.nprocs,
+                sweep(&ctx.trace, AppKind::Gromacs, SELECT_DISPLACEMENT),
+            )
+        },
+    );
     Fig10Data { curves }
 }
 
@@ -364,7 +470,8 @@ mod tests {
     #[test]
     fn table1_has_25_rows() {
         // Uses the real (full-length) generators; keep to one seed.
-        let rows = table1(SEED);
+        let engine = SweepEngine::new(crate::sweep::SweepOptions::default());
+        let rows = table1(&engine, &ExhibitGrid::paper(), SEED);
         assert_eq!(rows.len(), 25);
         // Every row: percentages of intervals sum to ~100 when non-empty.
         for r in &rows {

@@ -82,15 +82,62 @@ pub fn make_trace(app: AppKind, nprocs: u32, seed: u64) -> Trace {
     app.workload().generate(nprocs, seed)
 }
 
+/// [`make_trace`] with an explicit scaling mode (the weak-scaling study
+/// and the sweep engine's [`crate::sweep::VARIANT_WEAK`] cells).
+pub fn make_trace_scaled(
+    app: AppKind,
+    nprocs: u32,
+    seed: u64,
+    scaling: ibp_workloads::Scaling,
+) -> Trace {
+    let w: Box<dyn ibp_workloads::Workload> = match app {
+        AppKind::Gromacs => Box::new(ibp_workloads::Gromacs {
+            scaling,
+            ..Default::default()
+        }),
+        AppKind::Alya => Box::new(ibp_workloads::Alya {
+            scaling,
+            ..Default::default()
+        }),
+        AppKind::Wrf => Box::new(ibp_workloads::Wrf {
+            scaling,
+            ..Default::default()
+        }),
+        AppKind::NasBt => Box::new(ibp_workloads::NasBt {
+            scaling,
+            ..Default::default()
+        }),
+        AppKind::NasMg => Box::new(ibp_workloads::NasMg {
+            scaling,
+            ..Default::default()
+        }),
+    };
+    w.generate(nprocs, seed)
+}
+
 /// Annotate + double replay, computing every reported metric.
 pub fn run_on_trace(trace: &Trace, app: AppKind, cfg: &RunConfig) -> RunResult {
+    let params = SimParams::paper();
+    let opts = ReplayOptions::default();
+    let baseline = replay(trace, None, &params, &opts).expect("replay");
+    run_with_baseline(trace, app, cfg, &baseline)
+}
+
+/// Annotate + managed replay against an already-computed fault-free
+/// baseline (the sweep engine memoizes the baseline per trace key, so
+/// it is replayed exactly once per sweep instead of once per cell).
+pub fn run_with_baseline(
+    trace: &Trace,
+    app: AppKind,
+    cfg: &RunConfig,
+    baseline: &SimResult,
+) -> RunResult {
     let pc = cfg.power_config();
     let ann = annotate_trace(trace, &pc);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
-    let baseline = replay(trace, None, &params, &opts).expect("replay");
     let managed = replay(trace, Some(&ann), &params, &opts).expect("replay");
-    collect(trace, app, cfg, &ann, &baseline, &managed)
+    collect(trace, app, cfg, &ann, baseline, &managed)
 }
 
 /// Run the full experiment (generation included).

@@ -14,8 +14,9 @@
 //! * [`robustness_study`] — failure injection: amplify compute jitter
 //!   and watch mispredictions, savings, and slowdown degrade.
 
-use crate::experiment::{make_trace, RunConfig};
+use crate::experiment::RunConfig;
 use crate::report::{f1, f2, Table};
+use crate::sweep::{CellKey, SweepEngine, SweepOptions, SweepStats, TraceFn, VARIANT_WEAK};
 use ibp_core::{
     annotate_trace, history_annotate_trace, oracle_annotate_trace, reactive_annotate_trace,
     PowerConfig, TraceAnnotations,
@@ -49,54 +50,70 @@ fn run_policy(
     (managed.power_saving_pct(), managed.slowdown_pct(baseline))
 }
 
+/// Nearest valid NAS BT (square) process count.
+fn bt_square(nprocs: u32) -> u32 {
+    match nprocs {
+        8 => 9,
+        32 => 36,
+        128 => 100,
+        other => other,
+    }
+}
+
 /// Compare the predictive mechanism against the oracle and reactive
 /// baselines on every application at `nprocs` ranks.
-pub fn policy_ablation(nprocs: u32, seed: u64) -> Vec<PolicyOutcome> {
-    let params = SimParams::paper();
-    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
-    let mut out = Vec::new();
-    for app in AppKind::ALL {
-        let n = if app == AppKind::NasBt {
-            // Nearest square count.
-            match nprocs {
-                8 => 9,
-                32 => 36,
-                128 => 100,
-                other => other,
-            }
-        } else {
-            nprocs
-        };
-        let trace = make_trace(app, n, seed);
-        let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
+pub fn policy_ablation(engine: &SweepEngine, nprocs: u32, seed: u64) -> Vec<PolicyOutcome> {
+    let cells: Vec<CellKey> = AppKind::ALL
+        .iter()
+        .map(|&app| {
+            let n = if app == AppKind::NasBt {
+                bt_square(nprocs)
+            } else {
+                nprocs
+            };
+            CellKey::new(app, n, seed)
+        })
+        .collect();
+    let per_app: Vec<Vec<PolicyOutcome>> = engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            let params = SimParams::paper();
+            let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+            let trace = &*ctx.trace;
+            let baseline = ctx.baseline();
 
-        let policies: Vec<(String, TraceAnnotations)> = vec![
-            ("ppa".into(), annotate_trace(&trace, &cfg)),
-            ("oracle".into(), oracle_annotate_trace(&trace, &cfg)),
-            (
-                "reactive-0us".into(),
-                reactive_annotate_trace(&trace, &cfg, SimDuration::ZERO),
-            ),
-            (
-                "reactive-50us".into(),
-                reactive_annotate_trace(&trace, &cfg, SimDuration::from_us(50)),
-            ),
-            (
-                "history-8".into(),
-                history_annotate_trace(&trace, &cfg, 8),
-            ),
-        ];
-        for (name, ann) in policies {
-            let (saving, slowdown) = run_policy(&trace, &baseline, &ann, &params);
-            out.push(PolicyOutcome {
-                app: app.name().to_string(),
-                policy: name,
-                saving_pct: saving,
-                slowdown_pct: slowdown,
-            });
-        }
-    }
-    out
+            let policies: Vec<(String, TraceAnnotations)> = vec![
+                ("ppa".into(), annotate_trace(trace, &cfg)),
+                ("oracle".into(), oracle_annotate_trace(trace, &cfg)),
+                (
+                    "reactive-0us".into(),
+                    reactive_annotate_trace(trace, &cfg, SimDuration::ZERO),
+                ),
+                (
+                    "reactive-50us".into(),
+                    reactive_annotate_trace(trace, &cfg, SimDuration::from_us(50)),
+                ),
+                (
+                    "history-8".into(),
+                    history_annotate_trace(trace, &cfg, 8),
+                ),
+            ];
+            policies
+                .into_iter()
+                .map(|(name, ann)| {
+                    let (saving, slowdown) = run_policy(trace, &baseline, &ann, &params);
+                    PolicyOutcome {
+                        app: key.app.name().to_string(),
+                        policy: name,
+                        saving_pct: saving,
+                        slowdown_pct: slowdown,
+                    }
+                })
+                .collect()
+        },
+    );
+    per_app.into_iter().flatten().collect()
 }
 
 /// Render the policy ablation.
@@ -132,20 +149,33 @@ pub struct DeepSleepOutcome {
 
 /// Run the §VI deep-sleep study at `nprocs` ranks with the given deep
 /// threshold.
-pub fn deep_sleep_study(nprocs: u32, threshold: SimDuration, seed: u64) -> Vec<DeepSleepOutcome> {
-    let params = SimParams::paper();
-    let base_cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
-    let deep_cfg = base_cfg.clone().with_deep_sleep(threshold);
-    AppKind::ALL
+pub fn deep_sleep_study(
+    engine: &SweepEngine,
+    nprocs: u32,
+    threshold: SimDuration,
+    seed: u64,
+) -> Vec<DeepSleepOutcome> {
+    let cells: Vec<CellKey> = AppKind::ALL
         .iter()
         .map(|&app| {
             let n = if app == AppKind::NasBt { 9 } else { nprocs };
-            let trace = make_trace(app, n, seed);
-            let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
-            let wrps_ann = annotate_trace(&trace, &base_cfg);
-            let deep_ann = annotate_trace(&trace, &deep_cfg);
-            let (ws, wd) = run_policy(&trace, &baseline, &wrps_ann, &params);
-            let (ds, dd) = run_policy(&trace, &baseline, &deep_ann, &params);
+            CellKey::new(app, n, seed)
+        })
+        .collect();
+    engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            let app = key.app;
+            let params = SimParams::paper();
+            let base_cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+            let deep_cfg = base_cfg.clone().with_deep_sleep(threshold);
+            let trace = &*ctx.trace;
+            let baseline = ctx.baseline();
+            let wrps_ann = annotate_trace(trace, &base_cfg);
+            let deep_ann = annotate_trace(trace, &deep_cfg);
+            let (ws, wd) = run_policy(trace, &baseline, &wrps_ann, &params);
+            let (ds, dd) = run_policy(trace, &baseline, &deep_ann, &params);
             let total: usize = deep_ann.ranks.iter().map(|r| r.directives.len()).sum();
             let deep: usize = deep_ann
                 .ranks
@@ -165,8 +195,8 @@ pub fn deep_sleep_study(nprocs: u32, threshold: SimDuration, seed: u64) -> Vec<D
                     100.0 * deep as f64 / total as f64
                 },
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Render the deep-sleep study.
@@ -205,53 +235,47 @@ pub struct ScalingOutcome {
     pub weak_saving_pct: Vec<f64>,
 }
 
-/// Build an app's workload in the requested scaling mode.
-fn scaled_workload(app: AppKind, mode: Scaling) -> Box<dyn Workload> {
-    match app {
-        AppKind::Gromacs => Box::new(ibp_workloads::Gromacs {
-            scaling: mode,
-            ..Default::default()
-        }),
-        AppKind::Alya => Box::new(ibp_workloads::Alya {
-            scaling: mode,
-            ..Default::default()
-        }),
-        AppKind::Wrf => Box::new(ibp_workloads::Wrf {
-            scaling: mode,
-            ..Default::default()
-        }),
-        AppKind::NasBt => Box::new(ibp_workloads::NasBt {
-            scaling: mode,
-            ..Default::default()
-        }),
-        AppKind::NasMg => Box::new(ibp_workloads::NasMg {
-            scaling: mode,
-            ..Default::default()
-        }),
-    }
-}
-
 /// The §VI conjecture: weak-scaling savings stay flat where strong
-/// scaling collapses.
-pub fn weak_scaling_study(app: AppKind, seed: u64) -> ScalingOutcome {
+/// scaling collapses. Strong and weak cells share nothing, so all
+/// `2 × procs` cells run concurrently on the engine (weak traces are
+/// cached under [`VARIANT_WEAK`] keys).
+pub fn weak_scaling_study(engine: &SweepEngine, app: AppKind, seed: u64) -> ScalingOutcome {
     let procs: Vec<u32> = if app == AppKind::NasBt {
         vec![9, 16, 36, 64]
     } else {
         vec![8, 16, 32, 64]
     };
-    let params = SimParams::paper();
-    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
-    let mut strong = Vec::new();
-    let mut weak = Vec::new();
-    for &n in &procs {
-        for (mode, out) in [(Scaling::Strong, &mut strong), (Scaling::Weak, &mut weak)] {
-            let trace = scaled_workload(app, mode).generate(n, seed);
-            let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
-            let ann = annotate_trace(&trace, &cfg);
-            let (saving, _) = run_policy(&trace, &baseline, &ann, &params);
-            out.push(saving);
-        }
-    }
+    // Cell order mirrors the original serial loops: per count, strong
+    // then weak.
+    let cells: Vec<CellKey> = procs
+        .iter()
+        .flat_map(|&n| {
+            [Scaling::Strong, Scaling::Weak].map(|mode| CellKey {
+                app,
+                nprocs: n,
+                seed,
+                variant: match mode {
+                    Scaling::Strong => crate::sweep::VARIANT_STRONG,
+                    Scaling::Weak => VARIANT_WEAK,
+                },
+            })
+        })
+        .collect();
+    let savings = engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, _, _| {
+            let params = SimParams::paper();
+            let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+            let ann = annotate_trace(&ctx.trace, &cfg);
+            let (saving, _) = run_policy(&ctx.trace, &ctx.baseline(), &ann, &params);
+            saving
+        },
+    );
+    let (strong, weak): (Vec<f64>, Vec<f64>) = savings
+        .chunks_exact(2)
+        .map(|pair| (pair[0], pair[1]))
+        .unzip();
     ScalingOutcome {
         app: app.name().to_string(),
         procs,
@@ -291,32 +315,61 @@ pub struct RobustnessPoint {
     pub timing_miss_per_kcall: f64,
 }
 
+/// The jitter multipliers [`robustness_study`] sweeps.
+pub const JITTER_MULTIPLIERS: [f64; 7] = [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0];
+
+/// Trace source for the robustness study: the cell variant indexes
+/// [`JITTER_MULTIPLIERS`], scaling ALYA's compute-gap sigmas.
+fn jitter_trace_fn() -> TraceFn {
+    std::sync::Arc::new(|key: &CellKey| {
+        let mult = JITTER_MULTIPLIERS[key.variant as usize];
+        let mut alya = ibp_workloads::Alya::default();
+        alya.assembly_gap.sigma *= mult;
+        alya.solver_gap.sigma *= mult;
+        alya.generate(key.nprocs, key.seed)
+    })
+}
+
 /// Failure injection: scale ALYA's compute jitter and displacement-test
-/// the mechanism.
-pub fn robustness_study(nprocs: u32, seed: u64) -> Vec<RobustnessPoint> {
-    let params = SimParams::paper();
-    let cfg = RunConfig::new(20.0, 0.01).power_config();
-    [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0]
-        .iter()
-        .map(|&mult| {
-            let mut alya = ibp_workloads::Alya::default();
-            alya.assembly_gap.sigma *= mult;
-            alya.solver_gap.sigma *= mult;
-            let trace = alya.generate(nprocs, seed);
-            let baseline = replay(&trace, None, &params, &ReplayOptions::default()).expect("replay");
-            let ann = annotate_trace(&trace, &cfg);
+/// the mechanism. Builds its own engine (the jitter workloads are not
+/// the paper grid's, so they get a private trace cache) and returns the
+/// rows plus that engine's [`SweepStats`].
+pub fn robustness_study(
+    opts: SweepOptions,
+    nprocs: u32,
+    seed: u64,
+) -> (Vec<RobustnessPoint>, SweepStats) {
+    let engine = SweepEngine::with_trace_fn(opts, jitter_trace_fn());
+    let cells: Vec<CellKey> = (0..JITTER_MULTIPLIERS.len() as u32)
+        .map(|i| CellKey {
+            app: AppKind::Alya,
+            nprocs,
+            seed,
+            variant: i,
+        })
+        .collect();
+    let rows = engine.run_cells(
+        &cells,
+        |&k| k,
+        |ctx, key, _| {
+            let params = SimParams::paper();
+            let cfg = RunConfig::new(20.0, 0.01).power_config();
+            let ann = annotate_trace(&ctx.trace, &cfg);
             let agg = ann.aggregate_stats();
-            let managed = replay(&trace, Some(&ann), &params, &ReplayOptions::default()).expect("replay");
+            let managed = replay(&ctx.trace, Some(&ann), &params, &ReplayOptions::default())
+                .expect("replay");
             RobustnessPoint {
-                jitter_multiplier: mult,
+                jitter_multiplier: JITTER_MULTIPLIERS[key.variant as usize],
                 hit_rate_pct: agg.hit_rate_pct(),
                 saving_pct: managed.power_saving_pct(),
-                slowdown_pct: managed.slowdown_pct(&baseline),
+                slowdown_pct: managed.slowdown_pct(&ctx.baseline()),
                 timing_miss_per_kcall: 1000.0 * agg.timing_mispredictions as f64
                     / agg.total_calls.max(1) as f64,
             }
-        })
-        .collect()
+        },
+    );
+    let stats = engine.stats();
+    (rows, stats)
 }
 
 /// One fault-rate level's outcome in the fault-tolerance study.
@@ -344,26 +397,45 @@ pub struct FaultTolerancePoint {
 /// Fault injection sweep: replay ALYA under rising link fault rates,
 /// with and without the resilience controller, always comparing against
 /// a power-unaware baseline subjected to the same faults.
-pub fn fault_tolerance_study(nprocs: u32, seed: u64) -> Vec<FaultTolerancePoint> {
-    let params = SimParams::paper();
+pub fn fault_tolerance_study(
+    engine: &SweepEngine,
+    nprocs: u32,
+    seed: u64,
+) -> Vec<FaultTolerancePoint> {
+    let key = CellKey::new(AppKind::Alya, nprocs, seed);
+    // The two annotation passes are shared by every fault-rate cell;
+    // compute them once, outside the pool, from the memoized trace.
+    let trace = engine.trace(&key);
     let plain_cfg = RunConfig::new(20.0, 0.01).power_config();
     let resilient_cfg = plain_cfg
         .clone()
         .with_resilience(ibp_core::ResilienceConfig::standard());
-    let trace = ibp_workloads::Alya::default().generate(nprocs, seed);
     let plain_ann = annotate_trace(&trace, &plain_cfg);
     let resilient_ann = annotate_trace(&trace, &resilient_cfg);
-    [0.0, 1.0, 5.0, 10.0, 25.0, 50.0]
-        .iter()
-        .map(|&rate| {
+    let rates: Vec<f64> = vec![0.0, 1.0, 5.0, 10.0, 25.0, 50.0];
+    engine.run_cells(
+        &rates,
+        |_| key,
+        |ctx, &rate, _| {
+            let params = SimParams::paper();
+            // The fault plan derives from the *cell key* (the study
+            // seed), never from pool scheduling: identical plans under
+            // any --jobs value.
             let opts = ReplayOptions {
                 faults: (rate > 0.0)
                     .then(|| ibp_network::FaultConfig::with_rate(seed ^ 0xFA17, rate)),
                 ..ReplayOptions::default()
             };
-            let baseline = replay(&trace, None, &params, &opts).expect("replay");
-            let plain = replay(&trace, Some(&plain_ann), &params, &opts).expect("replay");
-            let resilient = replay(&trace, Some(&resilient_ann), &params, &opts).expect("replay");
+            // The rate-0 baseline is the memoized fault-free one; faulty
+            // baselines are replayed per cell (the fault stream differs).
+            let baseline = if opts.faults.is_none() {
+                ctx.baseline()
+            } else {
+                std::sync::Arc::new(replay(&ctx.trace, None, &params, &opts).expect("replay"))
+            };
+            let plain = replay(&ctx.trace, Some(&plain_ann), &params, &opts).expect("replay");
+            let resilient =
+                replay(&ctx.trace, Some(&resilient_ann), &params, &opts).expect("replay");
             FaultTolerancePoint {
                 fault_rate: rate,
                 fault_events: plain.faults.total_events(),
@@ -374,8 +446,8 @@ pub fn fault_tolerance_study(nprocs: u32, seed: u64) -> Vec<FaultTolerancePoint>
                 resilient_slowdown_pct: resilient.slowdown_pct(&baseline),
                 storms: resilient_ann.aggregate_stats().storms,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Render the fault-tolerance study.
@@ -483,7 +555,8 @@ mod tests {
 
     #[test]
     fn weak_scaling_flattens_the_collapse() {
-        let out = weak_scaling_study(AppKind::Alya, 4);
+        let engine = SweepEngine::new(SweepOptions::default());
+        let out = weak_scaling_study(&engine, AppKind::Alya, 4);
         // Strong scaling collapses from @8 to @64…
         let s_drop = out.strong_saving_pct[0] - out.strong_saving_pct[3];
         // …weak scaling must retain much more of the saving.
@@ -497,7 +570,8 @@ mod tests {
 
     #[test]
     fn fault_tolerance_sweep_is_consistent() {
-        let rows = fault_tolerance_study(4, 6);
+        let engine = SweepEngine::new(SweepOptions::default());
+        let rows = fault_tolerance_study(&engine, 4, 6);
         assert_eq!(rows[0].fault_rate, 0.0);
         assert_eq!(rows[0].fault_events, 0, "rate 0 must be fault-free");
         let last = rows.last().unwrap();
@@ -514,7 +588,8 @@ mod tests {
 
     #[test]
     fn robustness_degrades_gracefully() {
-        let rows = robustness_study(8, 5);
+        let (rows, stats) = robustness_study(SweepOptions::default(), 8, 5);
+        assert_eq!(stats.traces_generated as usize, JITTER_MULTIPLIERS.len());
         let first = &rows[0];
         let last = rows.last().unwrap();
         // Extreme jitter must cost late wake-ups and savings…

@@ -23,11 +23,18 @@ pub mod exhibits;
 pub mod experiment;
 pub mod extensions;
 pub mod gt_select;
+pub mod output;
 pub mod paper_ref;
 pub mod report;
 pub mod svg;
+pub mod sweep;
 
-pub use experiment::{make_trace, run, run_on_trace, run_runtime_only, RunConfig, RunResult};
-pub use exhibits::{fig10, figure, table1, table3, table4};
+pub use experiment::{
+    make_trace, make_trace_scaled, run, run_on_trace, run_runtime_only, run_with_baseline,
+    RunConfig, RunResult,
+};
+pub use exhibits::{fig10, figure, table1, table3, table4, ExhibitGrid};
 pub use gt_select::{choose_gt, select, sweep, GtPoint, GT_GRID_US};
+pub use output::{bin_main, OutputDir};
 pub use report::Table;
+pub use sweep::{sweep_args, CellCtx, CellKey, SweepEngine, SweepOptions, SweepStats};

@@ -1,0 +1,50 @@
+//! End-to-end IO-failure behaviour of the exhibit binaries: a broken
+//! results directory must produce a **nonzero exit** and an error that
+//! names the failing path — never a zero exit with silently missing
+//! output (the old `.ok()` behaviour this replaces).
+
+use std::process::Command;
+
+/// Spawn the `table4` binary with `IBP_RESULTS_DIR` pointing at a
+/// regular file, so the results directory cannot be created. (A
+/// read-only directory is not usable here: these tests run as root in
+/// CI containers, and root bypasses permission bits.)
+#[test]
+fn blocked_results_dir_fails_fast_with_the_path() {
+    let blocked = std::env::temp_dir().join(format!("ibp-blocked-bin-{}", std::process::id()));
+    std::fs::write(&blocked, b"squatter").expect("plant blocking file");
+    let out = Command::new(env!("CARGO_BIN_EXE_table4"))
+        .env("IBP_RESULTS_DIR", &blocked)
+        .output()
+        .expect("spawn table4");
+    std::fs::remove_file(&blocked).ok();
+    assert!(
+        !out.status.success(),
+        "blocked results dir must exit nonzero (got {:?})",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(
+        stderr.contains(&blocked.display().to_string()),
+        "stderr must name the failing path: {stderr}"
+    );
+    // Fail-fast: the directory is checked before any simulation runs,
+    // so nothing should have been printed to stdout yet.
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("Table IV"),
+        "must fail before computing the exhibit"
+    );
+}
+
+#[test]
+fn malformed_jobs_flag_is_rejected() {
+    let out = Command::new(env!("CARGO_BIN_EXE_table4"))
+        .arg("--jobs")
+        .arg("zero")
+        .output()
+        .expect("spawn table4");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --jobs"), "stderr: {stderr}");
+}

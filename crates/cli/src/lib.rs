@@ -97,6 +97,20 @@ pub enum Command {
         /// Output path (stdout if absent).
         output: Option<String>,
     },
+    /// Regenerate paper exhibits on the parallel sweep engine.
+    Exhibits {
+        /// Exhibit name (`all`, `table1`, `table3`, `table4`,
+        /// `fig7`–`fig10`).
+        name: String,
+        /// Worker threads (0 = available parallelism / `IBP_JOBS`).
+        jobs: usize,
+        /// Force the serial escape hatch.
+        serial: bool,
+        /// Generation seed.
+        seed: u64,
+        /// Results directory (default `results/`, or `IBP_RESULTS_DIR`).
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -133,6 +147,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--fault-rate",
                     "--fault-seed",
                     "--budget",
+                    "--jobs",
+                    "--out",
                 ]
                 .contains(&a.as_str())
                 {
@@ -259,6 +275,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 budget: parse_budget()?,
             })
         }
+        "exhibits" => {
+            let name = positional
+                .first()
+                .ok_or("missing <exhibit> (all|table1|table3|table4|fig7|fig8|fig9|fig10)")?
+                .to_string();
+            const KNOWN: [&str; 8] = [
+                "all", "table1", "table3", "table4", "fig7", "fig8", "fig9", "fig10",
+            ];
+            if !KNOWN.contains(&name.as_str()) {
+                return Err(format!("unknown exhibit '{name}'"));
+            }
+            let jobs = match flag_val("--jobs") {
+                Some(s) => s
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --jobs: {s}"))?,
+                None => 0,
+            };
+            Ok(Command::Exhibits {
+                name,
+                jobs,
+                serial: has_flag("--serial"),
+                seed: parse_seed()?,
+                out: flag_val("--out").map(str::to_string),
+            })
+        }
         "prv" => Ok(Command::Prv {
             trace: positional
                 .first()
@@ -285,8 +328,16 @@ USAGE:
   ibpower experiment <app> <nprocs> [--gt US] [--disp F] [--seed N]
                    [--fault-rate F] [--fault-seed N] [--resilient] [--budget PCT]
   ibpower prv      <trace.json> [-o out.prv]
+  ibpower exhibits <name> [--jobs N] [--serial] [--seed N] [--out DIR]
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
+
+EXHIBITS: all, table1, table3, table4, fig7, fig8, fig9, fig10 — run on the
+  parallel sweep engine (traces and baselines memoized per key; results are
+  byte-identical for any --jobs value). --jobs N sets the worker count
+  (default: IBP_JOBS, else all cores); --serial forces the in-thread path;
+  --out DIR overrides the results directory (default: IBP_RESULTS_DIR or
+  results/). Each results JSON gets a <name>.stats.json with cache counters.
 
 FAULTS & RESILIENCE:
   --fault-rate F   inject link faults (wake misfires, flaps, 1X degrades)
@@ -505,6 +556,43 @@ mod tests {
         let f = fault_config(2.0, 7).expect("rate > 0 builds a config");
         assert_eq!(f.seed, 7);
         assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_exhibits() {
+        let c = parse(&argv("exhibits table3 --jobs 4 --seed 9 --out tmp/r")).unwrap();
+        assert_eq!(
+            c,
+            Command::Exhibits {
+                name: "table3".into(),
+                jobs: 4,
+                serial: false,
+                seed: 9,
+                out: Some("tmp/r".into()),
+            }
+        );
+        let c = parse(&argv("exhibits all --serial")).unwrap();
+        match c {
+            Command::Exhibits {
+                name, jobs, serial, ..
+            } => {
+                assert_eq!(name, "all");
+                assert_eq!(jobs, 0);
+                assert!(serial);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhibits_rejects_bad_input() {
+        assert!(parse(&argv("exhibits")).is_err());
+        assert!(parse(&argv("exhibits fig11"))
+            .unwrap_err()
+            .contains("unknown exhibit"));
+        assert!(parse(&argv("exhibits all --jobs 0"))
+            .unwrap_err()
+            .contains("bad --jobs"));
     }
 
     #[test]

@@ -262,6 +262,90 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Exhibits {
+            name,
+            jobs,
+            serial,
+            seed,
+            out,
+        } => {
+            use ibp_analysis::{exhibits, ExhibitGrid, OutputDir, SweepEngine, SweepOptions};
+            let mut opts = if jobs == 0 {
+                SweepOptions::from_env()
+            } else {
+                SweepOptions::with_jobs(jobs)
+            };
+            if serial {
+                opts.parallel = false;
+            }
+            let engine = SweepEngine::new(opts);
+            let grid = ExhibitGrid::paper();
+            let out = match out {
+                Some(dir) => OutputDir::new(dir),
+                None => OutputDir::default_dir(),
+            }
+            .map_err(|e| e.to_string())?;
+            let io = |e: std::io::Error| e.to_string();
+            match name.as_str() {
+                "table1" => {
+                    let rows = exhibits::table1(&engine, &grid, seed);
+                    print!("{}", exhibits::render_table1(&rows));
+                    out.write_json("table1.json", &rows).map_err(io)?;
+                }
+                "table3" => {
+                    let rows = exhibits::table3(&engine, &grid, seed);
+                    print!("{}", exhibits::render_table3(&rows));
+                    out.write_json("table3.json", &rows).map_err(io)?;
+                }
+                "table4" => {
+                    let rows = exhibits::table4(&engine, seed);
+                    print!("{}", exhibits::render_table4(&rows));
+                    out.write_json("table4.json", &rows).map_err(io)?;
+                }
+                "fig7" | "fig8" | "fig9" => {
+                    let disp = match name.as_str() {
+                        "fig7" => 0.10,
+                        "fig8" => 0.05,
+                        _ => 0.01,
+                    };
+                    let fig = exhibits::figure(&engine, &grid, disp, seed);
+                    print!("{}", exhibits::render_figure(&fig));
+                    out.write_json(&format!("{name}.json"), &fig).map_err(io)?;
+                }
+                "fig10" => {
+                    let data = exhibits::fig10(&engine, seed);
+                    print!("{}", exhibits::render_fig10(&data));
+                    out.write_json("fig10.json", &data).map_err(io)?;
+                }
+                "all" => {
+                    let t1 = exhibits::table1(&engine, &grid, seed);
+                    out.write_json("table1.json", &t1).map_err(io)?;
+                    let t3 = exhibits::table3(&engine, &grid, seed);
+                    out.write_json("table3.json", &t3).map_err(io)?;
+                    let t4 = exhibits::table4(&engine, seed);
+                    out.write_json("table4.json", &t4).map_err(io)?;
+                    for (fname, disp) in [("fig7", 0.10), ("fig8", 0.05), ("fig9", 0.01)] {
+                        let fig = exhibits::figure(&engine, &grid, disp, seed);
+                        out.write_json(&format!("{fname}.json"), &fig).map_err(io)?;
+                    }
+                    let f10 = exhibits::fig10(&engine, seed);
+                    out.write_json("fig10.json", &f10).map_err(io)?;
+                    println!("all exhibit JSONs written to {}", out.root().display());
+                }
+                other => unreachable!("validated by parse: {other}"),
+            }
+            let stats = engine.stats();
+            out.write_stats(&name, &stats).map_err(io)?;
+            eprintln!(
+                "sweep: {} cells, {} job(s), {} traces generated / {} hits, {:.1}s",
+                stats.cells,
+                stats.jobs,
+                stats.traces_generated,
+                stats.trace_hits,
+                stats.wall_ms as f64 / 1000.0
+            );
+            Ok(())
+        }
         Command::Prv { trace, output } => {
             let t = load_trace(&trace)?;
             let prv = ibp_trace::paraver::to_prv(&t);

@@ -4,7 +4,13 @@ use ibp_trace::Trace;
 
 /// A synthetic application workload: generates MPI traces with the
 /// communication structure of one of the paper's five applications.
-pub trait Workload {
+///
+/// `Send + Sync` is a supertrait requirement: the sweep engine in
+/// `ibp-analysis` generates traces from pool worker threads, so every
+/// generator must be shareable across threads. All generators are plain
+/// value types (parameters only; per-call RNG state is local to
+/// `generate`), so this costs nothing.
+pub trait Workload: Send + Sync {
     /// Short lowercase name (e.g. `"alya"`).
     fn name(&self) -> &'static str;
 

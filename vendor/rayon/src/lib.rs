@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal, dependency-free thread pool that is source-compatible with
+//! the subset of rayon the sweep engine uses: [`ThreadPoolBuilder`]
+//! (`num_threads`, `build`), [`ThreadPool::current_num_threads`],
+//! [`ThreadPool::scope`] and [`Scope::spawn`].
+//!
+//! Semantics differ from upstream rayon in one documented way: tasks
+//! spawned inside a scope are queued while the scope closure runs and
+//! start executing when the closure returns (upstream starts them
+//! immediately). The scope still does not return before every spawned
+//! task — including tasks spawned by other tasks — has completed, so the
+//! fork/join contract the callers rely on holds. Blocking inside the
+//! scope closure on work performed by spawned tasks would therefore
+//! deadlock; no caller in this workspace does that.
+//!
+//! There is no work stealing: workers pull whole tasks from a shared
+//! FIFO. The sweep engine submits one self-scheduling worker task per
+//! thread (each pulling cell indices from an atomic counter), so task
+//! granularity is not a bottleneck there.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Builds a [`ThreadPool`] (subset: `num_threads` only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building a thread pool. The vendored pool cannot actually fail
+/// to build (threads are spawned lazily per scope), so this is only here
+/// for source compatibility with `rayon::ThreadPoolBuilder::build`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count (available parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the worker count; 0 means available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            available_parallelism()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Hardware parallelism, defaulting to 1 when undetectable.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fixed-width thread pool. Workers are OS threads spawned per
+/// [`ThreadPool::scope`] call via `std::thread::scope`, which keeps the
+/// implementation free of `unsafe` and of lifetime erasure; pool reuse
+/// across scopes only re-spawns threads, which is negligible next to the
+/// simulation work each scope carries.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+/// A fork/join scope handed to the [`ThreadPool::scope`] closure.
+pub struct Scope<'env> {
+    queue: Mutex<VecDeque<Task<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue `body` for execution on the pool. The closure receives the
+    /// scope again so tasks can spawn further tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.queue.lock().unwrap().push_back(Box::new(body));
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads a scope will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with a [`Scope`]; returns after every spawned task (and
+    /// every task those tasks spawned) has completed.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let sc = Scope {
+            queue: Mutex::new(VecDeque::new()),
+        };
+        let result = f(&sc);
+        std::thread::scope(|ts| {
+            for _ in 0..self.threads {
+                ts.spawn(|| loop {
+                    // Pop outside the match so the lock is not held while
+                    // the task runs.
+                    let task = sc.queue.lock().unwrap().pop_front();
+                    match task {
+                        Some(t) => t(&sc),
+                        // A worker may exit while another worker's task is
+                        // still running and about to spawn more: those new
+                        // tasks are drained by the worker that spawned
+                        // them when it loops, so the scope still completes
+                        // everything before returning.
+                        None => break,
+                    }
+                });
+            }
+        });
+        result
+    }
+}
+
+/// Run `f` with a scope on a throwaway pool sized to available
+/// parallelism (subset of `rayon::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    ThreadPool {
+        threads: available_parallelism(),
+    }
+    .scope(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn scope_returns_closure_value_and_borrows_env() {
+        let data = vec![1u64, 2, 3];
+        let total = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for d in &data {
+                s.spawn(|_| {
+                    total.fetch_add(*d as usize, Ordering::Relaxed);
+                });
+            }
+            "done"
+        });
+        assert_eq!(r, "done");
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

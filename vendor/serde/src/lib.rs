@@ -101,6 +101,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` serializes/deserializes as itself, so callers can work with
+// raw JSON trees (e.g. golden-file comparison with numeric tolerances).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ----
 
 impl Serialize for bool {
