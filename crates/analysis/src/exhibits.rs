@@ -3,7 +3,7 @@
 //! Each function produces both the data (serialisable) and a rendered
 //! text block; the binaries print the text and dump the JSON next to it.
 
-use crate::experiment::{run_runtime_only, run_with_baseline, RunConfig, RunResult};
+use crate::experiment::{run_runtime_only_jobs, run_with_baseline_jobs, RunConfig, RunResult};
 use crate::gt_select::{sweep, GtPoint};
 use crate::paper_ref;
 use crate::report::{f1, f2, Table};
@@ -208,7 +208,7 @@ pub fn table4(engine: &SweepEngine, seed: u64) -> Vec<Table4Row> {
         |ctx, key, _| {
             let best = ctx.choose_gt(SELECT_DISPLACEMENT);
             let cfg = RunConfig::new(best.gt_us, SELECT_DISPLACEMENT);
-            let r = run_runtime_only(&ctx.trace, key.app, &cfg);
+            let r = run_runtime_only_jobs(&ctx.trace, key.app, &cfg, ctx.rank_jobs);
             Table4Row {
                 app: key.app.name().to_string(),
                 ppa_invoked_pct: r.stats.ppa_invocation_pct(),
@@ -296,7 +296,7 @@ pub fn figure(
         |ctx, key, _| {
             let best = ctx.choose_gt(SELECT_DISPLACEMENT);
             let cfg = RunConfig::new(best.gt_us, displacement);
-            let r = run_with_baseline(&ctx.trace, key.app, &cfg, &ctx.baseline());
+            let r = run_with_baseline_jobs(&ctx.trace, key.app, &cfg, &ctx.baseline(), ctx.rank_jobs);
             (best.gt_us, r)
         },
     );

@@ -12,7 +12,7 @@
 //! 5. report power saving vs the always-on baseline and the
 //!    execution-time increase.
 
-use ibp_core::{annotate_trace, PowerConfig, RankStats, TraceAnnotations};
+use ibp_core::{annotate_trace_jobs, PowerConfig, RankStats, TraceAnnotations};
 use ibp_network::{replay, ReplayOptions, SimParams, SimResult};
 use ibp_simcore::SimDuration;
 use ibp_trace::{IdleDistribution, Trace};
@@ -132,8 +132,21 @@ pub fn run_with_baseline(
     cfg: &RunConfig,
     baseline: &SimResult,
 ) -> RunResult {
+    run_with_baseline_jobs(trace, app, cfg, baseline, 1)
+}
+
+/// [`run_with_baseline`] with the annotation pass spread over up to
+/// `rank_jobs` threads (sweep cells hand in their leftover worker
+/// budget). Results are identical for any `rank_jobs`.
+pub fn run_with_baseline_jobs(
+    trace: &Trace,
+    app: AppKind,
+    cfg: &RunConfig,
+    baseline: &SimResult,
+    rank_jobs: usize,
+) -> RunResult {
     let pc = cfg.power_config();
-    let ann = annotate_trace(trace, &pc);
+    let ann = annotate_trace_jobs(trace, &pc, rank_jobs);
     let params = SimParams::paper();
     let opts = ReplayOptions::default();
     let managed = replay(trace, Some(&ann), &params, &opts).expect("replay");
@@ -149,8 +162,19 @@ pub fn run(app: AppKind, nprocs: u32, cfg: &RunConfig) -> RunResult {
 /// Runtime-only pass (annotation, no replay): cheap, used by GT sweeps.
 /// `est_saving_pct` and `hit_rate_pct` are filled; replay metrics are 0.
 pub fn run_runtime_only(trace: &Trace, app: AppKind, cfg: &RunConfig) -> RunResult {
+    run_runtime_only_jobs(trace, app, cfg, 1)
+}
+
+/// [`run_runtime_only`] with rank-parallel annotation; see
+/// [`run_with_baseline_jobs`].
+pub fn run_runtime_only_jobs(
+    trace: &Trace,
+    app: AppKind,
+    cfg: &RunConfig,
+    rank_jobs: usize,
+) -> RunResult {
     let pc = cfg.power_config();
-    let ann = annotate_trace(trace, &pc);
+    let ann = annotate_trace_jobs(trace, &pc, rank_jobs);
     RunResult {
         app: app.name().to_string(),
         nprocs: trace.nprocs,

@@ -18,8 +18,8 @@ use crate::experiment::RunConfig;
 use crate::report::{f1, f2, Table};
 use crate::sweep::{CellKey, SweepEngine, SweepOptions, SweepStats, TraceFn, VARIANT_WEAK};
 use ibp_core::{
-    annotate_trace, history_annotate_trace, oracle_annotate_trace, reactive_annotate_trace,
-    PowerConfig, TraceAnnotations,
+    annotate_trace, history_annotate_trace_jobs, oracle_annotate_trace_jobs,
+    reactive_annotate_trace_jobs, PowerConfig, TraceAnnotations,
 };
 use ibp_network::{replay, ReplayOptions, SimParams, SimResult};
 use ibp_simcore::SimDuration;
@@ -83,20 +83,21 @@ pub fn policy_ablation(engine: &SweepEngine, nprocs: u32, seed: u64) -> Vec<Poli
             let trace = &*ctx.trace;
             let baseline = ctx.baseline();
 
+            let jobs = ctx.rank_jobs;
             let policies: Vec<(String, TraceAnnotations)> = vec![
-                ("ppa".into(), annotate_trace(trace, &cfg)),
-                ("oracle".into(), oracle_annotate_trace(trace, &cfg)),
+                ("ppa".into(), ctx.annotate(&cfg)),
+                ("oracle".into(), oracle_annotate_trace_jobs(trace, &cfg, jobs)),
                 (
                     "reactive-0us".into(),
-                    reactive_annotate_trace(trace, &cfg, SimDuration::ZERO),
+                    reactive_annotate_trace_jobs(trace, &cfg, SimDuration::ZERO, jobs),
                 ),
                 (
                     "reactive-50us".into(),
-                    reactive_annotate_trace(trace, &cfg, SimDuration::from_us(50)),
+                    reactive_annotate_trace_jobs(trace, &cfg, SimDuration::from_us(50), jobs),
                 ),
                 (
                     "history-8".into(),
-                    history_annotate_trace(trace, &cfg, 8),
+                    history_annotate_trace_jobs(trace, &cfg, 8, jobs),
                 ),
             ];
             policies
@@ -172,8 +173,8 @@ pub fn deep_sleep_study(
             let deep_cfg = base_cfg.clone().with_deep_sleep(threshold);
             let trace = &*ctx.trace;
             let baseline = ctx.baseline();
-            let wrps_ann = annotate_trace(trace, &base_cfg);
-            let deep_ann = annotate_trace(trace, &deep_cfg);
+            let wrps_ann = ctx.annotate(&base_cfg);
+            let deep_ann = ctx.annotate(&deep_cfg);
             let (ws, wd) = run_policy(trace, &baseline, &wrps_ann, &params);
             let (ds, dd) = run_policy(trace, &baseline, &deep_ann, &params);
             let total: usize = deep_ann.ranks.iter().map(|r| r.directives.len()).sum();
@@ -267,7 +268,7 @@ pub fn weak_scaling_study(engine: &SweepEngine, app: AppKind, seed: u64) -> Scal
         |ctx, _, _| {
             let params = SimParams::paper();
             let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
-            let ann = annotate_trace(&ctx.trace, &cfg);
+            let ann = ctx.annotate(&cfg);
             let (saving, _) = run_policy(&ctx.trace, &ctx.baseline(), &ann, &params);
             saving
         },
@@ -354,7 +355,7 @@ pub fn robustness_study(
         |ctx, key, _| {
             let params = SimParams::paper();
             let cfg = RunConfig::new(20.0, 0.01).power_config();
-            let ann = annotate_trace(&ctx.trace, &cfg);
+            let ann = ctx.annotate(&cfg);
             let agg = ann.aggregate_stats();
             let managed = replay(&ctx.trace, Some(&ann), &params, &ReplayOptions::default())
                 .expect("replay");
@@ -499,6 +500,7 @@ pub fn render_robustness(rows: &[RobustnessPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ibp_core::{oracle_annotate_trace, reactive_annotate_trace};
 
     #[test]
     fn oracle_bounds_ppa_from_above() {

@@ -378,12 +378,18 @@ impl SweepEngine {
     {
         self.cells.fetch_add(items.len() as u64, Ordering::Relaxed);
         let jobs = self.opts.effective_jobs();
+        // Budget left over after one worker per cell goes to rank-level
+        // parallelism inside each cell (CellCtx::annotate): a 4-cell
+        // exhibit on 16 workers annotates each trace on 4 threads.
+        // Byte-identical either way — rank annotation is an independent
+        // per-rank map (see ibp_core::map_ranks).
+        let rank_jobs = (jobs / items.len().max(1)).max(1);
         if jobs <= 1 || items.len() <= 1 {
             return items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
-                    let ctx = self.ctx(key_of(item));
+                    let ctx = self.ctx_jobs(key_of(item), rank_jobs);
                     work(&ctx, item, i)
                 })
                 .collect();
@@ -397,7 +403,7 @@ impl SweepEngine {
                     if i >= items.len() {
                         break;
                     }
-                    let ctx = self.ctx(key_of(&items[i]));
+                    let ctx = self.ctx_jobs(key_of(&items[i]), rank_jobs);
                     *slots[i].lock().unwrap() = Some(work(&ctx, &items[i], i));
                 });
             }
@@ -408,10 +414,11 @@ impl SweepEngine {
             .collect()
     }
 
-    fn ctx(&self, key: CellKey) -> CellCtx<'_> {
+    fn ctx_jobs(&self, key: CellKey, rank_jobs: usize) -> CellCtx<'_> {
         CellCtx {
             trace: self.trace(&key),
             key,
+            rank_jobs,
             engine: self,
         }
     }
@@ -441,6 +448,11 @@ pub struct CellCtx<'e> {
     pub key: CellKey,
     /// The (shared, read-only) trace for this key.
     pub trace: Arc<Trace>,
+    /// Worker budget for *intra*-cell rank parallelism: the sweep's
+    /// leftover threads once every cell has one (1 when the cell grid
+    /// saturates the pool). Feed it to [`CellCtx::annotate`] or the
+    /// `*_jobs` experiment/baseline entry points.
+    pub rank_jobs: usize,
     engine: &'e SweepEngine,
 }
 
@@ -448,6 +460,13 @@ impl CellCtx<'_> {
     /// The memoized fault-free baseline replay of this cell's trace.
     pub fn baseline(&self) -> Arc<SimResult> {
         self.engine.baseline(&self.key)
+    }
+
+    /// Annotate this cell's trace, spreading ranks over the cell's
+    /// [`rank_jobs`](CellCtx::rank_jobs) budget. Output is identical to
+    /// `annotate_trace` for any budget.
+    pub fn annotate(&self, cfg: &ibp_core::PowerConfig) -> ibp_core::TraceAnnotations {
+        ibp_core::annotate_trace_jobs(&self.trace, cfg, self.rank_jobs)
     }
 
     /// The memoized GT selection for this cell at `displacement`.
@@ -562,12 +581,40 @@ mod tests {
         let e1 = engine(1);
         let e4 = engine(4);
         let k = CellKey::new(AppKind::Wrf, 32, 0xD1C0);
-        let a = e1.ctx(k).derived_seed(42);
-        let b = e4.ctx(k).derived_seed(42);
+        let a = e1.ctx_jobs(k, 1).derived_seed(42);
+        let b = e4.ctx_jobs(k, 4).derived_seed(42);
         assert_eq!(a, b);
-        assert_ne!(a, e1.ctx(k).derived_seed(43));
+        assert_ne!(a, e1.ctx_jobs(k, 1).derived_seed(43));
         let k2 = CellKey::new(AppKind::Wrf, 64, 0xD1C0);
-        assert_ne!(a, e1.ctx(k2).derived_seed(42));
+        assert_ne!(a, e1.ctx_jobs(k2, 1).derived_seed(42));
+    }
+
+    #[test]
+    fn leftover_budget_goes_to_rank_jobs() {
+        // 8 workers over 2 cells → 4 threads of rank parallelism each;
+        // the serial escape hatch pins everything to 1.
+        let e = engine(8);
+        let key = CellKey::new(AppKind::Alya, 4, 1);
+        let items = [0u8; 2];
+        let budgets = e.run_cells(&items, |_| key, |ctx, _, _| ctx.rank_jobs);
+        assert_eq!(budgets, vec![4, 4]);
+        let serial = SweepEngine::with_trace_fn(SweepOptions::serial(), tiny_trace_fn());
+        let budgets = serial.run_cells(&items, |_| key, |ctx, _, _| ctx.rank_jobs);
+        assert_eq!(budgets, vec![1, 1]);
+    }
+
+    #[test]
+    fn ctx_annotate_matches_serial_annotation() {
+        let e = engine(8);
+        let key = CellKey::new(AppKind::Alya, 6, 5);
+        let cfg = ibp_core::PowerConfig::default();
+        let out = e.run_cells(&[0u8], |_| key, |ctx, _, _| {
+            (ctx.rank_jobs, ctx.annotate(&cfg))
+        });
+        let (rank_jobs, parallel) = &out[0];
+        assert_eq!(*rank_jobs, 8, "single cell receives the whole budget");
+        let serial = ibp_core::annotate_trace(&e.trace(&key), &cfg);
+        assert_eq!(*parallel, serial);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Wall-clock measurements of the engine's hot paths.
+//!
+//! Each probe repeats its workload a caller-chosen number of times and
+//! reports the **minimum** per-element time across repetitions — the
+//! standard trick for wall-clock microbenchmarks, since scheduling noise
+//! only ever adds time. The probes are deliberately the same shapes the
+//! criterion benches run (`benches/hotpath.rs` wraps them), so the
+//! committed `BENCH_hotpath.json` trajectory and local criterion runs
+//! describe the same code paths.
+
+use ibp_core::{annotate_trace_jobs, Ppa, PowerConfig, RankRuntime};
+use ibp_network::{replay_with_scratch, ReplayOptions, ReplayScratch, SimParams};
+use ibp_simcore::SimDuration;
+use ibp_trace::MpiCall::{Allreduce, Sendrecv};
+use ibp_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The synthetic ALYA-like call stream every probe trains on (Fig. 2
+/// shape: three tight Sendrecvs, two Allreduces after long compute).
+pub fn alya_stream(iters: usize) -> Vec<(ibp_trace::MpiCall, SimDuration)> {
+    let mut v = Vec::with_capacity(iters * 5);
+    for i in 0..iters {
+        let lead = if i == 0 { 0 } else { 300 };
+        v.push((Sendrecv, SimDuration::from_us(lead)));
+        v.push((Sendrecv, SimDuration::from_us(2)));
+        v.push((Sendrecv, SimDuration::from_us(3)));
+        v.push((Allreduce, SimDuration::from_us(250)));
+        v.push((Allreduce, SimDuration::from_us(250)));
+    }
+    v
+}
+
+/// A small multi-rank trace for the replay and annotation probes.
+pub fn replay_trace(nprocs: u32, iters: usize) -> Trace {
+    let mut b = ibp_trace::TraceBuilder::new("bench", nprocs);
+    for it in 0..iters {
+        for r in 0..nprocs {
+            let lead = if it == 0 { 0 } else { 300 };
+            b.compute(r, SimDuration::from_us(lead));
+            b.op(
+                r,
+                ibp_trace::MpiOp::Sendrecv {
+                    to: (r + 1) % nprocs,
+                    send_bytes: 2048,
+                    from: (r + nprocs - 1) % nprocs,
+                    recv_bytes: 2048,
+                },
+            );
+            b.compute(r, SimDuration::from_us(300));
+            b.op(r, ibp_trace::MpiOp::Allreduce { bytes: 8 });
+        }
+    }
+    b.build()
+}
+
+/// One measured hot path: nanoseconds per element, minimum over
+/// repetitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Probe {
+    /// Probe name (stable across report entries).
+    pub name: String,
+    /// Best observed nanoseconds per element.
+    pub ns_per_elem: f64,
+    /// Elements processed per repetition (calls, grams or events).
+    pub elems: u64,
+    /// Repetitions measured.
+    pub reps: u32,
+}
+
+/// One `bench-report` run: every probe at one point in time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportEntry {
+    /// Free-form label (`--label`, defaults to `run-<n>`).
+    pub label: String,
+    /// The probes, in fixed order.
+    pub probes: Vec<Probe>,
+}
+
+impl ReportEntry {
+    /// The named probe, if present.
+    pub fn probe(&self, name: &str) -> Option<&Probe> {
+        self.probes.iter().find(|p| p.name == name)
+    }
+}
+
+/// The committed trajectory file: entries appended per run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// All recorded runs, oldest first.
+    pub entries: Vec<ReportEntry>,
+}
+
+/// Name of the regression-gated probe.
+pub const INTERCEPT_PROBE: &str = "intercept_ns_per_call";
+
+fn min_ns_per_elem<F: FnMut() -> u64>(reps: u32, mut run: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut elems = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let n = run();
+        let ns = t0.elapsed().as_nanos() as f64;
+        elems = n;
+        if n > 0 {
+            best = best.min(ns / n as f64);
+        }
+    }
+    (best, elems)
+}
+
+/// Interception cost over a full train-then-predict ALYA stream,
+/// ns/call. This is the paper's per-call overhead path (gram formation +
+/// PPA + controller) and the probe the CI regression gate watches.
+pub fn probe_intercept(iters: usize, reps: u32) -> Probe {
+    let stream = alya_stream(iters);
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let mut rt = RankRuntime::new(0, cfg.clone());
+        rt.reserve_events(stream.len());
+        for &(call, gap) in &stream {
+            rt.intercept(call, gap);
+        }
+        let ann = rt.finish(SimDuration::ZERO);
+        assert!(ann.stats.correct_calls > 0, "bench stream never predicted");
+        stream.len() as u64
+    });
+    Probe {
+        name: INTERCEPT_PROBE.into(),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
+/// PPA scan cost on a periodic gram stream, ns/gram.
+pub fn probe_ppa_scan(grams: usize, reps: u32) -> Probe {
+    let stream: Vec<u32> = (0..grams).map(|i| u32::from(i % 3 != 0)).collect();
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let mut ppa = Ppa::new(3, 64);
+        for n in 1..=stream.len() {
+            ppa.advance(&stream[..n]);
+        }
+        assert!(ppa.work().invocations > 0);
+        stream.len() as u64
+    });
+    Probe {
+        name: "ppa_scan_ns_per_gram".into(),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
+/// End-to-end annotated replay, ns/event, with the scratch arena
+/// recycled across repetitions (the sweep engine's steady state).
+pub fn probe_replay(nprocs: u32, iters: usize, reps: u32) -> Probe {
+    let trace = replay_trace(nprocs, iters);
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let ann = annotate_trace_jobs(&trace, &cfg, 1);
+    let params = SimParams::paper();
+    let opts = ReplayOptions::default();
+    let events: u64 = trace.ranks.iter().map(|r| r.events.len() as u64).sum();
+    let mut scratch = ReplayScratch::new();
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let r = replay_with_scratch(&trace, Some(&ann), &params, &opts, &mut scratch)
+            .expect("bench replay");
+        assert!(!r.exec_time.is_zero());
+        events
+    });
+    Probe {
+        name: "replay_ns_per_event".into(),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
+/// Whole-trace annotation with rank parallelism, ns/event at `jobs`
+/// worker threads.
+pub fn probe_annotate(nprocs: u32, iters: usize, jobs: usize, reps: u32) -> Probe {
+    let trace = replay_trace(nprocs, iters);
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let events: u64 = trace.ranks.iter().map(|r| r.events.len() as u64).sum();
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let ann = annotate_trace_jobs(&trace, &cfg, jobs);
+        assert_eq!(ann.ranks.len(), nprocs as usize);
+        events
+    });
+    Probe {
+        name: format!("annotate_jobs{jobs}_ns_per_event"),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
+/// Run every probe at a size scaled by `iters` (the `--iters` flag;
+/// the default 2000 matches the criterion benches' 10k-call stream).
+pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
+    // Clamp the derived sizes so even the smallest accepted --iters
+    // still produces non-empty workloads for every probe.
+    let replay_iters = (iters / 40).max(1);
+    vec![
+        probe_intercept(iters, reps),
+        probe_ppa_scan((3 * iters / 2).max(12), reps),
+        probe_replay(8, replay_iters, reps),
+        probe_annotate(8, replay_iters, 1, reps),
+        probe_annotate(8, replay_iters, 4, reps),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_produce_finite_positive_numbers() {
+        // 10 is the CLI's minimum --iters; both sizes must work.
+        for iters in [10, 200] {
+            for p in run_all(iters, 1) {
+                assert!(p.ns_per_elem.is_finite(), "{} @{iters}", p.name);
+                assert!(p.ns_per_elem > 0.0, "{} @{iters}", p.name);
+                assert!(p.elems > 0, "{} @{iters}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_roundtrips_through_json() {
+        let t = Trajectory {
+            entries: vec![ReportEntry {
+                label: "seed".into(),
+                probes: vec![Probe {
+                    name: INTERCEPT_PROBE.into(),
+                    ns_per_elem: 42.5,
+                    elems: 1000,
+                    reps: 3,
+                }],
+            }],
+        };
+        let s = serde_json::to_string_pretty(&t).unwrap();
+        let back: Trajectory = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(
+            back.entries[0].probe(INTERCEPT_PROBE).unwrap().ns_per_elem,
+            42.5
+        );
+    }
+}

@@ -1,1 +1,10 @@
-//! Benchmark support crate; benches live in `benches/`.
+//! Benchmark support crate; criterion benches live in `benches/`.
+//!
+//! [`hotpath`] is the dependency-light measurement core shared by the
+//! criterion wrappers and the `ibpower bench-report` subcommand: it
+//! times the paper-critical paths (PMPI interception, PPA scan, trace
+//! replay, rank-parallel annotation) with plain [`std::time::Instant`]
+//! so the CLI can emit regression-trackable numbers without pulling a
+//! benchmark harness into the binary.
+
+pub mod hotpath;

@@ -111,6 +111,22 @@ pub enum Command {
         /// Results directory (default `results/`, or `IBP_RESULTS_DIR`).
         out: Option<String>,
     },
+    /// Measure the engine's hot paths and append an entry to the
+    /// benchmark trajectory file.
+    BenchReport {
+        /// Trajectory JSON path (appended to; created if absent).
+        output: String,
+        /// Exit non-zero if the intercept path regressed >25% against
+        /// the last recorded entry.
+        check: bool,
+        /// Stream scale (iterations of the ALYA pattern; 2000 ≈ the
+        /// criterion benches' 10k-call stream).
+        iters: usize,
+        /// Repetitions per probe (minimum is reported).
+        reps: u32,
+        /// Label stored with the entry (defaults to `run-<n>`).
+        label: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -149,6 +165,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--budget",
                     "--jobs",
                     "--out",
+                    "--iters",
+                    "--reps",
+                    "--label",
                 ]
                 .contains(&a.as_str())
                 {
@@ -302,6 +321,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out: flag_val("--out").map(str::to_string),
             })
         }
+        "bench-report" => {
+            let iters = match flag_val("--iters") {
+                Some(s) => s
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 10)
+                    .ok_or(format!("bad --iters (need >= 10): {s}"))?,
+                None => 2000,
+            };
+            let reps = match flag_val("--reps") {
+                Some(s) => s
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --reps: {s}"))?,
+                None => 5,
+            };
+            Ok(Command::BenchReport {
+                output: flag_val("-o").unwrap_or("BENCH_hotpath.json").to_string(),
+                check: has_flag("--check"),
+                iters,
+                reps,
+                label: flag_val("--label").map(str::to_string),
+            })
+        }
         "prv" => Ok(Command::Prv {
             trace: positional
                 .first()
@@ -329,6 +373,7 @@ USAGE:
                    [--fault-rate F] [--fault-seed N] [--resilient] [--budget PCT]
   ibpower prv      <trace.json> [-o out.prv]
   ibpower exhibits <name> [--jobs N] [--serial] [--seed N] [--out DIR]
+  ibpower bench-report [-o PATH] [--check] [--iters N] [--reps N] [--label S]
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
 
@@ -346,6 +391,12 @@ FAULTS & RESILIENCE:
   --resilient      enable misprediction-storm backoff + adaptive guard band
   --budget PCT     cap mechanism-added time at PCT% of nominal (implies
                    --resilient)
+
+BENCH-REPORT: time the hot paths (PMPI interception, PPA scan, replay,
+  rank-parallel annotation) and append an entry to the trajectory JSON
+  (default BENCH_hotpath.json). --check exits non-zero if intercept-path
+  ns/call regressed more than 25% against the file's last entry (the CI
+  smoke gate); --label names the entry; --iters/--reps set probe scale.
 
 DEFAULTS: --seed 0xD1C0, --gt 20 (µs), --disp 0.01
 ";
@@ -593,6 +644,39 @@ mod tests {
         assert!(parse(&argv("exhibits all --jobs 0"))
             .unwrap_err()
             .contains("bad --jobs"));
+    }
+
+    #[test]
+    fn parses_bench_report() {
+        let c = parse(&argv("bench-report")).unwrap();
+        assert_eq!(
+            c,
+            Command::BenchReport {
+                output: "BENCH_hotpath.json".into(),
+                check: false,
+                iters: 2000,
+                reps: 5,
+                label: None,
+            }
+        );
+        let c = parse(&argv("bench-report -o t.json --check --iters 500 --reps 3 --label pr"))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::BenchReport {
+                output: "t.json".into(),
+                check: true,
+                iters: 500,
+                reps: 3,
+                label: Some("pr".into()),
+            }
+        );
+        assert!(parse(&argv("bench-report --iters 2"))
+            .unwrap_err()
+            .contains("bad --iters"));
+        assert!(parse(&argv("bench-report --reps 0"))
+            .unwrap_err()
+            .contains("bad --reps"));
     }
 
     #[test]

@@ -346,6 +346,61 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::BenchReport {
+            output,
+            check,
+            iters,
+            reps,
+            label,
+        } => {
+            use ibp_bench::hotpath::{ReportEntry, Trajectory, INTERCEPT_PROBE};
+            let mut traj: Trajectory = match std::fs::read_to_string(&output) {
+                Ok(json) => serde_json::from_str(&json).map_err(|e| format!("{output}: {e}"))?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Trajectory::default(),
+                Err(e) => return Err(format!("{output}: {e}")),
+            };
+            let probes = ibp_bench::hotpath::run_all(iters, reps);
+            let entry = ReportEntry {
+                label: label.unwrap_or_else(|| format!("run-{}", traj.entries.len())),
+                probes,
+            };
+            println!("bench-report: {} ({iters} iters, {reps} reps)", entry.label);
+            for p in &entry.probes {
+                println!("  {:<28} {:>10.1} ns/elem  ({} elems)", p.name, p.ns_per_elem, p.elems);
+            }
+            if check {
+                let prev = traj
+                    .entries
+                    .last()
+                    .and_then(|e| e.probe(INTERCEPT_PROBE))
+                    .ok_or_else(|| {
+                        format!("--check: no prior {INTERCEPT_PROBE} entry in {output}")
+                    })?;
+                let now = entry
+                    .probe(INTERCEPT_PROBE)
+                    .expect("run_all always emits the intercept probe");
+                let ratio = now.ns_per_elem / prev.ns_per_elem;
+                println!(
+                    "  check: {INTERCEPT_PROBE} {:.1} -> {:.1} ns ({:+.1}%)",
+                    prev.ns_per_elem,
+                    now.ns_per_elem,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > 1.25 {
+                    return Err(format!(
+                        "intercept path regressed {:.0}% (> 25% gate): {:.1} ns vs {:.1} ns baseline",
+                        (ratio - 1.0) * 100.0,
+                        now.ns_per_elem,
+                        prev.ns_per_elem
+                    ));
+                }
+            }
+            traj.entries.push(entry);
+            let json = serde_json::to_string_pretty(&traj).map_err(|e| e.to_string())?;
+            std::fs::write(&output, json + "\n").map_err(|e| format!("{output}: {e}"))?;
+            println!("trajectory written to {output}");
+            Ok(())
+        }
         Command::Prv { trace, output } => {
             let t = load_trace(&trace)?;
             let prv = ibp_trace::paraver::to_prv(&t);

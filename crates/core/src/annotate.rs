@@ -8,8 +8,10 @@
 use crate::config::PowerConfig;
 use crate::runtime::{annotate_rank, RankAnnotation};
 use crate::stats::RankStats;
-use ibp_trace::Trace;
+use ibp_trace::{RankTrace, Trace};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A trace plus everything the power-saving runtime derived from it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,14 +63,60 @@ impl TraceAnnotations {
     }
 }
 
+/// Map `f` over the ranks of a trace on up to `jobs` worker threads,
+/// collecting results in rank order. Ranks are annotated independently
+/// (the runtime holds no cross-rank state), so the output is
+/// byte-identical to the serial map *by construction* — parallelism only
+/// changes which thread computes each element, never the element.
+///
+/// `jobs <= 1` (or a single rank) runs inline with no pool at all.
+pub fn map_ranks<T, F>(ranks: &[RankTrace], jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&RankTrace) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(ranks.len());
+    if jobs <= 1 || ranks.len() <= 1 {
+        return ranks.iter().map(f).collect();
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build()
+        .expect("rank annotation pool");
+    let slots: Vec<Mutex<Option<T>>> = ranks.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranks.len() {
+                    break;
+                }
+                let out = f(&ranks[i]);
+                *slots[i].lock().expect("rank slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rank slot poisoned")
+                .expect("every rank index was claimed exactly once")
+        })
+        .collect()
+}
+
 /// Run the power-saving runtime over every rank of `trace`.
 pub fn annotate_trace(trace: &Trace, cfg: &PowerConfig) -> TraceAnnotations {
+    annotate_trace_jobs(trace, cfg, 1)
+}
+
+/// [`annotate_trace`] with rank-level parallelism on up to `jobs`
+/// threads. Output is identical to the serial version for any `jobs`.
+pub fn annotate_trace_jobs(trace: &Trace, cfg: &PowerConfig, jobs: usize) -> TraceAnnotations {
     TraceAnnotations {
-        ranks: trace
-            .ranks
-            .iter()
-            .map(|r| annotate_rank(r, cfg))
-            .collect(),
+        ranks: map_ranks(&trace.ranks, jobs, |r| annotate_rank(r, cfg)),
     }
 }
 
@@ -136,6 +184,17 @@ mod tests {
         );
         let sum: u64 = ann.ranks.iter().map(|r| r.stats.correct_calls).sum();
         assert_eq!(agg.correct_calls, sum);
+    }
+
+    #[test]
+    fn parallel_annotation_is_byte_identical_to_serial() {
+        let trace = alya_like(6, 25);
+        let cfg = PowerConfig::default();
+        let serial = annotate_trace(&trace, &cfg);
+        for jobs in [2, 3, 4, 16] {
+            let par = annotate_trace_jobs(&trace, &cfg, jobs);
+            assert_eq!(serial, par, "jobs={jobs} diverged from serial");
+        }
     }
 
     #[test]

@@ -209,23 +209,38 @@ pub fn history_annotate_trace(
     cfg: &PowerConfig,
     window: usize,
 ) -> crate::TraceAnnotations {
+    history_annotate_trace_jobs(trace, cfg, window, 1)
+}
+
+/// [`history_annotate_trace`] with rank-level parallelism; identical
+/// output for any `jobs`.
+pub fn history_annotate_trace_jobs(
+    trace: &Trace,
+    cfg: &PowerConfig,
+    window: usize,
+    jobs: usize,
+) -> crate::TraceAnnotations {
     crate::TraceAnnotations {
-        ranks: trace
-            .ranks
-            .iter()
-            .map(|r| history_annotate_rank(r, cfg, window))
-            .collect(),
+        ranks: crate::annotate::map_ranks(&trace.ranks, jobs, |r| {
+            history_annotate_rank(r, cfg, window)
+        }),
     }
 }
 
 /// Oracle policy over a whole trace.
 pub fn oracle_annotate_trace(trace: &Trace, cfg: &PowerConfig) -> crate::TraceAnnotations {
+    oracle_annotate_trace_jobs(trace, cfg, 1)
+}
+
+/// [`oracle_annotate_trace`] with rank-level parallelism; identical
+/// output for any `jobs`.
+pub fn oracle_annotate_trace_jobs(
+    trace: &Trace,
+    cfg: &PowerConfig,
+    jobs: usize,
+) -> crate::TraceAnnotations {
     crate::TraceAnnotations {
-        ranks: trace
-            .ranks
-            .iter()
-            .map(|r| oracle_annotate_rank(r, cfg))
-            .collect(),
+        ranks: crate::annotate::map_ranks(&trace.ranks, jobs, |r| oracle_annotate_rank(r, cfg)),
     }
 }
 
@@ -235,12 +250,21 @@ pub fn reactive_annotate_trace(
     cfg: &PowerConfig,
     timeout: SimDuration,
 ) -> crate::TraceAnnotations {
+    reactive_annotate_trace_jobs(trace, cfg, timeout, 1)
+}
+
+/// [`reactive_annotate_trace`] with rank-level parallelism; identical
+/// output for any `jobs`.
+pub fn reactive_annotate_trace_jobs(
+    trace: &Trace,
+    cfg: &PowerConfig,
+    timeout: SimDuration,
+    jobs: usize,
+) -> crate::TraceAnnotations {
     crate::TraceAnnotations {
-        ranks: trace
-            .ranks
-            .iter()
-            .map(|r| reactive_annotate_rank(r, cfg, timeout))
-            .collect(),
+        ranks: crate::annotate::map_ranks(&trace.ranks, jobs, |r| {
+            reactive_annotate_rank(r, cfg, timeout)
+        }),
     }
 }
 

@@ -163,6 +163,14 @@ pub struct PowerConfig {
     /// Adaptive resilience controller (disabled by default).
     #[serde(default)]
     pub resilience: ResilienceConfig,
+    /// Bound on the per-pattern occurrence window retained by the PPA
+    /// (`checkO` is O(window); the paper's uthash kept every occurrence).
+    #[serde(default = "default_occurrence_window")]
+    pub occurrence_window: usize,
+}
+
+fn default_occurrence_window() -> usize {
+    crate::pattern::DEFAULT_OCCURRENCE_WINDOW
 }
 
 impl PowerConfig {
@@ -199,6 +207,7 @@ impl PowerConfig {
             deep_t_react: SimDuration::from_ms(1),
             deep_power_fraction: 0.10,
             resilience: ResilienceConfig::default(),
+            occurrence_window: default_occurrence_window(),
         }
     }
 

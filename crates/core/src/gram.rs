@@ -14,9 +14,10 @@
 //! as slices of integers rather than nested vectors.
 
 use crate::config::PowerConfig;
+use fxhash::FxHashMap;
 use ibp_simcore::SimDuration;
 use ibp_trace::MpiCall;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a distinct gram *shape* (call-id sequence).
 pub type GramId = u32;
@@ -36,14 +37,20 @@ pub struct Gram {
 }
 
 /// Interner mapping call-id sequences to dense [`GramId`]s.
+///
+/// Each shape is stored once: the id map and the id-indexed table share
+/// one `Arc<[u16]>` allocation, and lookups borrow the caller's slice
+/// (FxHash, no per-probe key construction), so the re-intern hit path —
+/// the steady state of gram formation — is allocation-free.
 #[derive(Debug, Default)]
 pub struct GramInterner {
-    ids: HashMap<Box<[u16]>, GramId>,
-    shapes: Vec<Box<[u16]>>,
+    ids: FxHashMap<Arc<[u16]>, GramId>,
+    shapes: Vec<Arc<[u16]>>,
 }
 
 impl GramInterner {
     /// Create an empty interner.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -54,9 +61,9 @@ impl GramInterner {
             return id;
         }
         let id = self.shapes.len() as GramId;
-        let boxed: Box<[u16]> = calls.into();
-        self.shapes.push(boxed.clone());
-        self.ids.insert(boxed, id);
+        let shared: Arc<[u16]> = calls.into();
+        self.shapes.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
         id
     }
 
@@ -64,16 +71,20 @@ impl GramInterner {
     ///
     /// # Panics
     /// Panics if `id` was not produced by this interner.
+    #[inline]
+    #[must_use]
     pub fn shape(&self, id: GramId) -> &[u16] {
         &self.shapes[id as usize]
     }
 
     /// Number of distinct shapes interned so far.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.shapes.len()
     }
 
     /// True when nothing has been interned.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.shapes.is_empty()
     }
@@ -283,5 +294,27 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(i.shape(a), &[41, 41, 41]);
         assert_eq!(i.display(b), "10");
+    }
+
+    #[test]
+    fn interner_stores_each_shape_once() {
+        // Regression test for the double-store bug: `shapes` and `ids`
+        // must share one allocation per distinct shape, and re-interning
+        // must not grow memory at all.
+        let mut i = GramInterner::new();
+        let id = i.intern(&[41, 41, 41]);
+        assert_eq!(
+            Arc::strong_count(&i.shapes[id as usize]),
+            2,
+            "exactly the map key and the table slot hold the shape"
+        );
+        for _ in 0..1000 {
+            assert_eq!(i.intern(&[41, 41, 41]), id);
+        }
+        assert_eq!(i.len(), 1);
+        assert_eq!(Arc::strong_count(&i.shapes[id as usize]), 2);
+        // Total retained bytes are one allocation per *distinct* shape.
+        let distinct: usize = i.shapes.iter().map(|s| s.len()).sum();
+        assert_eq!(distinct, 3);
     }
 }

@@ -39,6 +39,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::perf)]
 #![forbid(unsafe_code)]
 
 pub mod annotate;
@@ -50,14 +51,18 @@ pub mod ppa;
 pub mod runtime;
 pub mod stats;
 
-pub use annotate::{annotate_trace, TraceAnnotations};
+pub use annotate::{annotate_trace, annotate_trace_jobs, map_ranks, TraceAnnotations};
 pub use baselines::{
-    history_annotate_rank, history_annotate_trace, oracle_annotate_rank, oracle_annotate_trace,
-    reactive_annotate_rank, reactive_annotate_trace,
+    history_annotate_rank, history_annotate_trace, history_annotate_trace_jobs,
+    oracle_annotate_rank, oracle_annotate_trace, oracle_annotate_trace_jobs,
+    reactive_annotate_rank, reactive_annotate_trace, reactive_annotate_trace_jobs,
 };
 pub use config::{PowerConfig, PowerPolicy, ResilienceConfig, SleepKind};
 pub use gram::{Gram, GramBuilder, GramId, GramInterner};
-pub use pattern::{PatternEntry, PatternList, RunningMean};
+pub use pattern::{
+    OccurrenceWindow, PatternEntry, PatternId, PatternInterner, PatternList, PatternUpdate,
+    RunningMean, DEFAULT_OCCURRENCE_WINDOW,
+};
 pub use ppa::{Declaration, Ppa, PpaWork};
 pub use runtime::{annotate_rank, LaneDirective, RankAnnotation, RankRuntime};
 pub use stats::RankStats;

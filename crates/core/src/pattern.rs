@@ -1,21 +1,40 @@
 //! The pattern list — the hash table of observed gram patterns.
 //!
 //! The paper stores pattern objects in a `uthash` table keyed by the
-//! pattern string; we key a `HashMap` by the interned gram-id sequence.
-//! Each entry remembers where the pattern was observed, whether it was
-//! ever *declared* predictable (the `detected` flag that enables the
-//! fast re-arm after a misprediction), and the running mean of the idle
-//! gap preceding each slot of the pattern (what the power controller
-//! uses to program the lane-off timer).
+//! pattern string; we intern each gram-id sequence once (the way gram
+//! shapes already are) and address entries by a dense [`PatternId`].
+//! The hot path — `update` / `get` / the `checkO` occurrence scan —
+//! therefore never allocates and never SipHashes: lookups borrow the
+//! gram-array slice directly and hash it with the vendored FxHash.
+//!
+//! Each entry remembers where the pattern was observed (a bounded
+//! recency window, so the scan stays O(window) on arbitrarily long
+//! traces), whether it was ever *declared* predictable (the `detected`
+//! flag that enables the fast re-arm after a misprediction), and the
+//! running mean of the idle gap preceding each slot of the pattern
+//! (what the power controller uses to program the lane-off timer).
 
+use fxhash::FxHashMap;
 use ibp_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::gram::GramId;
 
 /// A pattern key: the sequence of gram shape-ids.
 pub type PatternKey = Box<[GramId]>;
+
+/// Dense identifier of an interned pattern key (stable across removal
+/// and re-insertion of the entry).
+pub type PatternId = u32;
+
+/// Default bound on the per-pattern occurrence window. The paper keeps
+/// every occurrence (its traces are short); 64 retains far more history
+/// than `checkO` ever needs — a growth step only looks for *one*
+/// previous non-overlapping occurrence of the prefix, and prefixes of a
+/// live pattern recur every period — while keeping the scan O(1) in the
+/// trace length.
+pub const DEFAULT_OCCURRENCE_WINDOW: usize = 64;
 
 /// Running mean over `u64` nanosecond durations.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -26,24 +45,129 @@ pub struct RunningMean {
 
 impl RunningMean {
     /// Create an empty mean.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Add an observation.
+    #[inline]
     pub fn push(&mut self, d: SimDuration) {
         self.n += 1;
         self.mean_ns += (d.as_ns() as f64 - self.mean_ns) / self.n as f64;
     }
 
     /// Current mean (zero when empty).
+    #[inline]
+    #[must_use]
     pub fn mean(&self) -> SimDuration {
         SimDuration::from_ns(self.mean_ns.round() as u64)
     }
 
     /// Number of observations.
+    #[inline]
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.n
+    }
+}
+
+/// Bounded recency window over gram positions: keeps the newest
+/// `capacity` recorded positions (a ring buffer) plus the all-time
+/// count, so `frequency` keeps the paper's semantics while `checkO`
+/// walks at most `capacity` entries.
+#[derive(Debug, Clone)]
+pub struct OccurrenceWindow {
+    buf: Vec<usize>,
+    /// Index of the oldest element once the ring has wrapped.
+    start: usize,
+    capacity: usize,
+    total: u64,
+}
+
+impl OccurrenceWindow {
+    /// Create an empty window bounded to `capacity` positions (≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        OccurrenceWindow {
+            buf: Vec::new(),
+            start: 0,
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Record `pos`, evicting the oldest retained position when full.
+    /// A position equal to the most recent one is ignored (rescans after
+    /// a relaunch may revisit positions). Returns whether it was kept.
+    #[inline]
+    pub fn record(&mut self, pos: usize) -> bool {
+        if self.last() == Some(pos) {
+            return false;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(pos);
+        } else {
+            self.buf[self.start] = pos;
+            self.start = (self.start + 1) % self.capacity;
+        }
+        self.total += 1;
+        true
+    }
+
+    /// Most recently recorded position.
+    #[inline]
+    #[must_use]
+    pub fn last(&self) -> Option<usize> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.capacity || self.start == 0 {
+            self.buf.last().copied()
+        } else {
+            Some(self.buf[self.start - 1])
+        }
+    }
+
+    /// Retained positions, oldest first. Allocation-free.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
+            .copied()
+    }
+
+    /// Retained positions as a vector, oldest first (test/debug helper).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Whether `pos` is retained in the window.
+    #[must_use]
+    pub fn contains(&self, pos: usize) -> bool {
+        self.iter().any(|p| p == pos)
+    }
+
+    /// Number of positions currently retained (≤ capacity).
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was ever recorded.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// All-time number of recorded positions (the paper's `frequency`).
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
     }
 }
 
@@ -51,8 +175,8 @@ impl RunningMean {
 /// positions, frequency, inter-gram times, number of MPI calls).
 #[derive(Debug, Clone)]
 pub struct PatternEntry {
-    /// Gram positions at which the scanner observed this pattern.
-    pub occurrences: Vec<usize>,
+    /// Recent gram positions at which the scanner observed this pattern.
+    pub occurrences: OccurrenceWindow,
     /// Set when the pattern was declared predictable; enables immediate
     /// re-arm on the first later re-appearance.
     pub detected: bool,
@@ -65,78 +189,250 @@ pub struct PatternEntry {
 }
 
 impl PatternEntry {
-    fn new(first_pos: usize) -> Self {
+    fn new(first_pos: usize, window: usize) -> Self {
+        let mut occurrences = OccurrenceWindow::new(window);
+        occurrences.record(first_pos);
         PatternEntry {
-            occurrences: vec![first_pos],
+            occurrences,
             detected: false,
             slot_gaps: Vec::new(),
             mpi_calls: 0,
         }
     }
 
-    /// Number of recorded occurrences (the paper's `frequency`).
+    /// All-time number of recorded occurrences (the paper's `frequency`).
+    #[must_use]
     pub fn frequency(&self) -> usize {
-        self.occurrences.len()
+        self.occurrences.total() as usize
     }
 }
 
-/// The pattern list: hash table keyed by gram-id sequence.
+/// Interner mapping gram-id sequences to dense [`PatternId`]s. Each key
+/// is stored once (an `Arc<[GramId]>` shared between the map and the
+/// id-indexed table); lookups borrow the caller's slice, so the hit
+/// path neither allocates nor copies.
 #[derive(Debug, Default)]
+pub struct PatternInterner {
+    ids: FxHashMap<Arc<[GramId]>, PatternId>,
+    keys: Vec<Arc<[GramId]>>,
+}
+
+impl PatternInterner {
+    /// Intern `key`, returning its stable id.
+    pub fn intern(&mut self, key: &[GramId]) -> PatternId {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.keys.len() as PatternId;
+        let shared: Arc<[GramId]> = key.into();
+        self.keys.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
+        id
+    }
+
+    /// Id of an already-interned key (allocation-free).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: &[GramId]) -> Option<PatternId> {
+        self.ids.get(key).copied()
+    }
+
+    /// The key behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    #[inline]
+    #[must_use]
+    pub fn key(&self, id: PatternId) -> &[GramId] {
+        &self.keys[id as usize]
+    }
+
+    /// Number of distinct keys interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Outcome of [`PatternList::update`], so the scanner learns everything
+/// it needs from the single hash lookup the call performs.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct PatternUpdate {
+    /// Dense id of the pattern (stable across remove/re-insert).
+    pub id: PatternId,
+    /// `true` if this was the pattern's first occurrence (or the first
+    /// after a removal).
+    pub is_new: bool,
+    /// The entry's `detected` flag (always `false` when `is_new`).
+    pub detected: bool,
+}
+
+/// The pattern list: interned keys + id-indexed entries.
+///
+/// Removal (Algorithm 2 line 38) tombstones the entry but keeps the key
+/// interned; a later `update` of the same key revives the slot with a
+/// fresh entry under the *same* id, matching the paper's
+/// delete-then-reinsert `uthash` behaviour.
+#[derive(Debug)]
 pub struct PatternList {
-    map: HashMap<PatternKey, PatternEntry>,
+    interner: PatternInterner,
+    entries: Vec<Option<PatternEntry>>,
+    live: usize,
+    window: usize,
+}
+
+impl Default for PatternList {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PatternList {
-    /// Create an empty list.
+    /// Create an empty list with the default occurrence window.
+    #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_window(DEFAULT_OCCURRENCE_WINDOW)
     }
 
-    /// Record an occurrence of `key` at gram position `pos`
-    /// (the paper's `updatePL`). Returns `true` if the pattern is *new*
-    /// (first occurrence), `false` if it already existed.
-    ///
-    /// Duplicate positions are ignored (a rescans after relaunch may
-    /// revisit positions).
-    pub fn update(&mut self, key: &[GramId], pos: usize) -> bool {
-        match self.map.get_mut(key) {
-            Some(entry) => {
-                if entry.occurrences.last() != Some(&pos) {
-                    entry.occurrences.push(pos);
-                }
-                false
-            }
+    /// Create an empty list whose entries retain at most `window`
+    /// occurrence positions each.
+    #[must_use]
+    pub fn with_window(window: usize) -> Self {
+        PatternList {
+            interner: PatternInterner::default(),
+            entries: Vec::new(),
+            live: 0,
+            window: window.max(1),
+        }
+    }
+
+    /// The configured occurrence-window bound.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Record an occurrence of `key` at gram position `pos` (the paper's
+    /// `updatePL`), hashing the key exactly once. Returns the entry's id
+    /// and state so hot-path callers need no follow-up lookup.
+    pub fn update(&mut self, key: &[GramId], pos: usize) -> PatternUpdate {
+        match self.interner.get(key) {
+            Some(id) => self.record(id, pos),
             None => {
-                self.map.insert(key.into(), PatternEntry::new(pos));
-                true
+                let id = self.interner.intern(key);
+                debug_assert_eq!(id as usize, self.entries.len());
+                self.entries.push(Some(PatternEntry::new(pos, self.window)));
+                self.live += 1;
+                PatternUpdate {
+                    id,
+                    is_new: true,
+                    detected: false,
+                }
             }
         }
     }
 
-    /// Look up a pattern.
-    pub fn get(&self, key: &[GramId]) -> Option<&PatternEntry> {
-        self.map.get(key)
+    /// Record an occurrence by id (no hashing at all). Revives a
+    /// tombstoned entry with a fresh one, exactly as `update` would.
+    pub fn record(&mut self, id: PatternId, pos: usize) -> PatternUpdate {
+        let slot = &mut self.entries[id as usize];
+        match slot {
+            Some(entry) => {
+                entry.occurrences.record(pos);
+                PatternUpdate {
+                    id,
+                    is_new: false,
+                    detected: entry.detected,
+                }
+            }
+            None => {
+                *slot = Some(PatternEntry::new(pos, self.window));
+                self.live += 1;
+                PatternUpdate {
+                    id,
+                    is_new: true,
+                    detected: false,
+                }
+            }
+        }
     }
 
-    /// Look up a pattern mutably.
+    /// Id of `key` if it was ever inserted (live or tombstoned).
+    /// Allocation-free; the scanner's suffix probes use this.
+    #[inline]
+    #[must_use]
+    pub fn id_of(&self, key: &[GramId]) -> Option<PatternId> {
+        self.interner.get(key)
+    }
+
+    /// The key behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this list.
+    #[inline]
+    #[must_use]
+    pub fn key(&self, id: PatternId) -> &[GramId] {
+        self.interner.key(id)
+    }
+
+    /// Look up a live entry by id.
+    #[inline]
+    #[must_use]
+    pub fn entry(&self, id: PatternId) -> Option<&PatternEntry> {
+        self.entries.get(id as usize)?.as_ref()
+    }
+
+    /// Look up a live entry by id, mutably.
+    #[inline]
+    #[must_use]
+    pub fn entry_mut(&mut self, id: PatternId) -> Option<&mut PatternEntry> {
+        self.entries.get_mut(id as usize)?.as_mut()
+    }
+
+    /// Look up a pattern (allocation-free).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: &[GramId]) -> Option<&PatternEntry> {
+        self.entry(self.id_of(key)?)
+    }
+
+    /// Look up a pattern mutably (allocation-free).
+    #[inline]
+    #[must_use]
     pub fn get_mut(&mut self, key: &[GramId]) -> Option<&mut PatternEntry> {
-        self.map.get_mut(key)
+        let id = self.id_of(key)?;
+        self.entry_mut(id)
     }
 
     /// Remove a pattern (Algorithm 2 line 38: a grown n-gram whose
-    /// construction check failed is discarded).
+    /// construction check failed is discarded). The key stays interned;
+    /// only the entry dies.
     pub fn remove(&mut self, key: &[GramId]) -> Option<PatternEntry> {
-        self.map.remove(key)
+        let id = self.id_of(key)?;
+        let removed = self.entries[id as usize].take();
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
     }
 
-    /// Number of stored patterns.
+    /// Number of stored (live) patterns.
+    #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.live
     }
 
     /// True when no patterns are stored.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.live == 0
     }
 }
 
@@ -157,36 +453,104 @@ mod tests {
     #[test]
     fn update_reports_novelty() {
         let mut pl = PatternList::new();
-        assert!(pl.update(&[1, 2], 0), "first occurrence is new");
-        assert!(!pl.update(&[1, 2], 3), "second occurrence is not");
+        assert!(pl.update(&[1, 2], 0).is_new, "first occurrence is new");
+        assert!(!pl.update(&[1, 2], 3).is_new, "second occurrence is not");
         assert_eq!(pl.get(&[1, 2]).unwrap().frequency(), 2);
-        assert_eq!(pl.get(&[1, 2]).unwrap().occurrences, vec![0, 3]);
+        assert_eq!(pl.get(&[1, 2]).unwrap().occurrences.to_vec(), vec![0, 3]);
     }
 
     #[test]
     fn duplicate_position_ignored() {
         let mut pl = PatternList::new();
-        pl.update(&[1, 2], 5);
-        pl.update(&[1, 2], 5);
+        let _ = pl.update(&[1, 2], 5);
+        let _ = pl.update(&[1, 2], 5);
         assert_eq!(pl.get(&[1, 2]).unwrap().frequency(), 1);
     }
 
     #[test]
     fn remove_discards_entry() {
         let mut pl = PatternList::new();
-        pl.update(&[1, 2, 3], 0);
+        let _ = pl.update(&[1, 2, 3], 0);
         assert!(pl.remove(&[1, 2, 3]).is_some());
         assert!(pl.get(&[1, 2, 3]).is_none());
         assert!(pl.is_empty());
+        assert!(pl.remove(&[1, 2, 3]).is_none(), "double remove is a no-op");
+    }
+
+    #[test]
+    fn removed_key_keeps_id_and_revives_fresh() {
+        let mut pl = PatternList::new();
+        let first = pl.update(&[7, 8], 2);
+        pl.get_mut(&[7, 8]).unwrap().detected = true;
+        pl.remove(&[7, 8]);
+        // The id survives the tombstone (the suffix index relies on it)…
+        assert_eq!(pl.id_of(&[7, 8]), Some(first.id));
+        assert!(pl.entry(first.id).is_none());
+        // …and re-inserting revives a fresh entry under the same id.
+        let again = pl.update(&[7, 8], 9);
+        assert_eq!(again.id, first.id);
+        assert!(again.is_new);
+        assert!(!again.detected, "revived entry starts undetected");
+        assert_eq!(pl.get(&[7, 8]).unwrap().occurrences.to_vec(), vec![9]);
+        assert_eq!(pl.len(), 1);
     }
 
     #[test]
     fn distinct_keys_are_independent() {
         let mut pl = PatternList::new();
-        pl.update(&[1, 2], 0);
-        pl.update(&[2, 1], 1);
+        let _ = pl.update(&[1, 2], 0);
+        let _ = pl.update(&[2, 1], 1);
         assert_eq!(pl.len(), 2);
-        assert_eq!(pl.get(&[1, 2]).unwrap().occurrences, vec![0]);
-        assert_eq!(pl.get(&[2, 1]).unwrap().occurrences, vec![1]);
+        assert_eq!(pl.get(&[1, 2]).unwrap().occurrences.to_vec(), vec![0]);
+        assert_eq!(pl.get(&[2, 1]).unwrap().occurrences.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn update_detected_reflects_entry_state() {
+        let mut pl = PatternList::new();
+        assert!(!pl.update(&[4, 5], 0).detected);
+        pl.get_mut(&[4, 5]).unwrap().detected = true;
+        let up = pl.update(&[4, 5], 6);
+        assert!(up.detected && !up.is_new);
+    }
+
+    #[test]
+    fn occurrence_window_bounds_retention_but_counts_all() {
+        let mut w = OccurrenceWindow::new(4);
+        for pos in 0..10 {
+            assert!(w.record(pos * 3));
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.total(), 10);
+        // Newest four positions retained, oldest first.
+        assert_eq!(w.to_vec(), vec![18, 21, 24, 27]);
+        assert_eq!(w.last(), Some(27));
+        assert!(w.contains(21));
+        assert!(!w.contains(0), "old positions evicted");
+        // Consecutive duplicate ignored even across the ring boundary.
+        assert!(!w.record(27));
+        assert_eq!(w.total(), 10);
+    }
+
+    #[test]
+    fn pattern_list_honours_window_bound() {
+        let mut pl = PatternList::with_window(2);
+        for pos in [0, 5, 10, 15] {
+            let _ = pl.update(&[1, 2], pos);
+        }
+        let e = pl.get(&[1, 2]).unwrap();
+        assert_eq!(e.occurrences.to_vec(), vec![10, 15]);
+        assert_eq!(e.frequency(), 4, "frequency keeps the all-time count");
+    }
+
+    #[test]
+    fn interner_shares_one_allocation_per_key() {
+        let mut pi = PatternInterner::default();
+        let id = pi.intern(&[1, 2, 3]);
+        assert_eq!(pi.intern(&[1, 2, 3]), id, "re-intern is a lookup");
+        assert_eq!(pi.len(), 1);
+        // Map key and table slot share the same Arc allocation: exactly
+        // two strong references, not two copies of the data.
+        assert_eq!(Arc::strong_count(&pi.keys[id as usize]), 2);
     }
 }

@@ -21,12 +21,23 @@
 //!    re-appearance after a misprediction — no need for three consecutive
 //!    sightings again.
 //!
+//! ## Hot-path shape
+//!
+//! `advance` runs inside the PMPI interception path, so it is written to
+//! do O(1) work per newly closed gram without heap allocation: pattern
+//! keys are probed as borrowed gram-array slices against the FxHash
+//! interner (no `Box` per lookup), the re-arm check probes one
+//! array-suffix per *distinct detected pattern length* instead of
+//! linearly scanning every detected key, and `checkO` walks a bounded
+//! occurrence window rather than the full occurrence history.
+//!
 //! For the Fig. 2 Alya stream (grams `A B B A B B …`, `A = 41-41-41`,
 //! `B = 10`) this declares `A,B,B` with occurrences {3, 6, 9} and starts
 //! predicting from gram position 12, exactly as printed in Fig. 3.
 
 use crate::gram::GramId;
-use crate::pattern::{PatternList, RunningMean};
+use crate::pattern::{PatternId, PatternList, RunningMean, DEFAULT_OCCURRENCE_WINDOW};
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of a PPA declaration: prediction may start.
@@ -77,10 +88,16 @@ pub struct Ppa {
     max_pattern_size: usize,
     /// Set once a pattern has been declared; freezes `max_pattern_size`.
     frozen: bool,
-    /// Patterns that have been declared at least once, newest last. After
-    /// a misprediction these re-arm on a *single* re-appearance (checked
-    /// against the gram-array suffix on every advance).
-    detected_keys: Vec<Box<[GramId]>>,
+    /// Declaration order of every pattern ever declared, keyed by its
+    /// interned id. After a misprediction these re-arm on a *single*
+    /// re-appearance; ties between matching suffixes go to the most
+    /// recently first-declared pattern (the old list's `rposition`).
+    detected_order: FxHashMap<PatternId, u32>,
+    /// Distinct lengths among detected patterns — the re-arm check probes
+    /// one gram-array suffix per length (length-bucketed suffix index)
+    /// instead of scanning every detected key.
+    detected_lens: Vec<usize>,
+    next_detected_order: u32,
     /// First gram position that counts as "fresh" for the re-arm check:
     /// a re-appearance must consist entirely of grams observed after the
     /// last declaration or relaunch.
@@ -92,19 +109,30 @@ pub struct Ppa {
 }
 
 impl Ppa {
-    /// Create a scanner with the given declaration policy.
+    /// Create a scanner with the given declaration policy and the default
+    /// occurrence-window bound.
+    #[must_use]
     pub fn new(min_consecutive: u32, max_pattern_size: usize) -> Self {
+        Self::with_window(min_consecutive, max_pattern_size, DEFAULT_OCCURRENCE_WINDOW)
+    }
+
+    /// Create a scanner whose pattern entries retain at most `window`
+    /// occurrence positions (bounds `checkO` to O(window)).
+    #[must_use]
+    pub fn with_window(min_consecutive: u32, max_pattern_size: usize, window: usize) -> Self {
         assert!(min_consecutive >= 2, "need at least 2 consecutive repeats");
         assert!(max_pattern_size >= 2, "patterns are at least bi-grams");
         Ppa {
-            pl: PatternList::new(),
+            pl: PatternList::with_window(window),
             pos: 0,
             pattern_size: 2,
             phase: Phase::Seek,
             min_consecutive,
             max_pattern_size,
             frozen: false,
-            detected_keys: Vec::new(),
+            detected_order: FxHashMap::default(),
+            detected_lens: Vec::new(),
+            next_detected_order: 0,
             min_fresh: 0,
             work: PpaWork::default(),
             last_elements: 0,
@@ -113,6 +141,7 @@ impl Ppa {
 
     /// The pattern list (exposed for statistics and for the runtime to
     /// seed/refresh slot-gap means).
+    #[must_use]
     pub fn pattern_list(&self) -> &PatternList {
         &self.pl
     }
@@ -124,11 +153,13 @@ impl Ppa {
     }
 
     /// Cumulative work counters.
+    #[must_use]
     pub fn work(&self) -> PpaWork {
         self.work
     }
 
     /// Gram elements examined by the most recent `advance` call.
+    #[must_use]
     pub fn last_elements(&self) -> u64 {
         self.last_elements
     }
@@ -171,26 +202,36 @@ impl Ppa {
     }
 
     fn check_rearm(&mut self, grams: &[GramId], progressed: &mut bool) -> Option<Declaration> {
-        if self.detected_keys.is_empty() {
+        if self.detected_order.is_empty() {
             return None;
         }
         // The suffix must be entirely fresh material (observed after the
-        // last declaration or relaunch).
+        // last declaration or relaunch). One interner probe per distinct
+        // detected length; among matches the latest-declared wins,
+        // preserving the old linear list's newest-last `rposition`.
+        let n = grams.len();
         let min_fresh = self.min_fresh;
-        let idx = self.detected_keys.iter().rposition(|key| {
-            let len = key.len();
-            grams.len() >= len
-                && grams.len() - len >= min_fresh
-                && grams[grams.len() - len..] == **key
-        })?;
+        let mut best: Option<(u32, PatternId, usize)> = None;
+        for &len in &self.detected_lens {
+            if n >= len && n - len >= min_fresh {
+                if let Some(id) = self.pl.id_of(&grams[n - len..]) {
+                    if let Some(&ord) = self.detected_order.get(&id) {
+                        if best.is_none_or(|(b, _, _)| ord > b) {
+                            best = Some((ord, id, len));
+                        }
+                    }
+                }
+            }
+        }
+        let (_, id, len) = best?;
         *progressed = true;
-        let key = self.detected_keys[idx].clone();
-        self.last_elements += key.len() as u64;
-        let predict_from = grams.len();
-        self.pl.update(&key, predict_from - key.len());
+        self.last_elements += len as u64;
+        let pattern: Box<[GramId]> = self.pl.key(id).into();
+        let predict_from = n;
+        let _ = self.pl.record(id, predict_from - len);
         self.after_declaration(predict_from);
         Some(Declaration {
-            pattern: key,
+            pattern,
             predict_from,
             rearmed: true,
         })
@@ -207,9 +248,8 @@ impl Ppa {
                     *progressed = true;
                     self.last_elements += 2;
                     let key = &grams[self.pos..self.pos + 2];
-                    let is_new = self.pl.update(key, self.pos);
-                    let entry = self.pl.get(key).expect("just inserted");
-                    if entry.detected {
+                    let up = self.pl.update(key, self.pos);
+                    if up.detected {
                         // Fast re-arm: a previously declared (bi-gram)
                         // pattern re-appeared once.
                         let pattern: Box<[GramId]> = key.into();
@@ -221,7 +261,7 @@ impl Ppa {
                             rearmed: true,
                         });
                     }
-                    if !is_new {
+                    if !up.is_new {
                         // Bi-gram match detected: lock on and try to grow.
                         self.pattern_size = 2;
                         self.phase = Phase::Track { consecutive: 0 };
@@ -243,23 +283,20 @@ impl Ppa {
                         // Consecutive repeat found.
                         let repeats = consecutive + 1;
                         let repeat_pos = self.pos + size;
-                        self.pl.update(cur, repeat_pos);
+                        let up = self.pl.update(cur, repeat_pos);
                         self.pos = repeat_pos;
-                        let detected = self.pl.get(cur).is_some_and(|e| e.detected);
+                        let detected = up.detected;
                         if repeats + 1 >= self.min_consecutive || detected {
                             // Declared: `min_consecutive` consecutive
                             // occurrences observed (start + repeats), or a
                             // previously detected pattern re-armed.
                             let pattern: Box<[GramId]> = cur.into();
                             let predict_from = self.pos + size;
-                            {
-                                let entry =
-                                    self.pl.get_mut(&pattern).expect("pattern present");
-                                entry.detected = true;
-                            }
-                            if !self.detected_keys.contains(&pattern) {
-                                self.detected_keys.push(pattern.clone());
-                            }
+                            self.pl
+                                .entry_mut(up.id)
+                                .expect("pattern present")
+                                .detected = true;
+                            self.register_detected(up.id, size);
                             if !self.frozen {
                                 self.max_pattern_size = size;
                                 self.frozen = true;
@@ -310,6 +347,19 @@ impl Ppa {
         }
     }
 
+    /// Enter `id` into the detected suffix index (first declaration only:
+    /// re-declarations keep their original order, as the old newest-last
+    /// key list did).
+    fn register_detected(&mut self, id: PatternId, len: usize) {
+        if let std::collections::hash_map::Entry::Vacant(v) = self.detected_order.entry(id) {
+            v.insert(self.next_detected_order);
+            self.next_detected_order += 1;
+            if !self.detected_lens.contains(&len) {
+                self.detected_lens.push(len);
+            }
+        }
+    }
+
     /// Attempt to grow the candidate at `pos` from `pattern_size` to
     /// `pattern_size + 1` grams. Implements the paper's `appendGram` +
     /// `checkO`: the grown pattern is kept only if it can also be
@@ -325,23 +375,19 @@ impl Ppa {
         self.last_elements += (size + 1) as u64;
 
         // checkO: find a previous, non-overlapping occurrence of the
-        // prefix that extends to the same grown pattern.
-        let constructible = self
-            .pl
-            .get(prefix)
-            .is_some_and(|entry| {
-                entry.occurrences.iter().any(|&q| {
-                    q + size <= self.pos
-                        && q + size < grams.len()
-                        && grams[q..q + size + 1] == *grown
-                })
-            });
+        // prefix that extends to the same grown pattern. The occurrence
+        // window bounds this scan to O(window).
+        let constructible = self.pl.get(prefix).is_some_and(|entry| {
+            entry.occurrences.iter().any(|q| {
+                q + size <= self.pos && q + size < grams.len() && grams[q..q + size + 1] == *grown
+            })
+        });
 
         if constructible {
             // Frequency transfer: the grown pattern absorbs the occurrence;
             // (the paper increments the (n+1)-gram and decrements the
             // n-gram — we record the grown occurrence at `pos`).
-            self.pl.update(grown, self.pos);
+            let _ = self.pl.update(grown, self.pos);
             self.pattern_size = size + 1;
             true
         } else {
@@ -371,12 +417,12 @@ impl Ppa {
 /// accumulated. Out-of-range grams (occurrence at the array edge) are
 /// skipped.
 pub fn seed_slot_gaps(
-    occurrences: &[usize],
+    occurrences: impl IntoIterator<Item = usize>,
     pattern_len: usize,
     gap_of: impl Fn(usize) -> Option<ibp_simcore::SimDuration>,
 ) -> Vec<RunningMean> {
     let mut slots = vec![RunningMean::new(); pattern_len];
-    for &p in occurrences {
+    for p in occurrences {
         for (j, slot) in slots.iter_mut().enumerate() {
             if let Some(gap) = gap_of(p + j) {
                 slot.push(gap);
@@ -423,7 +469,7 @@ mod tests {
         assert_eq!(at, 12, "declaration needs grams 0..=11");
         // Fig. 3 insertion table: occurrences {3, 6, 9}, frequency 3.
         let entry = ppa.pattern_list().get(&[A, B, B]).unwrap();
-        assert_eq!(entry.occurrences, vec![3, 6, 9]);
+        assert_eq!(entry.occurrences.to_vec(), vec![3, 6, 9]);
         assert!(entry.detected);
     }
 
@@ -434,8 +480,8 @@ mod tests {
         let _ = feed_until_declaration(&grams, &mut ppa);
         // The seed bi-grams of Fig. 3's insertion table are present.
         let ab = ppa.pattern_list().get(&[A, B]).unwrap();
-        assert!(ab.occurrences.contains(&0));
-        assert!(ab.occurrences.contains(&3));
+        assert!(ab.occurrences.contains(0));
+        assert!(ab.occurrences.contains(3));
         assert!(ppa.pattern_list().get(&[B, B]).is_some());
         assert!(ppa.pattern_list().get(&[B, A]).is_some());
     }
@@ -538,7 +584,7 @@ mod tests {
         // Gaps: gram i has gap 100 + i µs.
         let gap_of =
             |i: usize| (i < 12).then(|| SimDuration::from_us(100 + i as u64));
-        let slots = seed_slot_gaps(&[3, 6, 9], 3, gap_of);
+        let slots = seed_slot_gaps([3, 6, 9], 3, gap_of);
         // Slot 0: gaps of grams 3, 6, 9 → mean 106 µs.
         assert_eq!(slots[0].mean(), SimDuration::from_us(106));
         // Slot 2: grams 5, 8, 11 → mean 108 µs.
@@ -562,5 +608,44 @@ mod tests {
         let mut ppa = Ppa::new(3, 64);
         let (d, _) = feed_until_declaration(&grams, &mut ppa).expect("declare");
         assert_eq!(d.pattern.len(), 3);
+    }
+
+    #[test]
+    fn tiny_occurrence_window_still_follows_fig3() {
+        // Even a 2-deep window retains enough history for checkO on the
+        // Alya stream: declarations and occurrences match the unbounded
+        // walk-through.
+        let grams = alya_grams(18);
+        let mut ppa = Ppa::with_window(3, 64, 2);
+        let (decl, at) = feed_until_declaration(&grams, &mut ppa).expect("must declare");
+        assert_eq!(&*decl.pattern, &[A, B, B]);
+        assert_eq!((decl.predict_from, at), (12, 12));
+    }
+
+    #[test]
+    fn windowed_and_unbounded_declarations_agree_on_long_streams() {
+        // Feed a long periodic stream with noise injections through a
+        // bounded and an effectively-unbounded scanner; every declaration
+        // must agree (the window only forgets ancient occurrences that
+        // checkO never needs for a live pattern).
+        let mut grams = Vec::new();
+        for block in 0..40 {
+            if block % 7 == 3 {
+                grams.push(100 + block as GramId); // unique noise gram
+            }
+            for _ in 0..3 {
+                grams.extend_from_slice(&[A, B, B]);
+            }
+        }
+        let mut bounded = Ppa::with_window(3, 64, DEFAULT_OCCURRENCE_WINDOW);
+        let mut unbounded = Ppa::with_window(3, 64, usize::MAX);
+        for n in 1..=grams.len() {
+            let b = bounded.advance(&grams[..n]);
+            let u = unbounded.advance(&grams[..n]);
+            assert_eq!(b, u, "divergence at gram {n}");
+            // Mirror the runtime: a declaration relaunches scanning only
+            // via after_declaration, which both sides share.
+        }
+        assert_eq!(bounded.work(), unbounded.work());
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::config::{PowerConfig, ResilienceConfig, SleepKind};
 use crate::gram::{Gram, GramBuilder, GramId, GramInterner};
+use crate::pattern::PatternId;
 use crate::ppa::{seed_slot_gaps, Ppa};
 use crate::stats::RankStats;
 use ibp_simcore::SimDuration;
@@ -79,8 +80,9 @@ pub struct RankAnnotation {
 enum Mode {
     Learning,
     Predicting {
-        /// The declared pattern (gram shape ids).
-        pattern: Box<[GramId]>,
+        /// Interned id of the declared pattern — slot-gap refreshes while
+        /// predicting are direct indexed loads, no hashing at all.
+        pattern: PatternId,
         /// Expected call-id sequence of each pattern slot.
         shapes: Vec<Box<[u16]>>,
         /// Slot whose gram is currently being matched.
@@ -230,7 +232,11 @@ pub struct RankRuntime {
 impl RankRuntime {
     /// Create a runtime for `rank` with the given configuration.
     pub fn new(rank: Rank, cfg: PowerConfig) -> Self {
-        let ppa = Ppa::new(cfg.min_consecutive, cfg.max_pattern_size);
+        let ppa = Ppa::with_window(
+            cfg.min_consecutive,
+            cfg.max_pattern_size,
+            cfg.occurrence_window,
+        );
         let builder = GramBuilder::new(&cfg);
         RankRuntime {
             cfg,
@@ -249,6 +255,20 @@ impl RankRuntime {
             penalty: Vec::new(),
             event_idx: 0,
         }
+    }
+
+    /// Pre-size the per-event output buffers for `additional` upcoming
+    /// intercepts. With this reservation in place, the steady-state
+    /// (predicting) intercept path performs no heap allocation at all —
+    /// asserted by the counting-allocator test in `tests/alloc_free.rs`.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.overhead.reserve(additional);
+        self.penalty.reserve(additional);
+        // At most one directive per event; grams only close on gram
+        // boundaries but never outnumber events.
+        self.directives.reserve(additional);
+        self.grams.reserve(additional);
+        self.gram_ids.reserve(additional);
     }
 
     /// Whether prediction (power-mode control) is currently active.
@@ -362,7 +382,7 @@ impl RankRuntime {
                     } else {
                         // Fold the observed gap into the slot mean so the
                         // next occurrence's timer tracks drift.
-                        if let Some(entry) = self.ppa.pattern_list_mut().get_mut(pattern) {
+                        if let Some(entry) = self.ppa.pattern_list_mut().entry_mut(*pattern) {
                             if let Some(m) = entry.slot_gaps.get_mut(*slot) {
                                 m.push(gap);
                             }
@@ -388,7 +408,7 @@ impl RankRuntime {
                             let predicted_idle = self
                                 .ppa
                                 .pattern_list()
-                                .get(pattern)
+                                .entry(*pattern)
                                 .and_then(|e| e.slot_gaps.get(next))
                                 .map(|m| m.mean())
                                 .unwrap_or(SimDuration::ZERO);
@@ -465,6 +485,11 @@ impl RankRuntime {
             .iter()
             .map(|&gid| self.interner.shape(gid).into())
             .collect();
+        let pattern_id = self
+            .ppa
+            .pattern_list()
+            .id_of(&pattern)
+            .expect("declared pattern is interned");
 
         // Seed the per-slot idle means from the occurrences that proved
         // the pattern, unless a previous prediction phase already did.
@@ -473,10 +498,10 @@ impl RankRuntime {
             let entry = self
                 .ppa
                 .pattern_list_mut()
-                .get_mut(&pattern)
+                .entry_mut(pattern_id)
                 .expect("declared pattern is in the list");
             if entry.slot_gaps.is_empty() {
-                entry.slot_gaps = seed_slot_gaps(&entry.occurrences, pattern.len(), |i| {
+                entry.slot_gaps = seed_slot_gaps(entry.occurrences.iter(), pattern.len(), |i| {
                     grams.get(i).map(|g| g.preceding_idle)
                 });
                 entry.mpi_calls = shapes.iter().map(|s| s.len() as u32).sum();
@@ -512,7 +537,7 @@ impl RankRuntime {
             let predicted_idle = self
                 .ppa
                 .pattern_list()
-                .get(&pattern)
+                .entry(pattern_id)
                 .and_then(|e| e.slot_gaps.get(next))
                 .map(|m| m.mean())
                 .unwrap_or(SimDuration::ZERO);
@@ -535,14 +560,14 @@ impl RankRuntime {
                 self.pending = Some(PendingSleep { timer, kind });
             }
             self.mode = Mode::Predicting {
-                pattern,
+                pattern: pattern_id,
                 shapes,
                 slot: next,
                 progress: 0,
             };
         } else {
             self.mode = Mode::Predicting {
-                pattern,
+                pattern: pattern_id,
                 shapes,
                 slot: 0,
                 progress: 1,
@@ -567,6 +592,7 @@ impl RankRuntime {
 /// Run the full mechanism over one rank's recorded stream.
 pub fn annotate_rank(trace: &RankTrace, cfg: &PowerConfig) -> RankAnnotation {
     let mut rt = RankRuntime::new(trace.rank, cfg.clone());
+    rt.reserve_events(trace.call_count());
     for (call, gap) in trace.call_stream() {
         rt.intercept(call, gap);
     }

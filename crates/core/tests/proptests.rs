@@ -1,8 +1,13 @@
-//! Property-based tests for gram formation and the PPA.
+//! Property-based tests for gram formation, the PPA, and the
+//! rank-parallel annotation path.
 
-use ibp_core::{GramBuilder, GramInterner, Ppa, PowerConfig};
+use ibp_core::{
+    annotate_trace, annotate_trace_jobs, GramBuilder, GramInterner, Ppa, PowerConfig,
+    ResilienceConfig,
+};
 use ibp_simcore::SimDuration;
 use ibp_trace::MpiCall;
+use ibp_workloads::AppKind;
 use proptest::prelude::*;
 
 fn call_of(idx: u8) -> MpiCall {
@@ -122,6 +127,61 @@ proptest! {
         }
     }
 
+    /// Rank-parallel annotation is byte-identical to the serial path for
+    /// any paper workload under any "fault plan" (resilience controller
+    /// settings + deep sleep + occurrence-window bound). Per-rank state
+    /// is fully independent, so worker count must never leak into the
+    /// output; serde byte equality is the strictest observable check.
+    #[test]
+    fn parallel_annotation_is_byte_identical_to_serial(
+        app_idx in 0usize..5,
+        nprocs_sel in 0usize..3,
+        seed in 0u64..1_000,
+        jobs in 2usize..6,
+        gt_us in 15u64..200,
+        disp in 0.01f64..0.2,
+        resilient in any::<bool>(),
+        storm_window in 8u32..64,
+        storm_threshold in 1u32..6,
+        base_holdoff in 8u32..128,
+        guard_step in 0.0f64..0.1,
+        budget_pct in 0.0f64..5.0,
+        deep in any::<bool>(),
+        window_sel in 0usize..3,
+    ) {
+        let app = AppKind::ALL[app_idx];
+        let w = app.workload();
+        let valid: Vec<u32> = (2..=16).filter(|&n| w.valid_nprocs(n)).collect();
+        prop_assert!(!valid.is_empty());
+        let nprocs = valid[nprocs_sel % valid.len()];
+        let trace = w.generate(nprocs, seed);
+
+        let mut cfg = PowerConfig::paper(SimDuration::from_us(gt_us), disp);
+        if resilient {
+            cfg = cfg.with_resilience(ResilienceConfig {
+                enabled: true,
+                storm_window,
+                storm_threshold,
+                base_holdoff,
+                max_holdoff: base_holdoff * 16,
+                guard_step,
+                guard_decay: 0.85,
+                max_guard: 0.40,
+                slowdown_budget_pct: budget_pct,
+            });
+        }
+        if deep {
+            cfg = cfg.with_deep_sleep(SimDuration::from_ms(2));
+        }
+        cfg.occurrence_window = [16, ibp_core::DEFAULT_OCCURRENCE_WINDOW, usize::MAX][window_sel];
+
+        let serial = annotate_trace(&trace, &cfg);
+        let parallel = annotate_trace_jobs(&trace, &cfg, jobs);
+        let a = serde_json::to_string(&serial.ranks).expect("serialize");
+        let b = serde_json::to_string(&parallel.ranks).expect("serialize");
+        prop_assert!(a == b, "{} @{nprocs} seed {seed} jobs {jobs}: outputs differ", app.name());
+    }
+
     /// plan_sleep falls back gracefully: it returns Deep only above the
     /// threshold and with a profitable window, otherwise WRPS or nothing.
     #[test]
@@ -143,5 +203,40 @@ proptest! {
                 prop_assert!(idle.as_us_f64() < 25.0, "profitable idle ignored: {idle}");
             }
         }
+    }
+}
+
+/// The bounded occurrence window is an optimisation, not a model change:
+/// on all five paper workloads the default 64-occurrence recency bound
+/// produces byte-identical annotations to an unbounded history. (Random
+/// shapes are covered by the windowed case of
+/// `parallel_annotation_is_byte_identical_to_serial` above.)
+#[test]
+fn bounded_occurrence_window_never_changes_declarations() {
+    for app in AppKind::ALL {
+        let w = app.workload();
+        let nprocs = (2..=16)
+            .find(|&n| w.valid_nprocs(n))
+            .expect("every paper app runs somewhere in 2..=16");
+        let trace = w.generate(nprocs, 42);
+
+        let bounded = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        assert_eq!(bounded.occurrence_window, ibp_core::DEFAULT_OCCURRENCE_WINDOW);
+        let mut unbounded = bounded.clone();
+        unbounded.occurrence_window = usize::MAX;
+
+        let a = annotate_trace(&trace, &bounded);
+        let b = annotate_trace(&trace, &unbounded);
+        assert!(
+            a.ranks.iter().map(|r| r.stats.declarations).sum::<u64>() > 0,
+            "{}: workload never declared a pattern — test is vacuous",
+            app.name()
+        );
+        assert_eq!(
+            serde_json::to_string(&a.ranks).unwrap(),
+            serde_json::to_string(&b.ranks).unwrap(),
+            "{} @{nprocs}: bounded window changed the annotations",
+            app.name()
+        );
     }
 }

@@ -37,33 +37,33 @@ pub enum MicroOp {
     },
 }
 
-/// Append the binomial-tree *reduce* (toward `root`) micro-ops for `me`.
-fn reduce_tree(me: Rank, root: Rank, n: u32, bytes: u64, out: &mut Vec<MicroOp>) {
+/// Stream the binomial-tree *reduce* (toward `root`) micro-ops for `me`.
+fn reduce_tree(me: Rank, root: Rank, n: u32, bytes: u64, sink: &mut impl FnMut(MicroOp)) {
     let v = (me + n - root) % n; // virtual rank with root at 0
     let mut mask: u32 = 1;
     while mask < n {
         if v & mask != 0 {
             let peer = ((v - mask) + root) % n;
-            out.push(MicroOp::SendTo { to: peer, bytes });
+            sink(MicroOp::SendTo { to: peer, bytes });
             return; // contribution sent; done
         }
         if v + mask < n {
             let peer = ((v + mask) + root) % n;
-            out.push(MicroOp::RecvFrom { from: peer, bytes });
+            sink(MicroOp::RecvFrom { from: peer, bytes });
         }
         mask <<= 1;
     }
 }
 
-/// Append the binomial-tree *broadcast* (from `root`) micro-ops for `me`.
-fn bcast_tree(me: Rank, root: Rank, n: u32, bytes: u64, out: &mut Vec<MicroOp>) {
+/// Stream the binomial-tree *broadcast* (from `root`) micro-ops for `me`.
+fn bcast_tree(me: Rank, root: Rank, n: u32, bytes: u64, sink: &mut impl FnMut(MicroOp)) {
     let v = (me + n - root) % n;
     // Receive from the parent (unless root).
     let mut mask: u32 = 1;
     while mask < n {
         if v & mask != 0 {
             let peer = ((v - mask) + root) % n;
-            out.push(MicroOp::RecvFrom { from: peer, bytes });
+            sink(MicroOp::RecvFrom { from: peer, bytes });
             break;
         }
         mask <<= 1;
@@ -82,39 +82,42 @@ fn bcast_tree(me: Rank, root: Rank, n: u32, bytes: u64, out: &mut Vec<MicroOp>) 
     while mask > 0 {
         if v + mask < n && v & mask == 0 {
             let peer = ((v + mask) + root) % n;
-            out.push(MicroOp::SendTo { to: peer, bytes });
+            sink(MicroOp::SendTo { to: peer, bytes });
         }
         mask >>= 1;
     }
 }
 
-/// Decompose a collective (or the exchange halves of `Sendrecv`) into the
-/// micro-ops executed by rank `me` of `n`.
+/// Stream the micro-ops rank `me` of `n` executes for a collective into
+/// `sink`, in execution order, without allocating.
+///
+/// This is the engine-facing form: the replay hot path feeds the ops
+/// straight into its step queue (and its arrival-arena precount walks the
+/// same schedule), so no temporary vector is built per event.
 ///
 /// Point-to-point and request-based operations are not handled here (the
-/// replay engine executes them directly); calling this with one returns
-/// an empty vector.
-pub fn decompose(op: &MpiOp, me: Rank, n: u32) -> Vec<MicroOp> {
-    let mut out = Vec::new();
+/// replay engine executes them directly); calling this with one emits
+/// nothing.
+pub fn for_each_micro(op: &MpiOp, me: Rank, n: u32, sink: &mut impl FnMut(MicroOp)) {
     match *op {
         MpiOp::Barrier => {
             // 1-byte allreduce.
-            reduce_tree(me, 0, n, 1, &mut out);
-            bcast_tree(me, 0, n, 1, &mut out);
+            reduce_tree(me, 0, n, 1, sink);
+            bcast_tree(me, 0, n, 1, sink);
         }
         MpiOp::Allreduce { bytes } => {
-            reduce_tree(me, 0, n, bytes, &mut out);
-            bcast_tree(me, 0, n, bytes, &mut out);
+            reduce_tree(me, 0, n, bytes, sink);
+            bcast_tree(me, 0, n, bytes, sink);
         }
-        MpiOp::Bcast { root, bytes } => bcast_tree(me, root, n, bytes, &mut out),
-        MpiOp::Reduce { root, bytes } => reduce_tree(me, root, n, bytes, &mut out),
+        MpiOp::Bcast { root, bytes } => bcast_tree(me, root, n, bytes, sink),
+        MpiOp::Reduce { root, bytes } => reduce_tree(me, root, n, bytes, sink),
         MpiOp::Allgather { bytes } => {
             // Ring: n−1 rounds, each forwarding one block.
             let right = (me + 1) % n;
             let left = (me + n - 1) % n;
             for _ in 0..n.saturating_sub(1) {
-                out.push(MicroOp::SendTo { to: right, bytes });
-                out.push(MicroOp::RecvFrom { from: left, bytes });
+                sink(MicroOp::SendTo { to: right, bytes });
+                sink(MicroOp::RecvFrom { from: left, bytes });
             }
         }
         MpiOp::Alltoall { bytes } => {
@@ -122,12 +125,20 @@ pub fn decompose(op: &MpiOp, me: Rank, n: u32) -> Vec<MicroOp> {
             for k in 1..n {
                 let to = (me + k) % n;
                 let from = (me + n - k) % n;
-                out.push(MicroOp::SendTo { to, bytes });
-                out.push(MicroOp::RecvFrom { from, bytes });
+                sink(MicroOp::SendTo { to, bytes });
+                sink(MicroOp::RecvFrom { from, bytes });
             }
         }
         _ => {}
     }
+}
+
+/// Decompose a collective into the micro-ops executed by rank `me` of
+/// `n`, collected into a vector ([`for_each_micro`] with a `Vec` sink).
+#[must_use]
+pub fn decompose(op: &MpiOp, me: Rank, n: u32) -> Vec<MicroOp> {
+    let mut out = Vec::new();
+    for_each_micro(op, me, n, &mut |m| out.push(m));
     out
 }
 
@@ -231,6 +242,28 @@ mod tests {
     fn p2p_ops_decompose_to_nothing() {
         assert!(decompose(&MpiOp::Send { to: 1, bytes: 5 }, 0, 4).is_empty());
         assert!(decompose(&MpiOp::Wait { req: 0 }, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn sink_and_vec_forms_agree() {
+        let ops = [
+            MpiOp::Barrier,
+            MpiOp::Allreduce { bytes: 8 },
+            MpiOp::Bcast { root: 2, bytes: 64 },
+            MpiOp::Reduce { root: 1, bytes: 64 },
+            MpiOp::Allgather { bytes: 32 },
+            MpiOp::Alltoall { bytes: 16 },
+            MpiOp::Send { to: 1, bytes: 5 },
+        ];
+        for op in &ops {
+            for n in [2, 3, 8, 13] {
+                for me in 0..n {
+                    let mut streamed = Vec::new();
+                    for_each_micro(op, me, n, &mut |m| streamed.push(m));
+                    assert_eq!(streamed, decompose(op, me, n), "{op:?} me={me} n={n}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -60,17 +60,23 @@ impl SimParams {
     }
 
     /// Total node slots in the fat tree.
+    #[inline]
+    #[must_use]
     pub fn node_capacity(&self) -> u32 {
         self.nodes_per_leaf * self.leaf_count
     }
 
     /// Serialization time of `bytes` on one link.
+    #[inline]
+    #[must_use]
     pub fn serialize(&self, bytes: u64) -> SimDuration {
         // bits / (bits/sec) — IB data rate already accounts for encoding.
         SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
     }
 
     /// Number of segments a message of `bytes` is split into.
+    #[inline]
+    #[must_use]
     pub fn segments(&self, bytes: u64) -> u64 {
         bytes.div_ceil(self.segment_bytes).max(1)
     }
@@ -104,6 +110,8 @@ impl SimParams {
 
     /// End of a compute burst of `dur` starting at `t` (CPU speedup
     /// applied).
+    #[inline]
+    #[must_use]
     pub fn compute_end(&self, t: SimTime, dur: SimDuration) -> SimTime {
         if self.cpu_speedup == 1.0 {
             t + dur

@@ -12,6 +12,7 @@
 
 use crate::config::SimParams;
 use crate::topology::FatTree;
+use fxhash::FxHashMap;
 use ibp_simcore::{DetRng, SimTime};
 use ibp_trace::Rank;
 
@@ -35,7 +36,9 @@ pub struct Fabric {
     free: Vec<SimTime>,
     rng: DetRng,
     /// Per (src,dst) message sequence numbers for identity-stable routing.
-    pair_seq: std::collections::HashMap<(Rank, Rank), u64>,
+    // Only probed by key (never iterated), so the fast non-SipHash
+    // hasher cannot perturb replay determinism.
+    pair_seq: FxHashMap<(Rank, Rank), u64>,
     stats: FabricStats,
 }
 
@@ -49,7 +52,7 @@ impl Fabric {
             topo,
             free,
             rng: DetRng::seed_from_u64(seed).split(0xFAB),
-            pair_seq: std::collections::HashMap::new(),
+            pair_seq: FxHashMap::default(),
             stats: FabricStats::default(),
         }
     }
@@ -101,16 +104,22 @@ impl Fabric {
 
     /// Sender-side completion of an injection started at `send_time`
     /// (the NIC has accepted all bytes; eager protocol).
+    #[inline]
+    #[must_use]
     pub fn inject_done(&self, send_time: SimTime, bytes: u64) -> SimTime {
         send_time + self.params.mpi_latency + self.params.serialize(bytes)
     }
 
     /// Statistics snapshot.
+    #[inline]
+    #[must_use]
     pub fn stats(&self) -> FabricStats {
         self.stats
     }
 
     /// The simulation parameters in use.
+    #[inline]
+    #[must_use]
     pub fn params(&self) -> &SimParams {
         &self.params
     }

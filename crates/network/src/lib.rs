@@ -16,6 +16,7 @@
 //! execution-time increase.
 
 #![warn(missing_docs)]
+#![warn(clippy::perf)]
 #![forbid(unsafe_code)]
 
 pub mod collectives;
@@ -29,12 +30,12 @@ pub mod switch_power;
 pub mod topology;
 pub mod xgft;
 
-pub use collectives::{decompose, MicroOp};
+pub use collectives::{decompose, for_each_micro, MicroOp};
 pub use config::{SimParams, DEEP_POWER_FRACTION};
 pub use fabric::{Fabric, FabricStats};
 pub use faults::{FaultConfig, FaultPlan, FaultStats, SendFault};
 pub use power::{LinkPower, LinkPowerTracker};
-pub use replay::{replay, ReplayError, ReplayOptions};
+pub use replay::{replay, replay_with_scratch, ReplayError, ReplayOptions, ReplayScratch};
 pub use results::SimResult;
 pub use switch_power::{SwitchPowerModel, SwitchPowerReport};
 pub use topology::{ChannelId, FatTree, Route};

@@ -28,6 +28,8 @@ pub enum LinkPower {
 
 impl LinkPower {
     /// Relative power draw of the state.
+    #[inline]
+    #[must_use]
     pub fn relative_draw(self, low_fraction: f64) -> f64 {
         match self {
             LinkPower::Full | LinkPower::Transition => 1.0,
@@ -69,6 +71,8 @@ impl LinkPowerTracker {
     }
 
     /// Earliest instant a new sleep may begin.
+    #[inline]
+    #[must_use]
     pub fn floor(&self) -> SimTime {
         self.floor
     }
@@ -166,6 +170,7 @@ impl LinkPowerTracker {
     }
 
     /// Time-averaged relative power draw over a run of length `total`.
+    #[must_use]
     pub fn mean_relative_power(&self, params: &SimParams, total: SimDuration) -> f64 {
         if total.is_zero() {
             return 1.0;

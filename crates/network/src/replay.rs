@@ -17,18 +17,31 @@
 //! time), matching Dimemas' default. Traces validated by
 //! [`ibp_trace::Trace::validate`] cannot deadlock: every receive has a
 //! matching send and request discipline is enforced.
+//!
+//! ## Memory
+//!
+//! All growable engine state lives in a [`ReplayScratch`] arena that is
+//! reused across replays: a pre-pass counts the sends of every (src, dst)
+//! pair (decomposing collectives through the same schedule the engine
+//! executes), prefix sums turn the counts into offsets into one flat
+//! arrival array, and parked waiters are per-pair slots (only the
+//! destination rank ever receives on a pair, so at most one rank can wait
+//! on it). [`replay`] keeps a thread-local scratch; sweeps that replay
+//! thousands of cells can pass their own via [`replay_with_scratch`].
 
-use crate::collectives::{decompose, MicroOp};
+use crate::collectives::{for_each_micro, MicroOp};
 use crate::config::SimParams;
 use crate::fabric::Fabric;
 use crate::faults::{FaultConfig, FaultPlan, FaultStats};
 use crate::power::LinkPowerTracker;
 use crate::results::SimResult;
+use fxhash::FxHashMap;
 use ibp_core::{SleepKind, TraceAnnotations};
 use ibp_simcore::{SimDuration, SimTime};
 use ibp_trace::{MpiOp, Rank, Trace};
+use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Replay options.
@@ -153,7 +166,7 @@ struct RankState {
     t: SimTime,
     ev: usize,
     micro: VecDeque<Step>,
-    reqs: HashMap<u32, Req>,
+    reqs: FxHashMap<u32, Req>,
     next_directive: usize,
     pending_sleep: Option<(SimTime, SimDuration, SleepKind)>,
     power: LinkPowerTracker,
@@ -166,6 +179,99 @@ enum StepOutcome {
     EventDone,
 }
 
+/// "No rank is parked on this pair" sentinel for [`ReplayScratch`].
+const NO_WAITER: Rank = Rank::MAX;
+
+/// Reusable buffers for the replay engine.
+///
+/// A replay's growable state — the arrival arena, receive cursors, parked
+/// waiters, the step expansion buffer and the scheduler heap — lives here
+/// so that back-to-back replays (parameter sweeps run thousands) recycle
+/// the allocations instead of rebuilding `nprocs²` vectors every call.
+/// [`replay`] keeps one per thread automatically; hand a scratch to
+/// [`replay_with_scratch`] to control reuse explicitly.
+///
+/// The arrival arena is flat: a precount pass tallies every pair's sends
+/// (walking the exact collective schedule the engine replays), an
+/// exclusive prefix sum turns the tallies into `base` offsets, and pair
+/// `p`'s arrivals occupy `times[base[p] .. base[p] + len[p]]`. Steady
+/// state replay therefore never reallocates or rehashes.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    /// Exclusive prefix sums of per-pair send counts (`pairs + 1` long).
+    base: Vec<usize>,
+    /// Sends delivered so far per pair.
+    len: Vec<u32>,
+    /// Flat arrival times; pair `p` owns `times[base[p]..base[p]+len[p]]`.
+    times: Vec<SimTime>,
+    /// Per pair: next receive index to hand out.
+    recv_next: Vec<u32>,
+    /// Rank parked on each pair ([`NO_WAITER`] when none).
+    parked_rank: Vec<Rank>,
+    /// Which send index the parked rank waits for.
+    parked_k: Vec<u32>,
+    /// Reusable event-expansion buffer.
+    step_buf: Vec<Step>,
+    /// Runnable ranks, keyed by (clock, rank) — min first.
+    heap: BinaryHeap<Reverse<(SimTime, Rank)>>,
+}
+
+impl ReplayScratch {
+    /// An empty scratch; arenas are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every arena for `trace` and reset per-run state.
+    fn prepare(&mut self, trace: &Trace) {
+        let nprocs = trace.nprocs;
+        let pairs = (nprocs as usize) * (nprocs as usize);
+        self.len.clear();
+        self.len.resize(pairs, 0);
+        self.recv_next.clear();
+        self.recv_next.resize(pairs, 0);
+        self.parked_rank.clear();
+        self.parked_rank.resize(pairs, NO_WAITER);
+        self.parked_k.clear();
+        self.parked_k.resize(pairs, 0);
+        self.heap.clear();
+        self.step_buf.clear();
+
+        // Exact per-pair send counts, accumulated shifted by one so the
+        // in-place prefix sum below yields exclusive base offsets.
+        self.base.clear();
+        self.base.resize(pairs + 1, 0);
+        for (r, rank_trace) in trace.ranks.iter().enumerate() {
+            let r = r as Rank;
+            for ev in &rank_trace.events {
+                match &ev.op {
+                    MpiOp::Send { to, .. }
+                    | MpiOp::Isend { to, .. }
+                    | MpiOp::Sendrecv { to, .. } => {
+                        self.base[(r * nprocs + *to) as usize + 1] += 1;
+                    }
+                    MpiOp::Recv { .. }
+                    | MpiOp::Irecv { .. }
+                    | MpiOp::Wait { .. }
+                    | MpiOp::Waitall { .. } => {}
+                    op => for_each_micro(op, r, nprocs, &mut |m| {
+                        if let MicroOp::SendTo { to, .. } = m {
+                            self.base[(r * nprocs + to) as usize + 1] += 1;
+                        }
+                    }),
+                }
+            }
+        }
+        for p in 0..pairs {
+            self.base[p + 1] += self.base[p];
+        }
+        let total = self.base[pairs];
+        self.times.clear();
+        self.times.resize(total, SimTime::ZERO);
+    }
+}
+
 /// The replay engine.
 struct Replay<'a> {
     trace: &'a Trace,
@@ -173,14 +279,11 @@ struct Replay<'a> {
     params: SimParams,
     fabric: Fabric,
     ranks: Vec<RankState>,
-    /// Per (src,dst) pair: arrival times of sends, in send order.
-    arrivals: Vec<Vec<SimTime>>,
-    /// Per pair: next receive index to hand out.
-    recv_next: Vec<u32>,
-    /// Ranks parked waiting for the k-th send on a pair.
-    parked: HashMap<(u32, u32), Rank>,
-    /// Runnable ranks, keyed by (clock, rank) — min first.
-    heap: BinaryHeap<Reverse<(SimTime, Rank)>>,
+    /// Arenas (arrivals, cursors, parked slots, heap), prepared for this
+    /// trace and recycled across replays.
+    scratch: &'a mut ReplayScratch,
+    /// How many ranks are parked on missing messages.
+    parked: usize,
     /// Fault drawing plan (None on a reliable fabric).
     faults: Option<FaultPlan>,
     /// Aggregate fault accounting.
@@ -190,11 +293,36 @@ struct Replay<'a> {
 /// Replay `trace` through the modelled network. Supplying `ann` turns on
 /// the power-saving mechanism's effects (overheads, penalties, lane-off
 /// windows); `None` replays the unmodified, power-unaware baseline.
+///
+/// Engine buffers come from a per-thread [`ReplayScratch`], so repeated
+/// calls on one thread reuse their allocations; see
+/// [`replay_with_scratch`] to manage the scratch yourself.
 pub fn replay(
     trace: &Trace,
     ann: Option<&TraceAnnotations>,
     params: &SimParams,
     opts: &ReplayOptions,
+) -> Result<SimResult, ReplayError> {
+    thread_local! {
+        static SCRATCH: RefCell<ReplayScratch> = RefCell::new(ReplayScratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => replay_with_scratch(trace, ann, params, opts, &mut scratch),
+        // Re-entrant call (replay invoked from inside a replay-owned
+        // callback on this thread): fall back to a throwaway scratch.
+        Err(_) => replay_with_scratch(trace, ann, params, opts, &mut ReplayScratch::new()),
+    })
+}
+
+/// [`replay`] with an explicitly managed buffer arena. The scratch is
+/// resized for `trace` and left ready for the next call; results are
+/// identical whether the scratch is fresh or recycled.
+pub fn replay_with_scratch(
+    trace: &Trace,
+    ann: Option<&TraceAnnotations>,
+    params: &SimParams,
+    opts: &ReplayOptions,
+    scratch: &mut ReplayScratch,
 ) -> Result<SimResult, ReplayError> {
     let n = trace.nprocs;
     if n < 1 {
@@ -226,6 +354,7 @@ pub fn replay(
         None => None,
     };
 
+    scratch.prepare(trace);
     let mut engine = Replay {
         trace,
         ann,
@@ -236,23 +365,21 @@ pub fn replay(
                 t: SimTime::ZERO,
                 ev: 0,
                 micro: VecDeque::new(),
-                reqs: HashMap::new(),
+                reqs: FxHashMap::default(),
                 next_directive: 0,
                 pending_sleep: None,
                 power: LinkPowerTracker::new(opts.record_timelines),
                 done: false,
             })
             .collect(),
-        arrivals: vec![Vec::new(); (n as usize) * (n as usize)],
-        recv_next: vec![0; (n as usize) * (n as usize)],
-        parked: HashMap::new(),
-        heap: BinaryHeap::new(),
+        scratch,
+        parked: 0,
         faults,
         fault_stats: FaultStats::default(),
     };
 
     for r in 0..n {
-        engine.heap.push(Reverse((SimTime::ZERO, r)));
+        engine.scratch.heap.push(Reverse((SimTime::ZERO, r)));
     }
     engine.run()?;
 
@@ -292,14 +419,14 @@ impl<'a> Replay<'a> {
     }
 
     fn run(&mut self) -> Result<(), ReplayError> {
-        while let Some(Reverse((_, r))) = self.heap.pop() {
+        while let Some(Reverse((_, r))) = self.scratch.heap.pop() {
             self.advance_rank(r);
         }
         if let Some((r, s)) = self.ranks.iter().enumerate().find(|(_, s)| !s.done) {
             return Err(ReplayError::Deadlock {
                 rank: r,
                 event: s.ev,
-                parked: self.parked.len(),
+                parked: self.parked,
             });
         }
         Ok(())
@@ -321,16 +448,22 @@ impl<'a> Replay<'a> {
             // Compute (and overhead/penalty) advanced the clock; requeue
             // so the operation itself executes in global time order.
             let t = self.ranks[r as usize].t;
-            self.heap.push(Reverse((t, r)));
+            self.scratch.heap.push(Reverse((t, r)));
             return;
         }
         match self.execute_step(r) {
             StepOutcome::Ran | StepOutcome::EventDone => {
                 let t = self.ranks[r as usize].t;
-                self.heap.push(Reverse((t, r)));
+                self.scratch.heap.push(Reverse((t, r)));
             }
             StepOutcome::Parked { pair, k } => {
-                self.parked.insert((pair, k), r);
+                // Only the pair's destination rank ever receives on it,
+                // so the slot is necessarily free.
+                let p = pair as usize;
+                debug_assert_eq!(self.scratch.parked_rank[p], NO_WAITER);
+                self.scratch.parked_rank[p] = r;
+                self.scratch.parked_k[p] = k;
+                self.parked += 1;
             }
         }
     }
@@ -414,8 +547,9 @@ impl<'a> Replay<'a> {
             }
         }
 
-        // Expand the operation.
-        let mut steps: Vec<Step> = Vec::new();
+        // Expand the operation into the recycled step buffer (drained
+        // into the rank's queue below, so it re-enters `prepare` empty).
+        let mut steps = std::mem::take(&mut self.scratch.step_buf);
         match &event.op {
             MpiOp::Send { to, bytes } => steps.push(Step::Send {
                 to: *to,
@@ -463,7 +597,7 @@ impl<'a> Replay<'a> {
                 steps.extend(reqs.iter().map(|&req| Step::WaitReq { req }));
             }
             op => {
-                for m in decompose(op, r, self.trace.nprocs) {
+                for_each_micro(op, r, self.trace.nprocs, &mut |m| {
                     steps.push(match m {
                         MicroOp::SendTo { to, bytes } => Step::Send { to, bytes },
                         MicroOp::RecvFrom { from, bytes } => {
@@ -475,18 +609,19 @@ impl<'a> Replay<'a> {
                             }
                         }
                     });
-                }
+                });
             }
         }
         steps.push(Step::OpDone);
-        self.ranks[ri].micro.extend(steps);
+        self.ranks[ri].micro.extend(steps.drain(..));
+        self.scratch.step_buf = steps;
         true
     }
 
     fn reserve_recv(&mut self, from: Rank, me: Rank) -> u32 {
         let p = self.pair(from, me) as usize;
-        let k = self.recv_next[p];
-        self.recv_next[p] += 1;
+        let k = self.scratch.recv_next[p];
+        self.scratch.recv_next[p] += 1;
         k
     }
 
@@ -571,7 +706,8 @@ impl<'a> Replay<'a> {
     }
 
     fn arrival(&self, pair: u32, k: u32) -> Option<SimTime> {
-        self.arrivals[pair as usize].get(k as usize).copied()
+        let p = pair as usize;
+        (k < self.scratch.len[p]).then(|| self.scratch.times[self.scratch.base[p] + k as usize])
     }
 
     /// Draw fault effects for a send leaving rank `link` at `t`: returns
@@ -603,12 +739,16 @@ impl<'a> Replay<'a> {
     /// surcharge added to the arrival (degraded-link serialization).
     fn deliver(&mut self, src: Rank, dst: Rank, t: SimTime, bytes: u64, extra: SimDuration) {
         let arrival = self.fabric.transfer(t, src, dst, bytes) + extra;
-        let p = self.pair(src, dst);
-        let k = self.arrivals[p as usize].len() as u32;
-        self.arrivals[p as usize].push(arrival);
-        if let Some(w) = self.parked.remove(&(p, k)) {
+        let p = self.pair(src, dst) as usize;
+        let k = self.scratch.len[p];
+        self.scratch.times[self.scratch.base[p] + k as usize] = arrival;
+        self.scratch.len[p] = k + 1;
+        if self.scratch.parked_rank[p] != NO_WAITER && self.scratch.parked_k[p] == k {
+            let w = self.scratch.parked_rank[p];
+            self.scratch.parked_rank[p] = NO_WAITER;
+            self.parked -= 1;
             let t = self.ranks[w as usize].t;
-            self.heap.push(Reverse((t, w)));
+            self.scratch.heap.push(Reverse((t, w)));
         }
     }
 }
@@ -751,6 +891,66 @@ mod tests {
         let b = replay(&t, None, &p, &o).expect("replay");
         assert_eq!(a.exec_time, b.exec_time);
         assert_eq!(a.rank_finish, b.rank_finish);
+    }
+
+    #[test]
+    fn recycled_scratch_matches_fresh_scratch() {
+        // Run traces of *different* shapes and sizes through one scratch;
+        // every result must match a replay on a brand-new scratch.
+        let p = SimParams::paper();
+        let o = ReplayOptions::default();
+        let mut big = TraceBuilder::new("mix", 6);
+        for r in 0..6u32 {
+            b_round(&mut big, r);
+        }
+        let traces = [ping_pong(30, 4096), big.build(), ping_pong(2, 64)];
+        let mut scratch = ReplayScratch::new();
+        for t in &traces {
+            let recycled = replay_with_scratch(t, None, &p, &o, &mut scratch).expect("replay");
+            let fresh = replay_with_scratch(t, None, &p, &o, &mut ReplayScratch::new())
+                .expect("replay");
+            assert_eq!(recycled.exec_time, fresh.exec_time);
+            assert_eq!(recycled.rank_finish, fresh.rank_finish);
+            assert_eq!(recycled.fabric.messages, fresh.fabric.messages);
+        }
+    }
+
+    fn b_round(b: &mut TraceBuilder, r: u32) {
+        b.compute(r, us(50));
+        b.op(r, MpiOp::Allreduce { bytes: 64 });
+        b.op(r, MpiOp::Alltoall { bytes: 256 });
+        b.op(r, MpiOp::Barrier);
+    }
+
+    #[test]
+    fn arrival_arena_is_sized_exactly() {
+        // After a run, every pair's delivered count must equal its
+        // precounted capacity (base[p+1] - base[p]): collectives included.
+        let mut b = TraceBuilder::new("exact", 5);
+        for r in 0..5u32 {
+            b.op(r, MpiOp::Allreduce { bytes: 8 });
+            b.op(r, MpiOp::Allgather { bytes: 128 });
+            b.op(r, MpiOp::Bcast { root: 3, bytes: 32 });
+            b.op(
+                r,
+                MpiOp::Sendrecv {
+                    to: (r + 1) % 5,
+                    send_bytes: 512,
+                    from: (r + 4) % 5,
+                    recv_bytes: 512,
+                },
+            );
+        }
+        let t = b.build();
+        let mut scratch = ReplayScratch::new();
+        replay_with_scratch(&t, None, &SimParams::paper(), &ReplayOptions::default(), &mut scratch)
+            .expect("replay");
+        for p in 0..25 {
+            let cap = scratch.base[p + 1] - scratch.base[p];
+            assert_eq!(scratch.len[p] as usize, cap, "pair {p}");
+            assert_eq!(scratch.recv_next[p] as usize, cap, "pair {p} recvs");
+            assert_eq!(scratch.parked_rank[p], NO_WAITER, "pair {p} waiter left");
+        }
     }
 
     #[test]

@@ -33,12 +33,14 @@ pub struct SimResult {
 
 impl SimResult {
     /// Number of ranks.
+    #[must_use]
     pub fn nprocs(&self) -> usize {
         self.rank_finish.len()
     }
 
     /// Fraction of the run each rank's host link spent in low power,
     /// averaged over ranks.
+    #[must_use]
     pub fn mean_low_fraction(&self) -> f64 {
         if self.exec_time.is_zero() || self.link_low.is_empty() {
             return 0.0;
@@ -56,6 +58,7 @@ impl SimResult {
     /// `low_power_fraction` of nominal, so the saving is
     /// `(1 − low_power_fraction) × low-time share`, averaged over the
     /// managed (host-facing) ports.
+    #[must_use]
     pub fn power_saving_pct(&self) -> f64 {
         100.0 * (1.0 - self.low_power_fraction) * self.mean_low_fraction()
             + 100.0 * (1.0 - crate::config::DEEP_POWER_FRACTION) * self.mean_deep_fraction()
@@ -63,6 +66,7 @@ impl SimResult {
 
     /// Fraction of the run each rank's host link spent in deep sleep,
     /// averaged over ranks.
+    #[must_use]
     pub fn mean_deep_fraction(&self) -> f64 {
         if self.exec_time.is_zero() || self.link_deep.is_empty() {
             return 0.0;
@@ -76,12 +80,14 @@ impl SimResult {
     }
 
     /// Mean relative power draw of the managed links (1.0 = always-on).
+    #[must_use]
     pub fn mean_relative_power(&self) -> f64 {
         1.0 - self.power_saving_pct() / 100.0
     }
 
     /// Execution-time increase (%) of this run relative to `baseline` —
     /// the paper's Figs. 7b/8b/9b metric.
+    #[must_use]
     pub fn slowdown_pct(&self, baseline: &SimResult) -> f64 {
         let b = baseline.exec_time.as_secs_f64();
         if b == 0.0 {

@@ -1,0 +1,139 @@
+//! Vendored FxHash-style hasher (offline stand-in for `rustc-hash`).
+//!
+//! SipHash — the default `HashMap` hasher — is DoS-resistant but costs
+//! tens of nanoseconds per short key. The PPA hot path hashes tiny
+//! `[u16]` / `[u32]` slices millions of times per annotated trace, all
+//! keyed by data we generate ourselves, so HashDoS resistance buys
+//! nothing. This crate provides the classic Firefox/rustc "Fx" hash: a
+//! word-at-a-time multiply-rotate mix that is 3-5× faster on short keys.
+//!
+//! The algorithm matches `rustc-hash` 1.x: fold each machine word `w`
+//! into the state with `state = (state.rotate_left(5) ^ w) * SEED`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Fast, non-cryptographic, word-at-a-time hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            // Fold in the tail length so "ab\0" and "ab" differ.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"alya-gram"), hash_of(b"alya-gram"));
+    }
+
+    #[test]
+    fn distinguishes_lengths_and_content() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ba"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn map_with_slice_keys_roundtrips() {
+        let mut m: FxHashMap<Box<[u16]>, u32> = FxHashMap::default();
+        for i in 0..1000u16 {
+            m.insert(vec![i, i + 1, i + 2].into_boxed_slice(), u32::from(i));
+        }
+        for i in 0..1000u16 {
+            // Borrowed-slice lookup must hash identically to the owned key.
+            let key: &[u16] = &[i, i + 1, i + 2];
+            assert_eq!(m.get(key), Some(&u32::from(i)));
+        }
+    }
+
+    #[test]
+    fn set_behaves_like_std() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+        assert_eq!(s.len(), 1);
+    }
+}
