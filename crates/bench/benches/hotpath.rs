@@ -56,5 +56,51 @@ fn bench_replay_scratch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_intercept_path, bench_replay_scratch);
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    use ibp_serve::{run_load, Endpoint, LoadConfig, ServeConfig, Server, SessionSpec};
+
+    let stream = hotpath::alya_stream(500);
+    let events: Vec<(u16, u64)> = stream
+        .iter()
+        .map(|&(call, gap)| (call.id(), gap.as_ns()))
+        .collect();
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let sessions = 4u32;
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|rank| SessionSpec {
+            rank,
+            config: cfg.clone(),
+            events: events.clone(),
+            final_compute_ns: 0,
+            golden_directives: None,
+            golden_stats: None,
+        })
+        .collect();
+
+    let path =
+        std::env::temp_dir().join(format!("ibp-criterion-serve-{}.sock", std::process::id()));
+    let server =
+        Server::bind(&Endpoint::Unix(path), ServeConfig::default()).expect("bench server bind");
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let load = LoadConfig { batch: 64, split: None, check: false };
+    let mut g = c.benchmark_group("hotpath");
+    g.throughput(Throughput::Elements(events.len() as u64 * u64::from(sessions)));
+    g.bench_function("serve_roundtrip", |b| {
+        b.iter(|| run_load(&bound, specs.clone(), &load).expect("bench load"))
+    });
+    g.finish();
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    handle.join().expect("bench server thread");
+}
+
+criterion_group!(
+    benches,
+    bench_intercept_path,
+    bench_replay_scratch,
+    bench_serve_roundtrip
+);
 criterion_main!(benches);

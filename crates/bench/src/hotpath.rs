@@ -94,6 +94,11 @@ pub struct Trajectory {
 /// Name of the regression-gated probe.
 pub const INTERCEPT_PROBE: &str = "intercept_ns_per_call";
 
+/// Name of the serving-layer round-trip probe. Gated only when the
+/// trajectory's baseline entry already records it (older entries
+/// predate the serving layer).
+pub const SERVE_PROBE: &str = "serve_roundtrip_ns_per_event";
+
 fn min_ns_per_elem<F: FnMut() -> u64>(reps: u32, mut run: F) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut elems = 0;
@@ -195,6 +200,58 @@ pub fn probe_annotate(nprocs: u32, iters: usize, jobs: usize, reps: u32) -> Prob
     }
 }
 
+/// Full protocol round trip through an in-process Unix-socket server,
+/// ns/event aggregated over concurrent sessions: frame encode, socket
+/// hop, panic-free decode, per-session mailbox, batch apply on the
+/// intercept hot path, and the directive stream back. One server is
+/// bound per probe; every repetition reconnects its sessions (session
+/// ids are reusable after `Close`), so connection setup is amortised
+/// over the stream, exactly as `ibpower load` does it.
+pub fn probe_serve_roundtrip(iters: usize, sessions: usize, reps: u32) -> Probe {
+    use ibp_serve::{run_load, Endpoint, LoadConfig, ServeConfig, Server, SessionSpec};
+
+    let stream = alya_stream(iters);
+    let events: Vec<(u16, u64)> = stream
+        .iter()
+        .map(|&(call, gap)| (call.id(), gap.as_ns()))
+        .collect();
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let specs: Vec<SessionSpec> = (0..sessions as u32)
+        .map(|rank| SessionSpec {
+            rank,
+            config: cfg.clone(),
+            events: events.clone(),
+            final_compute_ns: 0,
+            golden_directives: None,
+            golden_stats: None,
+        })
+        .collect();
+    let total_events = (events.len() * sessions) as u64;
+
+    let path = std::env::temp_dir().join(format!("ibp-bench-serve-{}.sock", std::process::id()));
+    let endpoint = Endpoint::Unix(path);
+    let server = Server::bind(&endpoint, ServeConfig::default()).expect("bench server bind");
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let load = LoadConfig { batch: 64, split: None, check: false };
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let report = run_load(&bound, specs.clone(), &load).expect("bench load");
+        assert_eq!(report.events_total, total_events);
+        total_events
+    });
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    handle.join().expect("bench server thread");
+    Probe {
+        name: SERVE_PROBE.into(),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
 /// Run every probe at a size scaled by `iters` (the `--iters` flag;
 /// the default 2000 matches the criterion benches' 10k-call stream).
 pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
@@ -207,6 +264,7 @@ pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
         probe_replay(8, replay_iters, reps),
         probe_annotate(8, replay_iters, 1, reps),
         probe_annotate(8, replay_iters, 4, reps),
+        probe_serve_roundtrip((iters / 4).max(2), 4, reps),
     ]
 }
 

@@ -9,6 +9,8 @@
 //! ibpower replay   <trace.json> [--ann ann.json] [--timeline]
 //! ibpower experiment <app> <nprocs> [--gt US] [--disp F] [--seed N]
 //! ibpower prv      <trace.json> [-o out.prv]
+//! ibpower serve    (--uds PATH | --tcp ADDR) [--workers N]
+//! ibpower load     <app> <nprocs> (--uds PATH | --tcp ADDR) [--sessions N]
 //! ```
 //!
 //! The parsing layer is exposed as a library so it can be unit-tested
@@ -19,6 +21,27 @@
 
 use ibp_simcore::SimDuration;
 use ibp_workloads::{AppKind, Scaling, Workload};
+
+/// Where the streaming service listens (or where the load generator
+/// connects): exactly one of `--tcp ADDR` or `--uds PATH`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EndpointSpec {
+    /// TCP address, e.g. `127.0.0.1:9400`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Uds(String),
+}
+
+impl EndpointSpec {
+    /// Convert into the serving crate's endpoint type.
+    #[must_use]
+    pub fn to_endpoint(&self) -> ibp_serve::Endpoint {
+        match self {
+            EndpointSpec::Tcp(addr) => ibp_serve::Endpoint::Tcp(addr.clone()),
+            EndpointSpec::Uds(path) => ibp_serve::Endpoint::Unix(path.into()),
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +150,44 @@ pub enum Command {
         /// Label stored with the entry (defaults to `run-<n>`).
         label: Option<String>,
     },
+    /// Run the streaming prediction server.
+    Serve {
+        /// Listening endpoint.
+        endpoint: EndpointSpec,
+        /// Worker threads applying event batches.
+        workers: usize,
+        /// Pending work items per session before its reader blocks.
+        queue: usize,
+        /// Emit unsolicited stats every N events per session (0 = off).
+        stats_every: u64,
+        /// Exit after this many sessions close cleanly.
+        session_limit: Option<u64>,
+    },
+    /// Drive a workload's event streams against a running server.
+    Load {
+        /// Application name.
+        app: String,
+        /// Rank count.
+        nprocs: u32,
+        /// Server endpoint to connect to.
+        endpoint: EndpointSpec,
+        /// Concurrent sessions (connections) to drive.
+        sessions: usize,
+        /// Events per frame.
+        batch: usize,
+        /// Generation seed.
+        seed: u64,
+        /// Snapshot/reconnect/restore at this stream fraction.
+        split: Option<f64>,
+        /// Verify streamed directives against the offline golden path.
+        check: bool,
+        /// Grouping threshold, µs.
+        gt_us: f64,
+        /// Displacement factor.
+        displacement: f64,
+        /// Output path for the throughput/latency report JSON.
+        output: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -168,6 +229,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--iters",
                     "--reps",
                     "--label",
+                    "--uds",
+                    "--tcp",
+                    "--workers",
+                    "--queue",
+                    "--stats-every",
+                    "--session-limit",
+                    "--sessions",
+                    "--batch",
+                    "--split",
                 ]
                 .contains(&a.as_str())
                 {
@@ -224,6 +294,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map(Some)
                 .ok_or(format!("bad --budget: {s}")),
             None => Ok(None),
+        }
+    };
+    let parse_endpoint = || -> Result<EndpointSpec, String> {
+        match (flag_val("--uds"), flag_val("--tcp")) {
+            (Some(p), None) => Ok(EndpointSpec::Uds(p.to_string())),
+            (None, Some(a)) => Ok(EndpointSpec::Tcp(a.to_string())),
+            (Some(_), Some(_)) => Err("give --uds or --tcp, not both".into()),
+            (None, None) => Err("missing endpoint: --uds PATH or --tcp ADDR".into()),
+        }
+    };
+    let parse_count = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_val(name) {
+            Some(s) => s
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad {name}: {s}")),
+            None => Ok(default),
         }
     };
     let app_and_n = || -> Result<(String, u32), String> {
@@ -353,6 +441,55 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .to_string(),
             output: flag_val("-o").map(str::to_string),
         }),
+        "serve" => {
+            let stats_every = match flag_val("--stats-every") {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --stats-every: {s}"))?,
+                None => 0,
+            };
+            let session_limit = match flag_val("--session-limit") {
+                Some(s) => Some(
+                    s.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("bad --session-limit: {s}"))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Serve {
+                endpoint: parse_endpoint()?,
+                workers: parse_count("--workers", 4)?,
+                queue: parse_count("--queue", 64)?,
+                stats_every,
+                session_limit,
+            })
+        }
+        "load" => {
+            let (app, nprocs) = app_and_n()?;
+            let split = match flag_val("--split") {
+                Some(s) => Some(
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|f| *f > 0.0 && *f < 1.0)
+                        .ok_or(format!("bad --split (need 0 < F < 1): {s}"))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Load {
+                app,
+                nprocs,
+                endpoint: parse_endpoint()?,
+                sessions: parse_count("--sessions", 8)?,
+                batch: parse_count("--batch", 64)?,
+                seed: parse_seed()?,
+                split,
+                check: has_flag("--check"),
+                gt_us: parse_gt()?,
+                displacement: parse_disp()?,
+                output: flag_val("-o").map(str::to_string),
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try 'ibpower help')")),
     }
@@ -374,6 +511,11 @@ USAGE:
   ibpower prv      <trace.json> [-o out.prv]
   ibpower exhibits <name> [--jobs N] [--serial] [--seed N] [--out DIR]
   ibpower bench-report [-o PATH] [--check] [--iters N] [--reps N] [--label S]
+  ibpower serve    (--uds PATH | --tcp ADDR) [--workers N] [--queue N]
+                   [--stats-every N] [--session-limit N]
+  ibpower load     <app> <nprocs> (--uds PATH | --tcp ADDR) [--sessions N]
+                   [--batch N] [--seed N] [--split F] [--check] [--gt US]
+                   [--disp F] [-o report.json]
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
 
@@ -392,11 +534,24 @@ FAULTS & RESILIENCE:
   --budget PCT     cap mechanism-added time at PCT% of nominal (implies
                    --resilient)
 
+SERVE & LOAD: `serve` runs the online streaming prediction service — each
+  connected session feeds intercepted MPI events over the length-prefixed
+  frame protocol and gets lane directives streamed back; sessions may
+  snapshot, reconnect, and restore without re-learning. `load` generates a
+  workload trace and drives its ranks' event streams as concurrent
+  sessions, reporting aggregate throughput and p50/p99/max directive
+  latency; --check verifies the streamed directives are byte-identical to
+  the offline annotate path and exits non-zero on mismatch; --split F
+  exercises the snapshot/reconnect/restore path at fraction F of each
+  stream; --sessions beyond <nprocs> wrap around the trace's ranks.
+
 BENCH-REPORT: time the hot paths (PMPI interception, PPA scan, replay,
-  rank-parallel annotation) and append an entry to the trajectory JSON
-  (default BENCH_hotpath.json). --check exits non-zero if intercept-path
-  ns/call regressed more than 25% against the file's last entry (the CI
-  smoke gate); --label names the entry; --iters/--reps set probe scale.
+  rank-parallel annotation, serve round trip) and append an entry to the
+  trajectory JSON (default BENCH_hotpath.json). --check exits non-zero if
+  intercept-path ns/call regressed more than 25% against the file's last
+  entry, or the serve round trip more than 50% when the baseline entry
+  records it (the CI smoke gate); --label names the entry; --iters/--reps
+  set probe scale.
 
 DEFAULTS: --seed 0xD1C0, --gt 20 (µs), --disp 0.01
 ";
@@ -677,6 +832,122 @@ mod tests {
         assert!(parse(&argv("bench-report --reps 0"))
             .unwrap_err()
             .contains("bad --reps"));
+    }
+
+    #[test]
+    fn parses_serve() {
+        let c = parse(&argv("serve --uds /tmp/ibp.sock")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                endpoint: EndpointSpec::Uds("/tmp/ibp.sock".into()),
+                workers: 4,
+                queue: 64,
+                stats_every: 0,
+                session_limit: None,
+            }
+        );
+        let c = parse(&argv(
+            "serve --tcp 127.0.0.1:9400 --workers 2 --queue 16 --stats-every 500 --session-limit 8",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                endpoint: EndpointSpec::Tcp("127.0.0.1:9400".into()),
+                workers: 2,
+                queue: 16,
+                stats_every: 500,
+                session_limit: Some(8),
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_endpoints() {
+        assert!(parse(&argv("serve"))
+            .unwrap_err()
+            .contains("missing endpoint"));
+        assert!(parse(&argv("serve --uds a.sock --tcp 1.2.3.4:5"))
+            .unwrap_err()
+            .contains("not both"));
+        assert!(parse(&argv("serve --uds a.sock --workers 0"))
+            .unwrap_err()
+            .contains("bad --workers"));
+        assert!(parse(&argv("serve --uds a.sock --session-limit 0"))
+            .unwrap_err()
+            .contains("bad --session-limit"));
+    }
+
+    #[test]
+    fn parses_load() {
+        let c = parse(&argv("load alya 8 --uds /tmp/ibp.sock")).unwrap();
+        assert_eq!(
+            c,
+            Command::Load {
+                app: "alya".into(),
+                nprocs: 8,
+                endpoint: EndpointSpec::Uds("/tmp/ibp.sock".into()),
+                sessions: 8,
+                batch: 64,
+                seed: 0xD1C0,
+                split: None,
+                check: false,
+                gt_us: 20.0,
+                displacement: 0.01,
+                output: None,
+            }
+        );
+        let c = parse(&argv(
+            "load wrf 32 --tcp [::1]:9400 --sessions 16 --batch 128 --seed 3 \
+             --split 0.5 --check --gt 36 --disp 0.05 -o rep.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Load {
+                app: "wrf".into(),
+                nprocs: 32,
+                endpoint: EndpointSpec::Tcp("[::1]:9400".into()),
+                sessions: 16,
+                batch: 128,
+                seed: 3,
+                split: Some(0.5),
+                check: true,
+                gt_us: 36.0,
+                displacement: 0.05,
+                output: Some("rep.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn load_rejects_bad_input() {
+        // Endpoint flags must not swallow positionals: app/nprocs parse.
+        assert!(parse(&argv("load --uds a.sock alya 8")).is_ok());
+        assert!(parse(&argv("load alya 8")).unwrap_err().contains("missing endpoint"));
+        assert!(parse(&argv("load lammps 8 --uds a.sock"))
+            .unwrap_err()
+            .contains("unknown app"));
+        for bad in ["0", "1", "-0.5", "nan"] {
+            assert!(
+                parse(&argv(&format!("load alya 8 --uds a.sock --split {bad}")))
+                    .unwrap_err()
+                    .contains("bad --split"),
+                "--split {bad} should be rejected"
+            );
+        }
+        assert!(parse(&argv("load alya 8 --uds a.sock --sessions 0"))
+            .unwrap_err()
+            .contains("bad --sessions"));
+    }
+
+    #[test]
+    fn endpoint_spec_converts() {
+        let e = EndpointSpec::Uds("/tmp/x.sock".into()).to_endpoint();
+        assert!(matches!(e, ibp_serve::Endpoint::Unix(_)));
+        let e = EndpointSpec::Tcp("127.0.0.1:1".into()).to_endpoint();
+        assert!(matches!(e, ibp_serve::Endpoint::Tcp(_)));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use ibp_network::{replay, LinkPower, ReplayOptions, SimParams};
 use ibp_simcore::{SimDuration, SimTime};
 use ibp_trace::{ActivityProfile, CallProfile, CommMatrix, IdleDistribution, Trace};
 use ibpower_cli::{
-    fault_config, parse, power_config_resilient, workload_of, Command, USAGE,
+    fault_config, parse, power_config, power_config_resilient, workload_of, Command, USAGE,
 };
 use std::process::ExitCode;
 
@@ -56,7 +56,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 if weak { " (weak scaling)" } else { "" }
             );
             if let Some(path) = output {
-                ibp_trace::io::save(&trace, &path).map_err(|e| e.to_string())?;
+                ibp_trace::io::save(&trace, &path).map_err(|e| format!("writing {path}: {e}"))?;
                 println!("written to {path}");
             }
             Ok(())
@@ -137,7 +137,7 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             if let Some(path) = output {
                 let json = serde_json::to_string(&ann.ranks).map_err(|e| e.to_string())?;
-                std::fs::write(&path, json).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
                 println!("annotations written to {path}");
             }
             Ok(())
@@ -285,7 +285,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 None => OutputDir::default_dir(),
             }
             .map_err(|e| e.to_string())?;
-            let io = |e: std::io::Error| e.to_string();
+            let io = |e: std::io::Error| format!("writing under {}: {e}", out.root().display());
             match name.as_str() {
                 "table1" => {
                     let rows = exhibits::table1(&engine, &grid, seed);
@@ -353,7 +353,7 @@ fn run(cmd: Command) -> Result<(), String> {
             reps,
             label,
         } => {
-            use ibp_bench::hotpath::{ReportEntry, Trajectory, INTERCEPT_PROBE};
+            use ibp_bench::hotpath::{ReportEntry, Trajectory, INTERCEPT_PROBE, SERVE_PROBE};
             let mut traj: Trajectory = match std::fs::read_to_string(&output) {
                 Ok(json) => serde_json::from_str(&json).map_err(|e| format!("{output}: {e}"))?,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => Trajectory::default(),
@@ -394,6 +394,30 @@ fn run(cmd: Command) -> Result<(), String> {
                         prev.ns_per_elem
                     ));
                 }
+                // The serve round trip crosses a real socket, so it is
+                // noisier than the in-process probes: gate at 50%, and
+                // only once the baseline entry records the probe at all
+                // (entries before the serving layer landed don't).
+                if let Some(prev) = traj.entries.last().and_then(|e| e.probe(SERVE_PROBE)) {
+                    let now = entry
+                        .probe(SERVE_PROBE)
+                        .expect("run_all always emits the serve probe");
+                    let ratio = now.ns_per_elem / prev.ns_per_elem;
+                    println!(
+                        "  check: {SERVE_PROBE} {:.1} -> {:.1} ns ({:+.1}%)",
+                        prev.ns_per_elem,
+                        now.ns_per_elem,
+                        (ratio - 1.0) * 100.0
+                    );
+                    if ratio > 1.5 {
+                        return Err(format!(
+                            "serve round trip regressed {:.0}% (> 50% gate): {:.1} ns vs {:.1} ns baseline",
+                            (ratio - 1.0) * 100.0,
+                            now.ns_per_elem,
+                            prev.ns_per_elem
+                        ));
+                    }
+                }
             }
             traj.entries.push(entry);
             let json = serde_json::to_string_pretty(&traj).map_err(|e| e.to_string())?;
@@ -401,12 +425,118 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("trajectory written to {output}");
             Ok(())
         }
+        Command::Serve {
+            endpoint,
+            workers,
+            queue,
+            stats_every,
+            session_limit,
+        } => {
+            let ep = endpoint.to_endpoint();
+            let cfg = ibp_serve::ServeConfig {
+                workers,
+                queue_depth: queue,
+                stats_every,
+                session_limit,
+            };
+            let server =
+                ibp_serve::Server::bind(&ep, cfg).map_err(|e| format!("binding {ep}: {e}"))?;
+            eprintln!("serving on {} ({workers} workers)", server.endpoint());
+            let summary = server.run();
+            println!(
+                "sessions   : {} opened, {} closed",
+                summary.sessions_opened, summary.sessions_closed
+            );
+            println!("events     : {} applied", summary.events_applied);
+            println!("directives : {} streamed", summary.directives_sent);
+            if summary.protocol_errors > 0 {
+                println!("errors     : {} protocol errors", summary.protocol_errors);
+            }
+            Ok(())
+        }
+        Command::Load {
+            app,
+            nprocs,
+            endpoint,
+            sessions,
+            batch,
+            seed,
+            split,
+            check,
+            gt_us,
+            displacement,
+            output,
+        } => {
+            let w = workload_of(&app, false).expect("validated by parse");
+            if !w.valid_nprocs(nprocs) {
+                return Err(format!("{app} cannot run at {nprocs} ranks"));
+            }
+            let trace = w.generate(nprocs, seed);
+            let cfg = power_config(gt_us, displacement);
+            let specs: Vec<ibp_serve::SessionSpec> = (0..sessions)
+                .map(|i| {
+                    let rank = &trace.ranks[i % nprocs as usize];
+                    let golden = check.then(|| ibp_core::annotate_rank(rank, &cfg));
+                    ibp_serve::SessionSpec {
+                        rank: rank.rank,
+                        config: cfg.clone(),
+                        events: rank
+                            .call_stream()
+                            .map(|(call, gap)| (call.id(), gap.as_ns()))
+                            .collect(),
+                        final_compute_ns: rank.final_compute.as_ns(),
+                        golden_directives: golden.as_ref().map(|g| g.directives.clone()),
+                        golden_stats: golden.map(|g| g.stats),
+                    }
+                })
+                .collect();
+            let ep = endpoint.to_endpoint();
+            let load_cfg = ibp_serve::LoadConfig { batch, split, check };
+            let report = ibp_serve::run_load(&ep, specs, &load_cfg)
+                .map_err(|e| format!("load against {ep}: {e}"))?;
+            println!(
+                "{app} @{nprocs}: {} sessions, batch {batch}{}",
+                report.sessions,
+                split.map(|f| format!(", split {f}")).unwrap_or_default()
+            );
+            println!(
+                "events     : {} in {:.2} s  ({:.0} events/s)",
+                report.events_total, report.elapsed_s, report.events_per_sec
+            );
+            println!(
+                "directives : {} over {} batches",
+                report.directives_total, report.batches
+            );
+            println!(
+                "latency    : p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+                report.latency_p50_us, report.latency_p99_us, report.latency_max_us
+            );
+            if report.parity_checked {
+                println!(
+                    "parity     : {}",
+                    if report.parity_ok { "ok (matches offline annotate)" } else { "MISMATCH" }
+                );
+            }
+            if let Some(path) = output {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json + "\n")
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("report written to {path}");
+            }
+            if report.parity_checked && !report.parity_ok {
+                return Err(
+                    "parity check failed: streamed directives differ from offline annotation"
+                        .into(),
+                );
+            }
+            Ok(())
+        }
         Command::Prv { trace, output } => {
             let t = load_trace(&trace)?;
             let prv = ibp_trace::paraver::to_prv(&t);
             match output {
                 Some(path) => {
-                    std::fs::write(&path, prv).map_err(|e| e.to_string())?;
+                    std::fs::write(&path, prv).map_err(|e| format!("writing {path}: {e}"))?;
                     println!("written to {path}");
                 }
                 None => print!("{prv}"),

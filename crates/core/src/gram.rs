@@ -14,16 +14,18 @@
 //! as slices of integers rather than nested vectors.
 
 use crate::config::PowerConfig;
+use crate::snapshot::{GramBuilderSnapshot, GramInternerSnapshot, SnapshotError};
 use fxhash::FxHashMap;
 use ibp_simcore::SimDuration;
 use ibp_trace::MpiCall;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Identifier of a distinct gram *shape* (call-id sequence).
 pub type GramId = u32;
 
 /// A completed gram occurrence in the event stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Gram {
     /// Interned shape id (equal ids ⇔ equal call sequences).
     pub id: GramId,
@@ -87,6 +89,30 @@ impl GramInterner {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.shapes.is_empty()
+    }
+
+    /// Snapshot the interned shapes (id order).
+    pub(crate) fn snapshot(&self) -> GramInternerSnapshot {
+        GramInternerSnapshot {
+            shapes: self.shapes.iter().map(|s| s.to_vec()).collect(),
+        }
+    }
+
+    /// Rebuild an interner from a snapshot. Shapes must be distinct —
+    /// interning them in order reproduces the original id assignment.
+    pub(crate) fn from_snapshot(snap: &GramInternerSnapshot) -> Result<Self, SnapshotError> {
+        let mut interner = GramInterner::new();
+        for shape in &snap.shapes {
+            let _ = interner.intern(shape);
+        }
+        if interner.len() != snap.shapes.len() {
+            return Err(SnapshotError::Inconsistent(format!(
+                "gram interner snapshot holds duplicate shapes: {} distinct of {}",
+                interner.len(),
+                snap.shapes.len()
+            )));
+        }
+        Ok(interner)
     }
 
     /// Render a gram id the way the paper prints them: calls joined with
@@ -171,6 +197,28 @@ impl GramBuilder {
     /// Number of calls accumulated in the open gram.
     pub fn open_len(&self) -> usize {
         self.current_calls.len()
+    }
+
+    /// Snapshot the builder's mutable fields (the open gram).
+    pub(crate) fn snapshot(&self) -> GramBuilderSnapshot {
+        GramBuilderSnapshot {
+            current_calls: self.current_calls.clone(),
+            current_first_event: self.current_first_event,
+            current_preceding_idle: self.current_preceding_idle,
+            next_event: self.next_event,
+        }
+    }
+
+    /// Rebuild a builder from a snapshot; the grouping threshold comes
+    /// from `cfg` exactly as in [`GramBuilder::new`].
+    pub(crate) fn from_snapshot(cfg: &PowerConfig, snap: &GramBuilderSnapshot) -> Self {
+        GramBuilder {
+            gt: cfg.grouping_threshold,
+            current_calls: snap.current_calls.clone(),
+            current_first_event: snap.current_first_event,
+            current_preceding_idle: snap.current_preceding_idle,
+            next_event: snap.next_event,
+        }
     }
 
     fn finish_current(&mut self, interner: &mut GramInterner) -> Gram {

@@ -49,6 +49,7 @@ pub mod gram;
 pub mod pattern;
 pub mod ppa;
 pub mod runtime;
+pub mod snapshot;
 pub mod stats;
 
 pub use annotate::{annotate_trace, annotate_trace_jobs, map_ranks, TraceAnnotations};
@@ -65,4 +66,5 @@ pub use pattern::{
 };
 pub use ppa::{Declaration, Ppa, PpaWork};
 pub use runtime::{annotate_rank, LaneDirective, RankAnnotation, RankRuntime};
+pub use snapshot::{RuntimeSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use stats::RankStats;

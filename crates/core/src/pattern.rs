@@ -20,6 +20,9 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use crate::gram::GramId;
+use crate::snapshot::{
+    OccurrenceWindowSnapshot, PatternEntrySnapshot, PatternListSnapshot, SnapshotError,
+};
 
 /// A pattern key: the sequence of gram shape-ids.
 pub type PatternKey = Box<[GramId]>;
@@ -168,6 +171,41 @@ impl OccurrenceWindow {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Snapshot, normalized oldest-first (`start = 0`). Behaviourally
+    /// identical to the live ring: every reader goes through `iter`
+    /// (oldest first) or `last`, both of which are rotation-invariant.
+    pub(crate) fn snapshot(&self) -> OccurrenceWindowSnapshot {
+        OccurrenceWindowSnapshot {
+            positions: self.to_vec(),
+            capacity: self.capacity,
+            total: self.total,
+        }
+    }
+
+    /// Rebuild from a snapshot, revalidating the ring invariants.
+    pub(crate) fn from_snapshot(snap: &OccurrenceWindowSnapshot) -> Result<Self, SnapshotError> {
+        let capacity = snap.capacity.max(1);
+        if snap.positions.len() > capacity {
+            return Err(SnapshotError::Inconsistent(format!(
+                "occurrence window holds {} positions over capacity {capacity}",
+                snap.positions.len()
+            )));
+        }
+        if snap.total < snap.positions.len() as u64 {
+            return Err(SnapshotError::Inconsistent(format!(
+                "occurrence window total {} below retained {}",
+                snap.total,
+                snap.positions.len()
+            )));
+        }
+        Ok(OccurrenceWindow {
+            buf: snap.positions.clone(),
+            start: 0,
+            capacity,
+            total: snap.total,
+        })
     }
 }
 
@@ -421,6 +459,71 @@ impl PatternList {
             self.live -= 1;
         }
         removed
+    }
+
+    /// Snapshot the whole list: keys in id order, entries id-indexed.
+    pub(crate) fn snapshot(&self) -> PatternListSnapshot {
+        PatternListSnapshot {
+            window: self.window,
+            keys: self.interner.keys.iter().map(|k| k.to_vec()).collect(),
+            entries: self
+                .entries
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|e| PatternEntrySnapshot {
+                        occurrences: e.occurrences.snapshot(),
+                        detected: e.detected,
+                        slot_gaps: e.slot_gaps.clone(),
+                        mpi_calls: e.mpi_calls,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a list from a snapshot, revalidating interner/entry
+    /// alignment. Keys interned in order reproduce the original ids.
+    pub(crate) fn from_snapshot(snap: &PatternListSnapshot) -> Result<Self, SnapshotError> {
+        if snap.entries.len() != snap.keys.len() {
+            return Err(SnapshotError::Inconsistent(format!(
+                "pattern list snapshot has {} entries for {} keys",
+                snap.entries.len(),
+                snap.keys.len()
+            )));
+        }
+        let mut interner = PatternInterner::default();
+        for key in &snap.keys {
+            let _ = interner.intern(key);
+        }
+        if interner.len() != snap.keys.len() {
+            return Err(SnapshotError::Inconsistent(format!(
+                "pattern list snapshot holds duplicate keys: {} distinct of {}",
+                interner.len(),
+                snap.keys.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(snap.entries.len());
+        let mut live = 0;
+        for slot in &snap.entries {
+            entries.push(match slot {
+                None => None,
+                Some(e) => {
+                    live += 1;
+                    Some(PatternEntry {
+                        occurrences: OccurrenceWindow::from_snapshot(&e.occurrences)?,
+                        detected: e.detected,
+                        slot_gaps: e.slot_gaps.clone(),
+                        mpi_calls: e.mpi_calls,
+                    })
+                }
+            });
+        }
+        Ok(PatternList {
+            interner,
+            entries,
+            live,
+            window: snap.window.max(1),
+        })
     }
 
     /// Number of stored (live) patterns.

@@ -37,6 +37,7 @@
 
 use crate::gram::GramId;
 use crate::pattern::{PatternId, PatternList, RunningMean, DEFAULT_OCCURRENCE_WINDOW};
+use crate::snapshot::{PhaseSnapshot, PpaSnapshot, SnapshotError};
 use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
@@ -162,6 +163,79 @@ impl Ppa {
     #[must_use]
     pub fn last_elements(&self) -> u64 {
         self.last_elements
+    }
+
+    /// Snapshot the complete scanner state. The detected-order map is
+    /// flattened to a vector sorted by pattern id so the serialized form
+    /// is deterministic.
+    pub(crate) fn snapshot(&self) -> PpaSnapshot {
+        let mut detected: Vec<(PatternId, u32)> =
+            self.detected_order.iter().map(|(&k, &v)| (k, v)).collect();
+        detected.sort_unstable();
+        PpaSnapshot {
+            pattern_list: self.pl.snapshot(),
+            pos: self.pos,
+            pattern_size: self.pattern_size,
+            phase: match self.phase {
+                Phase::Seek => PhaseSnapshot::Seek,
+                Phase::Track { consecutive } => PhaseSnapshot::Track { consecutive },
+            },
+            min_consecutive: self.min_consecutive,
+            max_pattern_size: self.max_pattern_size,
+            frozen: self.frozen,
+            detected,
+            detected_lens: self.detected_lens.clone(),
+            next_detected_order: self.next_detected_order,
+            min_fresh: self.min_fresh,
+            work: self.work,
+            last_elements: self.last_elements,
+        }
+    }
+
+    /// Rebuild a scanner from a snapshot, revalidating the declaration
+    /// policy and every pattern id the detected index references.
+    pub(crate) fn from_snapshot(snap: &PpaSnapshot) -> Result<Self, SnapshotError> {
+        if snap.min_consecutive < 2 || snap.max_pattern_size < 2 || snap.pattern_size < 2 {
+            return Err(SnapshotError::Inconsistent(format!(
+                "PPA policy out of range: min_consecutive {}, max_pattern_size {}, pattern_size {}",
+                snap.min_consecutive, snap.max_pattern_size, snap.pattern_size
+            )));
+        }
+        let pl = PatternList::from_snapshot(&snap.pattern_list)?;
+        let nkeys = snap.pattern_list.keys.len();
+        let mut detected_order = FxHashMap::default();
+        for &(id, ord) in &snap.detected {
+            if id as usize >= nkeys {
+                return Err(SnapshotError::DanglingId {
+                    what: "pattern",
+                    id: u64::from(id),
+                    len: nkeys,
+                });
+            }
+            if detected_order.insert(id, ord).is_some() {
+                return Err(SnapshotError::Inconsistent(format!(
+                    "pattern id {id} listed twice in detected index"
+                )));
+            }
+        }
+        Ok(Ppa {
+            pl,
+            pos: snap.pos,
+            pattern_size: snap.pattern_size,
+            phase: match snap.phase {
+                PhaseSnapshot::Seek => Phase::Seek,
+                PhaseSnapshot::Track { consecutive } => Phase::Track { consecutive },
+            },
+            min_consecutive: snap.min_consecutive,
+            max_pattern_size: snap.max_pattern_size,
+            frozen: snap.frozen,
+            detected_order,
+            detected_lens: snap.detected_lens.clone(),
+            next_detected_order: snap.next_detected_order,
+            min_fresh: snap.min_fresh,
+            work: snap.work,
+            last_elements: snap.last_elements,
+        })
     }
 
     /// Restart scanning from gram position `from` after a misprediction.

@@ -25,6 +25,10 @@ use crate::config::{PowerConfig, ResilienceConfig, SleepKind};
 use crate::gram::{Gram, GramBuilder, GramId, GramInterner};
 use crate::pattern::PatternId;
 use crate::ppa::{seed_slot_gaps, Ppa};
+use crate::snapshot::{
+    ModeSnapshot, PendingSleepSnapshot, ResilienceSnapshot, RuntimeSnapshot, SnapshotError,
+    SNAPSHOT_VERSION,
+};
 use crate::stats::RankStats;
 use ibp_simcore::SimDuration;
 use ibp_trace::{MpiCall, Rank, RankTrace};
@@ -293,6 +297,18 @@ impl RankRuntime {
         &self.stats
     }
 
+    /// All lane directives issued so far, in event order. Streaming
+    /// consumers (the `ibp-serve` sessions) drain this incrementally by
+    /// remembering how many they have already forwarded.
+    pub fn directives(&self) -> &[LaneDirective] {
+        &self.directives
+    }
+
+    /// Number of events intercepted so far.
+    pub fn events_seen(&self) -> usize {
+        self.event_idx
+    }
+
     /// Intercept one MPI call: `gap` is the idle time since the previous
     /// call on this rank (the `compute_before` of the trace record).
     pub fn intercept(&mut self, call: MpiCall, gap: SimDuration) {
@@ -460,6 +476,160 @@ impl RankRuntime {
         self.event_idx += 1;
     }
 
+    /// Intercept a batch of events through the allocation-free hot path,
+    /// reserving output capacity once up front.
+    pub fn intercept_batch(&mut self, events: &[(MpiCall, SimDuration)]) {
+        self.reserve_events(events.len());
+        for &(call, gap) in events {
+            self.intercept(call, gap);
+        }
+    }
+
+    /// Capture the complete learned state (see [`RuntimeSnapshot`]).
+    /// The per-event output vectors are *not* captured: a restored
+    /// runtime starts them empty and continues pushing directives with
+    /// the correct absolute `after_event` indices.
+    #[must_use]
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            version: SNAPSHOT_VERSION,
+            cfg: self.cfg.clone(),
+            rank: self.rank,
+            interner: self.interner.snapshot(),
+            builder: self.builder.snapshot(),
+            grams: self.grams.clone(),
+            gram_ids: self.gram_ids.clone(),
+            ppa: self.ppa.snapshot(),
+            mode: match &self.mode {
+                Mode::Learning => ModeSnapshot::Learning,
+                Mode::Predicting {
+                    pattern,
+                    shapes,
+                    slot,
+                    progress,
+                } => ModeSnapshot::Predicting {
+                    pattern: *pattern,
+                    shapes: shapes.iter().map(|s| s.to_vec()).collect(),
+                    slot: *slot,
+                    progress: *progress,
+                },
+            },
+            pending: self.pending.map(|p| PendingSleepSnapshot {
+                timer: p.timer,
+                kind: p.kind,
+            }),
+            resilience: ResilienceSnapshot {
+                recent_pattern: self.resilience.recent_pattern.iter().copied().collect(),
+                recent_timing: self.resilience.recent_timing.iter().copied().collect(),
+                holdoff_remaining: self.resilience.holdoff_remaining,
+                next_holdoff: self.resilience.next_holdoff,
+                guard: self.resilience.guard,
+            },
+            stats: self.stats.clone(),
+            event_idx: self.event_idx,
+        }
+    }
+
+    /// Rebuild a runtime from a snapshot, revalidating every internal
+    /// invariant (snapshots may arrive over the wire). The restored
+    /// runtime produces declarations and directives byte-identical to
+    /// the original continuing uninterrupted.
+    pub fn from_snapshot(snap: &RuntimeSnapshot) -> Result<Self, SnapshotError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        if snap.gram_ids.len() != snap.grams.len() {
+            return Err(SnapshotError::Inconsistent(format!(
+                "{} gram ids for {} grams",
+                snap.gram_ids.len(),
+                snap.grams.len()
+            )));
+        }
+        let interner = GramInterner::from_snapshot(&snap.interner)?;
+        for (gram, &gid) in snap.grams.iter().zip(&snap.gram_ids) {
+            if gid as usize >= interner.len() || gram.id != gid {
+                return Err(SnapshotError::DanglingId {
+                    what: "gram",
+                    id: u64::from(gid),
+                    len: interner.len(),
+                });
+            }
+        }
+        let ppa = Ppa::from_snapshot(&snap.ppa)?;
+        for key in &snap.ppa.pattern_list.keys {
+            for &gid in key {
+                if gid as usize >= interner.len() {
+                    return Err(SnapshotError::DanglingId {
+                        what: "gram",
+                        id: u64::from(gid),
+                        len: interner.len(),
+                    });
+                }
+            }
+        }
+        let mode = match &snap.mode {
+            ModeSnapshot::Learning => Mode::Learning,
+            ModeSnapshot::Predicting {
+                pattern,
+                shapes,
+                slot,
+                progress,
+            } => {
+                if *pattern as usize >= snap.ppa.pattern_list.keys.len() {
+                    return Err(SnapshotError::DanglingId {
+                        what: "pattern",
+                        id: u64::from(*pattern),
+                        len: snap.ppa.pattern_list.keys.len(),
+                    });
+                }
+                let ok = *slot < shapes.len()
+                    && shapes.iter().all(|s| !s.is_empty())
+                    && (*progress == 0 || *progress < shapes[*slot].len());
+                if !ok {
+                    return Err(SnapshotError::Inconsistent(format!(
+                        "predicting mode out of range: slot {slot}, progress {progress}, {} shapes",
+                        shapes.len()
+                    )));
+                }
+                Mode::Predicting {
+                    pattern: *pattern,
+                    shapes: shapes.iter().map(|s| s.clone().into_boxed_slice()).collect(),
+                    slot: *slot,
+                    progress: *progress,
+                }
+            }
+        };
+        Ok(RankRuntime {
+            builder: GramBuilder::from_snapshot(&snap.cfg, &snap.builder),
+            cfg: snap.cfg.clone(),
+            rank: snap.rank,
+            interner,
+            grams: snap.grams.clone(),
+            gram_ids: snap.gram_ids.clone(),
+            ppa,
+            mode,
+            pending: snap.pending.map(|p| PendingSleep {
+                timer: p.timer,
+                kind: p.kind,
+            }),
+            resilience: ResilienceState {
+                recent_pattern: snap.resilience.recent_pattern.iter().copied().collect(),
+                recent_timing: snap.resilience.recent_timing.iter().copied().collect(),
+                holdoff_remaining: snap.resilience.holdoff_remaining,
+                next_holdoff: snap.resilience.next_holdoff,
+                guard: snap.resilience.guard,
+            },
+            stats: snap.stats.clone(),
+            directives: Vec::new(),
+            overhead: Vec::new(),
+            penalty: Vec::new(),
+            event_idx: snap.event_idx,
+        })
+    }
+
     /// Finish the stream and return the annotations.
     pub fn finish(mut self, final_compute: SimDuration) -> RankAnnotation {
         self.stats.nominal_duration += final_compute;
@@ -602,6 +772,7 @@ pub fn annotate_rank(trace: &RankTrace, cfg: &PowerConfig) -> RankAnnotation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::{ModeSnapshot, RuntimeSnapshot, SnapshotError};
     use ibp_trace::MpiCall::{Allreduce, Sendrecv};
 
     fn cfg() -> PowerConfig {
@@ -899,6 +1070,112 @@ mod tests {
         assert!(ann.stats.suppressed_directives > 0);
         // Added time stays bounded: no stalls were ever risked.
         assert_eq!(ann.stats.total_penalty, SimDuration::ZERO);
+    }
+
+    /// The Alya stream as a flat event list, for splitting tests.
+    fn alya_events(iters: usize, long_gap: u64) -> Vec<(MpiCall, SimDuration)> {
+        let mut v = Vec::new();
+        for it in 0..iters {
+            let lead = if it == 0 { us(0) } else { us(long_gap) };
+            v.push((Sendrecv, lead));
+            v.push((Sendrecv, us(2)));
+            v.push((Sendrecv, us(3)));
+            v.push((Allreduce, us(long_gap)));
+            v.push((Allreduce, us(long_gap)));
+        }
+        v
+    }
+
+    /// Stream `events` with a snapshot/restore break after `split`
+    /// events; outputs (pre-break ++ post-break) must equal an unbroken
+    /// run exactly.
+    fn assert_split_parity(c: PowerConfig, events: &[(MpiCall, SimDuration)], split: usize) {
+        let mut whole = RankRuntime::new(0, c.clone());
+        whole.intercept_batch(events);
+        let whole_ann = whole.finish(us(5));
+
+        let mut first = RankRuntime::new(0, c);
+        first.intercept_batch(&events[..split]);
+        let pre: Vec<LaneDirective> = first.directives().to_vec();
+        let snap = first.snapshot();
+        // Round-trip through the JSON wire form, as ibp-serve does.
+        let snap = RuntimeSnapshot::from_json_bytes(&snap.to_json_bytes()).expect("wire form");
+        let mut second = RankRuntime::from_snapshot(&snap).expect("restore");
+        second.intercept_batch(&events[split..]);
+        let ann = second.finish(us(5));
+
+        let mut directives = pre;
+        directives.extend_from_slice(&ann.directives);
+        assert_eq!(directives, whole_ann.directives, "split at {split}");
+        assert_eq!(ann.stats, whole_ann.stats, "split at {split}");
+    }
+
+    #[test]
+    fn snapshot_restore_is_transparent_at_every_phase() {
+        let events = alya_events(12, 300);
+        // Splits inside learning, right at declaration, mid-prediction,
+        // and inside a gram.
+        for split in [1, 7, 20, 21, 33, 47, events.len() - 1] {
+            assert_split_parity(cfg(), &events, split);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_resilience_state() {
+        let mut events = alya_events(8, 300);
+        events.push((Sendrecv, us(40))); // timing mispredict → guard band
+        events.extend(alya_events(8, 300).into_iter().skip(1));
+        for split in [38, 41, 44] {
+            assert_split_parity(resilient_cfg(), &events, split);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 8, 300);
+        let good = rt.snapshot();
+
+        let mut bad = good.clone();
+        bad.version = 99;
+        assert!(matches!(
+            RankRuntime::from_snapshot(&bad),
+            Err(SnapshotError::VersionMismatch { found: 99, .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.gram_ids.push(10_000);
+        assert!(RankRuntime::from_snapshot(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.ppa.detected.push((9_999, 7));
+        assert!(matches!(
+            RankRuntime::from_snapshot(&bad),
+            Err(SnapshotError::DanglingId { what: "pattern", .. })
+        ));
+
+        let mut bad = good.clone();
+        if let ModeSnapshot::Predicting { slot, .. } = &mut bad.mode {
+            *slot = 1_000;
+            assert!(RankRuntime::from_snapshot(&bad).is_err());
+        } else {
+            panic!("runtime should be predicting after 8 iterations");
+        }
+
+        // The untouched snapshot still restores.
+        assert!(RankRuntime::from_snapshot(&good).is_ok());
+    }
+
+    #[test]
+    fn intercept_batch_matches_loop() {
+        let events = alya_events(10, 300);
+        let mut a = RankRuntime::new(0, cfg());
+        a.intercept_batch(&events);
+        let mut b = RankRuntime::new(0, cfg());
+        for &(call, gap) in &events {
+            b.intercept(call, gap);
+        }
+        assert_eq!(a.finish(us(0)), b.finish(us(0)));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Serializable snapshots of the streaming runtime.
+//!
+//! A [`RuntimeSnapshot`] captures **everything** a [`RankRuntime`]
+//! ([`crate::runtime::RankRuntime`]) has learned — interned gram shapes,
+//! the pattern list with occurrence windows and slot-gap means, the PPA
+//! scan position, the prediction mode, the resilience controller and the
+//! cumulative statistics — but *not* the per-event output vectors
+//! (directives, overheads, penalties), which belong to whoever consumed
+//! them. Restoring a snapshot therefore yields a runtime that continues
+//! the stream exactly where the original left off: every subsequent
+//! declaration and lane directive is byte-identical to an unbroken run
+//! (property-tested over all five paper workloads in the integration
+//! suite).
+//!
+//! This is what `ibp-serve` uses to let a disconnected client resume
+//! prediction without re-learning its pattern dictionary.
+//!
+//! Snapshots are plain-old-data with `serde` derives; hash maps are
+//! stored as sorted key/value vectors and ring buffers are normalized
+//! (oldest first), so the serialized form is deterministic for a given
+//! runtime state.
+
+use crate::config::SleepKind;
+use crate::gram::{Gram, GramId};
+use crate::pattern::{PatternId, RunningMean};
+use crate::ppa::PpaWork;
+use crate::stats::RankStats;
+use crate::PowerConfig;
+use ibp_simcore::SimDuration;
+use ibp_trace::Rank;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp embedded in every snapshot. Bump on layout changes so
+/// a server can reject snapshots from an incompatible build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A snapshot failed validation on restore.
+///
+/// Snapshots may arrive over the wire, so restoring revalidates every
+/// internal invariant instead of trusting the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The snapshot was produced by an incompatible layout version.
+    VersionMismatch {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// An id referenced by the snapshot does not exist in its own tables.
+    DanglingId {
+        /// What kind of id dangled (`"gram"`, `"pattern"`, …).
+        what: &'static str,
+        /// The out-of-range id.
+        id: u64,
+        /// Size of the table it was supposed to index.
+        len: usize,
+    },
+    /// A structural invariant does not hold (duplicate interner keys,
+    /// occurrence window larger than its capacity, …).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} incompatible with expected {expected}")
+            }
+            SnapshotError::DanglingId { what, id, len } => {
+                write!(f, "snapshot references {what} id {id} outside table of {len}")
+            }
+            SnapshotError::Inconsistent(msg) => write!(f, "inconsistent snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Interned gram shapes, in id order (index = [`GramId`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GramInternerSnapshot {
+    /// Call-id sequence of each shape.
+    pub shapes: Vec<Vec<u16>>,
+}
+
+/// Mutable fields of the online gram builder (the open, not-yet-closed
+/// gram). The grouping threshold itself comes from the config.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GramBuilderSnapshot {
+    /// Calls accumulated in the open gram.
+    pub current_calls: Vec<u16>,
+    /// Stream index of the open gram's first event.
+    pub current_first_event: usize,
+    /// Idle gap that preceded the open gram.
+    pub current_preceding_idle: SimDuration,
+    /// Next event index the builder will assign.
+    pub next_event: usize,
+}
+
+/// A bounded occurrence ring buffer, normalized oldest-first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccurrenceWindowSnapshot {
+    /// Retained positions, oldest first (≤ `capacity` of them).
+    pub positions: Vec<usize>,
+    /// Retention bound.
+    pub capacity: usize,
+    /// All-time number of recorded positions.
+    pub total: u64,
+}
+
+/// One live pattern entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternEntrySnapshot {
+    /// Recent occurrence positions.
+    pub occurrences: OccurrenceWindowSnapshot,
+    /// Whether the pattern was ever declared predictable.
+    pub detected: bool,
+    /// Per-slot idle-gap running means.
+    pub slot_gaps: Vec<RunningMean>,
+    /// MPI calls covered by one occurrence.
+    pub mpi_calls: u32,
+}
+
+/// The pattern list: interned keys in id order plus id-indexed entries
+/// (`None` = tombstoned key, exactly as the live structure keeps them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternListSnapshot {
+    /// Occurrence-window bound for every entry.
+    pub window: usize,
+    /// Interned keys, in id order (index = [`PatternId`]).
+    pub keys: Vec<Vec<GramId>>,
+    /// Entries; `entries[id]` is `None` when the key is tombstoned.
+    pub entries: Vec<Option<PatternEntrySnapshot>>,
+}
+
+/// The PPA scanner phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseSnapshot {
+    /// Sliding over bi-grams looking for a repeat.
+    Seek,
+    /// Locked on a candidate, counting consecutive repeats.
+    Track {
+        /// Consecutive repeats observed so far.
+        consecutive: u32,
+    },
+}
+
+/// Full PPA scanner state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpaSnapshot {
+    /// The pattern list.
+    pub pattern_list: PatternListSnapshot,
+    /// Current scan position in the gram array.
+    pub pos: usize,
+    /// Candidate pattern size being tracked.
+    pub pattern_size: usize,
+    /// Scanner phase.
+    pub phase: PhaseSnapshot,
+    /// Declaration policy: consecutive repeats required.
+    pub min_consecutive: u32,
+    /// Pattern-length cap (frozen to the declared length once declared).
+    pub max_pattern_size: usize,
+    /// Whether `max_pattern_size` has been frozen by a declaration.
+    pub frozen: bool,
+    /// Declaration order of every detected pattern, sorted by pattern id.
+    pub detected: Vec<(PatternId, u32)>,
+    /// Distinct detected pattern lengths, in first-seen order.
+    pub detected_lens: Vec<usize>,
+    /// Next declaration-order stamp.
+    pub next_detected_order: u32,
+    /// First gram position considered fresh for the re-arm check.
+    pub min_fresh: usize,
+    /// Cumulative work counters.
+    pub work: PpaWork,
+    /// Elements examined by the most recent `advance`.
+    pub last_elements: u64,
+}
+
+/// The runtime's prediction mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModeSnapshot {
+    /// Gram formation + PPA are running.
+    Learning,
+    /// Power-mode control is tracking a declared pattern.
+    Predicting {
+        /// Interned id of the declared pattern.
+        pattern: PatternId,
+        /// Expected call-id sequence of each pattern slot.
+        shapes: Vec<Vec<u16>>,
+        /// Slot currently being matched.
+        slot: usize,
+        /// Calls already matched within the current slot's gram.
+        progress: usize,
+    },
+}
+
+/// An armed lane-off timer awaiting its wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingSleepSnapshot {
+    /// Programmed low-power window.
+    pub timer: SimDuration,
+    /// Sleep depth.
+    pub kind: SleepKind,
+}
+
+/// The adaptive resilience controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSnapshot {
+    /// Call indices of recent pattern mispredictions, oldest first.
+    pub recent_pattern: Vec<u64>,
+    /// Call indices of recent timing mispredictions, oldest first.
+    pub recent_timing: Vec<u64>,
+    /// Calls left in the current prediction hold-off.
+    pub holdoff_remaining: u32,
+    /// Length of the next hold-off.
+    pub next_holdoff: u32,
+    /// Current guard band (extra displacement).
+    pub guard: f64,
+}
+
+/// Complete learned state of one [`crate::runtime::RankRuntime`], minus
+/// its per-event output vectors. See the module docs for the contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSnapshot {
+    /// Layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The runtime's configuration.
+    pub cfg: PowerConfig,
+    /// The rank this runtime annotates.
+    pub rank: Rank,
+    /// Interned gram shapes.
+    pub interner: GramInternerSnapshot,
+    /// The open (not yet closed) gram.
+    pub builder: GramBuilderSnapshot,
+    /// All closed grams, in stream order.
+    pub grams: Vec<Gram>,
+    /// Shape ids of the closed grams (the PPA's input array).
+    pub gram_ids: Vec<GramId>,
+    /// The PPA scanner.
+    pub ppa: PpaSnapshot,
+    /// Prediction mode.
+    pub mode: ModeSnapshot,
+    /// Armed lane-off timer, if any.
+    pub pending: Option<PendingSleepSnapshot>,
+    /// Resilience controller state.
+    pub resilience: ResilienceSnapshot,
+    /// Cumulative statistics (carried so post-restore stats match an
+    /// unbroken run).
+    pub stats: RankStats,
+    /// Number of events intercepted so far (`after_event` indices of
+    /// post-restore directives continue from here).
+    pub event_idx: usize,
+}
+
+impl RuntimeSnapshot {
+    /// Serialize to the canonical JSON wire form used by `ibp-serve`.
+    #[must_use]
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("snapshot serialization cannot fail")
+            .into_bytes()
+    }
+
+    /// Parse the canonical JSON wire form.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| SnapshotError::Inconsistent(format!("snapshot not utf-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| SnapshotError::Inconsistent(format!("snapshot not valid JSON: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_error_displays() {
+        let e = SnapshotError::VersionMismatch { found: 9, expected: 1 };
+        assert!(e.to_string().contains("version 9"));
+        let e = SnapshotError::DanglingId { what: "pattern", id: 7, len: 3 };
+        assert!(e.to_string().contains("pattern id 7"));
+        let e = SnapshotError::Inconsistent("x".into());
+        assert!(e.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn json_bytes_reject_garbage() {
+        assert!(RuntimeSnapshot::from_json_bytes(b"\xff\xfe").is_err());
+        assert!(RuntimeSnapshot::from_json_bytes(b"{not json").is_err());
+        assert!(RuntimeSnapshot::from_json_bytes(b"[1,2,3]").is_err());
+    }
+}

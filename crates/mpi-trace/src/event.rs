@@ -62,6 +62,54 @@ impl MpiCall {
         self as u16
     }
 
+    /// Every call type, in id order (drives exhaustive decode tables).
+    pub const ALL: [MpiCall; 17] = [
+        MpiCall::Send,
+        MpiCall::Recv,
+        MpiCall::Isend,
+        MpiCall::Irecv,
+        MpiCall::Wait,
+        MpiCall::Waitall,
+        MpiCall::Bcast,
+        MpiCall::Barrier,
+        MpiCall::Reduce,
+        MpiCall::Allreduce,
+        MpiCall::Alltoall,
+        MpiCall::Allgather,
+        MpiCall::Gather,
+        MpiCall::Scatter,
+        MpiCall::Init,
+        MpiCall::Finalize,
+        MpiCall::Sendrecv,
+    ];
+
+    /// Decode a Paraver-style numeric id back to the call type (inverse
+    /// of [`MpiCall::id`]); `None` for ids no variant carries. This is
+    /// what wire-protocol decoders use, so it must stay total.
+    #[inline]
+    pub fn from_id(id: u16) -> Option<MpiCall> {
+        Some(match id {
+            1 => MpiCall::Send,
+            2 => MpiCall::Recv,
+            3 => MpiCall::Isend,
+            4 => MpiCall::Irecv,
+            5 => MpiCall::Wait,
+            6 => MpiCall::Waitall,
+            7 => MpiCall::Bcast,
+            8 => MpiCall::Barrier,
+            9 => MpiCall::Reduce,
+            10 => MpiCall::Allreduce,
+            11 => MpiCall::Alltoall,
+            12 => MpiCall::Allgather,
+            13 => MpiCall::Gather,
+            14 => MpiCall::Scatter,
+            31 => MpiCall::Init,
+            32 => MpiCall::Finalize,
+            41 => MpiCall::Sendrecv,
+            _ => return None,
+        })
+    }
+
     /// True for calls that move data or synchronise across the network
     /// (everything except `Init`/`Finalize`, which bracket the run).
     pub fn is_communication(self) -> bool {
@@ -289,6 +337,17 @@ mod tests {
         assert_eq!(MpiOp::Recv { from: 0, bytes: 7 }.send_bytes(4), 0);
         assert_eq!(MpiOp::Alltoall { bytes: 10 }.send_bytes(4), 30);
         assert_eq!(MpiOp::Barrier.send_bytes(4), 0);
+    }
+
+    #[test]
+    fn from_id_inverts_id_for_every_variant() {
+        for call in MpiCall::ALL {
+            assert_eq!(MpiCall::from_id(call.id()), Some(call));
+        }
+        // Unassigned ids decode to None — the wire decoder depends on it.
+        for id in [0u16, 15, 30, 33, 40, 42, 999, u16::MAX] {
+            assert_eq!(MpiCall::from_id(id), None);
+        }
     }
 
     #[test]

@@ -12,7 +12,11 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Errors arising from trace I/O.
+///
+/// `#[non_exhaustive]`: downstream matches must keep a wildcard arm so
+/// new error variants don't break them.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum TraceError {
     /// Underlying filesystem error.
     Io(std::io::Error),

@@ -72,7 +72,10 @@ impl Default for ReplayOptions {
 /// Replay inputs come straight from files and CLI flags, so malformed
 /// input must surface as a value, not a panic: the CLI prints these and
 /// exits non-zero.
+/// `#[non_exhaustive]`: downstream matches must keep a wildcard arm so
+/// new error variants don't break them.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ReplayError {
     /// The trace has no ranks.
     EmptyTrace,

@@ -1,0 +1,407 @@
+//! Protocol client and the multi-session load generator.
+//!
+//! [`Client`] is a blocking, single-threaded protocol speaker: one
+//! request, then read until the matching response (tolerating
+//! unsolicited periodic [`ServerFrame::Stats`] in between).
+//!
+//! [`run_load`] drives many sessions concurrently — one connection and
+//! one thread per session, like a real PMPI shim fleet — measuring
+//! aggregate throughput and per-batch directive latency, optionally
+//! exercising the snapshot/restore reconnect path and checking
+//! end-to-end parity against offline golden annotations.
+
+use crate::protocol::{
+    decode_server, read_frame, write_frame, ClientFrame, ProtocolError, ServerFrame, WireEvent,
+};
+use crate::server::{Endpoint, Stream};
+use ibp_core::{LaneDirective, PowerConfig, RankStats};
+use serde::Serialize;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+/// A blocking protocol client over one connection.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+}
+
+impl Client {
+    /// Connect and perform the handshake.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ProtocolError> {
+        let stream = endpoint.connect()?;
+        let read_half = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::with_capacity(64 * 1024, stream),
+        };
+        crate::protocol::write_hello(&mut client.writer)?;
+        crate::protocol::read_hello(&mut client.reader)?;
+        Ok(client)
+    }
+
+    fn send(&mut self, frame: &ClientFrame) -> Result<(), ProtocolError> {
+        write_frame(&mut self.writer, &frame.encode())
+    }
+
+    /// Read the next server frame (any kind).
+    pub fn recv(&mut self) -> Result<ServerFrame, ProtocolError> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => decode_server(&payload),
+            None => Err(ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Read frames until `want` accepts one; unsolicited `Stats` frames
+    /// are skipped, `Error` frames become [`ProtocolError::Remote`].
+    fn expect<T>(
+        &mut self,
+        what: &str,
+        mut want: impl FnMut(ServerFrame) -> Option<T>,
+    ) -> Result<T, ProtocolError> {
+        loop {
+            match self.recv()? {
+                ServerFrame::Error { code, message, .. } => {
+                    return Err(ProtocolError::Remote { code, message })
+                }
+                ServerFrame::Stats { .. } => continue,
+                other => match want(other) {
+                    Some(v) => return Ok(v),
+                    None => {
+                        return Err(ProtocolError::Unexpected(format!(
+                            "waiting for {what}"
+                        )))
+                    }
+                },
+            }
+        }
+    }
+
+    /// Open a fresh session; waits for the acknowledgement.
+    pub fn open(
+        &mut self,
+        session: u32,
+        rank: u32,
+        config: &PowerConfig,
+    ) -> Result<(), ProtocolError> {
+        self.send(&ClientFrame::Open {
+            session,
+            rank,
+            config: Box::new(config.clone()),
+        })?;
+        self.expect("OpenAck", |f| match f {
+            ServerFrame::OpenAck { .. } => Some(()),
+            _ => None,
+        })
+    }
+
+    /// Open a session from snapshot bytes; waits for the acknowledgement.
+    pub fn restore(&mut self, session: u32, snapshot: &[u8]) -> Result<(), ProtocolError> {
+        self.send(&ClientFrame::Restore { session, snapshot: snapshot.to_vec() })?;
+        self.expect("OpenAck", |f| match f {
+            ServerFrame::OpenAck { .. } => Some(()),
+            _ => None,
+        })
+    }
+
+    /// Stream one event batch; returns the server's total applied-event
+    /// count and the directives the batch produced.
+    pub fn send_events(
+        &mut self,
+        session: u32,
+        events: &[WireEvent],
+    ) -> Result<(u64, Vec<LaneDirective>), ProtocolError> {
+        self.send(&ClientFrame::Events { session, events: events.to_vec() })?;
+        self.expect("Directives", |f| match f {
+            ServerFrame::Directives { events_applied, directives, .. } => {
+                Some((events_applied, directives))
+            }
+            _ => None,
+        })
+    }
+
+    /// Request an immediate statistics summary.
+    pub fn flush_stats(&mut self, session: u32) -> Result<RankStats, ProtocolError> {
+        self.send(&ClientFrame::Flush { session })?;
+        // Flush answers with Stats, which `expect` normally skips —
+        // match it directly here.
+        loop {
+            match self.recv()? {
+                ServerFrame::Error { code, message, .. } => {
+                    return Err(ProtocolError::Remote { code, message })
+                }
+                ServerFrame::Stats { stats, .. } => return Ok(*stats),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Capture the session's learned state for a later [`Client::restore`].
+    pub fn snapshot(&mut self, session: u32) -> Result<Vec<u8>, ProtocolError> {
+        self.send(&ClientFrame::Snapshot { session })?;
+        self.expect("SnapshotData", |f| match f {
+            ServerFrame::SnapshotData { snapshot, .. } => Some(snapshot),
+            _ => None,
+        })
+    }
+
+    /// Finish the stream. Returns any directives issued by the final
+    /// compute interval, the lifetime directive count, and final stats.
+    pub fn close(
+        &mut self,
+        session: u32,
+        final_compute_ns: u64,
+    ) -> Result<(Vec<LaneDirective>, u64, RankStats), ProtocolError> {
+        self.send(&ClientFrame::Close { session, final_compute_ns })?;
+        let mut last = Vec::new();
+        loop {
+            match self.recv()? {
+                ServerFrame::Error { code, message, .. } => {
+                    return Err(ProtocolError::Remote { code, message })
+                }
+                ServerFrame::Stats { .. } => continue,
+                ServerFrame::Directives { directives, .. } => last.extend(directives),
+                ServerFrame::Closed { directives_total, stats, .. } => {
+                    return Ok((last, directives_total, *stats))
+                }
+                other => {
+                    return Err(ProtocolError::Unexpected(format!(
+                        "waiting for Closed, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// One session's worth of work for the load generator.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The simulated rank this session annotates.
+    pub rank: u32,
+    /// Runtime configuration for the session.
+    pub config: PowerConfig,
+    /// The full event stream (call id, gap ns), oldest first.
+    pub events: Vec<WireEvent>,
+    /// Trailing compute after the last call.
+    pub final_compute_ns: u64,
+    /// Expected directives from an offline `annotate_rank` run, for
+    /// `--check` parity.
+    pub golden_directives: Option<Vec<LaneDirective>>,
+    /// Expected final stats from the offline run.
+    pub golden_stats: Option<RankStats>,
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Events per `Events` frame.
+    pub batch: usize,
+    /// If set, snapshot at this fraction of the stream, drop the
+    /// connection, reconnect, restore, and continue — exercising the
+    /// reconnect path. Clamped to `(0, 1)`.
+    pub split: Option<f64>,
+    /// Verify streamed directives (and final stats) against the spec's
+    /// golden annotation.
+    pub check: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig { batch: 64, split: None, check: false }
+    }
+}
+
+/// Per-session result of a load run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionOutcome {
+    /// Session id (index into the spec list).
+    pub session: u32,
+    /// The rank the session drove.
+    pub rank: u32,
+    /// Events streamed.
+    pub events: u64,
+    /// Directives received.
+    pub directives: u64,
+    /// Parity verdict (`None` when no golden annotation was supplied or
+    /// checking was off).
+    pub parity_ok: Option<bool>,
+}
+
+/// Aggregate result of a load run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Concurrent sessions driven.
+    pub sessions: usize,
+    /// Events streamed across all sessions.
+    pub events_total: u64,
+    /// Directives received across all sessions.
+    pub directives_total: u64,
+    /// `Events` frames sent.
+    pub batches: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed_s: f64,
+    /// Aggregate throughput.
+    pub events_per_sec: f64,
+    /// Median send→directives latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile send→directives latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Worst send→directives latency, microseconds.
+    pub latency_max_us: f64,
+    /// Whether parity checking ran.
+    pub parity_checked: bool,
+    /// All checked sessions matched their golden annotations.
+    pub parity_ok: bool,
+    /// Per-session outcomes, in session order.
+    pub per_session: Vec<SessionOutcome>,
+}
+
+/// Drive every spec as its own connection+thread against `endpoint`.
+///
+/// Returns after all sessions close; any session error fails the run.
+pub fn run_load(
+    endpoint: &Endpoint,
+    specs: Vec<SessionSpec>,
+    cfg: &LoadConfig,
+) -> Result<LoadReport, ProtocolError> {
+    let sessions = specs.len();
+    let start = Instant::now();
+    let handles: Vec<_> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let endpoint = endpoint.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || drive_session(&endpoint, i as u32, spec, &cfg))
+        })
+        .collect();
+
+    let mut outcomes = Vec::with_capacity(sessions);
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok((outcome, lats))) => {
+                outcomes.push(outcome);
+                latencies_ns.extend(lats);
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| {
+                    Some(ProtocolError::Unexpected("session thread panicked".into()))
+                })
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    outcomes.sort_by_key(|o| o.session);
+    latencies_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
+        latencies_ns[idx] as f64 / 1_000.0
+    };
+    let events_total: u64 = outcomes.iter().map(|o| o.events).sum();
+    let directives_total: u64 = outcomes.iter().map(|o| o.directives).sum();
+    let parity_checked = cfg.check;
+    let parity_ok = !parity_checked || outcomes.iter().all(|o| o.parity_ok != Some(false));
+    Ok(LoadReport {
+        sessions,
+        events_total,
+        directives_total,
+        batches: latencies_ns.len() as u64,
+        elapsed_s,
+        events_per_sec: if elapsed_s > 0.0 { events_total as f64 / elapsed_s } else { 0.0 },
+        latency_p50_us: pct(0.50),
+        latency_p99_us: pct(0.99),
+        latency_max_us: pct(1.0),
+        parity_checked,
+        parity_ok,
+        per_session: outcomes,
+    })
+}
+
+type SessionRun = (SessionOutcome, Vec<u64>);
+
+fn drive_session(
+    endpoint: &Endpoint,
+    session: u32,
+    spec: SessionSpec,
+    cfg: &LoadConfig,
+) -> Result<SessionRun, ProtocolError> {
+    let batch = cfg.batch.max(1);
+    let split_at = cfg.split.map(|f| {
+        let f = f.clamp(0.0, 1.0);
+        ((spec.events.len() as f64 * f) as usize).min(spec.events.len())
+    });
+
+    let mut latencies_ns = Vec::with_capacity(spec.events.len() / batch + 2);
+    let mut streamed: Vec<LaneDirective> = Vec::new();
+    let mut client = Client::connect(endpoint)?;
+    client.open(session, spec.rank, &spec.config)?;
+
+    let stream_range = |client: &mut Client,
+                            events: &[WireEvent],
+                            lats: &mut Vec<u64>,
+                            streamed: &mut Vec<LaneDirective>|
+     -> Result<(), ProtocolError> {
+        for chunk in events.chunks(batch) {
+            let t0 = Instant::now();
+            let (_, fresh) = client.send_events(session, chunk)?;
+            lats.push(t0.elapsed().as_nanos() as u64);
+            streamed.extend(fresh);
+        }
+        Ok(())
+    };
+
+    let tail = match split_at {
+        Some(at) => {
+            stream_range(&mut client, &spec.events[..at], &mut latencies_ns, &mut streamed)?;
+            let snapshot = client.snapshot(session)?;
+            drop(client); // simulate a lost connection (no Close frame)
+            client = Client::connect(endpoint)?;
+            client.restore(session, &snapshot)?;
+            &spec.events[at..]
+        }
+        None => &spec.events[..],
+    };
+    stream_range(&mut client, tail, &mut latencies_ns, &mut streamed)?;
+
+    let (last, _, stats) = client.close(session, spec.final_compute_ns)?;
+    streamed.extend(last);
+
+    let parity_ok = if cfg.check {
+        match (&spec.golden_directives, &spec.golden_stats) {
+            (Some(golden), golden_stats) => {
+                let mut ok = &streamed == golden;
+                if let Some(gs) = golden_stats {
+                    ok &= gs == &stats;
+                }
+                Some(ok)
+            }
+            (None, _) => None,
+        }
+    } else {
+        None
+    };
+
+    Ok((
+        SessionOutcome {
+            session,
+            rank: spec.rank,
+            events: spec.events.len() as u64,
+            directives: streamed.len() as u64,
+            parity_ok,
+        },
+        latencies_ns,
+    ))
+}

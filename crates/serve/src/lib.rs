@@ -1,0 +1,39 @@
+//! `ibp-serve`: an online streaming prediction service.
+//!
+//! The paper's mechanism runs *inside* the MPI library — every rank's
+//! PMPI shim feeds intercepted calls to a local predictor. This crate
+//! provides the deployment shape one step removed: a long-running
+//! service that accepts streams of intercept events over TCP or
+//! Unix-domain sockets, demultiplexes them into per-session
+//! [`ibp_core::RankRuntime`] engines (one session per simulated
+//! rank/client), and streams back [`ibp_core::LaneDirective`] decisions
+//! plus periodic [`ibp_core::RankStats`] summaries.
+//!
+//! Layout:
+//! * [`protocol`] — the versioned length-prefixed frame format and its
+//!   panic-free decoder;
+//! * [`session`] — one engine instance with incremental apply and
+//!   snapshot/restore;
+//! * [`server`] — listener, per-connection readers, bounded worker
+//!   pool, per-session mailboxes (backpressure);
+//! * [`client`] — blocking protocol client plus the multi-session load
+//!   generator with throughput/latency reporting and offline-parity
+//!   checking.
+//!
+//! The server's streamed output is *byte-identical* to the offline
+//! [`ibp_core::annotate_rank`] golden path for any batch size and any
+//! snapshot/restore split point — verified by in-crate tests and the
+//! workspace proptest suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{run_load, Client, LoadConfig, LoadReport, SessionOutcome, SessionSpec};
+pub use protocol::{ClientFrame, ProtocolError, ServerFrame, WireEvent, PROTOCOL_VERSION};
+pub use server::{Endpoint, ServeConfig, ServeSummary, Server, Stream};
+pub use session::Session;

@@ -1,0 +1,749 @@
+//! The streaming prediction server.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! listener thread ──accept──▶ one reader thread per connection
+//!                                   │  Open/Restore handled inline
+//!                                   │  Events/Flush/Snapshot/Close pushed
+//!                                   ▼  into the session's bounded mailbox
+//!                            per-session mailbox (VecDeque, cap = queue_depth)
+//!                                   │  first push marks the session ready
+//!                                   ▼
+//!                            ready queue ──▶ bounded worker pool
+//!                                              │ drains one session at a time
+//!                                              ▼
+//!                            per-connection writer (mutex-serialised frames)
+//! ```
+//!
+//! **Backpressure.** A session's mailbox holds at most `queue_depth`
+//! pending work items. When it is full the connection's reader thread
+//! blocks in `push` — it stops reading that socket, so the kernel's
+//! flow control eventually pushes back on the client. A slow consumer
+//! therefore throttles *its own connection* only; sessions on other
+//! connections never notice. (Sessions multiplexed on one connection
+//! share that connection's reader, so they share its fate — clients
+//! wanting full isolation open one connection per session, as the load
+//! generator does.)
+//!
+//! **Ordering.** The `scheduled` flag inside the mailbox mutex
+//! guarantees at most one outstanding ready-queue entry per session, so
+//! exactly one worker drains a session at a time and work is applied in
+//! arrival order. The flag is cleared under the same lock that observes
+//! the queue empty, so a concurrent push either sees `scheduled == true`
+//! (the worker has not yet drained its item) or re-schedules the
+//! session — a wakeup can never be lost.
+
+use crate::protocol::{
+    decode_client, error_code, read_frame_len, write_frame, ClientFrame, ProtocolError,
+    ServerFrame,
+};
+use crate::session::Session;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Where the server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address, e.g. `127.0.0.1:7411`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Connect a client stream to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection (Nagle disabled: frames are latency-sensitive).
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Clone the handle so one side can read while the other writes.
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Bound every blocking read so the owner can poll a stop flag.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads applying event batches (the bounded pool).
+    pub workers: usize,
+    /// Pending work items per session before its reader blocks.
+    pub queue_depth: usize,
+    /// Emit an unsolicited [`ServerFrame::Stats`] every this many events
+    /// per session (0 disables; `Flush` always answers immediately).
+    pub stats_every: u64,
+    /// Stop the server after this many sessions have closed cleanly.
+    /// `None` runs until [`Server::stop_flag`] is raised.
+    pub session_limit: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            stats_every: 0,
+            session_limit: None,
+        }
+    }
+}
+
+/// Lifetime counters reported when the server stops.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Sessions opened (fresh or restored).
+    pub sessions_opened: u64,
+    /// Sessions that finished with a `Close` frame.
+    pub sessions_closed: u64,
+    /// Events applied across all sessions.
+    pub events_applied: u64,
+    /// Lane directives streamed back.
+    pub directives_sent: u64,
+    /// Protocol-level errors (malformed frames, unknown sessions, …).
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    opened: AtomicU64,
+    closed: AtomicU64,
+    events: AtomicU64,
+    directives: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Counters {
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            sessions_opened: self.opened.load(Ordering::Relaxed),
+            sessions_closed: self.closed.load(Ordering::Relaxed),
+            events_applied: self.events.load(Ordering::Relaxed),
+            directives_sent: self.directives.load(Ordering::Relaxed),
+            protocol_errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Work {
+    Events(Vec<(u16, u64)>),
+    Flush,
+    Snapshot,
+    Close(u64),
+}
+
+struct MailboxState {
+    deque: VecDeque<Work>,
+    scheduled: bool,
+}
+
+/// One live session plus its mailbox and its connection's writer.
+struct SessionCell {
+    id: u32,
+    state: Mutex<Option<Session>>,
+    mailbox: Mutex<MailboxState>,
+    space: Condvar,
+    cap: usize,
+    writer: Arc<Mutex<BufWriter<Stream>>>,
+}
+
+impl SessionCell {
+    /// Push work, blocking while the mailbox is full (backpressure).
+    /// Returns whether the session must be (re-)scheduled.
+    fn push(&self, work: Work, stop: &AtomicBool) -> bool {
+        let mut mb = self.mailbox.lock().unwrap();
+        while mb.deque.len() >= self.cap {
+            if stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            let (guard, _) = self
+                .space
+                .wait_timeout(mb, Duration::from_millis(100))
+                .unwrap();
+            mb = guard;
+        }
+        mb.deque.push_back(work);
+        let needs_schedule = !mb.scheduled;
+        mb.scheduled = true;
+        needs_schedule
+    }
+
+    /// Pop the next work item; clears `scheduled` (under the same lock)
+    /// when the mailbox is empty.
+    fn pop(&self) -> Option<Work> {
+        let mut mb = self.mailbox.lock().unwrap();
+        match mb.deque.pop_front() {
+            Some(w) => {
+                self.space.notify_one();
+                Some(w)
+            }
+            None => {
+                mb.scheduled = false;
+                None
+            }
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+/// The streaming prediction server. [`Server::bind`], then [`Server::run`].
+pub struct Server {
+    listener: Listener,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+    bound: Endpoint,
+}
+
+impl Server {
+    /// Bind the listening socket (a stale Unix socket file is replaced).
+    pub fn bind(endpoint: &Endpoint, cfg: ServeConfig) -> Result<Server, ProtocolError> {
+        let (listener, bound) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let bound = Endpoint::Tcp(l.local_addr()?.to_string());
+                (Listener::Tcp(l), bound)
+            }
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                (Listener::Unix(l, path.clone()), Endpoint::Unix(path.clone()))
+            }
+        };
+        match &listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            Listener::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        Ok(Server {
+            listener,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+            bound,
+        })
+    }
+
+    /// The actual bound endpoint (resolves a `:0` TCP port request).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.bound
+    }
+
+    /// A flag that stops [`Server::run`] when set from another thread.
+    #[must_use]
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accept and serve connections until the stop flag is raised or
+    /// `session_limit` sessions have closed. Blocks; returns lifetime
+    /// counters.
+    pub fn run(self) -> ServeSummary {
+        let counters = Arc::new(Counters::default());
+        let (ready_tx, ready_rx) = mpsc::channel::<Arc<SessionCell>>();
+        let ready_rx = Arc::new(Mutex::new(ready_rx));
+
+        let workers: Vec<_> = (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&ready_rx);
+                let counters = Arc::clone(&counters);
+                let stats_every = self.cfg.stats_every;
+                std::thread::spawn(move || worker_loop(&rx, &counters, stats_every))
+            })
+            .collect();
+
+        let mut readers = Vec::new();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(limit) = self.cfg.session_limit {
+                if counters.closed.load(Ordering::Relaxed) >= limit {
+                    break;
+                }
+            }
+            match self.listener.accept() {
+                Ok(stream) => {
+                    let cfg = self.cfg.clone();
+                    let stop = Arc::clone(&self.stop);
+                    let counters = Arc::clone(&counters);
+                    let ready = ready_tx.clone();
+                    readers.push(std::thread::spawn(move || {
+                        serve_connection(stream, &cfg, &stop, &counters, &ready);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => {
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let _ = r.join();
+        }
+        drop(ready_tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        counters.summary()
+    }
+}
+
+/// Fill `buf` completely, retrying read timeouts while the server runs.
+/// `Ok(false)` means a clean EOF before the first byte.
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<bool, ProtocolError> {
+    let mut got = 0;
+    while got < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err(ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "server shutting down",
+            )));
+        }
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    Err(ProtocolError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    )))
+                }
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+fn send_frame(writer: &Mutex<BufWriter<Stream>>, frame: &ServerFrame) {
+    let payload = frame.encode();
+    let mut w = writer.lock().unwrap();
+    let _ = write_frame(&mut *w, &payload);
+}
+
+fn send_error(
+    writer: &Mutex<BufWriter<Stream>>,
+    counters: &Counters,
+    session: u32,
+    code: u16,
+    message: String,
+) {
+    counters.errors.fetch_add(1, Ordering::Relaxed);
+    send_frame(
+        writer,
+        &ServerFrame::Error { session, code, message },
+    );
+}
+
+/// One connection's read loop: handshake, then route frames until EOF,
+/// a protocol error, or server shutdown.
+fn serve_connection(
+    stream: Stream,
+    cfg: &ServeConfig,
+    stop: &AtomicBool,
+    counters: &Arc<Counters>,
+    ready: &mpsc::Sender<Arc<SessionCell>>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(BufWriter::with_capacity(64 * 1024, w))),
+        Err(_) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = stream;
+
+    // Handshake: validate the client's hello, then answer with ours.
+    let mut hello = [0u8; 6];
+    match fill(&mut reader, &mut hello, stop) {
+        Ok(true) => {}
+        _ => return,
+    }
+    if hello[..4] != crate::protocol::MAGIC {
+        counters.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let peer = u16::from_le_bytes([hello[4], hello[5]]);
+    if peer != crate::protocol::PROTOCOL_VERSION {
+        counters.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    {
+        let mut w = writer.lock().unwrap();
+        if crate::protocol::write_hello(&mut *w).is_err() {
+            return;
+        }
+    }
+
+    let mut sessions: HashMap<u32, Arc<SessionCell>> = HashMap::new();
+    loop {
+        let mut len_buf = [0u8; 4];
+        match fill(&mut reader, &mut len_buf, stop) {
+            Ok(true) => {}
+            Ok(false) => break, // clean EOF at a frame boundary
+            Err(_) => break,
+        }
+        let len = match read_frame_len(len_buf) {
+            Ok(len) => len,
+            Err(e) => {
+                send_error(&writer, counters, 0, error_code::MALFORMED, e.to_string());
+                break;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        if !matches!(fill(&mut reader, &mut payload, stop), Ok(true)) {
+            break;
+        }
+        let frame = match decode_client(&payload) {
+            Ok(f) => f,
+            Err(e) => {
+                send_error(&writer, counters, 0, error_code::MALFORMED, e.to_string());
+                break;
+            }
+        };
+        route(frame, &mut sessions, cfg, stop, counters, ready, &writer);
+    }
+    // Dropping `sessions` abandons any session the client never closed;
+    // queued work still drains (workers hold their own Arcs) but the
+    // session no longer counts toward `session_limit`.
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route(
+    frame: ClientFrame,
+    sessions: &mut HashMap<u32, Arc<SessionCell>>,
+    cfg: &ServeConfig,
+    stop: &AtomicBool,
+    counters: &Arc<Counters>,
+    ready: &mpsc::Sender<Arc<SessionCell>>,
+    writer: &Arc<Mutex<BufWriter<Stream>>>,
+) {
+    match frame {
+        ClientFrame::Open { session, rank, config } => {
+            if sessions.contains_key(&session) {
+                send_error(
+                    writer,
+                    counters,
+                    session,
+                    error_code::DUPLICATE_SESSION,
+                    format!("session {session} is already open"),
+                );
+                return;
+            }
+            let cell = new_cell(session, Session::open(rank, *config), cfg, writer);
+            sessions.insert(session, cell);
+            counters.opened.fetch_add(1, Ordering::Relaxed);
+            send_frame(writer, &ServerFrame::OpenAck { session });
+        }
+        ClientFrame::Restore { session, snapshot } => {
+            if sessions.contains_key(&session) {
+                send_error(
+                    writer,
+                    counters,
+                    session,
+                    error_code::DUPLICATE_SESSION,
+                    format!("session {session} is already open"),
+                );
+                return;
+            }
+            match Session::restore(&snapshot) {
+                Ok(restored) => {
+                    let cell = new_cell(session, restored, cfg, writer);
+                    sessions.insert(session, cell);
+                    counters.opened.fetch_add(1, Ordering::Relaxed);
+                    send_frame(writer, &ServerFrame::OpenAck { session });
+                }
+                Err(e) => send_error(
+                    writer,
+                    counters,
+                    session,
+                    error_code::BAD_SNAPSHOT,
+                    e.to_string(),
+                ),
+            }
+        }
+        ClientFrame::Events { session, events } => {
+            enqueue(sessions, session, Work::Events(events), stop, counters, ready, writer);
+        }
+        ClientFrame::Flush { session } => {
+            enqueue(sessions, session, Work::Flush, stop, counters, ready, writer);
+        }
+        ClientFrame::Snapshot { session } => {
+            enqueue(sessions, session, Work::Snapshot, stop, counters, ready, writer);
+        }
+        ClientFrame::Close { session, final_compute_ns } => {
+            let routed = enqueue(
+                sessions,
+                session,
+                Work::Close(final_compute_ns),
+                stop,
+                counters,
+                ready,
+                writer,
+            );
+            if routed {
+                // No further frames may address this id on this
+                // connection (a later Open may reuse it for a new
+                // session).
+                sessions.remove(&session);
+            }
+        }
+    }
+}
+
+fn new_cell(
+    id: u32,
+    session: Session,
+    cfg: &ServeConfig,
+    writer: &Arc<Mutex<BufWriter<Stream>>>,
+) -> Arc<SessionCell> {
+    Arc::new(SessionCell {
+        id,
+        state: Mutex::new(Some(session)),
+        mailbox: Mutex::new(MailboxState { deque: VecDeque::new(), scheduled: false }),
+        space: Condvar::new(),
+        cap: cfg.queue_depth.max(1),
+        writer: Arc::clone(writer),
+    })
+}
+
+fn enqueue(
+    sessions: &mut HashMap<u32, Arc<SessionCell>>,
+    session: u32,
+    work: Work,
+    stop: &AtomicBool,
+    counters: &Arc<Counters>,
+    ready: &mpsc::Sender<Arc<SessionCell>>,
+    writer: &Arc<Mutex<BufWriter<Stream>>>,
+) -> bool {
+    let Some(cell) = sessions.get(&session) else {
+        send_error(
+            writer,
+            counters,
+            session,
+            error_code::UNKNOWN_SESSION,
+            format!("session {session} is not open"),
+        );
+        return false;
+    };
+    if cell.push(work, stop) {
+        let _ = ready.send(Arc::clone(cell));
+    }
+    true
+}
+
+fn worker_loop(
+    ready: &Mutex<mpsc::Receiver<Arc<SessionCell>>>,
+    counters: &Counters,
+    stats_every: u64,
+) {
+    loop {
+        let cell = {
+            let rx = ready.lock().unwrap();
+            rx.recv()
+        };
+        let Ok(cell) = cell else { return };
+        while let Some(work) = cell.pop() {
+            handle_work(&cell, work, counters, stats_every);
+        }
+    }
+}
+
+fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every: u64) {
+    let mut guard = cell.state.lock().unwrap();
+    let Some(sess) = guard.as_mut() else {
+        drop(guard);
+        send_error(
+            &cell.writer,
+            counters,
+            cell.id,
+            error_code::UNKNOWN_SESSION,
+            format!("session {} already closed", cell.id),
+        );
+        return;
+    };
+    match work {
+        Work::Events(events) => {
+            counters.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+            let (events_applied, directives) = sess.apply(&events);
+            counters
+                .directives
+                .fetch_add(directives.len() as u64, Ordering::Relaxed);
+            let stats = (stats_every > 0 && sess.events_since_stats() >= stats_every)
+                .then(|| {
+                    sess.mark_stats_emitted();
+                    sess.stats()
+                });
+            drop(guard);
+            send_frame(
+                &cell.writer,
+                &ServerFrame::Directives { session: cell.id, events_applied, directives },
+            );
+            if let Some(stats) = stats {
+                send_frame(
+                    &cell.writer,
+                    &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
+                );
+            }
+        }
+        Work::Flush => {
+            let stats = sess.stats();
+            sess.mark_stats_emitted();
+            drop(guard);
+            send_frame(
+                &cell.writer,
+                &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
+            );
+        }
+        Work::Snapshot => {
+            let snapshot = sess.snapshot_bytes();
+            drop(guard);
+            send_frame(
+                &cell.writer,
+                &ServerFrame::SnapshotData { session: cell.id, snapshot },
+            );
+        }
+        Work::Close(final_compute_ns) => {
+            let sess = guard.take().expect("checked above");
+            drop(guard);
+            let events_applied = sess.events_applied();
+            let (fresh, directives_total, stats) = sess.close(final_compute_ns);
+            counters
+                .directives
+                .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+            counters.closed.fetch_add(1, Ordering::Relaxed);
+            if !fresh.is_empty() {
+                send_frame(
+                    &cell.writer,
+                    &ServerFrame::Directives {
+                        session: cell.id,
+                        events_applied,
+                        directives: fresh,
+                    },
+                );
+            }
+            send_frame(
+                &cell.writer,
+                &ServerFrame::Closed {
+                    session: cell.id,
+                    directives_total,
+                    stats: Box::new(stats),
+                },
+            );
+        }
+    }
+}

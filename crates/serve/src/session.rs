@@ -1,0 +1,194 @@
+//! One streaming prediction session: a [`RankRuntime`] fed incrementally
+//! by event batches, with snapshot/restore for reconnecting clients.
+
+use crate::protocol::{ProtocolError, WireEvent};
+use ibp_core::{LaneDirective, PowerConfig, RankRuntime, RankStats, RuntimeSnapshot};
+use ibp_simcore::SimDuration;
+use ibp_trace::MpiCall;
+
+/// A live prediction engine for one simulated rank.
+///
+/// Wraps [`RankRuntime`] with the bookkeeping the server needs: how many
+/// directives have already been streamed out (so each batch response
+/// carries only the *new* ones) and translation from wire events to the
+/// typed intercept API. Unknown Paraver call ids degrade to `Send` —
+/// the predictor keys on call identity, and an id outside the trace
+/// vocabulary still forms stable grams, so a shim linked against a newer
+/// MPI can stream without a protocol upgrade.
+pub struct Session {
+    /// The rank this session annotates (for labeling; the runtime also
+    /// knows it).
+    pub rank: u32,
+    runtime: RankRuntime,
+    directives_sent: usize,
+    events_since_stats: u64,
+}
+
+impl Session {
+    /// Open a fresh session learning from scratch.
+    #[must_use]
+    pub fn open(rank: u32, cfg: PowerConfig) -> Self {
+        Session {
+            rank,
+            runtime: RankRuntime::new(rank, cfg),
+            directives_sent: 0,
+            events_since_stats: 0,
+        }
+    }
+
+    /// Open a session from a snapshot: the engine resumes prediction
+    /// with all learned state intact and reports only directives issued
+    /// after the restore point.
+    pub fn restore(snapshot: &[u8]) -> Result<Self, ProtocolError> {
+        let snap = RuntimeSnapshot::from_json_bytes(snapshot)
+            .map_err(|e| ProtocolError::BadSnapshot(e.to_string()))?;
+        let runtime = RankRuntime::from_snapshot(&snap)
+            .map_err(|e| ProtocolError::BadSnapshot(e.to_string()))?;
+        Ok(Session {
+            rank: snap.rank,
+            runtime,
+            directives_sent: 0,
+            events_since_stats: 0,
+        })
+    }
+
+    /// Apply one batch of wire events through the allocation-free
+    /// intercept hot path and return the directives it produced.
+    pub fn apply(&mut self, events: &[WireEvent]) -> (u64, Vec<LaneDirective>) {
+        self.runtime.reserve_events(events.len());
+        for &(call_id, gap_ns) in events {
+            let call = MpiCall::from_id(call_id).unwrap_or(MpiCall::Send);
+            self.runtime.intercept(call, SimDuration::from_ns(gap_ns));
+        }
+        self.events_since_stats += events.len() as u64;
+        let fresh = self.runtime.directives()[self.directives_sent..].to_vec();
+        self.directives_sent += fresh.len();
+        (self.runtime.events_seen() as u64, fresh)
+    }
+
+    /// Cumulative statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> RankStats {
+        self.runtime.stats().clone()
+    }
+
+    /// Serialise the engine's full learned state (JSON wire form).
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.runtime.snapshot().to_json_bytes()
+    }
+
+    /// Total directives issued over the session's lifetime, including
+    /// any issued before a snapshot/restore cycle on the *restored*
+    /// runtime (the pre-restore count belongs to the previous session).
+    #[must_use]
+    pub fn directives_total(&self) -> u64 {
+        self.directives_sent as u64
+    }
+
+    /// Events applied so far.
+    #[must_use]
+    pub fn events_applied(&self) -> u64 {
+        self.runtime.events_seen() as u64
+    }
+
+    /// Events applied since the last periodic stats emission; the caller
+    /// resets it when it emits.
+    #[must_use]
+    pub fn events_since_stats(&self) -> u64 {
+        self.events_since_stats
+    }
+
+    /// Mark a periodic stats summary as emitted.
+    pub fn mark_stats_emitted(&mut self) {
+        self.events_since_stats = 0;
+    }
+
+    /// Finish the stream (trailing compute time) and return the final
+    /// accounting: any last directives, the lifetime total, and final
+    /// stats.
+    #[must_use]
+    pub fn close(self, final_compute_ns: u64) -> (Vec<LaneDirective>, u64, RankStats) {
+        let ann = self.runtime.finish(SimDuration::from_ns(final_compute_ns));
+        let fresh = ann.directives[self.directives_sent..].to_vec();
+        let total = self.directives_sent as u64 + fresh.len() as u64;
+        (fresh, total, ann.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_core::annotate_rank;
+    use ibp_workloads::{Alya, Workload};
+
+    fn sample_stream() -> (Vec<WireEvent>, u64, ibp_trace::Trace) {
+        let trace = Alya { iterations: 40, ..Default::default() }.generate(4, 1);
+        let events: Vec<WireEvent> = trace.ranks[0]
+            .call_stream()
+            .map(|(call, gap)| (call.id(), gap.as_ns()))
+            .collect();
+        let final_compute = trace.ranks[0].final_compute.as_ns();
+        (events, final_compute, trace)
+    }
+
+    #[test]
+    fn streamed_batches_match_offline_annotation() {
+        let (events, final_compute, trace) = sample_stream();
+        let cfg = PowerConfig::default();
+        let golden = annotate_rank(&trace.ranks[0], &cfg);
+
+        let mut sess = Session::open(0, cfg);
+        let mut streamed = Vec::new();
+        for batch in events.chunks(7) {
+            let (_, fresh) = sess.apply(batch);
+            streamed.extend(fresh);
+        }
+        let (last, total, stats) = sess.close(final_compute);
+        streamed.extend(last);
+
+        assert_eq!(streamed, golden.directives);
+        assert_eq!(total as usize, golden.directives.len());
+        assert_eq!(stats, golden.stats);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_stream_is_transparent() {
+        let (events, final_compute, trace) = sample_stream();
+        let cfg = PowerConfig::default();
+        let golden = annotate_rank(&trace.ranks[0], &cfg);
+
+        let split = events.len() / 2;
+        let mut first = Session::open(0, cfg);
+        let mut streamed = Vec::new();
+        streamed.extend(first.apply(&events[..split]).1);
+        let snap = first.snapshot_bytes();
+        drop(first); // connection lost
+
+        let mut second = Session::restore(&snap).expect("restore");
+        assert_eq!(second.rank, 0);
+        streamed.extend(second.apply(&events[split..]).1);
+        let (last, _, stats) = second.close(final_compute);
+        streamed.extend(last);
+
+        assert_eq!(streamed, golden.directives);
+        assert_eq!(stats, golden.stats);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(matches!(
+            Session::restore(b"definitely not a snapshot"),
+            Err(ProtocolError::BadSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_call_ids_do_not_panic() {
+        let mut sess = Session::open(0, PowerConfig::default());
+        let (applied, _) = sess.apply(&[(u16::MAX, 100), (0, 5_000_000), (41, 0)]);
+        assert_eq!(applied, 3);
+        let (_, total, _) = sess.close(1_000);
+        assert_eq!(total, 0);
+    }
+}
