@@ -304,6 +304,61 @@ impl PowerConfig {
             .map(|t| (SleepKind::Wrps, t))
     }
 
+    /// Check every invariant the runtime's arithmetic depends on,
+    /// without panicking — for configs that arrive over the wire
+    /// (an `Open` frame or a restored snapshot) where [`PowerConfig::paper`]'s
+    /// asserts would let hostile input kill a server worker. NaN and
+    /// infinite floats are rejected along with out-of-range values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grouping_threshold < self.t_react * 2 {
+            return Err(format!(
+                "grouping threshold {} below 2*T_react",
+                self.grouping_threshold
+            ));
+        }
+        // Range checks on floats double as NaN rejection: a NaN
+        // compares false with everything, so `contains` fails.
+        if !(0.0..1.0).contains(&self.displacement) {
+            return Err(format!("displacement {} outside [0, 1)", self.displacement));
+        }
+        if self.min_consecutive < 2 || self.max_pattern_size < 2 {
+            return Err("declaration policy below the bi-gram minimum".into());
+        }
+        if !(0.0..=1.0).contains(&self.low_power_fraction)
+            || !(0.0..=1.0).contains(&self.deep_power_fraction)
+        {
+            return Err("power fractions must be in [0, 1]".into());
+        }
+        let r = &self.resilience;
+        if r.enabled {
+            if !r.max_guard.is_finite()
+                || r.max_guard < 0.0
+                || self.displacement + r.max_guard >= 1.0
+            {
+                return Err(format!(
+                    "displacement {} + max_guard {} must stay below 1",
+                    self.displacement, r.max_guard
+                ));
+            }
+            if !(0.0..=1.0).contains(&r.guard_decay) {
+                return Err(format!("guard_decay {} outside [0, 1]", r.guard_decay));
+            }
+            if !r.guard_step.is_finite() || r.guard_step < 0.0 {
+                return Err(format!("guard_step {} must be finite and >= 0", r.guard_step));
+            }
+            if !r.slowdown_budget_pct.is_finite() || r.slowdown_budget_pct < 0.0 {
+                return Err(format!(
+                    "slowdown budget {} must be finite and >= 0",
+                    r.slowdown_budget_pct
+                ));
+            }
+            if r.storm_threshold < 1 || r.storm_window < 1 {
+                return Err("storm detection needs a window and threshold of at least 1".into());
+            }
+        }
+        Ok(())
+    }
+
     /// Attach a resilience controller configuration.
     ///
     /// # Panics

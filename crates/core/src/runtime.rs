@@ -541,6 +541,17 @@ impl RankRuntime {
                 expected: SNAPSHOT_VERSION,
             });
         }
+        // The same invariant checks `protocol::validate_config` runs on
+        // an `Open` — a hostile Restore must not smuggle in a config
+        // that `Open` would have rejected (e.g. a negative displacement
+        // later asserts in `SimDuration::mul_f64` and kills the worker).
+        snap.cfg.validate().map_err(SnapshotError::Inconsistent)?;
+        let guard = snap.resilience.guard;
+        if !guard.is_finite() || guard < 0.0 {
+            return Err(SnapshotError::Inconsistent(format!(
+                "resilience guard {guard} must be finite and >= 0"
+            )));
+        }
         if snap.gram_ids.len() != snap.grams.len() {
             return Err(SnapshotError::Inconsistent(format!(
                 "{} gram ids for {} grams",
@@ -1164,6 +1175,52 @@ mod tests {
 
         // The untouched snapshot still restores.
         assert!(RankRuntime::from_snapshot(&good).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_hostile_configs_and_guards() {
+        // A snapshot's embedded config gets the same scrutiny an Open
+        // does: out-of-range values must fail restore instead of
+        // asserting later inside `SimDuration::mul_f64` when the
+        // restored runtime plans a directive.
+        let mut rt = RankRuntime::new(0, cfg());
+        feed_alya(&mut rt, 8, 300);
+        let good = rt.snapshot();
+
+        for bad_disp in [-0.5, 1.0, 1.5, f64::NAN] {
+            let mut bad = good.clone();
+            bad.cfg.displacement = bad_disp;
+            assert!(
+                matches!(
+                    RankRuntime::from_snapshot(&bad),
+                    Err(SnapshotError::Inconsistent(_))
+                ),
+                "displacement {bad_disp} restored"
+            );
+        }
+
+        let mut bad = good.clone();
+        bad.cfg.grouping_threshold = SimDuration::from_ns(1);
+        assert!(RankRuntime::from_snapshot(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.cfg.resilience = crate::ResilienceConfig {
+            guard_step: f64::NAN,
+            ..crate::ResilienceConfig::standard()
+        };
+        assert!(RankRuntime::from_snapshot(&bad).is_err());
+
+        for bad_guard in [-0.1, f64::NAN, f64::INFINITY] {
+            let mut bad = good.clone();
+            bad.resilience.guard = bad_guard;
+            assert!(
+                matches!(
+                    RankRuntime::from_snapshot(&bad),
+                    Err(SnapshotError::Inconsistent(_))
+                ),
+                "guard {bad_guard} restored"
+            );
+        }
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 /// `gap_ns: u64`).
 pub const EVENT_WIRE_BYTES: usize = 10;
 
+/// Sentinel session id carried by [`ServerFrame::Error`] frames that
+/// concern the connection itself (undecodable frame, bad length prefix)
+/// rather than any open session — session 0 is a legitimate
+/// client-choosable id, so it cannot double as "no session". `Open` and
+/// `Restore` frames claiming this id are rejected as malformed.
+pub const CONNECTION_SESSION: u32 = u32::MAX;
+
 /// Error codes carried by [`ServerFrame::Error`].
 pub mod error_code {
     /// The frame referenced a session id that is not open.
@@ -55,6 +62,9 @@ pub mod error_code {
     pub const MALFORMED: u16 = 4;
     /// Any other server-side failure.
     pub const INTERNAL: u16 = 5;
+    /// A response (e.g. a snapshot) outgrew [`super::MAX_FRAME_LEN`]
+    /// and could not be sent.
+    pub const FRAME_TOO_LARGE: u16 = 6;
 }
 
 /// Everything that can go wrong speaking the protocol.
@@ -246,7 +256,8 @@ pub enum ServerFrame {
     /// A request for `session` failed; the session (if it existed) was
     /// dropped.
     Error {
-        /// The offending session id.
+        /// The offending session id, or [`CONNECTION_SESSION`] for
+        /// errors that concern the connection rather than a session.
         session: u32,
         /// One of the [`error_code`] constants.
         code: u16,
@@ -527,6 +538,14 @@ fn reader(payload: &[u8]) -> Result<(Rd<'_>, u32), ProtocolError> {
 /// `Ok` or a [`ProtocolError`], never panics.
 pub fn decode_client(payload: &[u8]) -> Result<ClientFrame, ProtocolError> {
     let (mut rd, session) = reader(payload)?;
+    if session == CONNECTION_SESSION && matches!(rd.kind, K_OPEN | K_RESTORE) {
+        return Err(ProtocolError::Malformed {
+            kind: rd.kind,
+            detail: format!(
+                "session id {CONNECTION_SESSION:#x} is reserved for connection-level errors"
+            ),
+        });
+    }
     let frame = match rd.kind {
         K_OPEN => {
             let rank = rd.u32()?;
@@ -621,31 +640,11 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerFrame, ProtocolError> {
 }
 
 /// Reject configs whose invariants [`PowerConfig::paper`] would assert
-/// on — a hostile `Open` must not be able to panic the server.
+/// on — a hostile `Open` must not be able to panic the server. The same
+/// checks run again in `RankRuntime::from_snapshot`, so a `Restore`
+/// cannot smuggle in a config an `Open` would have rejected.
 fn validate_config(cfg: &PowerConfig) -> Result<(), String> {
-    if cfg.grouping_threshold < cfg.t_react * 2 {
-        return Err(format!(
-            "grouping threshold {} below 2*T_react",
-            cfg.grouping_threshold
-        ));
-    }
-    if !(0.0..1.0).contains(&cfg.displacement) {
-        return Err(format!("displacement {} outside [0, 1)", cfg.displacement));
-    }
-    if cfg.min_consecutive < 2 || cfg.max_pattern_size < 2 {
-        return Err("declaration policy below the bi-gram minimum".into());
-    }
-    if cfg.resilience.enabled
-        && (cfg.displacement + cfg.resilience.max_guard >= 1.0
-            || !(0.0..=1.0).contains(&cfg.resilience.guard_decay)
-            || cfg.resilience.guard_step < 0.0
-            || cfg.resilience.slowdown_budget_pct < 0.0
-            || cfg.resilience.storm_threshold < 1
-            || cfg.resilience.storm_window < 1)
-    {
-        return Err("resilience parameters out of range".into());
-    }
-    Ok(())
+    cfg.validate()
 }
 
 // ---------------------------------------------------------------- framing
@@ -870,6 +869,43 @@ mod tests {
             decode_client(&payload),
             Err(ProtocolError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn reserved_session_id_rejected_on_open_and_restore() {
+        // u32::MAX marks connection-level Error frames, so no session
+        // may claim it — otherwise a client could mistake a connection
+        // error for one of its own sessions.
+        let open = ClientFrame::Open {
+            session: CONNECTION_SESSION,
+            rank: 0,
+            config: Box::new(PowerConfig::default()),
+        };
+        assert!(matches!(
+            decode_client(&open.encode()),
+            Err(ProtocolError::Malformed { .. })
+        ));
+        let restore = ClientFrame::Restore {
+            session: CONNECTION_SESSION,
+            snapshot: b"{}".to_vec(),
+        };
+        assert!(matches!(
+            decode_client(&restore.encode()),
+            Err(ProtocolError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_nan_config_rejected() {
+        // JSON cannot carry NaN, so exercise the validator directly.
+        let cfg = PowerConfig {
+            resilience: ibp_core::ResilienceConfig {
+                guard_step: f64::NAN,
+                ..ibp_core::ResilienceConfig::standard()
+            },
+            ..PowerConfig::default()
+        };
+        assert!(validate_config(&cfg).is_err());
     }
 
     #[test]

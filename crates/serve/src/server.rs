@@ -19,12 +19,22 @@
 //! **Backpressure.** A session's mailbox holds at most `queue_depth`
 //! pending work items. When it is full the connection's reader thread
 //! blocks in `push` — it stops reading that socket, so the kernel's
-//! flow control eventually pushes back on the client. A slow consumer
-//! therefore throttles *its own connection* only; sessions on other
-//! connections never notice. (Sessions multiplexed on one connection
-//! share that connection's reader, so they share its fate — clients
-//! wanting full isolation open one connection per session, as the load
-//! generator does.)
+//! flow control eventually pushes back on the client. A slow *sender*
+//! therefore throttles its own connection only. (Sessions multiplexed
+//! on one connection share that connection's reader, so they share its
+//! fate — clients wanting full isolation open one connection per
+//! session, as the load generator does.)
+//!
+//! **Fairness.** A worker drains at most [`DRAIN_QUANTUM`] items from
+//! one mailbox per scheduling turn, then re-enqueues the session, so a
+//! continuously-fed session cannot pin a worker while other ready
+//! sessions wait. One limitation is deliberate: responses are written
+//! synchronously from worker threads, so a client that stops *reading*
+//! its socket can block a worker inside the write once the kernel
+//! buffer fills, and `workers` such stalled consumers stall the pool.
+//! Full isolation would need per-connection writer threads with bounded
+//! outbound queues; until then, size `workers` above the number of
+//! untrusted slow readers.
 //!
 //! **Ordering.** The `scheduled` flag inside the mailbox mutex
 //! guarantees at most one outstanding ready-queue entry per session, so
@@ -32,11 +42,13 @@
 //! arrival order. The flag is cleared under the same lock that observes
 //! the queue empty, so a concurrent push either sees `scheduled == true`
 //! (the worker has not yet drained its item) or re-schedules the
-//! session — a wakeup can never be lost.
+//! session — a wakeup can never be lost. A worker whose quantum expires
+//! with items still queued keeps the flag set and re-enqueues the cell
+//! itself, preserving the single-drainer invariant.
 
 use crate::protocol::{
     decode_client, error_code, read_frame_len, write_frame, ClientFrame, ProtocolError,
-    ServerFrame,
+    ServerFrame, CONNECTION_SESSION,
 };
 use crate::session::Session;
 use std::collections::{HashMap, VecDeque};
@@ -104,6 +116,14 @@ impl Stream {
         match self {
             Stream::Tcp(s) => s.set_read_timeout(dur),
             Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Shut down both directions so the peer sees EOF immediately.
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         }
     }
 }
@@ -202,6 +222,10 @@ enum Work {
     Close(u64),
 }
 
+/// Work items a worker applies from one mailbox before handing the
+/// session back to the ready queue (see the module docs on fairness).
+const DRAIN_QUANTUM: usize = 32;
+
 struct MailboxState {
     deque: VecDeque<Work>,
     scheduled: bool,
@@ -251,6 +275,21 @@ impl SessionCell {
                 mb.scheduled = false;
                 None
             }
+        }
+    }
+
+    /// Called when a drain quantum expires while the worker still holds
+    /// the `scheduled` token (i.e. `pop` never returned `None`): keep
+    /// the token and report `true` if items remain (the caller must
+    /// re-enqueue the cell), otherwise release the token so the next
+    /// push re-schedules the session.
+    fn needs_requeue(&self) -> bool {
+        let mut mb = self.mailbox.lock().unwrap();
+        if mb.deque.is_empty() {
+            mb.scheduled = false;
+            false
+        } else {
+            true
         }
     }
 }
@@ -338,9 +377,11 @@ impl Server {
         let workers: Vec<_> = (0..self.cfg.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&ready_rx);
+                let tx = ready_tx.clone();
+                let stop = Arc::clone(&self.stop);
                 let counters = Arc::clone(&counters);
                 let stats_every = self.cfg.stats_every;
-                std::thread::spawn(move || worker_loop(&rx, &counters, stats_every))
+                std::thread::spawn(move || worker_loop(&rx, &tx, &stop, &counters, stats_every))
             })
             .collect();
 
@@ -431,7 +472,29 @@ fn fill(
 fn send_frame(writer: &Mutex<BufWriter<Stream>>, frame: &ServerFrame) {
     let payload = frame.encode();
     let mut w = writer.lock().unwrap();
-    let _ = write_frame(&mut *w, &payload);
+    match write_frame(&mut *w, &payload) {
+        Ok(()) => {}
+        Err(ProtocolError::FrameTooLarge { len, max }) => {
+            // The response outgrew the frame cap (a snapshot embedding
+            // a long stream's grams can). Nothing hit the wire yet, so
+            // tell the client in-band instead of leaving it blocked on
+            // a reply that will never come.
+            let err = ServerFrame::Error {
+                session: frame.session(),
+                code: error_code::FRAME_TOO_LARGE,
+                message: format!("response frame of {len} bytes exceeds the {max}-byte cap"),
+            };
+            if write_frame(&mut *w, &err.encode()).is_err() {
+                let _ = w.get_ref().shutdown();
+            }
+        }
+        Err(_) => {
+            // A partial write leaves the stream mid-frame; no in-band
+            // recovery is possible. Drop the connection so the client
+            // sees EOF instead of a corrupt frame or a silent hang.
+            let _ = w.get_ref().shutdown();
+        }
+    }
 }
 
 fn send_error(
@@ -500,7 +563,13 @@ fn serve_connection(
         let len = match read_frame_len(len_buf) {
             Ok(len) => len,
             Err(e) => {
-                send_error(&writer, counters, 0, error_code::MALFORMED, e.to_string());
+                send_error(
+                    &writer,
+                    counters,
+                    CONNECTION_SESSION,
+                    error_code::MALFORMED,
+                    e.to_string(),
+                );
                 break;
             }
         };
@@ -511,7 +580,13 @@ fn serve_connection(
         let frame = match decode_client(&payload) {
             Ok(f) => f,
             Err(e) => {
-                send_error(&writer, counters, 0, error_code::MALFORMED, e.to_string());
+                send_error(
+                    &writer,
+                    counters,
+                    CONNECTION_SESSION,
+                    error_code::MALFORMED,
+                    e.to_string(),
+                );
                 break;
             }
         };
@@ -648,17 +723,41 @@ fn enqueue(
 
 fn worker_loop(
     ready: &Mutex<mpsc::Receiver<Arc<SessionCell>>>,
+    requeue: &mpsc::Sender<Arc<SessionCell>>,
+    stop: &AtomicBool,
     counters: &Counters,
     stats_every: u64,
 ) {
     loop {
+        // Workers hold a `requeue` sender, so the channel never
+        // disconnects while they live — poll the stop flag instead of
+        // relying on `recv` erroring out at shutdown.
         let cell = {
             let rx = ready.lock().unwrap();
-            rx.recv()
+            rx.recv_timeout(Duration::from_millis(100))
         };
-        let Ok(cell) = cell else { return };
-        while let Some(work) = cell.pop() {
-            handle_work(&cell, work, counters, stats_every);
+        let cell = match cell {
+            Ok(cell) => cell,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut emptied = false;
+        for _ in 0..DRAIN_QUANTUM {
+            match cell.pop() {
+                Some(work) => handle_work(&cell, work, counters, stats_every),
+                None => {
+                    emptied = true; // `pop` released the scheduled token
+                    break;
+                }
+            }
+        }
+        if !emptied && cell.needs_requeue() {
+            let _ = requeue.send(Arc::clone(&cell));
         }
     }
 }
