@@ -182,8 +182,35 @@ pub fn probe_replay(nprocs: u32, iters: usize, reps: u32) -> Probe {
 }
 
 /// Whole-trace annotation with rank parallelism, ns/event at `jobs`
-/// worker threads.
+/// worker threads. The small probe sits under the engine's serial
+/// cutover ([`ibp_core::SERIAL_CUTOVER_EVENTS`]), so `jobs4` measures
+/// the cutover's no-pool path; [`probe_annotate_big`] measures the real
+/// parallel path above it.
 pub fn probe_annotate(nprocs: u32, iters: usize, jobs: usize, reps: u32) -> Probe {
+    annotate_probe_named(nprocs, iters, jobs, reps, format!("annotate_jobs{jobs}_ns_per_event"))
+}
+
+/// [`probe_annotate`] on a trace sized above the serial cutover, so
+/// multi-job runs exercise the thread pool for real. Reported as
+/// `annotate_big_jobs{jobs}_ns_per_event`.
+pub fn probe_annotate_big(nprocs: u32, iters: usize, jobs: usize, reps: u32) -> Probe {
+    let trace = replay_trace(nprocs, iters);
+    debug_assert!(
+        jobs <= 1
+            || ibp_core::effective_jobs(&trace.ranks, jobs) == jobs.min(trace.ranks.len()),
+        "big annotate probe fell below the serial cutover"
+    );
+    drop(trace);
+    annotate_probe_named(
+        nprocs,
+        iters,
+        jobs,
+        reps,
+        format!("annotate_big_jobs{jobs}_ns_per_event"),
+    )
+}
+
+fn annotate_probe_named(nprocs: u32, iters: usize, jobs: usize, reps: u32, name: String) -> Probe {
     let trace = replay_trace(nprocs, iters);
     let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
     let events: u64 = trace.ranks.iter().map(|r| r.events.len() as u64).sum();
@@ -193,7 +220,7 @@ pub fn probe_annotate(nprocs: u32, iters: usize, jobs: usize, reps: u32) -> Prob
         events
     });
     Probe {
-        name: format!("annotate_jobs{jobs}_ns_per_event"),
+        name,
         ns_per_elem: ns,
         elems,
         reps,
@@ -235,7 +262,7 @@ pub fn probe_serve_roundtrip(iters: usize, sessions: usize, reps: u32) -> Probe 
     let stop = server.stop_flag();
     let handle = std::thread::spawn(move || server.run());
 
-    let load = LoadConfig { batch: 64, split: None, check: false };
+    let load = LoadConfig { batch: 64, split: None, check: false, ..Default::default() };
     let (ns, elems) = min_ns_per_elem(reps, || {
         let report = run_load(&bound, specs.clone(), &load).expect("bench load");
         assert_eq!(report.events_total, total_events);
@@ -258,12 +285,17 @@ pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
     // Clamp the derived sizes so even the smallest accepted --iters
     // still produces non-empty workloads for every probe.
     let replay_iters = (iters / 40).max(1);
+    // 8 ranks x 2 events/iter: 2048 iterations is exactly the serial
+    // cutover, so the big probes always take the parallel path.
+    let big_iters = iters.max(ibp_core::SERIAL_CUTOVER_EVENTS / 16);
     vec![
         probe_intercept(iters, reps),
         probe_ppa_scan((3 * iters / 2).max(12), reps),
         probe_replay(8, replay_iters, reps),
         probe_annotate(8, replay_iters, 1, reps),
         probe_annotate(8, replay_iters, 4, reps),
+        probe_annotate_big(8, big_iters, 1, reps),
+        probe_annotate_big(8, big_iters, 4, reps),
         probe_serve_roundtrip((iters / 4).max(2), 4, reps),
     ]
 }

@@ -162,6 +162,17 @@ pub enum Command {
         stats_every: u64,
         /// Exit after this many sessions close cleanly.
         session_limit: Option<u64>,
+        /// Durable snapshot store directory (crash recovery).
+        store: Option<String>,
+        /// Persist each store-backed session every N applied events
+        /// (0 = only on close/drain).
+        persist_every: u64,
+        /// Outbound frames queued per connection before shedding.
+        write_queue: usize,
+        /// Drop connections idle for this many ms (0 = never).
+        idle_timeout_ms: u64,
+        /// Socket write timeout, ms (0 = none).
+        write_timeout_ms: u64,
     },
     /// Drive a workload's event streams against a running server.
     Load {
@@ -185,6 +196,16 @@ pub enum Command {
         gt_us: f64,
         /// Displacement factor.
         displacement: f64,
+        /// Transport chaos intensity in (0, 1] (fault injection on
+        /// every connection; `None` = healthy transport).
+        chaos: Option<f64>,
+        /// Chaos fault-stream seed.
+        chaos_seed: u64,
+        /// Consecutive failed connection attempts before a session
+        /// gives up.
+        retries: u32,
+        /// Per-request response deadline, ms (0 = wait forever).
+        deadline_ms: u64,
         /// Output path for the throughput/latency report JSON.
         output: Option<String>,
     },
@@ -238,6 +259,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--sessions",
                     "--batch",
                     "--split",
+                    "--store",
+                    "--persist-every",
+                    "--write-queue",
+                    "--idle-timeout-ms",
+                    "--write-timeout-ms",
+                    "--chaos",
+                    "--chaos-seed",
+                    "--retries",
+                    "--deadline-ms",
                 ]
                 .contains(&a.as_str())
                 {
@@ -457,12 +487,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 ),
                 None => None,
             };
+            let parse_ms = |name: &str, default: u64| -> Result<u64, String> {
+                match flag_val(name) {
+                    Some(s) => s.parse::<u64>().map_err(|_| format!("bad {name}: {s}")),
+                    None => Ok(default),
+                }
+            };
             Ok(Command::Serve {
                 endpoint: parse_endpoint()?,
                 workers: parse_count("--workers", 4)?,
                 queue: parse_count("--queue", 64)?,
                 stats_every,
                 session_limit,
+                store: flag_val("--store").map(str::to_string),
+                persist_every: parse_ms("--persist-every", 256)?,
+                write_queue: parse_count("--write-queue", 256)?,
+                idle_timeout_ms: parse_ms("--idle-timeout-ms", 0)?,
+                write_timeout_ms: parse_ms("--write-timeout-ms", 30_000)?,
             })
         }
         "load" => {
@@ -476,6 +517,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 ),
                 None => None,
             };
+            let chaos = match flag_val("--chaos") {
+                Some(s) => Some(
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|f| *f > 0.0 && *f <= 1.0)
+                        .ok_or(format!("bad --chaos (need 0 < F <= 1): {s}"))?,
+                ),
+                None => None,
+            };
+            let chaos_seed = match flag_val("--chaos-seed") {
+                Some(s) => s.parse::<u64>().map_err(|_| format!("bad --chaos-seed: {s}"))?,
+                None => 0xC4A0_5EED,
+            };
+            let retries = match flag_val("--retries") {
+                Some(s) => s
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --retries (need >= 1): {s}"))?,
+                None => 8,
+            };
+            let deadline_ms = match flag_val("--deadline-ms") {
+                Some(s) => s.parse::<u64>().map_err(|_| format!("bad --deadline-ms: {s}"))?,
+                None => 10_000,
+            };
             Ok(Command::Load {
                 app,
                 nprocs,
@@ -487,6 +553,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 check: has_flag("--check"),
                 gt_us: parse_gt()?,
                 displacement: parse_disp()?,
+                chaos,
+                chaos_seed,
+                retries,
+                deadline_ms,
                 output: flag_val("-o").map(str::to_string),
             })
         }
@@ -512,10 +582,13 @@ USAGE:
   ibpower exhibits <name> [--jobs N] [--serial] [--seed N] [--out DIR]
   ibpower bench-report [-o PATH] [--check] [--iters N] [--reps N] [--label S]
   ibpower serve    (--uds PATH | --tcp ADDR) [--workers N] [--queue N]
-                   [--stats-every N] [--session-limit N]
+                   [--stats-every N] [--session-limit N] [--store DIR]
+                   [--persist-every N] [--write-queue N]
+                   [--idle-timeout-ms N] [--write-timeout-ms N]
   ibpower load     <app> <nprocs> (--uds PATH | --tcp ADDR) [--sessions N]
                    [--batch N] [--seed N] [--split F] [--check] [--gt US]
-                   [--disp F] [-o report.json]
+                   [--disp F] [--chaos F] [--chaos-seed N] [--retries N]
+                   [--deadline-ms N] [-o report.json]
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
 
@@ -535,15 +608,41 @@ FAULTS & RESILIENCE:
                    --resilient)
 
 SERVE & LOAD: `serve` runs the online streaming prediction service — each
-  connected session feeds intercepted MPI events over the length-prefixed
-  frame protocol and gets lane directives streamed back; sessions may
-  snapshot, reconnect, and restore without re-learning. `load` generates a
-  workload trace and drives its ranks' event streams as concurrent
-  sessions, reporting aggregate throughput and p50/p99/max directive
-  latency; --check verifies the streamed directives are byte-identical to
-  the offline annotate path and exits non-zero on mismatch; --split F
-  exercises the snapshot/reconnect/restore path at fraction F of each
-  stream; --sessions beyond <nprocs> wrap around the trace's ranks.
+  connected session feeds intercepted MPI events over the CRC-checked
+  length-prefixed frame protocol and gets lane directives streamed back;
+  sessions may snapshot, reconnect, and restore without re-learning.
+  `load` generates a workload trace and drives its ranks' event streams as
+  concurrent sessions, reporting aggregate throughput and p50/p99/max
+  directive latency; --check verifies the streamed directives are
+  byte-identical to the offline annotate path and exits non-zero on
+  mismatch; --split F exercises the snapshot/reconnect/restore path at
+  fraction F of each stream; --sessions beyond <nprocs> wrap around the
+  trace's ranks.
+
+DURABILITY & CHAOS:
+  --store DIR        persist session state (snapshot + directive history)
+                     to DIR — atomic, CRC-checked records; on restart the
+                     server rehydrates sessions and clients resume via an
+                     empty-body Restore. SIGINT/SIGTERM drain gracefully,
+                     flushing every live session first.
+  --persist-every N  store-backed sessions also persist every N applied
+                     events (default 256; 0 = only on close/drain)
+  --write-queue N    outbound frames buffered per connection before the
+                     oldest are shed with an in-band overload error
+                     (default 256) — a client that stops reading can no
+                     longer stall the worker pool
+  --idle-timeout-ms / --write-timeout-ms
+                     reap dead/stuck connections (defaults 0 = off, 30000)
+  --chaos F          (load) wrap every connection in the seeded fault
+                     injector at intensity F: partial writes, short reads,
+                     stalls, resets, bit flips. The resilient client
+                     reconnects with capped exponential backoff and
+                     restores from the server's store (or replays from the
+                     start), so --chaos --check must still end in parity.
+  --chaos-seed N     deterministic fault streams (default 0xC4A05EED)
+  --retries N        consecutive failed attempts before a session gives
+                     up (default 8)
+  --deadline-ms N    per-request response deadline (default 10000)
 
 BENCH-REPORT: time the hot paths (PMPI interception, PPA scan, replay,
   rank-parallel annotation, serve round trip) and append an entry to the
@@ -845,6 +944,11 @@ mod tests {
                 queue: 64,
                 stats_every: 0,
                 session_limit: None,
+                store: None,
+                persist_every: 256,
+                write_queue: 256,
+                idle_timeout_ms: 0,
+                write_timeout_ms: 30_000,
             }
         );
         let c = parse(&argv(
@@ -859,8 +963,48 @@ mod tests {
                 queue: 16,
                 stats_every: 500,
                 session_limit: Some(8),
+                store: None,
+                persist_every: 256,
+                write_queue: 256,
+                idle_timeout_ms: 0,
+                write_timeout_ms: 30_000,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_durability_flags() {
+        let c = parse(&argv(
+            "serve --uds /tmp/ibp.sock --store /var/ibp --persist-every 64 \
+             --write-queue 32 --idle-timeout-ms 5000 --write-timeout-ms 1000",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve {
+                store,
+                persist_every,
+                write_queue,
+                idle_timeout_ms,
+                write_timeout_ms,
+                ..
+            } => {
+                assert_eq!(store.as_deref(), Some("/var/ibp"));
+                assert_eq!(persist_every, 64);
+                assert_eq!(write_queue, 32);
+                assert_eq!(idle_timeout_ms, 5_000);
+                assert_eq!(write_timeout_ms, 1_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --store takes a value: it must not swallow a later flag, and
+        // its argument must not leak into the positional list.
+        assert!(parse(&argv("serve --store d --uds a.sock")).is_ok());
+        assert!(parse(&argv("serve --uds a.sock --write-queue 0"))
+            .unwrap_err()
+            .contains("bad --write-queue"));
+        assert!(parse(&argv("serve --uds a.sock --persist-every x"))
+            .unwrap_err()
+            .contains("bad --persist-every"));
     }
 
     #[test]
@@ -895,6 +1039,10 @@ mod tests {
                 check: false,
                 gt_us: 20.0,
                 displacement: 0.01,
+                chaos: None,
+                chaos_seed: 0xC4A0_5EED,
+                retries: 8,
+                deadline_ms: 10_000,
                 output: None,
             }
         );
@@ -916,9 +1064,41 @@ mod tests {
                 check: true,
                 gt_us: 36.0,
                 displacement: 0.05,
+                chaos: None,
+                chaos_seed: 0xC4A0_5EED,
+                retries: 8,
+                deadline_ms: 10_000,
                 output: Some("rep.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn parses_load_chaos_flags() {
+        let c = parse(&argv(
+            "load alya 8 --uds a.sock --chaos 0.3 --chaos-seed 7 --retries 3 --deadline-ms 500",
+        ))
+        .unwrap();
+        match c {
+            Command::Load { chaos, chaos_seed, retries, deadline_ms, .. } => {
+                assert_eq!(chaos, Some(0.3));
+                assert_eq!(chaos_seed, 7);
+                assert_eq!(retries, 3);
+                assert_eq!(deadline_ms, 500);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in ["0", "1.5", "-0.1", "nan"] {
+            assert!(
+                parse(&argv(&format!("load alya 8 --uds a.sock --chaos {bad}")))
+                    .unwrap_err()
+                    .contains("bad --chaos"),
+                "--chaos {bad} should be rejected"
+            );
+        }
+        assert!(parse(&argv("load alya 8 --uds a.sock --retries 0"))
+            .unwrap_err()
+            .contains("bad --retries"));
     }
 
     #[test]

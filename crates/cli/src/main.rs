@@ -1,5 +1,7 @@
 //! The `ibpower` binary: see [`ibpower_cli::USAGE`].
 
+mod signal;
+
 use ibp_core::annotate_trace;
 use ibp_network::{replay, LinkPower, ReplayOptions, SimParams};
 use ibp_simcore::{SimDuration, SimTime};
@@ -431,6 +433,11 @@ fn run(cmd: Command) -> Result<(), String> {
             queue,
             stats_every,
             session_limit,
+            store,
+            persist_every,
+            write_queue,
+            idle_timeout_ms,
+            write_timeout_ms,
         } => {
             let ep = endpoint.to_endpoint();
             let cfg = ibp_serve::ServeConfig {
@@ -438,10 +445,38 @@ fn run(cmd: Command) -> Result<(), String> {
                 queue_depth: queue,
                 stats_every,
                 session_limit,
+                write_queue,
+                idle_timeout_ms,
+                write_timeout_ms,
+                persist_every,
+                chaos: None,
+                panic_on_call: None,
             };
-            let server =
+            let mut server =
                 ibp_serve::Server::bind(&ep, cfg).map_err(|e| format!("binding {ep}: {e}"))?;
+            if let Some(dir) = store {
+                let (store, recovery) = ibp_serve::SnapshotStore::open(std::path::Path::new(&dir))
+                    .map_err(|e| format!("opening store {dir}: {e}"))?;
+                eprintln!(
+                    "store      : {dir} ({} sessions recovered{}{})",
+                    recovery.loaded,
+                    if recovery.manifest_ok { "" } else { ", manifest healed" },
+                    if recovery.skipped.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", {} unusable records skipped", recovery.skipped.len())
+                    }
+                );
+                for (file, reason) in &recovery.skipped {
+                    eprintln!("             skipped {file}: {reason}");
+                }
+                server = server.with_store(std::sync::Arc::new(store));
+            }
             eprintln!("serving on {} ({workers} workers)", server.endpoint());
+            // SIGINT/SIGTERM raise the stop flag: the accept loop
+            // breaks, in-flight work quiesces, and store-backed
+            // sessions are persisted before exit.
+            signal::drain_on_signals(server.stop_flag());
             let summary = server.run();
             println!(
                 "sessions   : {} opened, {} closed",
@@ -449,6 +484,29 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             println!("events     : {} applied", summary.events_applied);
             println!("directives : {} streamed", summary.directives_sent);
+            if summary.sessions_rehydrated > 0 {
+                println!("rehydrated : {} sessions from the store", summary.sessions_rehydrated);
+            }
+            if summary.snapshots_persisted > 0 || summary.persist_failures > 0 {
+                println!(
+                    "persisted  : {} records{}",
+                    summary.snapshots_persisted,
+                    if summary.persist_failures > 0 {
+                        format!(" ({} failures)", summary.persist_failures)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            if summary.responses_shed > 0 {
+                println!("shed       : {} responses to overloaded connections", summary.responses_shed);
+            }
+            if summary.worker_panics > 0 || summary.worker_respawns > 0 {
+                println!(
+                    "panics     : {} isolated, {} workers respawned",
+                    summary.worker_panics, summary.worker_respawns
+                );
+            }
             if summary.protocol_errors > 0 {
                 println!("errors     : {} protocol errors", summary.protocol_errors);
             }
@@ -465,6 +523,10 @@ fn run(cmd: Command) -> Result<(), String> {
             check,
             gt_us,
             displacement,
+            chaos,
+            chaos_seed,
+            retries,
+            deadline_ms,
             output,
         } => {
             let w = workload_of(&app, false).expect("validated by parse");
@@ -491,13 +553,24 @@ fn run(cmd: Command) -> Result<(), String> {
                 })
                 .collect();
             let ep = endpoint.to_endpoint();
-            let load_cfg = ibp_serve::LoadConfig { batch, split, check };
+            let load_cfg = ibp_serve::LoadConfig {
+                batch,
+                split,
+                check,
+                chaos: chaos.map(|f| ibp_serve::ChaosConfig::with_intensity(chaos_seed, f)),
+                retry: ibp_serve::RetryPolicy {
+                    max_attempts: retries,
+                    deadline_ms,
+                    ..Default::default()
+                },
+            };
             let report = ibp_serve::run_load(&ep, specs, &load_cfg)
                 .map_err(|e| format!("load against {ep}: {e}"))?;
             println!(
-                "{app} @{nprocs}: {} sessions, batch {batch}{}",
+                "{app} @{nprocs}: {} sessions, batch {batch}{}{}",
                 report.sessions,
-                split.map(|f| format!(", split {f}")).unwrap_or_default()
+                split.map(|f| format!(", split {f}")).unwrap_or_default(),
+                chaos.map(|f| format!(", chaos {f}")).unwrap_or_default()
             );
             println!(
                 "events     : {} in {:.2} s  ({:.0} events/s)",
@@ -511,6 +584,9 @@ fn run(cmd: Command) -> Result<(), String> {
                 "latency    : p50 {:.1} us, p99 {:.1} us, max {:.1} us",
                 report.latency_p50_us, report.latency_p99_us, report.latency_max_us
             );
+            if report.reconnects > 0 {
+                println!("reconnects : {} cycles survived", report.reconnects);
+            }
             if report.parity_checked {
                 println!(
                     "parity     : {}",

@@ -1,0 +1,37 @@
+//! Graceful-drain signal handling for `ibpower serve`.
+//!
+//! The server exposes a stop flag; flipping it makes `run()` stop
+//! accepting, quiesce in-flight work, and persist every store-backed
+//! session before returning. Wiring SIGINT/SIGTERM to that flag needs
+//! `signal(2)`, which `std` does not expose — a three-line FFI
+//! declaration against the libc every Unix binary already links keeps
+//! the workspace free of new dependencies. This is the only unsafe
+//! code in the binary; the handler body is a single atomic store,
+//! which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn raise_stop(_signum: i32) {
+    if let Some(flag) = STOP.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Install SIGINT and SIGTERM handlers that raise `flag`. Installing
+/// twice keeps the first flag (the handlers are process-global).
+pub fn drain_on_signals(flag: Arc<AtomicBool>) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let _ = STOP.set(flag);
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = raise_stop as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}

@@ -63,19 +63,46 @@ impl TraceAnnotations {
     }
 }
 
+/// Below this many total trace events, `map_ranks` ignores `jobs` and
+/// runs serially. Building a thread pool costs tens of microseconds and
+/// annotation runs at roughly a microsecond per event, so a parallel map
+/// over a small trace spends more time on the pool than on the work —
+/// the bench trajectory showed `annotate_jobs4` ~2.5× *slower* than
+/// jobs1 on the small probe trace. 32k events puts the cutover where
+/// pool setup is safely under ~1% of the serial runtime.
+pub const SERIAL_CUTOVER_EVENTS: usize = 32 * 1024;
+
+/// The worker count `map_ranks` will actually use for `ranks` when asked
+/// for `jobs`: clamped to the rank count, and forced to 1 below the
+/// [`SERIAL_CUTOVER_EVENTS`] size cutover. Exposed so benches and tests
+/// can assert the cutover without timing anything.
+pub fn effective_jobs(ranks: &[RankTrace], jobs: usize) -> usize {
+    let jobs = jobs.max(1).min(ranks.len().max(1));
+    if jobs <= 1 {
+        return 1;
+    }
+    let events: usize = ranks.iter().map(|r| r.events.len()).sum();
+    if events < SERIAL_CUTOVER_EVENTS {
+        1
+    } else {
+        jobs
+    }
+}
+
 /// Map `f` over the ranks of a trace on up to `jobs` worker threads,
 /// collecting results in rank order. Ranks are annotated independently
 /// (the runtime holds no cross-rank state), so the output is
 /// byte-identical to the serial map *by construction* — parallelism only
 /// changes which thread computes each element, never the element.
 ///
-/// `jobs <= 1` (or a single rank) runs inline with no pool at all.
+/// `jobs <= 1` (or a single rank) runs inline with no pool at all, and
+/// small inputs are forced serial — see [`effective_jobs`].
 pub fn map_ranks<T, F>(ranks: &[RankTrace], jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&RankTrace) -> T + Sync,
 {
-    let jobs = jobs.max(1).min(ranks.len());
+    let jobs = effective_jobs(ranks, jobs);
     if jobs <= 1 || ranks.len() <= 1 {
         return ranks.iter().map(f).collect();
     }
@@ -188,13 +215,42 @@ mod tests {
 
     #[test]
     fn parallel_annotation_is_byte_identical_to_serial() {
-        let trace = alya_like(6, 25);
+        // Big enough to clear the serial cutover, so jobs > 1 really
+        // does run the pool path being checked here.
+        let trace = alya_like(6, 1_200);
+        assert!(effective_jobs(&trace.ranks, 2) > 1, "trace below cutover");
         let cfg = PowerConfig::default();
         let serial = annotate_trace(&trace, &cfg);
         for jobs in [2, 3, 4, 16] {
             let par = annotate_trace_jobs(&trace, &cfg, jobs);
             assert_eq!(serial, par, "jobs={jobs} diverged from serial");
         }
+    }
+
+    #[test]
+    fn small_traces_cut_over_to_serial() {
+        // Below the event cutover a parallel request degrades to one
+        // worker (pool setup would dominate); above it, it sticks.
+        let small = alya_like(6, 25);
+        let total: usize = small.ranks.iter().map(|r| r.events.len()).sum();
+        assert!(total < SERIAL_CUTOVER_EVENTS);
+        assert_eq!(effective_jobs(&small.ranks, 4), 1);
+        assert_eq!(effective_jobs(&small.ranks, 1), 1);
+
+        let big = alya_like(6, 1_200);
+        let total: usize = big.ranks.iter().map(|r| r.events.len()).sum();
+        assert!(total >= SERIAL_CUTOVER_EVENTS);
+        assert_eq!(effective_jobs(&big.ranks, 4), 4);
+        // Still clamped to the rank count and to >= 1.
+        assert_eq!(effective_jobs(&big.ranks, 64), 6);
+        assert_eq!(effective_jobs(&[], 4), 1);
+
+        // Cutover or not, the output never changes.
+        let cfg = PowerConfig::default();
+        assert_eq!(
+            annotate_trace(&small, &cfg),
+            annotate_trace_jobs(&small, &cfg, 4)
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod runtime;
 pub mod snapshot;
 pub mod stats;
 
-pub use annotate::{annotate_trace, annotate_trace_jobs, map_ranks, TraceAnnotations};
+pub use annotate::{
+    annotate_trace, annotate_trace_jobs, effective_jobs, map_ranks, TraceAnnotations,
+    SERIAL_CUTOVER_EVENTS,
+};
 pub use baselines::{
     history_annotate_rank, history_annotate_trace, history_annotate_trace_jobs,
     oracle_annotate_rank, oracle_annotate_trace, oracle_annotate_trace_jobs,

@@ -535,12 +535,7 @@ impl RankRuntime {
     /// runtime produces declarations and directives byte-identical to
     /// the original continuing uninterrupted.
     pub fn from_snapshot(snap: &RuntimeSnapshot) -> Result<Self, SnapshotError> {
-        if snap.version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::VersionMismatch {
-                found: snap.version,
-                expected: SNAPSHOT_VERSION,
-            });
-        }
+        snap.validate_version()?;
         // The same invariant checks `protocol::validate_config` runs on
         // an `Open` — a hostile Restore must not smuggle in a config
         // that `Open` would have rejected (e.g. a negative displacement

@@ -270,6 +270,22 @@ impl RuntimeSnapshot {
         serde_json::from_str(text)
             .map_err(|e| SnapshotError::Inconsistent(format!("snapshot not valid JSON: {e}")))
     }
+
+    /// Check the layout version alone, without the full invariant
+    /// revalidation `RankRuntime::from_snapshot` performs. The durable
+    /// snapshot store runs this during crash recovery so a record from
+    /// an incompatible build is skipped with a precise reason instead
+    /// of surfacing as a generic restore failure later.
+    pub fn validate_version(&self) -> Result<(), SnapshotError> {
+        if self.version == SNAPSHOT_VERSION {
+            Ok(())
+        } else {
+            Err(SnapshotError::VersionMismatch {
+                found: self.version,
+                expected: SNAPSHOT_VERSION,
+            })
+        }
+    }
 }
 
 #[cfg(test)]

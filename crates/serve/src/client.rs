@@ -2,41 +2,103 @@
 //!
 //! [`Client`] is a blocking, single-threaded protocol speaker: one
 //! request, then read until the matching response (tolerating
-//! unsolicited periodic [`ServerFrame::Stats`] in between).
+//! unsolicited periodic [`ServerFrame::Stats`] in between). Dropping a
+//! client sends a best-effort `Close` for every session it still has
+//! open and shuts the socket down; [`Client::abandon`] skips that, for
+//! callers that *want* the server to see an abrupt disconnect (crash
+//! simulation, reconnect-and-restore cycles).
 //!
 //! [`run_load`] drives many sessions concurrently — one connection and
 //! one thread per session, like a real PMPI shim fleet — measuring
 //! aggregate throughput and per-batch directive latency, optionally
 //! exercising the snapshot/restore reconnect path and checking
 //! end-to-end parity against offline golden annotations.
+//!
+//! ## Resilience
+//!
+//! Every session thread runs a reconnect loop governed by a
+//! [`RetryPolicy`]: capped exponential backoff with seeded jitter
+//! between connection attempts, a per-request read deadline so a stalled
+//! server cannot hang the client forever, and a hard attempt budget
+//! after which the run fails with [`ProtocolError::GaveUp`]. After a
+//! reconnect the client first tries a store rehydration (empty-body
+//! `Restore`): the server answers with the resume position and replays
+//! the session's full directive history, so the client rebuilds its
+//! parity journal from event 0 and resumes streaming where the server
+//! left off. If the server has no usable record
+//! ([`error_code::NO_SNAPSHOT`]) the client falls back to a fresh
+//! `Open` and replays its own event stream from the start — the engine
+//! is deterministic, so either path converges on the same directives.
 
+use crate::chaos::ChaosConfig;
 use crate::protocol::{
-    decode_server, read_frame, write_frame, ClientFrame, ProtocolError, ServerFrame, WireEvent,
+    decode_server, error_code, read_frame, write_frame, ClientFrame, ProtocolError, ServerFrame,
+    WireEvent,
 };
 use crate::server::{Endpoint, Stream};
 use ibp_core::{LaneDirective, PowerConfig, RankStats};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 use std::io::{BufReader, BufWriter};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A blocking protocol client over one connection.
 pub struct Client {
     reader: BufReader<Stream>,
     writer: BufWriter<Stream>,
+    open_sessions: Vec<u32>,
+    close_on_drop: bool,
+}
+
+/// Connection-time options for [`Client::connect_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ConnectOptions {
+    /// Wrap the connection in the fault-injecting chaos harness.
+    pub chaos: Option<ChaosConfig>,
+    /// Per-request read deadline, milliseconds (0 = block forever). A
+    /// response that takes longer fails the request with a timeout
+    /// `Io` error, which the resilient driver treats as a reconnect.
+    pub read_timeout_ms: u64,
 }
 
 impl Client {
     /// Connect and perform the handshake.
     pub fn connect(endpoint: &Endpoint) -> Result<Client, ProtocolError> {
-        let stream = endpoint.connect()?;
+        Client::connect_with(endpoint, &ConnectOptions::default())
+    }
+
+    /// Connect with explicit options (chaos wrapper, read deadline).
+    pub fn connect_with(
+        endpoint: &Endpoint,
+        opts: &ConnectOptions,
+    ) -> Result<Client, ProtocolError> {
+        let mut stream = endpoint.connect()?;
+        if let Some(chaos) = &opts.chaos {
+            stream = chaos.wrap(stream);
+        }
+        if opts.read_timeout_ms > 0 {
+            stream.set_read_timeout(Some(Duration::from_millis(opts.read_timeout_ms)))?;
+        }
         let read_half = stream.try_clone()?;
         let mut client = Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::with_capacity(64 * 1024, stream),
+            open_sessions: Vec::new(),
+            close_on_drop: true,
         };
         crate::protocol::write_hello(&mut client.writer)?;
         crate::protocol::read_hello(&mut client.reader)?;
         Ok(client)
+    }
+
+    /// Drop the connection *without* closing open sessions — the server
+    /// sees an abrupt disconnect, exactly like a client crash. Use this
+    /// before a reconnect-and-restore cycle; a plain drop would send
+    /// `Close` and finish the sessions instead.
+    pub fn abandon(mut self) {
+        self.close_on_drop = false;
+        let _ = self.writer.get_ref().shutdown();
     }
 
     fn send(&mut self, frame: &ClientFrame) -> Result<(), ProtocolError> {
@@ -94,16 +156,45 @@ impl Client {
         self.expect("OpenAck", |f| match f {
             ServerFrame::OpenAck { .. } => Some(()),
             _ => None,
-        })
+        })?;
+        self.open_sessions.push(session);
+        Ok(())
     }
 
-    /// Open a session from snapshot bytes; waits for the acknowledgement.
-    pub fn restore(&mut self, session: u32, snapshot: &[u8]) -> Result<(), ProtocolError> {
+    /// Open a session from snapshot bytes; waits for the
+    /// acknowledgement and returns the server's resume position.
+    pub fn restore(&mut self, session: u32, snapshot: &[u8]) -> Result<u64, ProtocolError> {
         self.send(&ClientFrame::Restore { session, snapshot: snapshot.to_vec() })?;
-        self.expect("OpenAck", |f| match f {
-            ServerFrame::OpenAck { .. } => Some(()),
+        let applied = self.expect("OpenAck", |f| match f {
+            ServerFrame::OpenAck { events_applied, .. } => Some(events_applied),
             _ => None,
-        })
+        })?;
+        self.open_sessions.push(session);
+        Ok(applied)
+    }
+
+    /// Rehydrate a session from the server's durable snapshot store
+    /// (empty-body `Restore`). Returns the resume position and the
+    /// session's full directive history replayed from the stored
+    /// record, so the caller can rebuild its parity journal from
+    /// event 0. Fails with [`ProtocolError::Remote`] carrying
+    /// [`error_code::NO_SNAPSHOT`] when the server has no usable record
+    /// — fall back to a fresh [`Client::open`].
+    pub fn restore_from_store(
+        &mut self,
+        session: u32,
+    ) -> Result<(u64, Vec<LaneDirective>), ProtocolError> {
+        self.send(&ClientFrame::Restore { session, snapshot: Vec::new() })?;
+        let applied = self.expect("OpenAck", |f| match f {
+            ServerFrame::OpenAck { events_applied, .. } => Some(events_applied),
+            _ => None,
+        })?;
+        let history = self.expect("Directives", |f| match f {
+            ServerFrame::Directives { directives, .. } => Some(directives),
+            _ => None,
+        })?;
+        self.open_sessions.push(session);
+        Ok((applied, history))
     }
 
     /// Stream one event batch; returns the server's total applied-event
@@ -164,7 +255,8 @@ impl Client {
                 ServerFrame::Stats { .. } => continue,
                 ServerFrame::Directives { directives, .. } => last.extend(directives),
                 ServerFrame::Closed { directives_total, stats, .. } => {
-                    return Ok((last, directives_total, *stats))
+                    self.open_sessions.retain(|&s| s != session);
+                    return Ok((last, directives_total, *stats));
                 }
                 other => {
                     return Err(ProtocolError::Unexpected(format!(
@@ -173,6 +265,98 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+impl Drop for Client {
+    /// Best-effort cleanup: `Close` (with zero trailing compute) every
+    /// session still open on this connection, then shut the socket
+    /// down. Replies are not awaited and write errors are swallowed —
+    /// the point is to let a *healthy* server reap sessions instead of
+    /// carrying them until the connection times out. [`Client::abandon`]
+    /// opts out.
+    fn drop(&mut self) {
+        if self.close_on_drop {
+            for session in std::mem::take(&mut self.open_sessions) {
+                let frame = ClientFrame::Close { session, final_compute_ns: 0 };
+                if write_frame(&mut self.writer, &frame.encode()).is_err() {
+                    break;
+                }
+            }
+        }
+        let _ = self.writer.get_ref().shutdown();
+    }
+}
+
+/// Reconnect/backoff/deadline policy for the resilient session driver.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts (connection or request) before the
+    /// driver gives up with [`ProtocolError::GaveUp`]. `1` means no
+    /// retries at all.
+    pub max_attempts: u32,
+    /// First backoff delay, milliseconds; doubles per consecutive
+    /// failure.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter PRNG (deterministic per session: the driver
+    /// mixes the session id in).
+    pub jitter_seed: u64,
+    /// Per-request read deadline, milliseconds (0 = none).
+    pub deadline_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 20,
+            max_backoff_ms: 1_000,
+            jitter_seed: 0x1BF0_77E5,
+            deadline_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `failure` (1-based), with jitter
+    /// drawn from `rng`: `min(base · 2^(failure-1), max)` plus up to
+    /// one extra `base` of jitter.
+    fn backoff(&self, failure: u32, rng: &mut StdRng) -> Duration {
+        let exp = failure.saturating_sub(1).min(16);
+        let raw = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ms);
+        let jitter = if self.base_backoff_ms > 0 {
+            rng.next_u64() % self.base_backoff_ms
+        } else {
+            0
+        };
+        Duration::from_millis(raw + jitter)
+    }
+}
+
+/// Whether an error is worth a reconnect-and-restore cycle (transport
+/// trouble, shed responses, a server-side session loss) or terminal
+/// (a protocol-level rejection a retry would only repeat).
+fn reconnectable(e: &ProtocolError) -> bool {
+    match e {
+        ProtocolError::Io(_)
+        | ProtocolError::ChecksumMismatch { .. }
+        | ProtocolError::BadMagic(_)
+        | ProtocolError::Unexpected(_)
+        | ProtocolError::UnknownKind(_)
+        | ProtocolError::Malformed { .. } => true,
+        ProtocolError::Remote { code, .. } => matches!(
+            *code,
+            error_code::OVERLOAD
+                | error_code::UNKNOWN_SESSION
+                | error_code::INTERNAL
+                | error_code::MALFORMED
+        ),
+        _ => false,
     }
 }
 
@@ -206,11 +390,23 @@ pub struct LoadConfig {
     /// Verify streamed directives (and final stats) against the spec's
     /// golden annotation.
     pub check: bool,
+    /// Wrap every connection in the fault-injecting chaos harness
+    /// (each connection gets a decorrelated fault stream derived from
+    /// this config's seed).
+    pub chaos: Option<ChaosConfig>,
+    /// Reconnect/backoff/deadline policy.
+    pub retry: RetryPolicy,
 }
 
 impl Default for LoadConfig {
     fn default() -> Self {
-        LoadConfig { batch: 64, split: None, check: false }
+        LoadConfig {
+            batch: 64,
+            split: None,
+            check: false,
+            chaos: None,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -225,6 +421,8 @@ pub struct SessionOutcome {
     pub events: u64,
     /// Directives received.
     pub directives: u64,
+    /// Reconnect cycles this session survived.
+    pub reconnects: u64,
     /// Parity verdict (`None` when no golden annotation was supplied or
     /// checking was off).
     pub parity_ok: Option<bool>,
@@ -241,6 +439,8 @@ pub struct LoadReport {
     pub directives_total: u64,
     /// `Events` frames sent.
     pub batches: u64,
+    /// Reconnect cycles across all sessions (0 on a healthy transport).
+    pub reconnects: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed_s: f64,
     /// Aggregate throughput.
@@ -312,6 +512,7 @@ pub fn run_load(
     };
     let events_total: u64 = outcomes.iter().map(|o| o.events).sum();
     let directives_total: u64 = outcomes.iter().map(|o| o.directives).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
     let parity_checked = cfg.check;
     let parity_ok = !parity_checked || outcomes.iter().all(|o| o.parity_ok != Some(false));
     Ok(LoadReport {
@@ -319,6 +520,7 @@ pub fn run_load(
         events_total,
         directives_total,
         batches: latencies_ns.len() as u64,
+        reconnects,
         elapsed_s,
         events_per_sec: if elapsed_s > 0.0 { events_total as f64 / elapsed_s } else { 0.0 },
         latency_p50_us: pct(0.50),
@@ -332,6 +534,10 @@ pub fn run_load(
 
 type SessionRun = (SessionOutcome, Vec<u64>);
 
+/// The resilient per-session driver: a reconnect loop around
+/// stream → (optional split exercise) → close, with a parity journal
+/// that is rebuilt from the server's replayed history after every
+/// restore.
 fn drive_session(
     endpoint: &Endpoint,
     session: u32,
@@ -339,50 +545,184 @@ fn drive_session(
     cfg: &LoadConfig,
 ) -> Result<SessionRun, ProtocolError> {
     let batch = cfg.batch.max(1);
+    let total = spec.events.len();
     let split_at = cfg.split.map(|f| {
         let f = f.clamp(0.0, 1.0);
-        ((spec.events.len() as f64 * f) as usize).min(spec.events.len())
+        ((total as f64 * f) as usize).min(total)
     });
-
-    let mut latencies_ns = Vec::with_capacity(spec.events.len() / batch + 2);
-    let mut streamed: Vec<LaneDirective> = Vec::new();
-    let mut client = Client::connect(endpoint)?;
-    client.open(session, spec.rank, &spec.config)?;
-
-    let stream_range = |client: &mut Client,
-                            events: &[WireEvent],
-                            lats: &mut Vec<u64>,
-                            streamed: &mut Vec<LaneDirective>|
-     -> Result<(), ProtocolError> {
-        for chunk in events.chunks(batch) {
-            let t0 = Instant::now();
-            let (_, fresh) = client.send_events(session, chunk)?;
-            lats.push(t0.elapsed().as_nanos() as u64);
-            streamed.extend(fresh);
-        }
-        Ok(())
+    let mut rng =
+        StdRng::seed_from_u64(cfg.retry.jitter_seed ^ ((session as u64) << 32) ^ 0xC8A5);
+    let opts_for = |conn_seq: u64| ConnectOptions {
+        chaos: cfg.chaos.as_ref().map(|c| {
+            c.reseeded(
+                c.seed
+                    ^ ((session as u64) << 40)
+                    ^ conn_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        }),
+        read_timeout_ms: cfg.retry.deadline_ms,
     };
 
-    let tail = match split_at {
-        Some(at) => {
-            stream_range(&mut client, &spec.events[..at], &mut latencies_ns, &mut streamed)?;
-            let snapshot = client.snapshot(session)?;
-            drop(client); // simulate a lost connection (no Close frame)
-            client = Client::connect(endpoint)?;
-            client.restore(session, &snapshot)?;
-            &spec.events[at..]
+    let mut latencies_ns = Vec::with_capacity(total / batch + 2);
+    // The parity journal: every directive the session has produced,
+    // from event 0, in order.
+    let mut journal: Vec<LaneDirective> = Vec::new();
+    let mut next_event: usize = 0;
+    let mut did_split = split_at.is_none();
+    let mut conn_seq: u64 = 0;
+    let mut reconnects: u64 = 0;
+    let mut failures: u32 = 0;
+    let mut client: Option<Client> = None;
+    let mut closed: Option<(u64, RankStats)> = None;
+
+    // One reconnect cycle per iteration; a healthy run finishes in one.
+    while closed.is_none() {
+        // (Re-)establish a connection and a live server-side session.
+        let mut c = match client.take() {
+            Some(c) => c,
+            None => {
+                let attempt = (|| -> Result<Client, ProtocolError> {
+                    let mut c = Client::connect_with(endpoint, &opts_for(conn_seq))?;
+                    if conn_seq == 0 {
+                        c.open(session, spec.rank, &spec.config)?;
+                        journal.clear();
+                        next_event = 0;
+                    } else {
+                        match c.restore_from_store(session) {
+                            Ok((applied, history)) => {
+                                journal = history;
+                                next_event = (applied as usize).min(total);
+                            }
+                            Err(ProtocolError::Remote { code, .. })
+                                if code == error_code::NO_SNAPSHOT =>
+                            {
+                                // No durable record server-side: replay
+                                // the whole stream into a fresh session
+                                // — the engine is deterministic, so the
+                                // journal converges on the same
+                                // directives.
+                                c.open(session, spec.rank, &spec.config)?;
+                                journal.clear();
+                                next_event = 0;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok(c)
+                })();
+                conn_seq += 1;
+                match attempt {
+                    Ok(c) => {
+                        failures = 0;
+                        c
+                    }
+                    Err(e) => {
+                        if !reconnectable(&e) {
+                            return Err(e);
+                        }
+                        failures += 1;
+                        if failures >= cfg.retry.max_attempts.max(1) {
+                            return Err(ProtocolError::GaveUp {
+                                attempts: failures,
+                                last: Box::new(e),
+                            });
+                        }
+                        reconnects += 1;
+                        std::thread::sleep(cfg.retry.backoff(failures, &mut rng));
+                        continue;
+                    }
+                }
+            }
+        };
+
+        // Stream toward the current target (the split point first, if
+        // the split exercise is still pending, else the full stream),
+        // then close. Any transport trouble falls back to the
+        // reconnect path above.
+        let target = if did_split { total } else { split_at.unwrap_or(total) };
+        let step = (|| -> Result<Option<Vec<u8>>, ProtocolError> {
+            while next_event < target {
+                let end = (next_event + batch).min(target);
+                let t0 = Instant::now();
+                let (applied, fresh) =
+                    c.send_events(session, &spec.events[next_event..end])?;
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                journal.extend(fresh);
+                next_event = (applied as usize).min(total).max(end);
+            }
+            if !did_split {
+                // Snapshot for the split exercise; the caller drops the
+                // connection and restores from these bytes.
+                return Ok(Some(c.snapshot(session)?));
+            }
+            let (last, total_directives, stats) = c.close(session, spec.final_compute_ns)?;
+            journal.extend(last);
+            closed = Some((total_directives, stats));
+            Ok(None)
+        })();
+        match step {
+            Ok(None) => {
+                client = Some(c); // done (or past the split) — keep it
+            }
+            Ok(Some(snap)) => {
+                // The split exercise: drop the connection *without*
+                // closing (a simulated crash), reconnect, restore from
+                // the client-carried snapshot, finish the stream.
+                did_split = true;
+                c.abandon();
+                let fresh = (|| -> Result<Client, ProtocolError> {
+                    let mut fresh = Client::connect_with(endpoint, &opts_for(conn_seq))?;
+                    let applied = fresh.restore(session, &snap)?;
+                    next_event = (applied as usize).min(total);
+                    Ok(fresh)
+                })();
+                conn_seq += 1;
+                match fresh {
+                    Ok(fresh) => {
+                        failures = 0;
+                        client = Some(fresh);
+                    }
+                    Err(e) => {
+                        if !reconnectable(&e) {
+                            return Err(e);
+                        }
+                        failures += 1;
+                        if failures >= cfg.retry.max_attempts.max(1) {
+                            return Err(ProtocolError::GaveUp {
+                                attempts: failures,
+                                last: Box::new(e),
+                            });
+                        }
+                        reconnects += 1;
+                        std::thread::sleep(cfg.retry.backoff(failures, &mut rng));
+                        // `client` stays empty: the next iteration
+                        // re-establishes via the store/fresh-open path.
+                    }
+                }
+            }
+            Err(e) => {
+                if !reconnectable(&e) {
+                    return Err(e);
+                }
+                c.abandon();
+                failures += 1;
+                if failures >= cfg.retry.max_attempts.max(1) {
+                    return Err(ProtocolError::GaveUp {
+                        attempts: failures,
+                        last: Box::new(e),
+                    });
+                }
+                reconnects += 1;
+                std::thread::sleep(cfg.retry.backoff(failures, &mut rng));
+            }
         }
-        None => &spec.events[..],
-    };
-    stream_range(&mut client, tail, &mut latencies_ns, &mut streamed)?;
+    }
 
-    let (last, _, stats) = client.close(session, spec.final_compute_ns)?;
-    streamed.extend(last);
-
+    let (_, stats) = closed.expect("loop exits only once closed");
     let parity_ok = if cfg.check {
         match (&spec.golden_directives, &spec.golden_stats) {
             (Some(golden), golden_stats) => {
-                let mut ok = &streamed == golden;
+                let mut ok = &journal == golden;
                 if let Some(gs) = golden_stats {
                     ok &= gs == &stats;
                 }
@@ -398,8 +738,9 @@ fn drive_session(
         SessionOutcome {
             session,
             rank: spec.rank,
-            events: spec.events.len() as u64,
-            directives: streamed.len() as u64,
+            events: total as u64,
+            directives: journal.len() as u64,
+            reconnects,
             parity_ok,
         },
         latencies_ns,

@@ -10,30 +10,42 @@
 //! plus periodic [`ibp_core::RankStats`] summaries.
 //!
 //! Layout:
-//! * [`protocol`] — the versioned length-prefixed frame format and its
-//!   panic-free decoder;
+//! * [`protocol`] — the versioned CRC-checked length-prefixed frame
+//!   format and its panic-free decoder;
 //! * [`session`] — one engine instance with incremental apply and
 //!   snapshot/restore;
-//! * [`server`] — listener, per-connection readers, bounded worker
-//!   pool, per-session mailboxes (backpressure);
-//! * [`client`] — blocking protocol client plus the multi-session load
-//!   generator with throughput/latency reporting and offline-parity
-//!   checking.
+//! * [`server`] — listener, per-connection readers and writer threads,
+//!   bounded worker pool with panic isolation, per-session mailboxes
+//!   (backpressure) and bounded outbound queues (overload shedding);
+//! * [`store`] — the durable snapshot store: crash-safe persistence of
+//!   session state so a restarted server can rehydrate mid-stream
+//!   sessions;
+//! * [`chaos`] — a seeded fault-injecting stream wrapper (partial
+//!   writes, stalls, resets, bit flips) for transport robustness
+//!   testing;
+//! * [`client`] — blocking protocol client with reconnect/retry and
+//!   request deadlines, plus the multi-session load generator with
+//!   throughput/latency reporting and offline-parity checking.
 //!
 //! The server's streamed output is *byte-identical* to the offline
-//! [`ibp_core::annotate_rank`] golden path for any batch size and any
-//! snapshot/restore split point — verified by in-crate tests and the
-//! workspace proptest suite.
+//! [`ibp_core::annotate_rank`] golden path for any batch size, any
+//! snapshot/restore split point, and any crash/reconnect schedule —
+//! verified by in-crate tests, the workspace proptest suite, and the
+//! chaos soak test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod store;
 
-pub use client::{run_load, Client, LoadConfig, LoadReport, SessionOutcome, SessionSpec};
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosStream};
+pub use client::{run_load, Client, LoadConfig, LoadReport, RetryPolicy, SessionOutcome, SessionSpec};
 pub use protocol::{ClientFrame, ProtocolError, ServerFrame, WireEvent, PROTOCOL_VERSION};
 pub use server::{Endpoint, ServeConfig, ServeSummary, Server, Stream};
 pub use session::Session;
+pub use store::{RecoveryReport, SnapshotStore, StoreRecord};

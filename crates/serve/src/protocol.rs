@@ -8,19 +8,28 @@
 //! server answers only after validating the client's header, and a
 //! major-version mismatch aborts the connection.
 //!
-//! After the handshake the stream is a sequence of frames:
+//! After the handshake the stream is a sequence of frames (protocol
+//! v2 added the payload checksum):
 //!
 //! ```text
-//! +----------------+---------+--------------+------------------+
-//! | len: u32 LE    | kind:u8 | session: u32 | body (len-5 B)   |
-//! +----------------+---------+--------------+------------------+
+//! +-------------+-------------+---------+--------------+----------------+
+//! | len: u32 LE | crc: u32 LE | kind:u8 | session: u32 | body (len-5 B) |
+//! +-------------+-------------+---------+--------------+----------------+
 //! ```
 //!
 //! `len` counts the payload (kind + session + body) and is capped at
-//! [`MAX_FRAME_LEN`]. Multi-byte integers are little-endian throughout.
-//! Event batches — the hot path — are fixed-width binary records;
-//! configs, statistics and snapshots (cold path, schema-rich) travel as
-//! JSON bytes inside their binary frames.
+//! [`MAX_FRAME_LEN`]; `crc` is the IEEE CRC-32 of the payload bytes.
+//! Multi-byte integers are little-endian throughout. Event batches —
+//! the hot path — are fixed-width binary records; configs, statistics
+//! and snapshots (cold path, schema-rich) travel as JSON bytes inside
+//! their binary frames.
+//!
+//! The checksum exists for *fail-stop* behaviour, not security: a
+//! corrupted event gap would otherwise decode as a perfectly valid
+//! frame and silently poison the session's learned state. With the CRC
+//! the connection fails loudly ([`ProtocolError::ChecksumMismatch`]),
+//! the peer drops it, and the resilient client reconnects and restores
+//! from a known-good snapshot instead.
 //!
 //! Decoding is *total*: any byte sequence either parses or returns a
 //! [`ProtocolError`] — never a panic (fuzz-tested in
@@ -30,8 +39,10 @@ use ibp_core::{LaneDirective, PowerConfig, RankStats, SleepKind};
 use ibp_simcore::SimDuration;
 use std::io::{Read, Write};
 
-/// Protocol version carried in the handshake.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version carried in the handshake. v2 added the per-frame
+/// payload CRC and the resume position in `OpenAck`; v1 peers are
+/// rejected at the handshake, never mid-stream.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// The 4-byte connection magic.
 pub const MAGIC: [u8; 4] = *b"IBPS";
@@ -65,6 +76,45 @@ pub mod error_code {
     /// A response (e.g. a snapshot) outgrew [`super::MAX_FRAME_LEN`]
     /// and could not be sent.
     pub const FRAME_TOO_LARGE: u16 = 6;
+    /// The connection's outbound queue overflowed and older responses
+    /// were shed; the session stream is no longer gap-free and the
+    /// client should reconnect and restore.
+    pub const OVERLOAD: u16 = 7;
+    /// A store-backed `Restore` (empty snapshot body) found no usable
+    /// record for the session; the client should fall back to a fresh
+    /// `Open` and replay from the start.
+    pub const NO_SNAPSHOT: u16 = 8;
+}
+
+// ------------------------------------------------------------------ crc32
+
+/// IEEE CRC-32 lookup table (polynomial 0xEDB88320), built at compile
+/// time so the hot framing path is a pure table walk.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the checksum carried in every v2 frame
+/// header and in the snapshot store's on-disk records).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 /// Everything that can go wrong speaking the protocol.
@@ -118,6 +168,22 @@ pub enum ProtocolError {
     /// The peer sent a validly encoded frame where a different one was
     /// required (e.g. a client waiting for `Directives` got `Closed`).
     Unexpected(String),
+    /// A frame's payload did not match its header CRC — the transport
+    /// corrupted bytes in flight. The connection cannot be trusted past
+    /// this point; drop it and reconnect.
+    ChecksumMismatch {
+        /// CRC announced in the frame header.
+        announced: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The resilient client exhausted its reconnect budget.
+    GaveUp {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The error that ended the final attempt.
+        last: Box<ProtocolError>,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -142,6 +208,13 @@ impl std::fmt::Display for ProtocolError {
                 write!(f, "server error {code}: {message}")
             }
             ProtocolError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+            ProtocolError::ChecksumMismatch { announced, computed } => write!(
+                f,
+                "frame checksum mismatch: header says {announced:#010x}, payload hashes to {computed:#010x}"
+            ),
+            ProtocolError::GaveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} connection attempts: {last}")
+            }
         }
     }
 }
@@ -150,6 +223,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Io(e) => Some(e),
+            ProtocolError::GaveUp { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -197,10 +271,18 @@ pub enum ClientFrame {
     },
     /// Open a session *from* a previously captured snapshot: the engine
     /// resumes prediction without re-learning.
+    ///
+    /// An **empty** snapshot body asks the server to rehydrate the
+    /// session from its durable store (`ibpower serve --store`) by
+    /// session id; the server answers `OpenAck` (with the resume
+    /// position) followed by a `Directives` frame replaying the stored
+    /// directive history, or an `Error` with
+    /// [`error_code::NO_SNAPSHOT`] when no usable record exists.
     Restore {
         /// Client-chosen session id, unique per connection.
         session: u32,
-        /// A [`ibp_core::RuntimeSnapshot`] in its JSON wire form.
+        /// A [`ibp_core::RuntimeSnapshot`] in its JSON wire form, or
+        /// empty to restore from the server's snapshot store.
         snapshot: Vec<u8>,
     },
     /// Finish the session's stream and retire it.
@@ -219,6 +301,10 @@ pub enum ServerFrame {
     OpenAck {
         /// The session that is now open.
         session: u32,
+        /// Events the session has already applied — 0 for a fresh
+        /// `Open`, the resume position for a `Restore`. A reconnecting
+        /// client continues streaming from this offset.
+        events_applied: u64,
     },
     /// Response to one `Events` batch: every lane directive the batch
     /// produced (possibly none). Doubles as the batch acknowledgement.
@@ -376,7 +462,7 @@ impl ServerFrame {
     #[must_use]
     pub fn session(&self) -> u32 {
         match *self {
-            ServerFrame::OpenAck { session }
+            ServerFrame::OpenAck { session, .. }
             | ServerFrame::Directives { session, .. }
             | ServerFrame::Stats { session, .. }
             | ServerFrame::SnapshotData { session, .. }
@@ -391,9 +477,10 @@ impl ServerFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
         match self {
-            ServerFrame::OpenAck { session } => {
+            ServerFrame::OpenAck { session, events_applied } => {
                 out.push(K_OPEN_ACK);
                 put_u32(&mut out, *session);
+                put_u64(&mut out, *events_applied);
             }
             ServerFrame::Directives { session, events_applied, directives } => {
                 out.reserve(17 + directives.len() * 33);
@@ -590,7 +677,12 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientFrame, ProtocolError> {
 pub fn decode_server(payload: &[u8]) -> Result<ServerFrame, ProtocolError> {
     let (mut rd, session) = reader(payload)?;
     let frame = match rd.kind {
-        K_OPEN_ACK => ServerFrame::OpenAck { session },
+        K_OPEN_ACK => {
+            // v1 peers sent no body; tolerate that as position 0 so a
+            // decoder fed archived captures still works.
+            let events_applied = if rd.buf.len() > rd.pos { rd.u64()? } else { 0 };
+            ServerFrame::OpenAck { session, events_applied }
+        }
         K_DIRECTIVES => {
             let events_applied = rd.u64()?;
             let count = rd.u32()? as usize;
@@ -649,7 +741,10 @@ fn validate_config(cfg: &PowerConfig) -> Result<(), String> {
 
 // ---------------------------------------------------------------- framing
 
-/// Write one length-prefixed frame payload to `w`.
+/// Bytes in the v2 frame header: length prefix + payload CRC.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Write one length-prefixed, CRC-tagged frame payload to `w`.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtocolError> {
     let len = u32::try_from(payload.len()).map_err(|_| ProtocolError::FrameTooLarge {
         len: u32::MAX,
@@ -659,33 +754,46 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtocolEr
         return Err(ProtocolError::FrameTooLarge { len, max: MAX_FRAME_LEN });
     }
     w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Validate a frame's 4-byte length prefix and return the payload size.
-pub fn read_frame_len(prefix: [u8; 4]) -> Result<usize, ProtocolError> {
-    let len = u32::from_le_bytes(prefix);
+/// Validate a frame header (length prefix + CRC) and return the payload
+/// size plus the CRC the payload must hash to.
+pub fn read_frame_header(header: [u8; FRAME_HEADER_LEN]) -> Result<(usize, u32), ProtocolError> {
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice"));
     if len > MAX_FRAME_LEN {
         return Err(ProtocolError::FrameTooLarge { len, max: MAX_FRAME_LEN });
     }
-    Ok(len as usize)
+    let crc = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+    Ok((len as usize, crc))
 }
 
-/// Read one length-prefixed frame payload from `r`. Returns `Ok(None)`
-/// on a clean EOF at a frame boundary.
+/// Check a received payload against the CRC announced in its header.
+pub fn verify_frame_crc(announced: u32, payload: &[u8]) -> Result<(), ProtocolError> {
+    let computed = crc32(payload);
+    if computed == announced {
+        Ok(())
+    } else {
+        Err(ProtocolError::ChecksumMismatch { announced, computed })
+    }
+}
+
+/// Read one frame payload from `r`, verifying its CRC. Returns
+/// `Ok(None)` on a clean EOF at a frame boundary.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtocolError> {
-    let mut len_buf = [0u8; 4];
-    match r.read(&mut len_buf) {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match r.read(&mut header) {
         Ok(0) => return Ok(None),
         Ok(mut got) => {
-            while got < 4 {
-                let n = r.read(&mut len_buf[got..])?;
+            while got < FRAME_HEADER_LEN {
+                let n = r.read(&mut header[got..])?;
                 if n == 0 {
                     return Err(ProtocolError::Io(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
-                        "eof inside frame length prefix",
+                        "eof inside frame header",
                     )));
                 }
                 got += n;
@@ -693,12 +801,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ProtocolError> 
         }
         Err(e) => return Err(ProtocolError::Io(e)),
     }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME_LEN {
-        return Err(ProtocolError::FrameTooLarge { len, max: MAX_FRAME_LEN });
-    }
-    let mut payload = vec![0u8; len as usize];
+    let (len, crc) = read_frame_header(header)?;
+    let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    verify_frame_crc(crc, &payload)?;
     Ok(Some(payload))
 }
 
@@ -765,7 +871,8 @@ mod tests {
 
     #[test]
     fn server_frames_roundtrip() {
-        roundtrip_server(ServerFrame::OpenAck { session: 7 });
+        roundtrip_server(ServerFrame::OpenAck { session: 7, events_applied: 0 });
+        roundtrip_server(ServerFrame::OpenAck { session: 3, events_applied: 12_345 });
         roundtrip_server(ServerFrame::Directives {
             session: 1,
             events_applied: 555,
@@ -925,11 +1032,57 @@ mod tests {
     fn oversized_frame_rejected_without_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // crc field
         let mut r = &buf[..];
         assert!(matches!(
             read_frame(&mut r),
             Err(ProtocolError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_crc() {
+        let mut buf = Vec::new();
+        let payload = ClientFrame::Events {
+            session: 1,
+            events: vec![(41, 100), (10, 200)],
+        }
+        .encode();
+        write_frame(&mut buf, &payload).unwrap();
+        // Flip one bit in every payload byte position in turn: the CRC
+        // must catch each one (a plain length prefix would not).
+        for i in FRAME_HEADER_LEN..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            let mut r = &bad[..];
+            assert!(
+                matches!(read_frame(&mut r), Err(ProtocolError::ChecksumMismatch { .. })),
+                "corruption at byte {i} slipped past the crc"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn v1_openack_without_body_decodes_as_position_zero() {
+        let mut payload = vec![0x81u8]; // K_OPEN_ACK
+        payload.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            decode_server(&payload).unwrap(),
+            ServerFrame::OpenAck { session: 9, events_applied: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_restore_is_the_store_rehydration_sentinel() {
+        let f = ClientFrame::Restore { session: 4, snapshot: vec![] };
+        assert_eq!(decode_client(&f.encode()).unwrap(), f);
     }
 
     #[test]

@@ -4,37 +4,45 @@
 //!
 //! ```text
 //! listener thread ──accept──▶ one reader thread per connection
-//!                                   │  Open/Restore handled inline
-//!                                   │  Events/Flush/Snapshot/Close pushed
-//!                                   ▼  into the session's bounded mailbox
-//!                            per-session mailbox (VecDeque, cap = queue_depth)
-//!                                   │  first push marks the session ready
+//!          │                        │  Open/Restore handled inline
+//!          │ supervises             │  Events/Flush/Snapshot/Close pushed
+//!          ▼ (respawn on death)     ▼  into the session's bounded mailbox
+//!    worker pool          per-session mailbox (VecDeque, cap = queue_depth)
+//!          ▲                        │  first push marks the session ready
+//!          │                        ▼
+//!          └────────────── ready queue
+//!                                   │ a worker drains one session at a time
 //!                                   ▼
-//!                            ready queue ──▶ bounded worker pool
-//!                                              │ drains one session at a time
-//!                                              ▼
-//!                            per-connection writer (mutex-serialised frames)
+//!                  per-connection outbound queue (bounded, shed-oldest)
+//!                                   │
+//!                                   ▼
+//!                  per-connection writer thread ──▶ socket
 //! ```
 //!
-//! **Backpressure.** A session's mailbox holds at most `queue_depth`
-//! pending work items. When it is full the connection's reader thread
-//! blocks in `push` — it stops reading that socket, so the kernel's
-//! flow control eventually pushes back on the client. A slow *sender*
-//! therefore throttles its own connection only. (Sessions multiplexed
-//! on one connection share that connection's reader, so they share its
-//! fate — clients wanting full isolation open one connection per
-//! session, as the load generator does.)
+//! **Backpressure (inbound).** A session's mailbox holds at most
+//! `queue_depth` pending work items. When it is full the connection's
+//! reader thread blocks in `push` — it stops reading that socket, so
+//! the kernel's flow control eventually pushes back on the client. A
+//! slow *sender* therefore throttles its own connection only.
+//! (Sessions multiplexed on one connection share that connection's
+//! reader, so they share its fate — clients wanting full isolation
+//! open one connection per session, as the load generator does.)
+//!
+//! **Overload shedding (outbound).** Responses are never written from
+//! worker threads. Each connection owns a bounded outbound queue
+//! drained by a dedicated writer thread; workers enqueue and move on,
+//! so a client that stops *reading* its socket can no longer stall the
+//! worker pool (the §12 limitation this design replaces). When a
+//! connection's queue overflows, the oldest queued responses are shed
+//! and a single in-band [`ServerFrame::Error`] with
+//! [`error_code::OVERLOAD`] tells the client its response stream has a
+//! gap — the resilient client reconnects and restores. Memory per
+//! connection stays bounded no matter how slow the reader.
 //!
 //! **Fairness.** A worker drains at most [`DRAIN_QUANTUM`] items from
 //! one mailbox per scheduling turn, then re-enqueues the session, so a
 //! continuously-fed session cannot pin a worker while other ready
-//! sessions wait. One limitation is deliberate: responses are written
-//! synchronously from worker threads, so a client that stops *reading*
-//! its socket can block a worker inside the write once the kernel
-//! buffer fills, and `workers` such stalled consumers stall the pool.
-//! Full isolation would need per-connection writer threads with bounded
-//! outbound queues; until then, size `workers` above the number of
-//! untrusted slow readers.
+//! sessions wait.
 //!
 //! **Ordering.** The `scheduled` flag inside the mailbox mutex
 //! guarantees at most one outstanding ready-queue entry per session, so
@@ -45,21 +53,47 @@
 //! session — a wakeup can never be lost. A worker whose quantum expires
 //! with items still queued keeps the flag set and re-enqueues the cell
 //! itself, preserving the single-drainer invariant.
+//!
+//! **Panic isolation.** Each work item is applied under
+//! `catch_unwind`: a panic poisons nothing (locks are acquired
+//! poison-tolerantly), drops only the offending session, and answers
+//! the client with an [`error_code::INTERNAL`] error. The listener
+//! additionally supervises the worker pool and respawns any thread
+//! that dies.
+//!
+//! **Durability.** With a [`SnapshotStore`] attached, sessions persist
+//! their full learned state (plus directive history) every
+//! `persist_every` applied events, before every `Close`
+//! acknowledgement, and in a final sweep when the server drains. A
+//! restarted server rehydrates them for clients that `Restore` with an
+//! empty snapshot body. See the `store` module docs for the crash-
+//! safety contract.
 
+use crate::chaos::ChaosConfig;
 use crate::protocol::{
-    decode_client, error_code, read_frame_len, write_frame, ClientFrame, ProtocolError,
-    ServerFrame, CONNECTION_SESSION,
+    decode_client, error_code, read_frame_header, verify_frame_crc, write_frame, ClientFrame,
+    ProtocolError, ServerFrame, CONNECTION_SESSION, FRAME_HEADER_LEN,
 };
 use crate::session::Session;
+use crate::store::{SnapshotStore, StoreRecord, RECORD_VERSION};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::time::{Duration, Instant};
+
+/// Lock a mutex tolerating poisoning: every critical section in this
+/// module leaves the protected data structurally valid even if the
+/// holder panicked (single push/pop/insert operations), so the poison
+/// flag carries no information worth crashing a second thread over.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Where the server listens (or a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,13 +127,17 @@ impl Endpoint {
     }
 }
 
-/// A connected byte stream over either transport.
+/// A connected byte stream over either transport, optionally wrapped
+/// in the fault-injecting chaos harness.
 #[derive(Debug)]
 pub enum Stream {
     /// TCP connection (Nagle disabled: frames are latency-sensitive).
     Tcp(TcpStream),
     /// Unix-domain connection.
     Unix(UnixStream),
+    /// A fault-injecting wrapper around either transport (see
+    /// [`crate::chaos`]).
+    Chaos(crate::chaos::ChaosStream),
 }
 
 impl Stream {
@@ -108,6 +146,7 @@ impl Stream {
         match self {
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Chaos(s) => s.try_clone().map(Stream::Chaos),
         }
     }
 
@@ -116,6 +155,17 @@ impl Stream {
         match self {
             Stream::Tcp(s) => s.set_read_timeout(dur),
             Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Chaos(s) => s.get_ref().set_read_timeout(dur),
+        }
+    }
+
+    /// Bound every blocking write so a stuck peer cannot pin the
+    /// connection's writer thread forever.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Chaos(s) => s.get_ref().set_write_timeout(dur),
         }
     }
 
@@ -124,6 +174,7 @@ impl Stream {
         match self {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Chaos(s) => s.get_ref().shutdown(),
         }
     }
 }
@@ -133,6 +184,7 @@ impl Read for Stream {
         match self {
             Stream::Tcp(s) => s.read(buf),
             Stream::Unix(s) => s.read(buf),
+            Stream::Chaos(s) => s.read(buf),
         }
     }
 }
@@ -142,6 +194,7 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.write(buf),
             Stream::Unix(s) => s.write(buf),
+            Stream::Chaos(s) => s.write(buf),
         }
     }
 
@@ -149,6 +202,7 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.flush(),
             Stream::Unix(s) => s.flush(),
+            Stream::Chaos(s) => s.flush(),
         }
     }
 }
@@ -166,6 +220,29 @@ pub struct ServeConfig {
     /// Stop the server after this many sessions have closed cleanly.
     /// `None` runs until [`Server::stop_flag`] is raised.
     pub session_limit: Option<u64>,
+    /// Outbound frames queued per connection before the oldest are
+    /// shed with an in-band overload error.
+    pub write_queue: usize,
+    /// Drop a connection when no frame arrives for this many
+    /// milliseconds (0 disables). Abandoned connections otherwise hold
+    /// their reader thread until the process exits.
+    pub idle_timeout_ms: u64,
+    /// Socket write timeout for response frames, milliseconds (0
+    /// disables). A connection whose peer stops reading for this long
+    /// is dropped.
+    pub write_timeout_ms: u64,
+    /// Persist each store-backed session every this many applied
+    /// events (0 = only on `Close` and at drain). Ignored without a
+    /// store.
+    pub persist_every: u64,
+    /// Fault-inject accepted connections (tests and soak runs only;
+    /// `None` = no wrapper, zero overhead).
+    pub chaos: Option<ChaosConfig>,
+    /// Chaos-test hook: a worker panics when it applies an event with
+    /// this call id, exercising panic isolation end to end. Never set
+    /// in production.
+    #[doc(hidden)]
+    pub panic_on_call: Option<u16>,
 }
 
 impl Default for ServeConfig {
@@ -175,6 +252,12 @@ impl Default for ServeConfig {
             queue_depth: 64,
             stats_every: 0,
             session_limit: None,
+            write_queue: 256,
+            idle_timeout_ms: 0,
+            write_timeout_ms: 30_000,
+            persist_every: 256,
+            chaos: None,
+            panic_on_call: None,
         }
     }
 }
@@ -192,6 +275,18 @@ pub struct ServeSummary {
     pub directives_sent: u64,
     /// Protocol-level errors (malformed frames, unknown sessions, …).
     pub protocol_errors: u64,
+    /// Responses shed from overloaded connection write queues.
+    pub responses_shed: u64,
+    /// Worker panics caught and isolated to their session.
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor.
+    pub worker_respawns: u64,
+    /// Session records persisted to the snapshot store.
+    pub snapshots_persisted: u64,
+    /// Persist attempts that failed (disk errors).
+    pub persist_failures: u64,
+    /// Sessions rehydrated from the store by an empty-body `Restore`.
+    pub sessions_rehydrated: u64,
 }
 
 #[derive(Default)]
@@ -201,6 +296,12 @@ struct Counters {
     events: AtomicU64,
     directives: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    persisted: AtomicU64,
+    persist_failures: AtomicU64,
+    rehydrated: AtomicU64,
 }
 
 impl Counters {
@@ -211,8 +312,25 @@ impl Counters {
             events_applied: self.events.load(Ordering::Relaxed),
             directives_sent: self.directives.load(Ordering::Relaxed),
             protocol_errors: self.errors.load(Ordering::Relaxed),
+            responses_shed: self.shed.load(Ordering::Relaxed),
+            worker_panics: self.panics.load(Ordering::Relaxed),
+            worker_respawns: self.respawns.load(Ordering::Relaxed),
+            snapshots_persisted: self.persisted.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            sessions_rehydrated: self.rehydrated.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Everything shared by the listener, readers, and workers.
+struct Shared {
+    cfg: ServeConfig,
+    counters: Counters,
+    stop: AtomicBool,
+    store: Option<Arc<SnapshotStore>>,
+    /// Store-backed sessions still live somewhere, for the drain
+    /// sweep. Weak: a dropped connection's cells must not leak here.
+    registry: Mutex<HashMap<u32, Weak<SessionCell>>>,
 }
 
 enum Work {
@@ -226,26 +344,198 @@ enum Work {
 /// session back to the ready queue (see the module docs on fairness).
 const DRAIN_QUANTUM: usize = 32;
 
+// ------------------------------------------------------- outbound queue
+
+struct OutboundState {
+    frames: VecDeque<Vec<u8>>,
+    /// Producer handles alive (reader + session cells). The writer
+    /// thread exits after flushing once this reaches zero.
+    producers: usize,
+    /// Set when the socket died: producers drop their frames instead
+    /// of queueing.
+    dead: bool,
+    /// An overload error frame is already queued; coalesces repeat
+    /// shed bursts into one in-band notification.
+    overload_pending: bool,
+}
+
+/// One connection's bounded outbound queue. Workers push encoded
+/// frames without ever blocking on the socket; a dedicated writer
+/// thread drains it.
+struct ConnWriter {
+    q: Mutex<OutboundState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnWriter {
+    fn new(cap: usize) -> Arc<ConnWriter> {
+        Arc::new(ConnWriter {
+            q: Mutex::new(OutboundState {
+                frames: VecDeque::new(),
+                producers: 0,
+                dead: false,
+                overload_pending: false,
+            }),
+            ready: Condvar::new(),
+            // Room for at least one response plus the overload error.
+            cap: cap.max(2),
+        })
+    }
+
+    /// Queue one encoded frame, shedding the oldest entries (plus one
+    /// in-band overload error) when the queue is full. Never blocks on
+    /// the socket. Returns frames shed.
+    fn push(&self, payload: Vec<u8>, counters: &Counters) -> u64 {
+        let mut q = lock_ok(&self.q);
+        if q.dead {
+            return 0;
+        }
+        let mut shed = 0u64;
+        if q.frames.len() >= self.cap {
+            while q.frames.len() >= self.cap.saturating_sub(1) {
+                q.frames.pop_front();
+                shed += 1;
+            }
+            counters.shed.fetch_add(shed, Ordering::Relaxed);
+            if !q.overload_pending {
+                q.overload_pending = true;
+                let err = ServerFrame::Error {
+                    session: CONNECTION_SESSION,
+                    code: error_code::OVERLOAD,
+                    message: "outbound queue overflowed; older responses were shed — \
+                              reconnect and restore"
+                        .into(),
+                };
+                q.frames.push_back(err.encode());
+            }
+        }
+        q.frames.push_back(payload);
+        drop(q);
+        self.ready.notify_one();
+        shed
+    }
+
+    fn attach_producer(self: &Arc<Self>) -> WriterHandle {
+        lock_ok(&self.q).producers += 1;
+        WriterHandle { conn: Arc::clone(self) }
+    }
+
+    /// The writer thread body: drain frames to the socket until the
+    /// connection dies or every producer is gone and the queue is dry.
+    fn writer_loop(&self, out: Stream) {
+        let mut out = BufWriter::with_capacity(64 * 1024, out);
+        loop {
+            let payload = {
+                let mut q = lock_ok(&self.q);
+                loop {
+                    if q.dead {
+                        return;
+                    }
+                    if let Some(p) = q.frames.pop_front() {
+                        if q.frames.is_empty() {
+                            q.overload_pending = false;
+                        }
+                        break p;
+                    }
+                    if q.producers == 0 {
+                        let _ = out.flush();
+                        return;
+                    }
+                    q = self
+                        .ready
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            };
+            match write_frame(&mut out, &payload) {
+                Ok(()) => {}
+                Err(ProtocolError::FrameTooLarge { len, max }) => {
+                    // The response outgrew the frame cap (a snapshot
+                    // embedding a long stream's grams can). Nothing hit
+                    // the wire yet, so tell the client in-band instead
+                    // of leaving it blocked on a reply that will never
+                    // come. The payload's session id sits at bytes 1–4.
+                    let session = payload
+                        .get(1..5)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+                        .unwrap_or(CONNECTION_SESSION);
+                    let err = ServerFrame::Error {
+                        session,
+                        code: error_code::FRAME_TOO_LARGE,
+                        message: format!(
+                            "response frame of {len} bytes exceeds the {max}-byte cap"
+                        ),
+                    };
+                    if write_frame(&mut out, &err.encode()).is_err() {
+                        self.mark_dead(&mut out);
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // A partial write leaves the stream mid-frame (and
+                    // a write timeout means the peer stopped reading);
+                    // no in-band recovery is possible. Drop the
+                    // connection so the client sees EOF instead of a
+                    // corrupt frame or a silent hang.
+                    self.mark_dead(&mut out);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn mark_dead(&self, out: &mut BufWriter<Stream>) {
+        let _ = out.get_ref().shutdown();
+        let mut q = lock_ok(&self.q);
+        q.dead = true;
+        q.frames.clear();
+    }
+}
+
+/// A producer token for a connection's outbound queue. Dropping the
+/// last one lets the writer thread flush and exit.
+struct WriterHandle {
+    conn: Arc<ConnWriter>,
+}
+
+impl Clone for WriterHandle {
+    fn clone(&self) -> Self {
+        self.conn.attach_producer()
+    }
+}
+
+impl Drop for WriterHandle {
+    fn drop(&mut self) {
+        lock_ok(&self.conn.q).producers -= 1;
+        self.conn.ready.notify_one();
+    }
+}
+
+// ------------------------------------------------------------- sessions
+
 struct MailboxState {
     deque: VecDeque<Work>,
     scheduled: bool,
 }
 
-/// One live session plus its mailbox and its connection's writer.
+/// One live session plus its mailbox and its connection's outbound
+/// queue.
 struct SessionCell {
     id: u32,
     state: Mutex<Option<Session>>,
     mailbox: Mutex<MailboxState>,
     space: Condvar,
     cap: usize,
-    writer: Arc<Mutex<BufWriter<Stream>>>,
+    writer: WriterHandle,
 }
 
 impl SessionCell {
     /// Push work, blocking while the mailbox is full (backpressure).
     /// Returns whether the session must be (re-)scheduled.
     fn push(&self, work: Work, stop: &AtomicBool) -> bool {
-        let mut mb = self.mailbox.lock().unwrap();
+        let mut mb = lock_ok(&self.mailbox);
         while mb.deque.len() >= self.cap {
             if stop.load(Ordering::Relaxed) {
                 return false;
@@ -253,7 +543,7 @@ impl SessionCell {
             let (guard, _) = self
                 .space
                 .wait_timeout(mb, Duration::from_millis(100))
-                .unwrap();
+                .unwrap_or_else(|e| e.into_inner());
             mb = guard;
         }
         mb.deque.push_back(work);
@@ -265,7 +555,7 @@ impl SessionCell {
     /// Pop the next work item; clears `scheduled` (under the same lock)
     /// when the mailbox is empty.
     fn pop(&self) -> Option<Work> {
-        let mut mb = self.mailbox.lock().unwrap();
+        let mut mb = lock_ok(&self.mailbox);
         match mb.deque.pop_front() {
             Some(w) => {
                 self.space.notify_one();
@@ -284,7 +574,7 @@ impl SessionCell {
     /// re-enqueue the cell), otherwise release the token so the next
     /// push re-schedules the session.
     fn needs_requeue(&self) -> bool {
-        let mut mb = self.mailbox.lock().unwrap();
+        let mut mb = lock_ok(&self.mailbox);
         if mb.deque.is_empty() {
             mb.scheduled = false;
             false
@@ -317,12 +607,14 @@ impl Listener {
     }
 }
 
-/// The streaming prediction server. [`Server::bind`], then [`Server::run`].
+/// The streaming prediction server. [`Server::bind`], then
+/// (optionally) [`Server::with_store`], then [`Server::run`].
 pub struct Server {
     listener: Listener,
     cfg: ServeConfig,
     stop: Arc<AtomicBool>,
     bound: Endpoint,
+    store: Option<Arc<SnapshotStore>>,
 }
 
 impl Server {
@@ -351,7 +643,17 @@ impl Server {
             cfg,
             stop: Arc::new(AtomicBool::new(false)),
             bound,
+            store: None,
         })
+    }
+
+    /// Attach a durable snapshot store: sessions persist periodically
+    /// and on `Close`, drain flushes every live session, and clients
+    /// can rehydrate with an empty-body `Restore`.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<SnapshotStore>) -> Server {
+        self.store = Some(store);
+        self
     }
 
     /// The actual bound endpoint (resolves a `:0` TCP port request).
@@ -361,6 +663,9 @@ impl Server {
     }
 
     /// A flag that stops [`Server::run`] when set from another thread.
+    /// Raising it triggers a graceful drain: accepting stops, in-flight
+    /// work quiesces, and (with a store) every live session is
+    /// persisted before `run` returns.
     #[must_use]
     pub fn stop_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
@@ -370,50 +675,71 @@ impl Server {
     /// `session_limit` sessions have closed. Blocks; returns lifetime
     /// counters.
     pub fn run(self) -> ServeSummary {
-        let counters = Arc::new(Counters::default());
+        let shared = Arc::new(Shared {
+            cfg: self.cfg.clone(),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            store: self.store.clone(),
+            registry: Mutex::new(HashMap::new()),
+        });
         let (ready_tx, ready_rx) = mpsc::channel::<Arc<SessionCell>>();
         let ready_rx = Arc::new(Mutex::new(ready_rx));
 
-        let workers: Vec<_> = (0..self.cfg.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&ready_rx);
-                let tx = ready_tx.clone();
-                let stop = Arc::clone(&self.stop);
-                let counters = Arc::clone(&counters);
-                let stats_every = self.cfg.stats_every;
-                std::thread::spawn(move || worker_loop(&rx, &tx, &stop, &counters, stats_every))
-            })
+        let spawn_worker = |shared: &Arc<Shared>| {
+            let rx = Arc::clone(&ready_rx);
+            let tx = ready_tx.clone();
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || worker_loop(&rx, &tx, &shared))
+        };
+        let mut workers: Vec<_> = (0..self.cfg.workers.max(1))
+            .map(|_| spawn_worker(&shared))
             .collect();
 
         let mut readers = Vec::new();
+        let mut conn_seq = 0u64;
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
             if let Some(limit) = self.cfg.session_limit {
-                if counters.closed.load(Ordering::Relaxed) >= limit {
+                if shared.counters.closed.load(Ordering::Relaxed) >= limit {
                     break;
+                }
+            }
+            // Supervise the pool: a worker only ever exits early if
+            // something escaped its panic isolation — replace it so
+            // capacity cannot silently ratchet down to zero.
+            for w in workers.iter_mut() {
+                if w.is_finished() {
+                    shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                    let fresh = spawn_worker(&shared);
+                    let dead = std::mem::replace(w, fresh);
+                    let _ = dead.join();
                 }
             }
             match self.listener.accept() {
                 Ok(stream) => {
-                    let cfg = self.cfg.clone();
-                    let stop = Arc::clone(&self.stop);
-                    let counters = Arc::clone(&counters);
+                    let shared = Arc::clone(&shared);
                     let ready = ready_tx.clone();
+                    let seq = conn_seq;
+                    conn_seq += 1;
                     readers.push(std::thread::spawn(move || {
-                        serve_connection(stream, &cfg, &stop, &counters, &ready);
+                        serve_connection(stream, seq, &shared, &ready);
                     }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(_) => {
-                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_millis(2));
                 }
             }
         }
+
+        // Graceful drain: stop readers and workers, then flush every
+        // live store-backed session so a restart can rehydrate it.
+        shared.stop.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Relaxed);
         for r in readers {
             let _ = r.join();
@@ -422,20 +748,32 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if shared.store.is_some() {
+            let cells: Vec<Arc<SessionCell>> = lock_ok(&shared.registry)
+                .values()
+                .filter_map(Weak::upgrade)
+                .collect();
+            for cell in cells {
+                persist_cell(&cell, &shared, false);
+            }
+        }
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
         }
-        counters.summary()
+        shared.counters.summary()
     }
 }
 
 /// Fill `buf` completely, retrying read timeouts while the server runs.
-/// `Ok(false)` means a clean EOF before the first byte.
+/// `Ok(false)` means a clean EOF before the first byte. `idle` bounds
+/// the total wait (None = wait forever, as long as the server runs).
 fn fill(
     r: &mut impl Read,
     buf: &mut [u8],
     stop: &AtomicBool,
+    idle: Option<Duration>,
 ) -> Result<bool, ProtocolError> {
+    let started = Instant::now();
     let mut got = 0;
     while got < buf.len() {
         if stop.load(Ordering::Relaxed) {
@@ -443,6 +781,14 @@ fn fill(
                 std::io::ErrorKind::Interrupted,
                 "server shutting down",
             )));
+        }
+        if let Some(limit) = idle {
+            if started.elapsed() >= limit {
+                return Err(ProtocolError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "connection idle timeout",
+                )));
+            }
         }
         match r.read(&mut buf[got..]) {
             Ok(0) => {
@@ -469,70 +815,58 @@ fn fill(
     Ok(true)
 }
 
-fn send_frame(writer: &Mutex<BufWriter<Stream>>, frame: &ServerFrame) {
-    let payload = frame.encode();
-    let mut w = writer.lock().unwrap();
-    match write_frame(&mut *w, &payload) {
-        Ok(()) => {}
-        Err(ProtocolError::FrameTooLarge { len, max }) => {
-            // The response outgrew the frame cap (a snapshot embedding
-            // a long stream's grams can). Nothing hit the wire yet, so
-            // tell the client in-band instead of leaving it blocked on
-            // a reply that will never come.
-            let err = ServerFrame::Error {
-                session: frame.session(),
-                code: error_code::FRAME_TOO_LARGE,
-                message: format!("response frame of {len} bytes exceeds the {max}-byte cap"),
-            };
-            if write_frame(&mut *w, &err.encode()).is_err() {
-                let _ = w.get_ref().shutdown();
-            }
-        }
-        Err(_) => {
-            // A partial write leaves the stream mid-frame; no in-band
-            // recovery is possible. Drop the connection so the client
-            // sees EOF instead of a corrupt frame or a silent hang.
-            let _ = w.get_ref().shutdown();
-        }
-    }
+/// Queue a response on the connection's outbound queue (never blocks
+/// on the socket).
+fn send_frame(writer: &ConnWriter, counters: &Counters, frame: &ServerFrame) {
+    writer.push(frame.encode(), counters);
 }
 
 fn send_error(
-    writer: &Mutex<BufWriter<Stream>>,
+    writer: &ConnWriter,
     counters: &Counters,
     session: u32,
     code: u16,
     message: String,
 ) {
     counters.errors.fetch_add(1, Ordering::Relaxed);
-    send_frame(
-        writer,
-        &ServerFrame::Error { session, code, message },
-    );
+    send_frame(writer, counters, &ServerFrame::Error { session, code, message });
 }
 
 /// One connection's read loop: handshake, then route frames until EOF,
-/// a protocol error, or server shutdown.
+/// a protocol error, or server shutdown. Responses flow through the
+/// connection's writer thread.
 fn serve_connection(
     stream: Stream,
-    cfg: &ServeConfig,
-    stop: &AtomicBool,
-    counters: &Arc<Counters>,
+    conn_seq: u64,
+    shared: &Arc<Shared>,
     ready: &mpsc::Sender<Arc<SessionCell>>,
 ) {
+    let stream = match &shared.cfg.chaos {
+        Some(chaos) => chaos
+            .reseeded(chaos.seed ^ (conn_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .wrap(stream),
+        None => stream,
+    };
+    let counters = &shared.counters;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(BufWriter::with_capacity(64 * 1024, w))),
+    if shared.cfg.write_timeout_ms > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    }
+    let mut write_half = match stream.try_clone() {
+        Ok(w) => w,
         Err(_) => {
             counters.errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
     };
     let mut reader = stream;
+    let idle = (shared.cfg.idle_timeout_ms > 0)
+        .then(|| Duration::from_millis(shared.cfg.idle_timeout_ms));
 
-    // Handshake: validate the client's hello, then answer with ours.
+    // Handshake: validate the client's hello, then answer with ours —
+    // written directly; the writer thread takes over afterwards.
     let mut hello = [0u8; 6];
-    match fill(&mut reader, &mut hello, stop) {
+    match fill(&mut reader, &mut hello, &shared.stop, idle) {
         Ok(true) => {}
         _ => return,
     }
@@ -545,73 +879,88 @@ fn serve_connection(
         counters.errors.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    {
-        let mut w = writer.lock().unwrap();
-        if crate::protocol::write_hello(&mut *w).is_err() {
-            return;
-        }
+    if crate::protocol::write_hello(&mut write_half).is_err() {
+        return;
     }
+
+    let conn = ConnWriter::new(shared.cfg.write_queue);
+    let writer_handle = conn.attach_producer();
+    let writer_thread = {
+        let conn = Arc::clone(&conn);
+        std::thread::spawn(move || conn.writer_loop(write_half))
+    };
 
     let mut sessions: HashMap<u32, Arc<SessionCell>> = HashMap::new();
     loop {
-        let mut len_buf = [0u8; 4];
-        match fill(&mut reader, &mut len_buf, stop) {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        match fill(&mut reader, &mut header, &shared.stop, idle) {
             Ok(true) => {}
             Ok(false) => break, // clean EOF at a frame boundary
             Err(_) => break,
         }
-        let len = match read_frame_len(len_buf) {
-            Ok(len) => len,
+        let (len, crc) = match read_frame_header(header) {
+            Ok(v) => v,
             Err(e) => {
-                send_error(
-                    &writer,
-                    counters,
-                    CONNECTION_SESSION,
-                    error_code::MALFORMED,
-                    e.to_string(),
-                );
+                send_error(&conn, counters, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
                 break;
             }
         };
         let mut payload = vec![0u8; len];
-        if !matches!(fill(&mut reader, &mut payload, stop), Ok(true)) {
+        if !matches!(fill(&mut reader, &mut payload, &shared.stop, idle), Ok(true)) {
+            break;
+        }
+        if let Err(e) = verify_frame_crc(crc, &payload) {
+            // The transport corrupted bytes; nothing after this point
+            // can be trusted (framing may be lost entirely). Tell the
+            // client if the wire still works, then drop the connection.
+            send_error(&conn, counters, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
             break;
         }
         let frame = match decode_client(&payload) {
             Ok(f) => f,
             Err(e) => {
-                send_error(
-                    &writer,
-                    counters,
-                    CONNECTION_SESSION,
-                    error_code::MALFORMED,
-                    e.to_string(),
-                );
+                send_error(&conn, counters, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
                 break;
             }
         };
-        route(frame, &mut sessions, cfg, stop, counters, ready, &writer);
+        route(frame, &mut sessions, shared, ready, &conn, &writer_handle);
+    }
+    // Persist every session the client never closed before abandoning
+    // it: a restart (or this client reconnecting after a transport
+    // fault) then rehydrates from the state at disconnect instead of
+    // the last periodic persist. Work still queued in the mailbox is
+    // deliberately not waited for — the record is consistent at some
+    // applied-event count and the resume protocol resends the tail.
+    if shared.store.is_some() {
+        for cell in sessions.values() {
+            persist_cell(cell, shared, false);
+        }
     }
     // Dropping `sessions` abandons any session the client never closed;
-    // queued work still drains (workers hold their own Arcs) but the
-    // session no longer counts toward `session_limit`.
+    // queued work still drains (workers hold their own Arcs and their
+    // own producer tokens via the cells) but the session no longer
+    // counts toward `session_limit`. The writer thread exits once the
+    // last producer token drops.
+    drop(sessions);
+    drop(writer_handle);
+    reader.shutdown().ok();
+    let _ = writer_thread.join();
 }
 
-#[allow(clippy::too_many_arguments)]
 fn route(
     frame: ClientFrame,
     sessions: &mut HashMap<u32, Arc<SessionCell>>,
-    cfg: &ServeConfig,
-    stop: &AtomicBool,
-    counters: &Arc<Counters>,
+    shared: &Arc<Shared>,
     ready: &mpsc::Sender<Arc<SessionCell>>,
-    writer: &Arc<Mutex<BufWriter<Stream>>>,
+    conn: &Arc<ConnWriter>,
+    writer_handle: &WriterHandle,
 ) {
+    let counters = &shared.counters;
     match frame {
         ClientFrame::Open { session, rank, config } => {
             if sessions.contains_key(&session) {
                 send_error(
-                    writer,
+                    conn,
                     counters,
                     session,
                     error_code::DUPLICATE_SESSION,
@@ -619,15 +968,16 @@ fn route(
                 );
                 return;
             }
-            let cell = new_cell(session, Session::open(rank, *config), cfg, writer);
+            let cell = new_cell(session, Session::open(rank, *config), shared, writer_handle);
+            register(shared, session, &cell);
             sessions.insert(session, cell);
             counters.opened.fetch_add(1, Ordering::Relaxed);
-            send_frame(writer, &ServerFrame::OpenAck { session });
+            send_frame(conn, counters, &ServerFrame::OpenAck { session, events_applied: 0 });
         }
         ClientFrame::Restore { session, snapshot } => {
             if sessions.contains_key(&session) {
                 send_error(
-                    writer,
+                    conn,
                     counters,
                     session,
                     error_code::DUPLICATE_SESSION,
@@ -635,15 +985,21 @@ fn route(
                 );
                 return;
             }
+            if snapshot.is_empty() {
+                restore_from_store(session, sessions, shared, conn, writer_handle);
+                return;
+            }
             match Session::restore(&snapshot) {
                 Ok(restored) => {
-                    let cell = new_cell(session, restored, cfg, writer);
+                    let events_applied = restored.events_applied();
+                    let cell = new_cell(session, restored, shared, writer_handle);
+                    register(shared, session, &cell);
                     sessions.insert(session, cell);
                     counters.opened.fetch_add(1, Ordering::Relaxed);
-                    send_frame(writer, &ServerFrame::OpenAck { session });
+                    send_frame(conn, counters, &ServerFrame::OpenAck { session, events_applied });
                 }
                 Err(e) => send_error(
-                    writer,
+                    conn,
                     counters,
                     session,
                     error_code::BAD_SNAPSHOT,
@@ -652,23 +1008,22 @@ fn route(
             }
         }
         ClientFrame::Events { session, events } => {
-            enqueue(sessions, session, Work::Events(events), stop, counters, ready, writer);
+            enqueue(sessions, session, Work::Events(events), shared, ready, conn);
         }
         ClientFrame::Flush { session } => {
-            enqueue(sessions, session, Work::Flush, stop, counters, ready, writer);
+            enqueue(sessions, session, Work::Flush, shared, ready, conn);
         }
         ClientFrame::Snapshot { session } => {
-            enqueue(sessions, session, Work::Snapshot, stop, counters, ready, writer);
+            enqueue(sessions, session, Work::Snapshot, shared, ready, conn);
         }
         ClientFrame::Close { session, final_compute_ns } => {
             let routed = enqueue(
                 sessions,
                 session,
                 Work::Close(final_compute_ns),
-                stop,
-                counters,
+                shared,
                 ready,
-                writer,
+                conn,
             );
             if routed {
                 // No further frames may address this id on this
@@ -680,42 +1035,142 @@ fn route(
     }
 }
 
+/// Handle an empty-body `Restore`: rehydrate the session from the
+/// snapshot store, answering `OpenAck` (resume position) plus a
+/// `Directives` frame replaying the stored history.
+fn restore_from_store(
+    session: u32,
+    sessions: &mut HashMap<u32, Arc<SessionCell>>,
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnWriter>,
+    writer_handle: &WriterHandle,
+) {
+    let counters = &shared.counters;
+    let Some(store) = shared.store.as_ref() else {
+        send_error(
+            conn,
+            counters,
+            session,
+            error_code::NO_SNAPSHOT,
+            "server runs without a snapshot store".into(),
+        );
+        return;
+    };
+    let record = match store.load(session) {
+        Ok(Some(r)) if r.history_complete => r,
+        Ok(Some(_)) => {
+            send_error(
+                conn,
+                counters,
+                session,
+                error_code::NO_SNAPSHOT,
+                format!(
+                    "session {session} has a stored snapshot but an incomplete directive \
+                     history; re-open and replay from the start"
+                ),
+            );
+            return;
+        }
+        Ok(None) => {
+            send_error(
+                conn,
+                counters,
+                session,
+                error_code::NO_SNAPSHOT,
+                format!("no stored snapshot for session {session}"),
+            );
+            return;
+        }
+        Err(e) => {
+            send_error(
+                conn,
+                counters,
+                session,
+                error_code::INTERNAL,
+                format!("snapshot store read failed: {e}"),
+            );
+            return;
+        }
+    };
+    match Session::restore_from_record(&record) {
+        Ok(restored) => {
+            let cell = new_cell(session, restored, shared, writer_handle);
+            register(shared, session, &cell);
+            sessions.insert(session, cell);
+            counters.opened.fetch_add(1, Ordering::Relaxed);
+            counters.rehydrated.fetch_add(1, Ordering::Relaxed);
+            send_frame(
+                conn,
+                counters,
+                &ServerFrame::OpenAck { session, events_applied: record.events },
+            );
+            // Replay the stored history so the client can rebuild its
+            // parity accounting from event 0 before resuming.
+            send_frame(
+                conn,
+                counters,
+                &ServerFrame::Directives {
+                    session,
+                    events_applied: record.events,
+                    directives: record.directives,
+                },
+            );
+        }
+        Err(e) => send_error(
+            conn,
+            counters,
+            session,
+            error_code::BAD_SNAPSHOT,
+            format!("stored snapshot for session {session} failed to restore: {e}"),
+        ),
+    }
+}
+
 fn new_cell(
     id: u32,
     session: Session,
-    cfg: &ServeConfig,
-    writer: &Arc<Mutex<BufWriter<Stream>>>,
+    shared: &Arc<Shared>,
+    writer_handle: &WriterHandle,
 ) -> Arc<SessionCell> {
     Arc::new(SessionCell {
         id,
         state: Mutex::new(Some(session)),
         mailbox: Mutex::new(MailboxState { deque: VecDeque::new(), scheduled: false }),
         space: Condvar::new(),
-        cap: cfg.queue_depth.max(1),
-        writer: Arc::clone(writer),
+        cap: shared.cfg.queue_depth.max(1),
+        writer: writer_handle.clone(),
     })
+}
+
+/// Track a store-backed session for the drain sweep.
+fn register(shared: &Shared, session: u32, cell: &Arc<SessionCell>) {
+    if shared.store.is_none() {
+        return;
+    }
+    let mut reg = lock_ok(&shared.registry);
+    reg.retain(|_, w| w.strong_count() > 0);
+    reg.insert(session, Arc::downgrade(cell));
 }
 
 fn enqueue(
     sessions: &mut HashMap<u32, Arc<SessionCell>>,
     session: u32,
     work: Work,
-    stop: &AtomicBool,
-    counters: &Arc<Counters>,
+    shared: &Arc<Shared>,
     ready: &mpsc::Sender<Arc<SessionCell>>,
-    writer: &Arc<Mutex<BufWriter<Stream>>>,
+    conn: &Arc<ConnWriter>,
 ) -> bool {
     let Some(cell) = sessions.get(&session) else {
         send_error(
-            writer,
-            counters,
+            conn,
+            &shared.counters,
             session,
             error_code::UNKNOWN_SESSION,
             format!("session {session} is not open"),
         );
         return false;
     };
-    if cell.push(work, stop) {
+    if cell.push(work, &shared.stop) {
         let _ = ready.send(Arc::clone(cell));
     }
     true
@@ -724,22 +1179,20 @@ fn enqueue(
 fn worker_loop(
     ready: &Mutex<mpsc::Receiver<Arc<SessionCell>>>,
     requeue: &mpsc::Sender<Arc<SessionCell>>,
-    stop: &AtomicBool,
-    counters: &Counters,
-    stats_every: u64,
+    shared: &Arc<Shared>,
 ) {
     loop {
         // Workers hold a `requeue` sender, so the channel never
         // disconnects while they live — poll the stop flag instead of
         // relying on `recv` erroring out at shutdown.
         let cell = {
-            let rx = ready.lock().unwrap();
+            let rx = lock_ok(ready);
             rx.recv_timeout(Duration::from_millis(100))
         };
         let cell = match cell {
             Ok(cell) => cell,
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if stop.load(Ordering::Relaxed) {
+                if shared.stop.load(Ordering::Relaxed) {
                     return;
                 }
                 continue;
@@ -749,7 +1202,27 @@ fn worker_loop(
         let mut emptied = false;
         for _ in 0..DRAIN_QUANTUM {
             match cell.pop() {
-                Some(work) => handle_work(&cell, work, counters, stats_every),
+                Some(work) => {
+                    // Panic isolation: a panicking work item loses its
+                    // own session, never the worker or the server.
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        handle_work(&cell, work, shared);
+                    }));
+                    if caught.is_err() {
+                        shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                        *lock_ok(&cell.state) = None;
+                        send_error(
+                            &cell.writer.conn,
+                            &shared.counters,
+                            cell.id,
+                            error_code::INTERNAL,
+                            format!(
+                                "worker panicked applying session {}; session dropped",
+                                cell.id
+                            ),
+                        );
+                    }
+                }
                 None => {
                     emptied = true; // `pop` released the scheduled token
                     break;
@@ -762,12 +1235,46 @@ fn worker_loop(
     }
 }
 
-fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every: u64) {
-    let mut guard = cell.state.lock().unwrap();
+/// Build and persist a [`StoreRecord`] for a live cell. `closing`
+/// marks the record closed (persisted just before the `Closed` ack so
+/// a crash in between is recoverable by re-closing).
+fn persist_cell(cell: &SessionCell, shared: &Shared, closing: bool) {
+    let Some(store) = shared.store.as_ref() else { return };
+    let record = {
+        let mut guard = lock_ok(&cell.state);
+        let Some(sess) = guard.as_mut() else { return };
+        let record = StoreRecord {
+            record_version: RECORD_VERSION,
+            session: cell.id,
+            rank: sess.rank,
+            events: sess.events_applied(),
+            closed: closing,
+            history_complete: sess.history_complete(),
+            directives: sess.history(),
+            snapshot: sess.snapshot(),
+        };
+        sess.mark_persisted();
+        record
+    };
+    // Disk I/O happens outside the session lock.
+    match store.persist(&record) {
+        Ok(()) => {
+            shared.counters.persisted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            shared.counters.persist_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
+    let counters = &shared.counters;
+    let writer = &cell.writer.conn;
+    let mut guard = lock_ok(&cell.state);
     let Some(sess) = guard.as_mut() else {
         drop(guard);
         send_error(
-            &cell.writer,
+            writer,
             counters,
             cell.id,
             error_code::UNKNOWN_SESSION,
@@ -777,26 +1284,41 @@ fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every:
     };
     match work {
         Work::Events(events) => {
+            if let Some(bad) = shared.cfg.panic_on_call {
+                assert!(
+                    !events.iter().any(|&(call, _)| call == bad),
+                    "chaos hook: panic_on_call {bad} hit"
+                );
+            }
             counters.events.fetch_add(events.len() as u64, Ordering::Relaxed);
             let (events_applied, directives) = sess.apply(&events);
             counters
                 .directives
                 .fetch_add(directives.len() as u64, Ordering::Relaxed);
-            let stats = (stats_every > 0 && sess.events_since_stats() >= stats_every)
+            let stats = (shared.cfg.stats_every > 0
+                && sess.events_since_stats() >= shared.cfg.stats_every)
                 .then(|| {
                     sess.mark_stats_emitted();
                     sess.stats()
                 });
+            let persist = shared.store.is_some()
+                && shared.cfg.persist_every > 0
+                && sess.events_since_persist() >= shared.cfg.persist_every;
             drop(guard);
             send_frame(
-                &cell.writer,
+                writer,
+                counters,
                 &ServerFrame::Directives { session: cell.id, events_applied, directives },
             );
             if let Some(stats) = stats {
                 send_frame(
-                    &cell.writer,
+                    writer,
+                    counters,
                     &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
                 );
+            }
+            if persist {
+                persist_cell(cell, shared, false);
             }
         }
         Work::Flush => {
@@ -804,7 +1326,8 @@ fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every:
             sess.mark_stats_emitted();
             drop(guard);
             send_frame(
-                &cell.writer,
+                writer,
+                counters,
                 &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
             );
         }
@@ -812,13 +1335,24 @@ fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every:
             let snapshot = sess.snapshot_bytes();
             drop(guard);
             send_frame(
-                &cell.writer,
+                writer,
+                counters,
                 &ServerFrame::SnapshotData { session: cell.id, snapshot },
             );
         }
         Work::Close(final_compute_ns) => {
-            let sess = guard.take().expect("checked above");
             drop(guard);
+            // Persist the pre-close state first: a crash between this
+            // point and the `Closed` ack leaves a record the client
+            // can restore and re-close — the deterministic finish
+            // re-issues identical final directives.
+            persist_cell(cell, shared, true);
+            let mut guard = lock_ok(&cell.state);
+            let sess = guard.take().expect("session present: checked above");
+            drop(guard);
+            if shared.store.is_some() {
+                lock_ok(&shared.registry).remove(&cell.id);
+            }
             let events_applied = sess.events_applied();
             let (fresh, directives_total, stats) = sess.close(final_compute_ns);
             counters
@@ -827,7 +1361,8 @@ fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every:
             counters.closed.fetch_add(1, Ordering::Relaxed);
             if !fresh.is_empty() {
                 send_frame(
-                    &cell.writer,
+                    writer,
+                    counters,
                     &ServerFrame::Directives {
                         session: cell.id,
                         events_applied,
@@ -836,7 +1371,8 @@ fn handle_work(cell: &SessionCell, work: Work, counters: &Counters, stats_every:
                 );
             }
             send_frame(
-                &cell.writer,
+                writer,
+                counters,
                 &ServerFrame::Closed {
                     session: cell.id,
                     directives_total,

@@ -2,6 +2,7 @@
 //! by event batches, with snapshot/restore for reconnecting clients.
 
 use crate::protocol::{ProtocolError, WireEvent};
+use crate::store::StoreRecord;
 use ibp_core::{LaneDirective, PowerConfig, RankRuntime, RankStats, RuntimeSnapshot};
 use ibp_simcore::SimDuration;
 use ibp_trace::MpiCall;
@@ -22,6 +23,13 @@ pub struct Session {
     runtime: RankRuntime,
     directives_sent: usize,
     events_since_stats: u64,
+    /// Directives issued before this runtime epoch (recovered from the
+    /// snapshot store on a rehydrating restore); `history()` prepends
+    /// them so a persisted record always carries the session's complete
+    /// directive stream.
+    prefix: Vec<LaneDirective>,
+    prefix_complete: bool,
+    events_since_persist: u64,
 }
 
 impl Session {
@@ -33,6 +41,9 @@ impl Session {
             runtime: RankRuntime::new(rank, cfg),
             directives_sent: 0,
             events_since_stats: 0,
+            prefix: Vec::new(),
+            prefix_complete: true,
+            events_since_persist: 0,
         }
     }
 
@@ -44,11 +55,35 @@ impl Session {
             .map_err(|e| ProtocolError::BadSnapshot(e.to_string()))?;
         let runtime = RankRuntime::from_snapshot(&snap)
             .map_err(|e| ProtocolError::BadSnapshot(e.to_string()))?;
+        // A client-supplied mid-stream snapshot leaves this server
+        // blind to the directives issued before it; records persisted
+        // from such a session cannot seed a store rehydration.
+        let prefix_complete = snap.event_idx == 0;
         Ok(Session {
             rank: snap.rank,
             runtime,
             directives_sent: 0,
             events_since_stats: 0,
+            prefix: Vec::new(),
+            prefix_complete,
+            events_since_persist: 0,
+        })
+    }
+
+    /// Rehydrate a session from a durable [`StoreRecord`]: the engine
+    /// resumes at the record's event position and the record's
+    /// directive history becomes the session's prefix.
+    pub fn restore_from_record(record: &StoreRecord) -> Result<Self, ProtocolError> {
+        let runtime = RankRuntime::from_snapshot(&record.snapshot)
+            .map_err(|e| ProtocolError::BadSnapshot(e.to_string()))?;
+        Ok(Session {
+            rank: record.rank,
+            runtime,
+            directives_sent: 0,
+            events_since_stats: 0,
+            prefix: record.directives.clone(),
+            prefix_complete: record.history_complete,
+            events_since_persist: 0,
         })
     }
 
@@ -61,6 +96,7 @@ impl Session {
             self.runtime.intercept(call, SimDuration::from_ns(gap_ns));
         }
         self.events_since_stats += events.len() as u64;
+        self.events_since_persist += events.len() as u64;
         let fresh = self.runtime.directives()[self.directives_sent..].to_vec();
         self.directives_sent += fresh.len();
         (self.runtime.events_seen() as u64, fresh)
@@ -102,6 +138,44 @@ impl Session {
     /// Mark a periodic stats summary as emitted.
     pub fn mark_stats_emitted(&mut self) {
         self.events_since_stats = 0;
+    }
+
+    /// Events applied since the last durable persist; the caller resets
+    /// it when it persists.
+    #[must_use]
+    pub fn events_since_persist(&self) -> u64 {
+        self.events_since_persist
+    }
+
+    /// Mark a durable persist as done.
+    pub fn mark_persisted(&mut self) {
+        self.events_since_persist = 0;
+    }
+
+    /// The session's complete directive history — the rehydration
+    /// prefix plus everything this runtime epoch issued. This is what a
+    /// [`StoreRecord`] carries so a rehydrating client can rebuild its
+    /// parity accounting from event 0.
+    #[must_use]
+    pub fn history(&self) -> Vec<LaneDirective> {
+        let mut v = Vec::with_capacity(self.prefix.len() + self.runtime.directives().len());
+        v.extend_from_slice(&self.prefix);
+        v.extend_from_slice(self.runtime.directives());
+        v
+    }
+
+    /// Whether [`Session::history`] really reaches back to event 0 (see
+    /// [`StoreRecord::history_complete`]).
+    #[must_use]
+    pub fn history_complete(&self) -> bool {
+        self.prefix_complete
+    }
+
+    /// The engine's full learned state in typed form (the store's
+    /// record body; [`Session::snapshot_bytes`] is the wire form).
+    #[must_use]
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        self.runtime.snapshot()
     }
 
     /// Finish the stream (trailing compute time) and return the final

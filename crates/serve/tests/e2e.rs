@@ -88,7 +88,7 @@ fn tcp_roundtrip_with_snapshot_split_is_transparent() {
         &endpoint,
         ServeConfig { workers: 3, ..Default::default() },
         specs,
-        &LoadConfig { batch: 17, split: Some(0.5), check: true },
+        &LoadConfig { batch: 17, split: Some(0.5), check: true, ..Default::default() },
     );
     assert!(report.parity_ok, "split-parity failed: {report:?}");
     // A split session opens twice (fresh + restored) but closes once.
