@@ -233,7 +233,11 @@ fn annotate_probe_named(nprocs: u32, iters: usize, jobs: usize, reps: u32, name:
 /// intercept hot path, and the directive stream back. One server is
 /// bound per probe; every repetition reconnects its sessions (session
 /// ids are reusable after `Close`), so connection setup is amortised
-/// over the stream, exactly as `ibpower load` does it.
+/// over the stream, exactly as `ibpower load` does it. Since the
+/// observability layer landed, this path is also the metrics-
+/// instrumented one — every batch bumps the registry's atomic counters
+/// — so the probe measures (and the `--check` gate bounds) the
+/// instrumented cost, not a bare-path fiction.
 pub fn probe_serve_roundtrip(iters: usize, sessions: usize, reps: u32) -> Probe {
     use ibp_serve::{run_load, Endpoint, LoadConfig, ServeConfig, Server, SessionSpec};
 

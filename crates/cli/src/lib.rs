@@ -9,8 +9,10 @@
 //! ibpower replay   <trace.json> [--ann ann.json] [--timeline]
 //! ibpower experiment <app> <nprocs> [--gt US] [--disp F] [--seed N]
 //! ibpower prv      <trace.json> [-o out.prv]
-//! ibpower serve    (--uds PATH | --tcp ADDR) [--workers N]
+//! ibpower serve    (--uds PATH | --tcp ADDR) [--workers N] [--metrics-addr ADDR]
 //! ibpower load     <app> <nprocs> (--uds PATH | --tcp ADDR) [--sessions N]
+//! ibpower stat     (--uds PATH | --tcp ADDR) [--session N]
+//! ibpower top      (--uds PATH | --tcp ADDR) [--interval-ms N] [--once]
 //! ```
 //!
 //! The parsing layer is exposed as a library so it can be unit-tested
@@ -173,6 +175,9 @@ pub enum Command {
         idle_timeout_ms: u64,
         /// Socket write timeout, ms (0 = none).
         write_timeout_ms: u64,
+        /// Prometheus text-exposition listener address
+        /// (e.g. `127.0.0.1:9401`; absent = no exporter).
+        metrics_addr: Option<String>,
     },
     /// Drive a workload's event streams against a running server.
     Load {
@@ -208,6 +213,22 @@ pub enum Command {
         deadline_ms: u64,
         /// Output path for the throughput/latency report JSON.
         output: Option<String>,
+    },
+    /// One-shot `ibstat`-style live state table from a running server.
+    Stat {
+        /// Server endpoint to query.
+        endpoint: EndpointSpec,
+        /// Probe only this session id (absent = the whole fleet).
+        session: Option<u32>,
+    },
+    /// Refreshing live view of a running server (`--once` for scripts).
+    Top {
+        /// Server endpoint to query.
+        endpoint: EndpointSpec,
+        /// Refresh interval, milliseconds.
+        interval_ms: u64,
+        /// Render a single frame and exit (no screen clearing).
+        once: bool,
     },
     /// Print usage.
     Help,
@@ -268,6 +289,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--chaos-seed",
                     "--retries",
                     "--deadline-ms",
+                    "--metrics-addr",
+                    "--session",
+                    "--interval-ms",
                 ]
                 .contains(&a.as_str())
                 {
@@ -504,6 +528,29 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 write_queue: parse_count("--write-queue", 256)?,
                 idle_timeout_ms: parse_ms("--idle-timeout-ms", 0)?,
                 write_timeout_ms: parse_ms("--write-timeout-ms", 30_000)?,
+                metrics_addr: flag_val("--metrics-addr").map(str::to_string),
+            })
+        }
+        "stat" => {
+            let session = match flag_val("--session") {
+                Some(s) => Some(s.parse::<u32>().map_err(|_| format!("bad --session: {s}"))?),
+                None => None,
+            };
+            Ok(Command::Stat { endpoint: parse_endpoint()?, session })
+        }
+        "top" => {
+            let interval_ms = match flag_val("--interval-ms") {
+                Some(s) => s
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --interval-ms: {s}"))?,
+                None => 1_000,
+            };
+            Ok(Command::Top {
+                endpoint: parse_endpoint()?,
+                interval_ms,
+                once: has_flag("--once"),
             })
         }
         "load" => {
@@ -585,10 +632,13 @@ USAGE:
                    [--stats-every N] [--session-limit N] [--store DIR]
                    [--persist-every N] [--write-queue N]
                    [--idle-timeout-ms N] [--write-timeout-ms N]
+                   [--metrics-addr ADDR]
   ibpower load     <app> <nprocs> (--uds PATH | --tcp ADDR) [--sessions N]
                    [--batch N] [--seed N] [--split F] [--check] [--gt US]
                    [--disp F] [--chaos F] [--chaos-seed N] [--retries N]
                    [--deadline-ms N] [-o report.json]
+  ibpower stat     (--uds PATH | --tcp ADDR) [--session N]
+  ibpower top      (--uds PATH | --tcp ADDR) [--interval-ms N] [--once]
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
 
@@ -641,8 +691,19 @@ DURABILITY & CHAOS:
                      start), so --chaos --check must still end in parity.
   --chaos-seed N     deterministic fault streams (default 0xC4A05EED)
   --retries N        consecutive failed attempts before a session gives
-                     up (default 8)
+                     up (default 8; gave-up sessions are reported in the
+                     load summary, and force a --check failure)
   --deadline-ms N    per-request response deadline (default 10000)
+
+OBSERVABILITY: `serve --metrics-addr ADDR` exposes every server counter
+  and gauge in Prometheus text format over plain HTTP (scrape any path).
+  `stat` connects, sends one in-band Query frame, and prints an
+  ibstat-style per-link table: power state, lane width, signalling rate,
+  pattern/timing mispredictions, resilience windows, fault-injection
+  rate. `top` refreshes that view every --interval-ms (default 1000);
+  --once renders a single frame for scripts. Queries are answered on the
+  connection reader, out of band of the session work queues, so probing
+  a busy server never perturbs its streams.
 
 BENCH-REPORT: time the hot paths (PMPI interception, PPA scan, replay,
   rank-parallel annotation, serve round trip) and append an entry to the
@@ -949,6 +1010,7 @@ mod tests {
                 write_queue: 256,
                 idle_timeout_ms: 0,
                 write_timeout_ms: 30_000,
+                metrics_addr: None,
             }
         );
         let c = parse(&argv(
@@ -968,8 +1030,67 @@ mod tests {
                 write_queue: 256,
                 idle_timeout_ms: 0,
                 write_timeout_ms: 30_000,
+                metrics_addr: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_metrics_addr() {
+        let c = parse(&argv("serve --uds a.sock --metrics-addr 127.0.0.1:9401")).unwrap();
+        match c {
+            Command::Serve { metrics_addr, .. } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:9401"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --metrics-addr takes a value: it must not leak into positionals.
+        assert!(parse(&argv("serve --metrics-addr 127.0.0.1:9401 --uds a.sock")).is_ok());
+    }
+
+    #[test]
+    fn parses_stat_and_top() {
+        let c = parse(&argv("stat --tcp 127.0.0.1:9400")).unwrap();
+        assert_eq!(
+            c,
+            Command::Stat {
+                endpoint: EndpointSpec::Tcp("127.0.0.1:9400".into()),
+                session: None,
+            }
+        );
+        let c = parse(&argv("stat --uds a.sock --session 3")).unwrap();
+        assert_eq!(
+            c,
+            Command::Stat {
+                endpoint: EndpointSpec::Uds("a.sock".into()),
+                session: Some(3),
+            }
+        );
+        let c = parse(&argv("top --uds a.sock")).unwrap();
+        assert_eq!(
+            c,
+            Command::Top {
+                endpoint: EndpointSpec::Uds("a.sock".into()),
+                interval_ms: 1_000,
+                once: false,
+            }
+        );
+        let c = parse(&argv("top --tcp [::1]:9400 --interval-ms 250 --once")).unwrap();
+        assert_eq!(
+            c,
+            Command::Top {
+                endpoint: EndpointSpec::Tcp("[::1]:9400".into()),
+                interval_ms: 250,
+                once: true,
+            }
+        );
+        assert!(parse(&argv("stat")).unwrap_err().contains("missing endpoint"));
+        assert!(parse(&argv("stat --uds a.sock --session x"))
+            .unwrap_err()
+            .contains("bad --session"));
+        assert!(parse(&argv("top --uds a.sock --interval-ms 0"))
+            .unwrap_err()
+            .contains("bad --interval-ms"));
     }
 
     #[test]

@@ -32,6 +32,121 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     ibp_trace::io::load(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
+/// Render a [`ibp_serve::ObsReport`] as the `ibstat`-style text block
+/// `stat` prints once and `top` refreshes: a server-wide header, then
+/// one row per probed link (session) with its live power state, lane
+/// width, signalling rate, misprediction counters, resilience windows,
+/// and fault-injection rate.
+fn render_report(ep: &ibp_serve::Endpoint, report: &ibp_serve::ObsReport) -> String {
+    use std::fmt::Write as _;
+    let s = &report.server;
+    let sum = &s.summary;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ibp-serve @ {ep}: {} live session(s), {} worker(s)",
+        s.sessions_live, s.workers
+    );
+    let _ = writeln!(
+        out,
+        "counters : {} opened / {} closed, {} events, {} directives",
+        sum.sessions_opened, sum.sessions_closed, sum.events_applied, sum.directives_sent
+    );
+    let _ = writeln!(
+        out,
+        "health   : {} shed, {} panics, {} respawns, {} protocol errors",
+        sum.responses_shed, sum.worker_panics, sum.worker_respawns, sum.protocol_errors
+    );
+    let _ = writeln!(
+        out,
+        "queues   : ready {} (limit {}/session), writer {}",
+        s.ready_queue_depth, s.queue_depth_limit, s.writer_queue_depth
+    );
+    if let Some(st) = &s.store {
+        let _ = writeln!(
+            out,
+            "store    : {} record(s), {} closed, {} complete histories \
+             ({} persisted, {} failures, {} rehydrated)",
+            st.sessions,
+            st.closed,
+            st.complete_histories,
+            sum.snapshots_persisted,
+            sum.persist_failures,
+            sum.sessions_rehydrated
+        );
+    }
+    if let Some(f) = s.chaos_intensity {
+        let _ = writeln!(out, "chaos    : {f:.3} faults/io-call injected on every connection");
+    }
+    if report.sessions.is_empty() {
+        let _ = writeln!(out, "\n(no live sessions)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<5} {:<5} {:<6} {:<5} {:>5} {:>9} {:>7} {:>9} {:>8} {:>4} {:>5} {:>7} {:>9} {:>6}",
+        "SESS",
+        "RANK",
+        "STATE",
+        "WIDTH",
+        "GB/S",
+        "EVENTS",
+        "DIRS",
+        "MISP(P/T)",
+        "WIN(P/T)",
+        "HOLD",
+        "GUARD",
+        "PHASE",
+        "IDLE-US",
+        "FAULTS"
+    );
+    for p in &report.sessions {
+        // A busy row means the probe raced a worker holding the engine;
+        // only identity and queue depth are live, so render the link
+        // columns as unknown rather than the placeholder defaults.
+        let (state, width, speed) = if p.busy {
+            ("busy".to_string(), "-".to_string(), "-".to_string())
+        } else {
+            (
+                p.power_state.label().to_string(),
+                format!("{}X", p.lane_width),
+                format!("{:.0}", p.power_state.speed_gbps()),
+            )
+        };
+        let phase = match (p.pattern_slot, p.pattern_slots) {
+            (Some(slot), Some(slots)) => format!("{slot}/{slots}"),
+            _ => "-".to_string(),
+        };
+        let idle = p
+            .predicted_idle_ns
+            .map(|ns| format!("{:.1}", ns as f64 / 1_000.0))
+            .unwrap_or_else(|| "-".to_string());
+        let faults = s
+            .chaos_intensity
+            .map(|f| format!("{f:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<5} {:<5} {:<6} {:<5} {:>5} {:>9} {:>7} {:>9} {:>8} {:>4} {:>5} {:>7} {:>9} {:>6}",
+            p.session,
+            p.rank,
+            state,
+            width,
+            speed,
+            p.events_applied,
+            p.directives_sent,
+            format!("{}/{}", p.pattern_mispredictions, p.timing_mispredictions),
+            format!("{}/{}", p.recent_pattern_window, p.recent_timing_window),
+            p.holdoff_remaining,
+            format!("{:.2}", p.guard_band),
+            phase,
+            idle,
+            faults
+        );
+    }
+    out
+}
+
 fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Help => {
@@ -438,6 +553,7 @@ fn run(cmd: Command) -> Result<(), String> {
             write_queue,
             idle_timeout_ms,
             write_timeout_ms,
+            metrics_addr,
         } => {
             let ep = endpoint.to_endpoint();
             let cfg = ibp_serve::ServeConfig {
@@ -451,6 +567,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 persist_every,
                 chaos: None,
                 panic_on_call: None,
+                metrics_addr,
             };
             let mut server =
                 ibp_serve::Server::bind(&ep, cfg).map_err(|e| format!("binding {ep}: {e}"))?;
@@ -473,6 +590,9 @@ fn run(cmd: Command) -> Result<(), String> {
                 server = server.with_store(std::sync::Arc::new(store));
             }
             eprintln!("serving on {} ({workers} workers)", server.endpoint());
+            if let Some(addr) = server.metrics_endpoint() {
+                eprintln!("metrics    : http://{addr}/metrics (Prometheus text exposition)");
+            }
             // SIGINT/SIGTERM raise the stop flag: the accept loop
             // breaks, in-flight work quiesces, and store-backed
             // sessions are persisted before exit.
@@ -587,6 +707,12 @@ fn run(cmd: Command) -> Result<(), String> {
             if report.reconnects > 0 {
                 println!("reconnects : {} cycles survived", report.reconnects);
             }
+            if report.gave_up > 0 {
+                println!(
+                    "gave up    : {} session(s) abandoned after exhausting --retries",
+                    report.gave_up
+                );
+            }
             if report.parity_checked {
                 println!(
                     "parity     : {}",
@@ -606,6 +732,42 @@ fn run(cmd: Command) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        Command::Stat { endpoint, session } => {
+            let ep = endpoint.to_endpoint();
+            let mut client =
+                ibp_serve::Client::connect(&ep).map_err(|e| format!("connecting {ep}: {e}"))?;
+            let report = match session {
+                Some(id) => client.query(id),
+                None => client.query_server(),
+            }
+            .map_err(|e| format!("query against {ep}: {e}"))?;
+            print!("{}", render_report(&ep, &report));
+            Ok(())
+        }
+        Command::Top {
+            endpoint,
+            interval_ms,
+            once,
+        } => {
+            let ep = endpoint.to_endpoint();
+            let mut client =
+                ibp_serve::Client::connect(&ep).map_err(|e| format!("connecting {ep}: {e}"))?;
+            loop {
+                let report = client
+                    .query_server()
+                    .map_err(|e| format!("query against {ep}: {e}"))?;
+                if once {
+                    print!("{}", render_report(&ep, &report));
+                    return Ok(());
+                }
+                // Clear the screen and re-home before every frame, like
+                // `top`; ctrl-C exits.
+                print!("\x1b[2J\x1b[H{}", render_report(&ep, &report));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
         }
         Command::Prv { trace, output } => {
             let t = load_trace(&trace)?;

@@ -309,6 +309,65 @@ impl RankRuntime {
         self.event_idx
     }
 
+    /// Phase of the declared pattern while predicting:
+    /// `(slot, progress, slots)` — the slot whose gram is currently
+    /// being matched, the calls already matched within it, and the
+    /// pattern length in slots. `None` while learning.
+    #[must_use]
+    pub fn pattern_phase(&self) -> Option<(usize, usize, usize)> {
+        match &self.mode {
+            Mode::Learning => None,
+            Mode::Predicting { shapes, slot, progress, .. } => {
+                Some((*slot, *progress, shapes.len()))
+            }
+        }
+    }
+
+    /// The armed sleep window, if a lane-off directive is outstanding:
+    /// its depth and the programmed HCA wake-up timer.
+    #[must_use]
+    pub fn pending_sleep(&self) -> Option<(SleepKind, SimDuration)> {
+        self.pending.map(|p| (p.kind, p.timer))
+    }
+
+    /// The PPA's current prediction horizon: the mean idle gap predicted
+    /// for the upcoming pattern slot (what the next issued timer is
+    /// derived from). `None` while learning.
+    #[must_use]
+    pub fn predicted_horizon(&self) -> Option<SimDuration> {
+        match &self.mode {
+            Mode::Learning => None,
+            Mode::Predicting { pattern, shapes, slot, progress } => {
+                let next = if *progress == 0 { *slot } else { (*slot + 1) % shapes.len() };
+                Some(
+                    self.ppa
+                        .pattern_list()
+                        .entry(*pattern)
+                        .and_then(|e| e.slot_gaps.get(next))
+                        .map(|m| m.mean())
+                        .unwrap_or(SimDuration::ZERO),
+                )
+            }
+        }
+    }
+
+    /// Occupancy of the resilience controller's sliding misprediction
+    /// windows: `(pattern, timing)` mispredictions currently inside the
+    /// storm window. Both zero when the controller is disabled.
+    #[must_use]
+    pub fn resilience_windows(&self) -> (usize, usize) {
+        (
+            self.resilience.recent_pattern.len(),
+            self.resilience.recent_timing.len(),
+        )
+    }
+
+    /// Calls left in the current prediction hold-off (0 = no hold-off).
+    #[must_use]
+    pub fn holdoff_remaining(&self) -> u32 {
+        self.resilience.holdoff_remaining
+    }
+
     /// Intercept one MPI call: `gap` is the idle time since the previous
     /// call on this rank (the `compute_before` of the trace record).
     pub fn intercept(&mut self, call: MpiCall, gap: SimDuration) {

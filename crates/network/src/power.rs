@@ -37,6 +37,46 @@ impl LinkPower {
             LinkPower::Deep => crate::config::DEEP_POWER_FRACTION,
         }
     }
+
+    /// The state a link is in while a runtime's sleep directive is
+    /// outstanding: no pending sleep means all lanes up; a WRPS sleep
+    /// is the 1X low-power mode; a deep sleep powers the port down.
+    /// This is the readout `ibpower stat`/`top` render per session.
+    #[must_use]
+    pub fn from_pending_sleep(pending: Option<SleepKind>) -> LinkPower {
+        match pending {
+            None => LinkPower::Full,
+            Some(SleepKind::Wrps) => LinkPower::Low,
+            Some(SleepKind::Deep) => LinkPower::Deep,
+        }
+    }
+
+    /// Active lanes in this state (the paper's links are 4X).
+    #[must_use]
+    pub fn lane_width(self) -> u8 {
+        match self {
+            LinkPower::Full | LinkPower::Transition => 4,
+            LinkPower::Low => 1,
+            LinkPower::Deep => 0,
+        }
+    }
+
+    /// Signalling rate at this width, Gb/s (QDR: 10 Gb/s per lane).
+    #[must_use]
+    pub fn speed_gbps(self) -> f64 {
+        f64::from(self.lane_width()) * 10.0
+    }
+
+    /// `ibstat`-style state label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkPower::Full => "Full",
+            LinkPower::Low => "Low",
+            LinkPower::Deep => "Deep",
+            LinkPower::Transition => "Trans",
+        }
+    }
 }
 
 /// Power bookkeeping for one host link.

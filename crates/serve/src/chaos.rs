@@ -75,6 +75,14 @@ impl ChaosConfig {
         }
     }
 
+    /// Summed per-I/O-call fault probability — the scalar fault-
+    /// injection readout `ibpower stat`/`top` surface per link when the
+    /// server wraps connections in the chaos harness.
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        self.partial_write + self.short_read + self.stall + self.reset + self.corrupt
+    }
+
     /// Derive a config with a different seed (used to decorrelate
     /// per-connection fault streams from one base config).
     #[must_use]

@@ -20,7 +20,9 @@
 //! [`RetryPolicy`]: capped exponential backoff with seeded jitter
 //! between connection attempts, a per-request read deadline so a stalled
 //! server cannot hang the client forever, and a hard attempt budget
-//! after which the run fails with [`ProtocolError::GaveUp`]. After a
+//! after which the session abandons its stream and reports
+//! `gave_up` in its [`SessionOutcome`] (aggregated as
+//! [`LoadReport::gave_up`]) instead of sinking the whole fleet. After a
 //! reconnect the client first tries a store rehydration (empty-body
 //! `Restore`): the server answers with the resume position and replays
 //! the session's full directive history, so the client rebuilds its
@@ -31,9 +33,10 @@
 //! is deterministic, so either path converges on the same directives.
 
 use crate::chaos::ChaosConfig;
+use crate::metrics::ObsReport;
 use crate::protocol::{
     decode_server, error_code, read_frame, write_frame, ClientFrame, ProtocolError, ServerFrame,
-    WireEvent,
+    WireEvent, CONNECTION_SESSION,
 };
 use crate::server::{Endpoint, Stream};
 use ibp_core::{LaneDirective, PowerConfig, RankStats};
@@ -129,6 +132,7 @@ impl Client {
                     return Err(ProtocolError::Remote { code, message })
                 }
                 ServerFrame::Stats { .. } => continue,
+                ServerFrame::QueryReply { .. } => continue,
                 other => match want(other) {
                     Some(v) => return Ok(v),
                     None => {
@@ -238,6 +242,44 @@ impl Client {
         })
     }
 
+    /// Probe one session's live state without perturbing its stream.
+    ///
+    /// The server answers `Query` inline on the reader thread — it
+    /// never enters the session mailbox — so an interleaved query is
+    /// invisible to the event/directive stream. The report carries
+    /// server-wide counters plus (at most) one [`ObsReport::sessions`]
+    /// entry for `session`.
+    pub fn query(&mut self, session: u32) -> Result<ObsReport, ProtocolError> {
+        self.send(&ClientFrame::Query { session })?;
+        self.expect_report()
+    }
+
+    /// Probe the whole fleet: server-wide counters plus one probe per
+    /// live session, in session-id order. Uses the reserved
+    /// [`CONNECTION_SESSION`] id, which `Query` (alone among client
+    /// frames) accepts.
+    pub fn query_server(&mut self) -> Result<ObsReport, ProtocolError> {
+        self.send(&ClientFrame::Query { session: CONNECTION_SESSION })?;
+        self.expect_report()
+    }
+
+    fn expect_report(&mut self) -> Result<ObsReport, ProtocolError> {
+        loop {
+            match self.recv()? {
+                ServerFrame::Error { code, message, .. } => {
+                    return Err(ProtocolError::Remote { code, message })
+                }
+                ServerFrame::Stats { .. } => continue,
+                ServerFrame::QueryReply { report, .. } => return Ok(*report),
+                other => {
+                    return Err(ProtocolError::Unexpected(format!(
+                        "waiting for QueryReply, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Finish the stream. Returns any directives issued by the final
     /// compute interval, the lifetime directive count, and final stats.
     pub fn close(
@@ -253,6 +295,7 @@ impl Client {
                     return Err(ProtocolError::Remote { code, message })
                 }
                 ServerFrame::Stats { .. } => continue,
+                ServerFrame::QueryReply { .. } => continue,
                 ServerFrame::Directives { directives, .. } => last.extend(directives),
                 ServerFrame::Closed { directives_total, stats, .. } => {
                     self.open_sessions.retain(|&s| s != session);
@@ -292,8 +335,8 @@ impl Drop for Client {
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Consecutive failed attempts (connection or request) before the
-    /// driver gives up with [`ProtocolError::GaveUp`]. `1` means no
-    /// retries at all.
+    /// driver abandons the session (reported as `gave_up` in its
+    /// [`SessionOutcome`]). `1` means no retries at all.
     pub max_attempts: u32,
     /// First backoff delay, milliseconds; doubles per consecutive
     /// failure.
@@ -423,6 +466,10 @@ pub struct SessionOutcome {
     pub directives: u64,
     /// Reconnect cycles this session survived.
     pub reconnects: u64,
+    /// The session exhausted its [`RetryPolicy`] attempt budget and
+    /// abandoned the stream early; `events`/`directives` count what
+    /// landed before it quit.
+    pub gave_up: bool,
     /// Parity verdict (`None` when no golden annotation was supplied or
     /// checking was off).
     pub parity_ok: Option<bool>,
@@ -441,6 +488,10 @@ pub struct LoadReport {
     pub batches: u64,
     /// Reconnect cycles across all sessions (0 on a healthy transport).
     pub reconnects: u64,
+    /// Sessions that exhausted their retry budget and gave up without
+    /// closing (0 on a healthy run; a nonzero value also forces
+    /// `parity_ok` to `false` when checking is on).
+    pub gave_up: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed_s: f64,
     /// Aggregate throughput.
@@ -461,7 +512,12 @@ pub struct LoadReport {
 
 /// Drive every spec as its own connection+thread against `endpoint`.
 ///
-/// Returns after all sessions close; any session error fails the run.
+/// Returns after all sessions finish; a terminal protocol error fails
+/// the run, but a session that exhausts its retry budget is *reported*
+/// (per-session `gave_up`, aggregate [`LoadReport::gave_up`]) rather
+/// than failing the whole fleet — under heavy chaos some sessions
+/// legitimately lose the race, and the caller decides whether that is
+/// acceptable.
 pub fn run_load(
     endpoint: &Endpoint,
     specs: Vec<SessionSpec>,
@@ -513,6 +569,7 @@ pub fn run_load(
     let events_total: u64 = outcomes.iter().map(|o| o.events).sum();
     let directives_total: u64 = outcomes.iter().map(|o| o.directives).sum();
     let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
+    let gave_up: u64 = outcomes.iter().filter(|o| o.gave_up).count() as u64;
     let parity_checked = cfg.check;
     let parity_ok = !parity_checked || outcomes.iter().all(|o| o.parity_ok != Some(false));
     Ok(LoadReport {
@@ -521,6 +578,7 @@ pub fn run_load(
         directives_total,
         batches: latencies_ns.len() as u64,
         reconnects,
+        gave_up,
         elapsed_s,
         events_per_sec: if elapsed_s > 0.0 { events_total as f64 / elapsed_s } else { 0.0 },
         latency_p50_us: pct(0.50),
@@ -572,11 +630,12 @@ fn drive_session(
     let mut conn_seq: u64 = 0;
     let mut reconnects: u64 = 0;
     let mut failures: u32 = 0;
+    let mut gave_up = false;
     let mut client: Option<Client> = None;
     let mut closed: Option<(u64, RankStats)> = None;
 
     // One reconnect cycle per iteration; a healthy run finishes in one.
-    while closed.is_none() {
+    'run: while closed.is_none() {
         // (Re-)establish a connection and a live server-side session.
         let mut c = match client.take() {
             Some(c) => c,
@@ -622,10 +681,8 @@ fn drive_session(
                         }
                         failures += 1;
                         if failures >= cfg.retry.max_attempts.max(1) {
-                            return Err(ProtocolError::GaveUp {
-                                attempts: failures,
-                                last: Box::new(e),
-                            });
+                            gave_up = true;
+                            break 'run;
                         }
                         reconnects += 1;
                         std::thread::sleep(cfg.retry.backoff(failures, &mut rng));
@@ -688,10 +745,8 @@ fn drive_session(
                         }
                         failures += 1;
                         if failures >= cfg.retry.max_attempts.max(1) {
-                            return Err(ProtocolError::GaveUp {
-                                attempts: failures,
-                                last: Box::new(e),
-                            });
+                            gave_up = true;
+                            break 'run;
                         }
                         reconnects += 1;
                         std::thread::sleep(cfg.retry.backoff(failures, &mut rng));
@@ -707,10 +762,8 @@ fn drive_session(
                 c.abandon();
                 failures += 1;
                 if failures >= cfg.retry.max_attempts.max(1) {
-                    return Err(ProtocolError::GaveUp {
-                        attempts: failures,
-                        last: Box::new(e),
-                    });
+                    gave_up = true;
+                    break 'run;
                 }
                 reconnects += 1;
                 std::thread::sleep(cfg.retry.backoff(failures, &mut rng));
@@ -718,13 +771,16 @@ fn drive_session(
         }
     }
 
-    let (_, stats) = closed.expect("loop exits only once closed");
-    let parity_ok = if cfg.check {
+    let parity_ok = if gave_up {
+        // An abandoned stream cannot match its golden annotation.
+        if cfg.check { Some(false) } else { None }
+    } else if cfg.check {
+        let (_, stats) = closed.as_ref().expect("loop exits only once closed");
         match (&spec.golden_directives, &spec.golden_stats) {
             (Some(golden), golden_stats) => {
                 let mut ok = &journal == golden;
                 if let Some(gs) = golden_stats {
-                    ok &= gs == &stats;
+                    ok &= gs == stats;
                 }
                 Some(ok)
             }
@@ -738,9 +794,10 @@ fn drive_session(
         SessionOutcome {
             session,
             rank: spec.rank,
-            events: total as u64,
+            events: next_event as u64,
             directives: journal.len() as u64,
             reconnects,
+            gave_up,
             parity_ok,
         },
         latencies_ns,

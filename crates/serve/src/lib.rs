@@ -25,7 +25,12 @@
 //!   testing;
 //! * [`client`] — blocking protocol client with reconnect/retry and
 //!   request deadlines, plus the multi-session load generator with
-//!   throughput/latency reporting and offline-parity checking.
+//!   throughput/latency reporting and offline-parity checking;
+//! * [`metrics`] — the live observability layer: lock-free
+//!   [`MetricsRegistry`] counters/gauges, Prometheus text exposition
+//!   over a plaintext HTTP/1.0 `--metrics-addr` listener, and the
+//!   typed [`ObsReport`] probes that answer `Query` frames (what
+//!   `ibpower stat`/`top` render).
 //!
 //! The server's streamed output is *byte-identical* to the offline
 //! [`ibp_core::annotate_rank`] golden path for any batch size, any
@@ -38,6 +43,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
@@ -45,6 +51,9 @@ pub mod store;
 
 pub use chaos::{ChaosConfig, ChaosCounters, ChaosStream};
 pub use client::{run_load, Client, LoadConfig, LoadReport, RetryPolicy, SessionOutcome, SessionSpec};
+pub use metrics::{
+    spawn_exporter, MetricsRegistry, ObsReport, ServerProbe, SessionProbe, StoreProbe,
+};
 pub use protocol::{ClientFrame, ProtocolError, ServerFrame, WireEvent, PROTOCOL_VERSION};
 pub use server::{Endpoint, ServeConfig, ServeSummary, Server, Stream};
 pub use session::Session;

@@ -35,6 +35,7 @@
 //! [`ProtocolError`] — never a panic (fuzz-tested in
 //! `tests/protocol_fuzz.rs`).
 
+use crate::metrics::ObsReport;
 use ibp_core::{LaneDirective, PowerConfig, RankStats, SleepKind};
 use ibp_simcore::SimDuration;
 use std::io::{Read, Write};
@@ -292,6 +293,19 @@ pub enum ClientFrame {
         /// Trailing compute time after the last call (nanoseconds).
         final_compute_ns: u64,
     },
+    /// Live introspection request, answered inline by the connection
+    /// reader with a [`ServerFrame::QueryReply`] — it never enters the
+    /// session's work mailbox, so a mid-stream query cannot perturb the
+    /// session FIFO or its output.
+    ///
+    /// Addressing [`CONNECTION_SESSION`] asks for the *fleet* view
+    /// (every live session); any other id narrows the reply to that
+    /// session's probe (empty if it is not live). Unlike `Open`/
+    /// `Restore`, the reserved id is therefore legal here.
+    Query {
+        /// Session to probe, or [`CONNECTION_SESSION`] for all.
+        session: u32,
+    },
 }
 
 /// Frames the server sends.
@@ -339,6 +353,16 @@ pub enum ServerFrame {
         /// Final statistics (JSON on the wire).
         stats: Box<RankStats>,
     },
+    /// Answer to a [`ClientFrame::Query`]: server-wide counters plus
+    /// per-session live probes (JSON on the wire — introspection is
+    /// cold path and schema-rich, like `Stats`).
+    QueryReply {
+        /// Echo of the query's session id ([`CONNECTION_SESSION`] for
+        /// a fleet query).
+        session: u32,
+        /// The observability report.
+        report: Box<ObsReport>,
+    },
     /// A request for `session` failed; the session (if it existed) was
     /// dropped.
     Error {
@@ -358,11 +382,13 @@ const K_FLUSH: u8 = 0x03;
 const K_SNAPSHOT: u8 = 0x04;
 const K_RESTORE: u8 = 0x05;
 const K_CLOSE: u8 = 0x06;
+const K_QUERY: u8 = 0x07;
 const K_OPEN_ACK: u8 = 0x81;
 const K_DIRECTIVES: u8 = 0x82;
 const K_STATS: u8 = 0x83;
 const K_SNAPSHOT_DATA: u8 = 0x84;
 const K_CLOSED: u8 = 0x85;
+const K_QUERY_REPLY: u8 = 0x86;
 const K_ERROR: u8 = 0xEF;
 
 // ---------------------------------------------------------------- encode
@@ -404,7 +430,8 @@ impl ClientFrame {
             | ClientFrame::Flush { session }
             | ClientFrame::Snapshot { session }
             | ClientFrame::Restore { session, .. }
-            | ClientFrame::Close { session, .. } => session,
+            | ClientFrame::Close { session, .. }
+            | ClientFrame::Query { session } => session,
         }
     }
 
@@ -452,6 +479,10 @@ impl ClientFrame {
                 put_u32(&mut out, *session);
                 put_u64(&mut out, *final_compute_ns);
             }
+            ClientFrame::Query { session } => {
+                out.push(K_QUERY);
+                put_u32(&mut out, *session);
+            }
         }
         out
     }
@@ -467,6 +498,7 @@ impl ServerFrame {
             | ServerFrame::Stats { session, .. }
             | ServerFrame::SnapshotData { session, .. }
             | ServerFrame::Closed { session, .. }
+            | ServerFrame::QueryReply { session, .. }
             | ServerFrame::Error { session, .. } => session,
         }
     }
@@ -517,6 +549,15 @@ impl ServerFrame {
                 out.extend_from_slice(
                     serde_json::to_string(stats.as_ref())
                         .expect("stats serialize")
+                        .as_bytes(),
+                );
+            }
+            ServerFrame::QueryReply { session, report } => {
+                out.push(K_QUERY_REPLY);
+                put_u32(&mut out, *session);
+                out.extend_from_slice(
+                    serde_json::to_string(report.as_ref())
+                        .expect("report serializes")
                         .as_bytes(),
                 );
             }
@@ -667,6 +708,7 @@ pub fn decode_client(payload: &[u8]) -> Result<ClientFrame, ProtocolError> {
             let final_compute_ns = rd.u64()?;
             ClientFrame::Close { session, final_compute_ns }
         }
+        K_QUERY => ClientFrame::Query { session },
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     rd.finish()?;
@@ -719,6 +761,10 @@ pub fn decode_server(payload: &[u8]) -> Result<ServerFrame, ProtocolError> {
             let directives_total = rd.u64()?;
             let stats: RankStats = rd.json("rank stats")?;
             ServerFrame::Closed { session, directives_total, stats: Box::new(stats) }
+        }
+        K_QUERY_REPLY => {
+            let report: ObsReport = rd.json("observability report")?;
+            ServerFrame::QueryReply { session, report: Box::new(report) }
         }
         K_ERROR => {
             let code = rd.u16()?;
@@ -867,6 +913,41 @@ mod tests {
             snapshot: b"{\"version\":1}".to_vec(),
         });
         roundtrip_client(ClientFrame::Close { session: 5, final_compute_ns: 12345 });
+        roundtrip_client(ClientFrame::Query { session: 6 });
+    }
+
+    #[test]
+    fn fleet_query_may_use_the_reserved_session_id() {
+        // Query is the one client frame for which CONNECTION_SESSION is
+        // meaningful: it addresses the whole server, not a session.
+        roundtrip_client(ClientFrame::Query { session: CONNECTION_SESSION });
+    }
+
+    #[test]
+    fn query_reply_roundtrips() {
+        roundtrip_server(ServerFrame::QueryReply {
+            session: CONNECTION_SESSION,
+            report: Box::new(crate::metrics::ObsReport::default()),
+        });
+        let mut report = crate::metrics::ObsReport::default();
+        report.server.sessions_live = 3;
+        report.server.workers = 2;
+        report.sessions.push(crate::metrics::SessionProbe::busy(1, 0, 4));
+        roundtrip_server(ServerFrame::QueryReply { session: 1, report: Box::new(report) });
+    }
+
+    #[test]
+    fn truncated_query_reply_is_malformed_not_a_panic() {
+        let full = ServerFrame::QueryReply {
+            session: 2,
+            report: Box::new(crate::metrics::ObsReport::default()),
+        }
+        .encode();
+        // Anything shorter than kind+session is malformed; a truncated
+        // JSON body must fail the decode, never panic.
+        for cut in 0..full.len() {
+            assert!(decode_server(&full[..cut]).is_err(), "cut at {cut} decoded");
+        }
     }
 
     #[test]

@@ -70,19 +70,23 @@
 //! safety contract.
 
 use crate::chaos::ChaosConfig;
+use crate::metrics::{
+    spawn_exporter, MetricsRegistry, ObsReport, ServerProbe, SessionProbe, StoreProbe,
+};
 use crate::protocol::{
     decode_client, error_code, read_frame_header, verify_frame_crc, write_frame, ClientFrame,
     ProtocolError, ServerFrame, CONNECTION_SESSION, FRAME_HEADER_LEN,
 };
 use crate::session::Session;
 use crate::store::{SnapshotStore, StoreRecord, RECORD_VERSION};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
@@ -235,6 +239,11 @@ pub struct ServeConfig {
     /// events (0 = only on `Close` and at drain). Ignored without a
     /// store.
     pub persist_every: u64,
+    /// Serve Prometheus text exposition over plaintext HTTP/1.0 on
+    /// this address (e.g. `127.0.0.1:9464`; port 0 picks a free port).
+    /// `None` disables the exporter; the [`MetricsRegistry`] is live
+    /// either way (it is also what `Query` frames report).
+    pub metrics_addr: Option<String>,
     /// Fault-inject accepted connections (tests and soak runs only;
     /// `None` = no wrapper, zero overhead).
     pub chaos: Option<ChaosConfig>,
@@ -256,14 +265,16 @@ impl Default for ServeConfig {
             idle_timeout_ms: 0,
             write_timeout_ms: 30_000,
             persist_every: 256,
+            metrics_addr: None,
             chaos: None,
             panic_on_call: None,
         }
     }
 }
 
-/// Lifetime counters reported when the server stops.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Lifetime counters reported when the server stops (and, live, in
+/// every [`ObsReport`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeSummary {
     /// Sessions opened (fresh or restored).
     pub sessions_opened: u64,
@@ -289,46 +300,13 @@ pub struct ServeSummary {
     pub sessions_rehydrated: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    opened: AtomicU64,
-    closed: AtomicU64,
-    events: AtomicU64,
-    directives: AtomicU64,
-    errors: AtomicU64,
-    shed: AtomicU64,
-    panics: AtomicU64,
-    respawns: AtomicU64,
-    persisted: AtomicU64,
-    persist_failures: AtomicU64,
-    rehydrated: AtomicU64,
-}
-
-impl Counters {
-    fn summary(&self) -> ServeSummary {
-        ServeSummary {
-            sessions_opened: self.opened.load(Ordering::Relaxed),
-            sessions_closed: self.closed.load(Ordering::Relaxed),
-            events_applied: self.events.load(Ordering::Relaxed),
-            directives_sent: self.directives.load(Ordering::Relaxed),
-            protocol_errors: self.errors.load(Ordering::Relaxed),
-            responses_shed: self.shed.load(Ordering::Relaxed),
-            worker_panics: self.panics.load(Ordering::Relaxed),
-            worker_respawns: self.respawns.load(Ordering::Relaxed),
-            snapshots_persisted: self.persisted.load(Ordering::Relaxed),
-            persist_failures: self.persist_failures.load(Ordering::Relaxed),
-            sessions_rehydrated: self.rehydrated.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// Everything shared by the listener, readers, and workers.
 struct Shared {
     cfg: ServeConfig,
-    counters: Counters,
+    metrics: Arc<MetricsRegistry>,
     stop: AtomicBool,
     store: Option<Arc<SnapshotStore>>,
-    /// Store-backed sessions still live somewhere, for the drain
+    /// Every live session, for `Query` fleet probes and the drain
     /// sweep. Weak: a dropped connection's cells must not leak here.
     registry: Mutex<HashMap<u32, Weak<SessionCell>>>,
 }
@@ -366,10 +344,11 @@ struct ConnWriter {
     q: Mutex<OutboundState>,
     ready: Condvar,
     cap: usize,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ConnWriter {
-    fn new(cap: usize) -> Arc<ConnWriter> {
+    fn new(cap: usize, metrics: Arc<MetricsRegistry>) -> Arc<ConnWriter> {
         Arc::new(ConnWriter {
             q: Mutex::new(OutboundState {
                 frames: VecDeque::new(),
@@ -380,24 +359,26 @@ impl ConnWriter {
             ready: Condvar::new(),
             // Room for at least one response plus the overload error.
             cap: cap.max(2),
+            metrics,
         })
     }
 
     /// Queue one encoded frame, shedding the oldest entries (plus one
     /// in-band overload error) when the queue is full. Never blocks on
     /// the socket. Returns frames shed.
-    fn push(&self, payload: Vec<u8>, counters: &Counters) -> u64 {
+    fn push(&self, payload: Vec<u8>) -> u64 {
         let mut q = lock_ok(&self.q);
         if q.dead {
             return 0;
         }
         let mut shed = 0u64;
+        let mut queued = 1u64;
         if q.frames.len() >= self.cap {
             while q.frames.len() >= self.cap.saturating_sub(1) {
                 q.frames.pop_front();
                 shed += 1;
             }
-            counters.shed.fetch_add(shed, Ordering::Relaxed);
+            self.metrics.responses_shed.fetch_add(shed, Ordering::Relaxed);
             if !q.overload_pending {
                 q.overload_pending = true;
                 let err = ServerFrame::Error {
@@ -408,10 +389,17 @@ impl ConnWriter {
                         .into(),
                 };
                 q.frames.push_back(err.encode());
+                queued += 1;
             }
         }
         q.frames.push_back(payload);
         drop(q);
+        // Net change to the fleet-wide writer-queue occupancy gauge.
+        if queued >= shed {
+            self.metrics.writer_queue_depth.fetch_add(queued - shed, Ordering::Relaxed);
+        } else {
+            self.metrics.writer_queue_depth.fetch_sub(shed - queued, Ordering::Relaxed);
+        }
         self.ready.notify_one();
         shed
     }
@@ -436,6 +424,7 @@ impl ConnWriter {
                         if q.frames.is_empty() {
                             q.overload_pending = false;
                         }
+                        self.metrics.writer_queue_depth.fetch_sub(1, Ordering::Relaxed);
                         break p;
                     }
                     if q.producers == 0 {
@@ -490,6 +479,9 @@ impl ConnWriter {
         let _ = out.get_ref().shutdown();
         let mut q = lock_ok(&self.q);
         q.dead = true;
+        self.metrics
+            .writer_queue_depth
+            .fetch_sub(q.frames.len() as u64, Ordering::Relaxed);
         q.frames.clear();
     }
 }
@@ -524,6 +516,10 @@ struct MailboxState {
 /// queue.
 struct SessionCell {
     id: u32,
+    /// The rank the session annotates, copied out of the session so a
+    /// `Query` probe can still label a cell whose engine is checked out
+    /// by a worker (or already retired).
+    rank: u32,
     state: Mutex<Option<Session>>,
     mailbox: Mutex<MailboxState>,
     space: Condvar,
@@ -615,6 +611,9 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     bound: Endpoint,
     store: Option<Arc<SnapshotStore>>,
+    metrics: Arc<MetricsRegistry>,
+    metrics_bound: Option<SocketAddr>,
+    exporter: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -638,12 +637,27 @@ impl Server {
             Listener::Tcp(l) => l.set_nonblocking(true)?,
             Listener::Unix(l, _) => l.set_nonblocking(true)?,
         }
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(MetricsRegistry::default());
+        // Bind the exporter here, not in `run`, so a bad --metrics-addr
+        // fails loudly at startup instead of being swallowed mid-serve.
+        let (metrics_bound, exporter) = match &cfg.metrics_addr {
+            Some(addr) => {
+                let (bound_addr, handle) =
+                    spawn_exporter(addr, Arc::clone(&metrics), Arc::clone(&stop))?;
+                (Some(bound_addr), Some(handle))
+            }
+            None => (None, None),
+        };
         Ok(Server {
             listener,
             cfg,
-            stop: Arc::new(AtomicBool::new(false)),
+            stop,
             bound,
             store: None,
+            metrics,
+            metrics_bound,
+            exporter,
         })
     }
 
@@ -662,6 +676,20 @@ impl Server {
         &self.bound
     }
 
+    /// Where the Prometheus exporter listens, when `metrics_addr` was
+    /// configured (resolves a `:0` port request).
+    #[must_use]
+    pub fn metrics_endpoint(&self) -> Option<SocketAddr> {
+        self.metrics_bound
+    }
+
+    /// The live metrics registry (scrape-equivalent view for tests and
+    /// embedding processes).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
     /// A flag that stops [`Server::run`] when set from another thread.
     /// Raising it triggers a graceful drain: accepting stops, in-flight
     /// work quiesces, and (with a store) every live session is
@@ -677,7 +705,7 @@ impl Server {
     pub fn run(self) -> ServeSummary {
         let shared = Arc::new(Shared {
             cfg: self.cfg.clone(),
-            counters: Counters::default(),
+            metrics: Arc::clone(&self.metrics),
             stop: AtomicBool::new(false),
             store: self.store.clone(),
             registry: Mutex::new(HashMap::new()),
@@ -702,7 +730,7 @@ impl Server {
                 break;
             }
             if let Some(limit) = self.cfg.session_limit {
-                if shared.counters.closed.load(Ordering::Relaxed) >= limit {
+                if shared.metrics.sessions_closed.load(Ordering::Relaxed) >= limit {
                     break;
                 }
             }
@@ -711,7 +739,7 @@ impl Server {
             // capacity cannot silently ratchet down to zero.
             for w in workers.iter_mut() {
                 if w.is_finished() {
-                    shared.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
                     let fresh = spawn_worker(&shared);
                     let dead = std::mem::replace(w, fresh);
                     let _ = dead.join();
@@ -731,7 +759,7 @@ impl Server {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(_) => {
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_millis(2));
                 }
             }
@@ -760,7 +788,13 @@ impl Server {
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
         }
-        shared.counters.summary()
+        // The public stop flag is set (just above), which is what the
+        // exporter thread polls — join it so `run` returning means
+        // every server-owned thread is gone.
+        if let Some(exporter) = self.exporter {
+            let _ = exporter.join();
+        }
+        shared.metrics.summary()
     }
 }
 
@@ -817,19 +851,19 @@ fn fill(
 
 /// Queue a response on the connection's outbound queue (never blocks
 /// on the socket).
-fn send_frame(writer: &ConnWriter, counters: &Counters, frame: &ServerFrame) {
-    writer.push(frame.encode(), counters);
+fn send_frame(writer: &ConnWriter, frame: &ServerFrame) {
+    writer.push(frame.encode());
 }
 
 fn send_error(
     writer: &ConnWriter,
-    counters: &Counters,
+    metrics: &MetricsRegistry,
     session: u32,
     code: u16,
     message: String,
 ) {
-    counters.errors.fetch_add(1, Ordering::Relaxed);
-    send_frame(writer, counters, &ServerFrame::Error { session, code, message });
+    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    send_frame(writer, &ServerFrame::Error { session, code, message });
 }
 
 /// One connection's read loop: handshake, then route frames until EOF,
@@ -847,7 +881,7 @@ fn serve_connection(
             .wrap(stream),
         None => stream,
     };
-    let counters = &shared.counters;
+    let metrics = &shared.metrics;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     if shared.cfg.write_timeout_ms > 0 {
         let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
@@ -855,7 +889,7 @@ fn serve_connection(
     let mut write_half = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
     };
@@ -871,19 +905,19 @@ fn serve_connection(
         _ => return,
     }
     if hello[..4] != crate::protocol::MAGIC {
-        counters.errors.fetch_add(1, Ordering::Relaxed);
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return;
     }
     let peer = u16::from_le_bytes([hello[4], hello[5]]);
     if peer != crate::protocol::PROTOCOL_VERSION {
-        counters.errors.fetch_add(1, Ordering::Relaxed);
+        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return;
     }
     if crate::protocol::write_hello(&mut write_half).is_err() {
         return;
     }
 
-    let conn = ConnWriter::new(shared.cfg.write_queue);
+    let conn = ConnWriter::new(shared.cfg.write_queue, Arc::clone(&shared.metrics));
     let writer_handle = conn.attach_producer();
     let writer_thread = {
         let conn = Arc::clone(&conn);
@@ -901,7 +935,7 @@ fn serve_connection(
         let (len, crc) = match read_frame_header(header) {
             Ok(v) => v,
             Err(e) => {
-                send_error(&conn, counters, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
+                send_error(&conn, metrics, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
                 break;
             }
         };
@@ -913,13 +947,13 @@ fn serve_connection(
             // The transport corrupted bytes; nothing after this point
             // can be trusted (framing may be lost entirely). Tell the
             // client if the wire still works, then drop the connection.
-            send_error(&conn, counters, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
+            send_error(&conn, metrics, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
             break;
         }
         let frame = match decode_client(&payload) {
             Ok(f) => f,
             Err(e) => {
-                send_error(&conn, counters, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
+                send_error(&conn, metrics, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
                 break;
             }
         };
@@ -942,6 +976,7 @@ fn serve_connection(
     // counts toward `session_limit`. The writer thread exits once the
     // last producer token drops.
     drop(sessions);
+    prune_registry(shared);
     drop(writer_handle);
     reader.shutdown().ok();
     let _ = writer_thread.join();
@@ -955,13 +990,13 @@ fn route(
     conn: &Arc<ConnWriter>,
     writer_handle: &WriterHandle,
 ) {
-    let counters = &shared.counters;
+    let metrics = &shared.metrics;
     match frame {
         ClientFrame::Open { session, rank, config } => {
             if sessions.contains_key(&session) {
                 send_error(
                     conn,
-                    counters,
+                    metrics,
                     session,
                     error_code::DUPLICATE_SESSION,
                     format!("session {session} is already open"),
@@ -971,14 +1006,14 @@ fn route(
             let cell = new_cell(session, Session::open(rank, *config), shared, writer_handle);
             register(shared, session, &cell);
             sessions.insert(session, cell);
-            counters.opened.fetch_add(1, Ordering::Relaxed);
-            send_frame(conn, counters, &ServerFrame::OpenAck { session, events_applied: 0 });
+            metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            send_frame(conn, &ServerFrame::OpenAck { session, events_applied: 0 });
         }
         ClientFrame::Restore { session, snapshot } => {
             if sessions.contains_key(&session) {
                 send_error(
                     conn,
-                    counters,
+                    metrics,
                     session,
                     error_code::DUPLICATE_SESSION,
                     format!("session {session} is already open"),
@@ -995,12 +1030,12 @@ fn route(
                     let cell = new_cell(session, restored, shared, writer_handle);
                     register(shared, session, &cell);
                     sessions.insert(session, cell);
-                    counters.opened.fetch_add(1, Ordering::Relaxed);
-                    send_frame(conn, counters, &ServerFrame::OpenAck { session, events_applied });
+                    metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                    send_frame(conn, &ServerFrame::OpenAck { session, events_applied });
                 }
                 Err(e) => send_error(
                     conn,
-                    counters,
+                    metrics,
                     session,
                     error_code::BAD_SNAPSHOT,
                     e.to_string(),
@@ -1032,7 +1067,84 @@ fn route(
                 sessions.remove(&session);
             }
         }
+        ClientFrame::Query { session } => {
+            // Answered inline on the reader thread, like Open/Restore:
+            // the report samples engines via try_lock and never enters
+            // any mailbox, so a mid-stream query cannot reorder or
+            // delay session work.
+            let report = build_report(shared, session);
+            metrics.queries_answered.fetch_add(1, Ordering::Relaxed);
+            send_frame(conn, &ServerFrame::QueryReply { session, report: Box::new(report) });
+        }
     }
+}
+
+/// Assemble the [`ObsReport`] answering a `Query` for `target`
+/// ([`CONNECTION_SESSION`] = fleet view). Engine state is sampled with
+/// `try_lock`: a cell whose engine is checked out by a worker yields a
+/// `busy` probe instead of blocking the reader behind the worker.
+fn build_report(shared: &Shared, target: u32) -> ObsReport {
+    let metrics = &shared.metrics;
+    let mut cells: Vec<Arc<SessionCell>> = {
+        let mut reg = lock_ok(&shared.registry);
+        reg.retain(|_, w| w.strong_count() > 0);
+        reg.values().filter_map(Weak::upgrade).collect()
+    };
+    cells.sort_by_key(|c| c.id);
+    metrics.sessions_live.store(cells.len() as u64, Ordering::Relaxed);
+    let mut probes = Vec::new();
+    for cell in &cells {
+        if target != CONNECTION_SESSION && cell.id != target {
+            continue;
+        }
+        let mailbox_depth = lock_ok(&cell.mailbox).deque.len() as u32;
+        let probe = match cell.state.try_lock() {
+            Ok(guard) => match guard.as_ref() {
+                Some(sess) => sess.probe(cell.id, mailbox_depth),
+                None => SessionProbe::busy(cell.id, cell.rank, mailbox_depth),
+            },
+            Err(std::sync::TryLockError::WouldBlock) => {
+                SessionProbe::busy(cell.id, cell.rank, mailbox_depth)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => match p.into_inner().as_ref() {
+                Some(sess) => sess.probe(cell.id, mailbox_depth),
+                None => SessionProbe::busy(cell.id, cell.rank, mailbox_depth),
+            },
+        };
+        probes.push(probe);
+    }
+    let store = shared.store.as_ref().map(|s| {
+        let entries = s.sessions();
+        StoreProbe {
+            sessions: entries.len() as u32,
+            closed: entries.iter().filter(|(_, e)| e.closed).count() as u32,
+            complete_histories: entries.iter().filter(|(_, e)| e.history_complete).count() as u32,
+        }
+    });
+    ObsReport {
+        server: ServerProbe {
+            summary: metrics.summary(),
+            sessions_live: cells.len() as u32,
+            workers: shared.cfg.workers.max(1) as u32,
+            queue_depth_limit: shared.cfg.queue_depth.max(1) as u32,
+            ready_queue_depth: metrics.ready_queue_depth.load(Ordering::Relaxed) as u32,
+            writer_queue_depth: metrics.writer_queue_depth.load(Ordering::Relaxed) as u32,
+            store,
+            chaos_intensity: shared.cfg.chaos.as_ref().map(ChaosConfig::fault_rate),
+        },
+        sessions: probes,
+    }
+}
+
+/// Drop registry entries whose cells are gone and refresh the
+/// `sessions_live` gauge.
+fn prune_registry(shared: &Shared) {
+    let mut reg = lock_ok(&shared.registry);
+    reg.retain(|_, w| w.strong_count() > 0);
+    shared
+        .metrics
+        .sessions_live
+        .store(reg.len() as u64, Ordering::Relaxed);
 }
 
 /// Handle an empty-body `Restore`: rehydrate the session from the
@@ -1045,11 +1157,11 @@ fn restore_from_store(
     conn: &Arc<ConnWriter>,
     writer_handle: &WriterHandle,
 ) {
-    let counters = &shared.counters;
+    let metrics = &shared.metrics;
     let Some(store) = shared.store.as_ref() else {
         send_error(
             conn,
-            counters,
+            metrics,
             session,
             error_code::NO_SNAPSHOT,
             "server runs without a snapshot store".into(),
@@ -1061,7 +1173,7 @@ fn restore_from_store(
         Ok(Some(_)) => {
             send_error(
                 conn,
-                counters,
+                metrics,
                 session,
                 error_code::NO_SNAPSHOT,
                 format!(
@@ -1074,7 +1186,7 @@ fn restore_from_store(
         Ok(None) => {
             send_error(
                 conn,
-                counters,
+                metrics,
                 session,
                 error_code::NO_SNAPSHOT,
                 format!("no stored snapshot for session {session}"),
@@ -1084,7 +1196,7 @@ fn restore_from_store(
         Err(e) => {
             send_error(
                 conn,
-                counters,
+                metrics,
                 session,
                 error_code::INTERNAL,
                 format!("snapshot store read failed: {e}"),
@@ -1097,18 +1209,13 @@ fn restore_from_store(
             let cell = new_cell(session, restored, shared, writer_handle);
             register(shared, session, &cell);
             sessions.insert(session, cell);
-            counters.opened.fetch_add(1, Ordering::Relaxed);
-            counters.rehydrated.fetch_add(1, Ordering::Relaxed);
-            send_frame(
-                conn,
-                counters,
-                &ServerFrame::OpenAck { session, events_applied: record.events },
-            );
+            metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            metrics.sessions_rehydrated.fetch_add(1, Ordering::Relaxed);
+            send_frame(conn, &ServerFrame::OpenAck { session, events_applied: record.events });
             // Replay the stored history so the client can rebuild its
             // parity accounting from event 0 before resuming.
             send_frame(
                 conn,
-                counters,
                 &ServerFrame::Directives {
                     session,
                     events_applied: record.events,
@@ -1118,7 +1225,7 @@ fn restore_from_store(
         }
         Err(e) => send_error(
             conn,
-            counters,
+            metrics,
             session,
             error_code::BAD_SNAPSHOT,
             format!("stored snapshot for session {session} failed to restore: {e}"),
@@ -1134,6 +1241,7 @@ fn new_cell(
 ) -> Arc<SessionCell> {
     Arc::new(SessionCell {
         id,
+        rank: session.rank,
         state: Mutex::new(Some(session)),
         mailbox: Mutex::new(MailboxState { deque: VecDeque::new(), scheduled: false }),
         space: Condvar::new(),
@@ -1142,14 +1250,16 @@ fn new_cell(
     })
 }
 
-/// Track a store-backed session for the drain sweep.
+/// Track a live session for `Query` fleet probes and (with a store)
+/// the drain sweep.
 fn register(shared: &Shared, session: u32, cell: &Arc<SessionCell>) {
-    if shared.store.is_none() {
-        return;
-    }
     let mut reg = lock_ok(&shared.registry);
     reg.retain(|_, w| w.strong_count() > 0);
     reg.insert(session, Arc::downgrade(cell));
+    shared
+        .metrics
+        .sessions_live
+        .store(reg.len() as u64, Ordering::Relaxed);
 }
 
 fn enqueue(
@@ -1163,7 +1273,7 @@ fn enqueue(
     let Some(cell) = sessions.get(&session) else {
         send_error(
             conn,
-            &shared.counters,
+            &shared.metrics,
             session,
             error_code::UNKNOWN_SESSION,
             format!("session {session} is not open"),
@@ -1171,6 +1281,7 @@ fn enqueue(
         return false;
     };
     if cell.push(work, &shared.stop) {
+        shared.metrics.ready_queue_depth.fetch_add(1, Ordering::Relaxed);
         let _ = ready.send(Arc::clone(cell));
     }
     true
@@ -1190,7 +1301,10 @@ fn worker_loop(
             rx.recv_timeout(Duration::from_millis(100))
         };
         let cell = match cell {
-            Ok(cell) => cell,
+            Ok(cell) => {
+                shared.metrics.ready_queue_depth.fetch_sub(1, Ordering::Relaxed);
+                cell
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shared.stop.load(Ordering::Relaxed) {
                     return;
@@ -1209,11 +1323,11 @@ fn worker_loop(
                         handle_work(&cell, work, shared);
                     }));
                     if caught.is_err() {
-                        shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                         *lock_ok(&cell.state) = None;
                         send_error(
                             &cell.writer.conn,
-                            &shared.counters,
+                            &shared.metrics,
                             cell.id,
                             error_code::INTERNAL,
                             format!(
@@ -1230,6 +1344,7 @@ fn worker_loop(
             }
         }
         if !emptied && cell.needs_requeue() {
+            shared.metrics.ready_queue_depth.fetch_add(1, Ordering::Relaxed);
             let _ = requeue.send(Arc::clone(&cell));
         }
     }
@@ -1259,23 +1374,23 @@ fn persist_cell(cell: &SessionCell, shared: &Shared, closing: bool) {
     // Disk I/O happens outside the session lock.
     match store.persist(&record) {
         Ok(()) => {
-            shared.counters.persisted.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.snapshots_persisted.fetch_add(1, Ordering::Relaxed);
         }
         Err(_) => {
-            shared.counters.persist_failures.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.persist_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
 fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
-    let counters = &shared.counters;
+    let metrics = &shared.metrics;
     let writer = &cell.writer.conn;
     let mut guard = lock_ok(&cell.state);
     let Some(sess) = guard.as_mut() else {
         drop(guard);
         send_error(
             writer,
-            counters,
+            metrics,
             cell.id,
             error_code::UNKNOWN_SESSION,
             format!("session {} already closed", cell.id),
@@ -1290,10 +1405,10 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
                     "chaos hook: panic_on_call {bad} hit"
                 );
             }
-            counters.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+            metrics.events_applied.fetch_add(events.len() as u64, Ordering::Relaxed);
             let (events_applied, directives) = sess.apply(&events);
-            counters
-                .directives
+            metrics
+                .directives_sent
                 .fetch_add(directives.len() as u64, Ordering::Relaxed);
             let stats = (shared.cfg.stats_every > 0
                 && sess.events_since_stats() >= shared.cfg.stats_every)
@@ -1307,13 +1422,11 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
             drop(guard);
             send_frame(
                 writer,
-                counters,
                 &ServerFrame::Directives { session: cell.id, events_applied, directives },
             );
             if let Some(stats) = stats {
                 send_frame(
                     writer,
-                    counters,
                     &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
                 );
             }
@@ -1327,18 +1440,13 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
             drop(guard);
             send_frame(
                 writer,
-                counters,
                 &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
             );
         }
         Work::Snapshot => {
             let snapshot = sess.snapshot_bytes();
             drop(guard);
-            send_frame(
-                writer,
-                counters,
-                &ServerFrame::SnapshotData { session: cell.id, snapshot },
-            );
+            send_frame(writer, &ServerFrame::SnapshotData { session: cell.id, snapshot });
         }
         Work::Close(final_compute_ns) => {
             drop(guard);
@@ -1350,19 +1458,20 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
             let mut guard = lock_ok(&cell.state);
             let sess = guard.take().expect("session present: checked above");
             drop(guard);
-            if shared.store.is_some() {
-                lock_ok(&shared.registry).remove(&cell.id);
+            {
+                let mut reg = lock_ok(&shared.registry);
+                reg.remove(&cell.id);
+                metrics.sessions_live.store(reg.len() as u64, Ordering::Relaxed);
             }
             let events_applied = sess.events_applied();
             let (fresh, directives_total, stats) = sess.close(final_compute_ns);
-            counters
-                .directives
+            metrics
+                .directives_sent
                 .fetch_add(fresh.len() as u64, Ordering::Relaxed);
-            counters.closed.fetch_add(1, Ordering::Relaxed);
+            metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
             if !fresh.is_empty() {
                 send_frame(
                     writer,
-                    counters,
                     &ServerFrame::Directives {
                         session: cell.id,
                         events_applied,
@@ -1372,7 +1481,6 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
             }
             send_frame(
                 writer,
-                counters,
                 &ServerFrame::Closed {
                     session: cell.id,
                     directives_total,

@@ -1,9 +1,11 @@
 //! One streaming prediction session: a [`RankRuntime`] fed incrementally
 //! by event batches, with snapshot/restore for reconnecting clients.
 
+use crate::metrics::SessionProbe;
 use crate::protocol::{ProtocolError, WireEvent};
 use crate::store::StoreRecord;
 use ibp_core::{LaneDirective, PowerConfig, RankRuntime, RankStats, RuntimeSnapshot};
+use ibp_network::LinkPower;
 use ibp_simcore::SimDuration;
 use ibp_trace::MpiCall;
 
@@ -178,6 +180,40 @@ impl Session {
         self.runtime.snapshot()
     }
 
+    /// Sample the engine's live state into a [`SessionProbe`] — the
+    /// per-link row `ibpower stat`/`top` render. Read-only: probing
+    /// never advances the engine or touches its learned state.
+    #[must_use]
+    pub fn probe(&self, session_id: u32, mailbox_depth: u32) -> SessionProbe {
+        let stats = self.runtime.stats();
+        let power_state = LinkPower::from_pending_sleep(self.runtime.pending_sleep().map(|(k, _)| k));
+        let phase = self.runtime.pattern_phase();
+        let (recent_pattern, recent_timing) = self.runtime.resilience_windows();
+        SessionProbe {
+            session: session_id,
+            rank: self.rank,
+            busy: false,
+            events_applied: self.runtime.events_seen() as u64,
+            directives_sent: self.directives_sent as u64,
+            predicting: self.runtime.predicting(),
+            power_state,
+            lane_width: power_state.lane_width(),
+            pattern_slot: phase.map(|(slot, _, _)| slot as u32),
+            pattern_progress: phase.map(|(_, progress, _)| progress as u32),
+            pattern_slots: phase.map(|(_, _, slots)| slots as u32),
+            predicted_idle_ns: self.runtime.predicted_horizon().map(|d| d.as_ns()),
+            sleep_timer_ns: self.runtime.pending_sleep().map(|(_, t)| t.as_ns()),
+            pattern_mispredictions: stats.pattern_mispredictions,
+            timing_mispredictions: stats.timing_mispredictions,
+            recent_pattern_window: recent_pattern as u32,
+            recent_timing_window: recent_timing as u32,
+            holdoff_remaining: self.runtime.holdoff_remaining(),
+            guard_band: self.runtime.guard_band(),
+            storms: stats.storms,
+            mailbox_depth,
+        }
+    }
+
     /// Finish the stream (trailing compute time) and return the final
     /// accounting: any last directives, the lifetime total, and final
     /// stats.
@@ -255,6 +291,41 @@ mod tests {
             Session::restore(b"definitely not a snapshot"),
             Err(ProtocolError::BadSnapshot(_))
         ));
+    }
+
+    #[test]
+    fn probe_reports_live_engine_state() {
+        let (events, _, _) = sample_stream();
+        let mut sess = Session::open(0, PowerConfig::default());
+        let probe = sess.probe(7, 0);
+        assert_eq!(probe.session, 7);
+        assert_eq!(probe.rank, 0);
+        assert!(!probe.busy);
+        assert_eq!(probe.events_applied, 0);
+        assert!(!probe.predicting);
+        assert_eq!(probe.power_state, ibp_network::LinkPower::Full);
+
+        // A repetitive Alya stream must reach prediction at some point
+        // mid-stream, making the pattern-phase readout live (the
+        // stream may *end* back in learning after a phase change).
+        let mut directives = 0u64;
+        let mut saw_predicting = false;
+        let mut saw_phase = false;
+        for batch in events.chunks(64) {
+            directives += sess.apply(batch).1.len() as u64;
+            let mid = sess.probe(7, 0);
+            saw_predicting |= mid.predicting;
+            saw_phase |= mid.pattern_slots.is_some();
+        }
+        assert!(saw_predicting);
+        assert!(saw_phase);
+        let probe = sess.probe(7, 3);
+        assert_eq!(probe.events_applied, events.len() as u64);
+        assert_eq!(probe.directives_sent, directives);
+        assert_eq!(probe.mailbox_depth, 3);
+        assert_eq!(probe.lane_width, probe.power_state.lane_width());
+        // Probing twice is idempotent: no engine state advances.
+        assert_eq!(sess.probe(7, 3), probe);
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! - zero worker panics and zero worker respawns,
 //! - every session finishes and matches the offline golden annotation
 //!   byte for byte, however many reconnect cycles it took,
-//! - reconnect cycles stay within the retry budget (a run that
-//!   exhausts it fails loudly with `GaveUp`, failing the test).
+//! - no session gives up: reconnect cycles stay within the retry
+//!   budget (an exhausted budget is reported as `gave_up` in the load
+//!   report, and the soak asserts that count is zero),
+//! - observability counters sampled mid-chaos via `Query` frames are
+//!   monotonic scrape to scrape and agree with the final
+//!   `ServeSummary` once the fleet drains.
 
 use ibp_core::{annotate_rank, PowerConfig};
 use ibp_serve::{
@@ -89,6 +93,7 @@ fn soak(tag: &str, serve_cfg: ServeConfig, load_cfg: &LoadConfig, with_store: bo
 fn assert_invariants(out: &SoakOutcome) {
     assert!(out.report.parity_checked, "golden annotations were supplied");
     assert!(out.report.parity_ok, "parity failed: {:?}", out.report.per_session);
+    assert_eq!(out.report.gave_up, 0, "session(s) gave up: {:?}", out.report.per_session);
     assert_eq!(out.summary.worker_panics, 0, "{:?}", out.summary);
     assert_eq!(out.summary.worker_respawns, 0, "{:?}", out.summary);
     // Reconnect cycles are bounded: each cycle burns at least one
@@ -174,6 +179,104 @@ fn chaos_without_store_still_converges() {
         false,
     );
     assert_invariants(&out);
+}
+
+/// The counter fields of a `ServeSummary` as a flat vector, for
+/// scrape-to-scrape monotonicity checks.
+fn counter_vec(s: &ibp_serve::ServeSummary) -> [u64; 11] {
+    [
+        s.sessions_opened,
+        s.sessions_closed,
+        s.events_applied,
+        s.directives_sent,
+        s.protocol_errors,
+        s.responses_shed,
+        s.worker_panics,
+        s.worker_respawns,
+        s.snapshots_persisted,
+        s.persist_failures,
+        s.sessions_rehydrated,
+    ]
+}
+
+#[test]
+fn metrics_coherent_under_chaos() {
+    // A scraper fires Query frames over its own (healthy) connection
+    // while a chaos-wrapped fleet streams. Invariants: every counter is
+    // monotonic scrape to scrape — a probe can never observe a counter
+    // going backwards, whatever faults, reconnects, and restores are in
+    // flight — and a post-drain probe agrees exactly with the
+    // `ServeSummary` the server returns when it stops.
+    let dir = temp_dir("coherent");
+    let endpoint = Endpoint::Unix(dir.join("soak.sock"));
+    let mut server =
+        Server::bind(&endpoint, ServeConfig { workers: 3, persist_every: 64, ..Default::default() })
+            .expect("bind");
+    let (store, _) = SnapshotStore::open(&dir.join("store")).expect("store");
+    server = server.with_store(Arc::new(store));
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let scrape_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let bound = bound.clone();
+        let scrape_stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut scraper = Client::connect(&bound).expect("scraper connect");
+            let mut prev: Option<[u64; 11]> = None;
+            let mut scrapes = 0u32;
+            while !scrape_stop.load(Ordering::Relaxed) {
+                let report = scraper.query_server().expect("mid-chaos query");
+                let now = counter_vec(&report.server.summary);
+                if let Some(prev) = prev {
+                    for (i, (&p, &n)) in prev.iter().zip(&now).enumerate() {
+                        assert!(n >= p, "counter {i} went backwards: {p} -> {n}");
+                    }
+                }
+                prev = Some(now);
+                scrapes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            scrapes
+        })
+    };
+
+    let report = run_load(
+        &bound,
+        specs_for(AppKind::Alya, 4, 6),
+        &LoadConfig {
+            batch: 19,
+            check: true,
+            chaos: Some(ChaosConfig::with_intensity(0x0B5E, 0.05)),
+            retry: soak_retry(),
+            ..Default::default()
+        },
+    )
+    .expect("soak load");
+    assert!(report.parity_ok, "parity under scraping: {:?}", report.per_session);
+    assert_eq!(report.gave_up, 0, "{:?}", report.per_session);
+
+    scrape_stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes > 0, "the scraper never got a probe in");
+
+    // The fleet has drained and the scraper is gone: one final Query
+    // must agree exactly with the summary `run()` hands back.
+    let mut last = Client::connect(&bound).expect("final connect");
+    let final_probe = last.query_server().expect("final query");
+    drop(last);
+    stop.store(true, Ordering::Relaxed);
+    let summary = handle.join().expect("server thread");
+    let probed = &final_probe.server.summary;
+    assert_eq!(probed.responses_shed, summary.responses_shed, "{probed:?} vs {summary:?}");
+    assert_eq!(probed.worker_respawns, summary.worker_respawns, "{probed:?} vs {summary:?}");
+    assert_eq!(probed.worker_panics, summary.worker_panics, "{probed:?} vs {summary:?}");
+    assert_eq!(probed.sessions_opened, summary.sessions_opened, "{probed:?} vs {summary:?}");
+    assert_eq!(probed.sessions_closed, summary.sessions_closed, "{probed:?} vs {summary:?}");
+    assert_eq!(probed.events_applied, summary.events_applied, "{probed:?} vs {summary:?}");
+    assert_eq!(probed.directives_sent, summary.directives_sent, "{probed:?} vs {summary:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

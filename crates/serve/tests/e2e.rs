@@ -113,6 +113,53 @@ fn every_paper_app_streams_with_parity() {
 }
 
 #[test]
+fn mid_stream_queries_do_not_perturb_the_stream() {
+    // The tentpole acceptance criterion for observability: a session
+    // interleaving Query frames into its event stream receives the
+    // byte-identical directive stream a query-free run produces. The
+    // server answers Query inline on the connection reader — it never
+    // enters the session mailbox — so probes are invisible to the FIFO.
+    let endpoint = temp_uds("query-parity");
+    let server = Server::bind(&endpoint, ServeConfig { workers: 2, ..Default::default() })
+        .expect("bind");
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let spec = &specs_for(AppKind::Alya, 4, 1, true)[0];
+    let golden = spec.golden_directives.as_ref().expect("checked spec");
+
+    let mut client = Client::connect(&bound).expect("connect");
+    client.open(0, spec.rank, &spec.config).expect("open");
+    let mut journal = Vec::new();
+    let mut probes = 0u32;
+    for (i, chunk) in spec.events.chunks(29).enumerate() {
+        let (_, d) = client.send_events(0, chunk).expect("events");
+        journal.extend(d);
+        // Probe between every other batch: own session, then the fleet.
+        if i % 2 == 0 {
+            let report = client.query(0).expect("own-session query");
+            assert_eq!(report.sessions.len(), 1, "{report:?}");
+            assert_eq!(report.sessions[0].session, 0);
+            probes += 1;
+        } else {
+            let report = client.query_server().expect("fleet query");
+            assert_eq!(report.server.sessions_live, 1, "{report:?}");
+            probes += 1;
+        }
+    }
+    let (tail, _total, stats) = client.close(0, spec.final_compute_ns).expect("close");
+    journal.extend(tail);
+    assert!(probes > 4, "the interleave exercised real probes");
+    assert_eq!(&journal, golden, "queries perturbed the directive stream");
+    assert_eq!(Some(&stats), spec.golden_stats.as_ref(), "queries perturbed final stats");
+
+    stop.store(true, Ordering::Relaxed);
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.events_applied, spec.events.len() as u64);
+}
+
+#[test]
 fn session_limit_stops_the_server() {
     let endpoint = temp_uds("limit");
     let server = Server::bind(

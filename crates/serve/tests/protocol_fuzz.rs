@@ -3,7 +3,7 @@
 //! and structured frames survive an encode/decode round trip bit-for-bit.
 
 use ibp_serve::protocol::{decode_client, decode_server, read_frame, ClientFrame};
-use ibp_serve::ServerFrame;
+use ibp_serve::{ObsReport, ServerFrame, SessionProbe};
 use ibp_core::{LaneDirective, RankStats, SleepKind};
 use ibp_simcore::SimDuration;
 use proptest::prelude::*;
@@ -23,10 +23,12 @@ proptest! {
     /// unknown-kind check.
     #[test]
     fn decoders_are_total_with_valid_kinds(
-        kind_idx in 0usize..12,
+        kind_idx in 0usize..14,
         body in proptest::collection::vec(0u8..=255, 0..256)
     ) {
-        let kinds = [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x81, 0x82, 0x83, 0x84, 0x85, 0xEF];
+        let kinds = [
+            0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0xEF,
+        ];
         let mut payload = vec![kinds[kind_idx]];
         payload.extend_from_slice(&body);
         let _ = decode_client(&payload);
@@ -80,6 +82,37 @@ proptest! {
         let payload = frame.encode();
         let cut = ((payload.len() - 1) as f64 * cut_fraction) as usize;
         prop_assert!(decode_client(&payload[..cut]).is_err());
+    }
+
+    /// `Query` round-trips for every session id — including the
+    /// reserved fleet-query id `u32::MAX`, which `Query` alone among
+    /// client frames is allowed to carry.
+    #[test]
+    fn query_roundtrip(session in 0u32..=u32::MAX) {
+        let frame = ClientFrame::Query { session };
+        let back = decode_client(&frame.encode()).expect("valid frame decodes");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// `QueryReply` round-trips with arbitrary counter values and any
+    /// number of (busy) session probes, and truncating the encoding at
+    /// any point errors instead of panicking or half-decoding.
+    #[test]
+    fn query_reply_roundtrip_and_truncation(
+        session in 0u32..=u32::MAX,
+        live in 0u32..10_000,
+        probes in 0u32..8,
+        cut_fraction in 0.0f64..1.0
+    ) {
+        let mut report = ObsReport::default();
+        report.server.sessions_live = live;
+        report.sessions = (0..probes).map(|i| SessionProbe::busy(i, i * 2, i)).collect();
+        let frame = ServerFrame::QueryReply { session, report: Box::new(report) };
+        let payload = frame.encode();
+        let back = decode_server(&payload).expect("valid frame decodes");
+        prop_assert_eq!(back, frame);
+        let cut = ((payload.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(decode_server(&payload[..cut]).is_err());
     }
 
     /// `read_frame` on arbitrary bytes never panics and never returns a

@@ -69,6 +69,58 @@ pub mod golden {
         );
     }
 
+    /// Compare `actual` **byte-for-byte** against the text snapshot
+    /// `name` — no tolerances: this pins exact output contracts like
+    /// the Prometheus metrics exposition, where a renamed metric or
+    /// reordered line is a breaking change for downstream scrape
+    /// configs. With `IBP_UPDATE_GOLDEN` set, rewrites the snapshot
+    /// instead and always passes.
+    pub fn assert_matches_golden_text(name: &str, actual: &str) {
+        let path = golden_dir().join(name);
+        if std::env::var_os("IBP_UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, actual).unwrap_or_else(|e| {
+                panic!("writing golden snapshot {}: {e}", path.display())
+            });
+            eprintln!("updated golden snapshot {}", path.display());
+            return;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); regenerate with \
+                 IBP_UPDATE_GOLDEN=1 cargo test -p ibpower-integration-tests",
+                path.display()
+            )
+        });
+        if let Some(msg) = first_text_mismatch(&expected, actual) {
+            panic!(
+                "{name}: output differs from golden snapshot ({msg}); if the \
+                 change is intentional, regenerate with IBP_UPDATE_GOLDEN=1"
+            );
+        }
+    }
+
+    /// The first line-level difference between two exact-match texts,
+    /// `None` when they are byte-identical. Factored out of
+    /// [`assert_matches_golden_text`] so the diff logic is unit-testable
+    /// without touching the filesystem or the environment.
+    pub fn first_text_mismatch(expected: &str, actual: &str) -> Option<String> {
+        if expected == actual {
+            return None;
+        }
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                return Some(format!("line {}: expected {e:?}, got {a:?}", i + 1));
+            }
+        }
+        let (el, al) = (expected.lines().count(), actual.lines().count());
+        if el != al {
+            return Some(format!("line count {el} vs {al}"));
+        }
+        // Same lines, different bytes: trailing whitespace or newline.
+        Some("texts differ only in trailing whitespace/newlines".to_string())
+    }
+
     /// `true` if two numeric values agree under the float tolerance.
     pub fn floats_agree(a: f64, b: f64) -> bool {
         let diff = (a - b).abs();
@@ -172,6 +224,18 @@ mod tests {
         // A metric that serializes as `3` in one run and `3.0000001`
         // in another is still the same percentage.
         assert!(mismatches("[3]", "[3.0000001]").is_empty());
+    }
+
+    #[test]
+    fn text_mismatch_reports_the_first_differing_line() {
+        use super::golden::first_text_mismatch;
+        assert_eq!(first_text_mismatch("a\nb\n", "a\nb\n"), None);
+        let m = first_text_mismatch("a\nb\n", "a\nc\n").expect("differs");
+        assert!(m.contains("line 2"), "{m}");
+        let m = first_text_mismatch("a\n", "a\nb\n").expect("differs");
+        assert!(m.contains("line count"), "{m}");
+        // Exact-byte contract: a missing trailing newline is a mismatch.
+        assert!(first_text_mismatch("a\n", "a").is_some());
     }
 
     #[test]
