@@ -99,6 +99,15 @@ pub const INTERCEPT_PROBE: &str = "intercept_ns_per_call";
 /// predate the serving layer).
 pub const SERVE_PROBE: &str = "serve_roundtrip_ns_per_event";
 
+/// Name of the annotated-replay probe (the sweep engine's hot path).
+pub const REPLAY_PROBE: &str = "replay_ns_per_event";
+
+/// Name of the large-trace replay probe: ≥32k events across 16 ranks,
+/// so per-replay setup amortises out and the steady-state event loop
+/// dominates. Gated only when the baseline entry records it (older
+/// entries predate the probe).
+pub const REPLAY_BIG_PROBE: &str = "replay_big_ns_per_event";
+
 fn min_ns_per_elem<F: FnMut() -> u64>(reps: u32, mut run: F) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut elems = 0;
@@ -160,6 +169,19 @@ pub fn probe_ppa_scan(grams: usize, reps: u32) -> Probe {
 /// End-to-end annotated replay, ns/event, with the scratch arena
 /// recycled across repetitions (the sweep engine's steady state).
 pub fn probe_replay(nprocs: u32, iters: usize, reps: u32) -> Probe {
+    replay_probe_named(nprocs, iters, reps, REPLAY_PROBE)
+}
+
+/// [`probe_replay`] on a large multi-rank trace (16 ranks, ≥32k events
+/// at the default `--iters`), reported as [`REPLAY_BIG_PROBE`]. The
+/// small probe is dominated by per-replay setup (fabric construction,
+/// scratch preparation); this one shows the steady-state cost of the
+/// event loop itself.
+pub fn probe_replay_big(nprocs: u32, iters: usize, reps: u32) -> Probe {
+    replay_probe_named(nprocs, iters, reps, REPLAY_BIG_PROBE)
+}
+
+fn replay_probe_named(nprocs: u32, iters: usize, reps: u32, name: &str) -> Probe {
     let trace = replay_trace(nprocs, iters);
     let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
     let ann = annotate_trace_jobs(&trace, &cfg, 1);
@@ -174,7 +196,7 @@ pub fn probe_replay(nprocs: u32, iters: usize, reps: u32) -> Probe {
         events
     });
     Probe {
-        name: "replay_ns_per_event".into(),
+        name: name.into(),
         ns_per_elem: ns,
         elems,
         reps,
@@ -289,6 +311,9 @@ pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
     // Clamp the derived sizes so even the smallest accepted --iters
     // still produces non-empty workloads for every probe.
     let replay_iters = (iters / 40).max(1);
+    // 16 ranks x 2 events/iter: 1024 iterations give the probe its
+    // 32k-event floor even when --iters is small.
+    let replay_big_iters = iters.max(2048) / 2;
     // 8 ranks x 2 events/iter: 2048 iterations is exactly the serial
     // cutover, so the big probes always take the parallel path.
     let big_iters = iters.max(ibp_core::SERIAL_CUTOVER_EVENTS / 16);
@@ -296,6 +321,7 @@ pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
         probe_intercept(iters, reps),
         probe_ppa_scan((3 * iters / 2).max(12), reps),
         probe_replay(8, replay_iters, reps),
+        probe_replay_big(16, replay_big_iters, reps),
         probe_annotate(8, replay_iters, 1, reps),
         probe_annotate(8, replay_iters, 4, reps),
         probe_annotate_big(8, big_iters, 1, reps),

@@ -470,7 +470,10 @@ fn run(cmd: Command) -> Result<(), String> {
             reps,
             label,
         } => {
-            use ibp_bench::hotpath::{ReportEntry, Trajectory, INTERCEPT_PROBE, SERVE_PROBE};
+            use ibp_bench::hotpath::{
+                ReportEntry, Trajectory, INTERCEPT_PROBE, REPLAY_BIG_PROBE, REPLAY_PROBE,
+                SERVE_PROBE,
+            };
             let mut traj: Trajectory = match std::fs::read_to_string(&output) {
                 Ok(json) => serde_json::from_str(&json).map_err(|e| format!("{output}: {e}"))?,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => Trajectory::default(),
@@ -511,30 +514,38 @@ fn run(cmd: Command) -> Result<(), String> {
                         prev.ns_per_elem
                     ));
                 }
-                // The serve round trip crosses a real socket, so it is
-                // noisier than the in-process probes: gate at 50%, and
+                // These probes cross a real socket (serve) or measure
+                // whole-engine wall time (replay), so they are noisier
+                // than the in-process intercept probe: gate at 50%, and
                 // only once the baseline entry records the probe at all
-                // (entries before the serving layer landed don't).
-                if let Some(prev) = traj.entries.last().and_then(|e| e.probe(SERVE_PROBE)) {
+                // (older entries predate each probe's introduction).
+                let gate_50 = |probe_name: &str| -> Result<(), String> {
+                    let Some(prev) = traj.entries.last().and_then(|e| e.probe(probe_name)) else {
+                        return Ok(());
+                    };
                     let now = entry
-                        .probe(SERVE_PROBE)
-                        .expect("run_all always emits the serve probe");
+                        .probe(probe_name)
+                        .expect("run_all emits every gated probe");
                     let ratio = now.ns_per_elem / prev.ns_per_elem;
                     println!(
-                        "  check: {SERVE_PROBE} {:.1} -> {:.1} ns ({:+.1}%)",
+                        "  check: {probe_name} {:.1} -> {:.1} ns ({:+.1}%)",
                         prev.ns_per_elem,
                         now.ns_per_elem,
                         (ratio - 1.0) * 100.0
                     );
                     if ratio > 1.5 {
                         return Err(format!(
-                            "serve round trip regressed {:.0}% (> 50% gate): {:.1} ns vs {:.1} ns baseline",
+                            "{probe_name} regressed {:.0}% (> 50% gate): {:.1} ns vs {:.1} ns baseline",
                             (ratio - 1.0) * 100.0,
                             now.ns_per_elem,
                             prev.ns_per_elem
                         ));
                     }
-                }
+                    Ok(())
+                };
+                gate_50(SERVE_PROBE)?;
+                gate_50(REPLAY_PROBE)?;
+                gate_50(REPLAY_BIG_PROBE)?;
             }
             traj.entries.push(entry);
             let json = serde_json::to_string_pretty(&traj).map_err(|e| e.to_string())?;

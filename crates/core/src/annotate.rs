@@ -64,12 +64,12 @@ impl TraceAnnotations {
 }
 
 /// Below this many total trace events, `map_ranks` ignores `jobs` and
-/// runs serially. Building a thread pool costs tens of microseconds and
-/// annotation runs at roughly a microsecond per event, so a parallel map
-/// over a small trace spends more time on the pool than on the work —
-/// the bench trajectory showed `annotate_jobs4` ~2.5× *slower* than
-/// jobs1 on the small probe trace. 32k events puts the cutover where
-/// pool setup is safely under ~1% of the serial runtime.
+/// runs serially. Even on the persistent pool (no thread spawning since
+/// the work-stealing rewrite) a parallel map still pays queueing and
+/// wake-up latency per task, and annotation runs at roughly a
+/// microsecond per event, so tiny traces finish faster inline. 32k
+/// events puts the cutover where coordination is safely under ~1% of
+/// the serial runtime.
 pub const SERIAL_CUTOVER_EVENTS: usize = 32 * 1024;
 
 /// The worker count `map_ranks` will actually use for `ranks` when asked
@@ -106,13 +106,12 @@ where
     if jobs <= 1 || ranks.len() <= 1 {
         return ranks.iter().map(f).collect();
     }
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(jobs)
-        .build()
-        .expect("rank annotation pool");
+    // Runs on the process-wide persistent pool: spawning exactly `jobs`
+    // self-scheduling tasks caps concurrency at `jobs` regardless of the
+    // pool's width, and repeated calls reuse the same parked workers.
     let slots: Vec<Mutex<Option<T>>> = ranks.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    pool.scope(|s| {
+    rayon::global_pool().scope(|s| {
         for _ in 0..jobs {
             s.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);

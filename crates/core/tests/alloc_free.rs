@@ -49,14 +49,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Tests in this binary run concurrently; the armed window must not see
-/// another test's allocations, so armed sections take this lock.
+/// Tests in this binary run concurrently, but the counter is global: an
+/// armed window must not see another test's allocations — including its
+/// *setup* allocations, which happen outside `count_allocs`. Each test
+/// therefore holds this lock for its whole body.
 static GATE: Mutex<()> = Mutex::new(());
 
 /// Run `f` with allocation counting armed and return how many heap
-/// requests it made.
+/// requests it made. The caller must hold [`GATE`].
 fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    let _guard = GATE.lock().unwrap();
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     let out = f();
@@ -78,6 +79,7 @@ fn period(lead_us: u64) -> [(ibp_trace::MpiCall, SimDuration); 5] {
 
 #[test]
 fn steady_state_intercept_path_is_allocation_free() {
+    let _gate = GATE.lock().unwrap();
     const TRAIN_ITERS: usize = 40;
     const MEASURED_ITERS: usize = 250; // 1250 intercepted calls
 
@@ -119,6 +121,7 @@ fn steady_state_intercept_path_is_allocation_free() {
 
 #[test]
 fn gram_interner_hit_path_is_allocation_free() {
+    let _gate = GATE.lock().unwrap();
     let mut interner = GramInterner::new();
     let shapes: Vec<Vec<u16>> = (0..32)
         .map(|i| (0..=(i % 5) as u16).map(|k| k + i as u16).collect())

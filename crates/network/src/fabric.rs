@@ -12,9 +12,9 @@
 
 use crate::config::SimParams;
 use crate::topology::FatTree;
-use fxhash::FxHashMap;
-use ibp_simcore::{DetRng, SimTime};
+use ibp_simcore::{DetRng, SimDuration, SimTime};
 use ibp_trace::Rank;
+use std::cell::Cell;
 
 /// Aggregate fabric statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,11 +35,17 @@ pub struct Fabric {
     /// Per-channel busy-until time.
     free: Vec<SimTime>,
     rng: DetRng,
-    /// Per (src,dst) message sequence numbers for identity-stable routing.
-    // Only probed by key (never iterated), so the fast non-SipHash
-    // hasher cannot perturb replay determinism.
-    pair_seq: FxHashMap<(Rank, Rank), u64>,
+    /// Per (src,dst) message sequence numbers for identity-stable
+    /// routing, stored dense (`src * nprocs + dst`): replays touch most
+    /// pairs anyway and the direct index beats a hash probe per message.
+    pair_seq: Vec<u64>,
+    nprocs: u32,
     stats: FabricStats,
+    /// One-entry serialization-time memo `(bytes, serial)`: traces use a
+    /// handful of message sizes in long runs of the same size, and
+    /// `serialize` costs a float division per call (taken twice per
+    /// message, in [`Fabric::transfer`] and [`Fabric::inject_done`]).
+    serial_memo: Cell<(u64, SimDuration)>,
 }
 
 impl Fabric {
@@ -52,9 +58,24 @@ impl Fabric {
             topo,
             free,
             rng: DetRng::seed_from_u64(seed).split(0xFAB),
-            pair_seq: FxHashMap::default(),
+            pair_seq: vec![0; (nprocs as usize) * (nprocs as usize)],
+            nprocs,
             stats: FabricStats::default(),
+            serial_memo: Cell::new((0, SimDuration::ZERO)),
         }
+    }
+
+    /// [`SimParams::serialize`] through the one-entry memo — exact same
+    /// value, float division skipped on repeat sizes.
+    #[inline]
+    fn serial(&self, bytes: u64) -> SimDuration {
+        let (memo_bytes, memo_serial) = self.serial_memo.get();
+        if memo_bytes == bytes {
+            return memo_serial;
+        }
+        let serial = self.params.serialize(bytes);
+        self.serial_memo.set((bytes, serial));
+        serial
     }
 
     /// Inject a message at `send_time`; returns its arrival time at the
@@ -75,18 +96,18 @@ impl Fabric {
             return send_time + self.params.mpi_latency;
         }
         let seq = {
-            let c = self.pair_seq.entry((src, dst)).or_insert(0u64);
+            let c = &mut self.pair_seq[(src * self.nprocs + dst) as usize];
             *c += 1;
             *c
         };
         let mut msg_rng = self
             .rng
             .split((u64::from(src) << 40) | (u64::from(dst) << 16) | (seq & 0xFFFF));
-        let route = self.topo.route(src, dst, &mut msg_rng);
-        let serial = self.params.serialize(bytes);
+        let route = self.topo.route_inline(src, dst, &mut msg_rng);
+        let serial = self.serial(bytes);
         let mut head = send_time + self.params.mpi_latency;
         let mut contended = false;
-        for &c in &route.channels {
+        for &c in route.channels() {
             let free = self.free[c as usize];
             if free > head {
                 contended = true;
@@ -107,7 +128,7 @@ impl Fabric {
     #[inline]
     #[must_use]
     pub fn inject_done(&self, send_time: SimTime, bytes: u64) -> SimTime {
-        send_time + self.params.mpi_latency + self.params.serialize(bytes)
+        send_time + self.params.mpi_latency + self.serial(bytes)
     }
 
     /// Statistics snapshot.

@@ -79,6 +79,21 @@ impl LinkPower {
     }
 }
 
+/// One resolved sleep window, ready for batched application — see
+/// [`LinkPowerTracker::apply_windows`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SleepWindow {
+    /// When the lanes were directed to shut down.
+    pub t0: SimTime,
+    /// Programmed HCA wake timer; `None` models a misfired timer (only
+    /// the demand at `t_want` wakes the lanes).
+    pub timer: Option<SimDuration>,
+    /// When the rank next wanted the network.
+    pub t_want: SimTime,
+    /// Sleep depth.
+    pub kind: SleepKind,
+}
+
 /// Power bookkeeping for one host link.
 #[derive(Debug, Clone)]
 pub struct LinkPowerTracker {
@@ -209,6 +224,21 @@ impl LinkPowerTracker {
         low_span
     }
 
+    /// Apply a batch of resolved windows in order — the slice-oriented
+    /// entry point the replay engine uses: window *resolution* (which
+    /// only needs timestamps) happens on the timing hot path, and the
+    /// link's whole power timeline is advanced here in one pass after
+    /// the run completes. Accounting is identical to applying each
+    /// window singly via [`LinkPowerTracker::apply_sleep_kind`] /
+    /// [`LinkPowerTracker::apply_sleep_misfire`] because the only state
+    /// a window reads besides its own fields is the floor left by its
+    /// predecessor.
+    pub fn apply_windows(&mut self, params: &SimParams, windows: &[SleepWindow]) {
+        for w in windows {
+            self.apply_window(params, w.t0, w.timer, w.t_want, w.kind);
+        }
+    }
+
     /// Time-averaged relative power draw over a run of length `total`.
     #[must_use]
     pub fn mean_relative_power(&self, params: &SimParams, total: SimDuration) -> f64 {
@@ -309,6 +339,59 @@ mod tests {
         assert_eq!(span_ok, dur(80));
         assert_eq!(span_bad, dur(290)); // 110..400
         assert!(bad.floor() > us(400)); // wake transition after demand
+    }
+
+    #[test]
+    fn batched_windows_match_single_application() {
+        let p = SimParams::paper();
+        let windows = [
+            SleepWindow {
+                t0: us(100),
+                timer: Some(dur(90)),
+                t_want: us(400),
+                kind: SleepKind::Wrps,
+            },
+            SleepWindow {
+                t0: us(150), // inside the first window: floor-clamped
+                timer: Some(dur(50)),
+                t_want: us(1000),
+                kind: SleepKind::Wrps,
+            },
+            SleepWindow {
+                t0: us(1200),
+                timer: None, // misfired timer
+                t_want: us(1900),
+                kind: SleepKind::Deep,
+            },
+        ];
+        let mut single = LinkPowerTracker::new(true);
+        for w in &windows {
+            match w.timer {
+                Some(timer) => {
+                    single.apply_sleep_kind(&p, w.t0, timer, w.t_want, w.kind);
+                }
+                None => {
+                    single.apply_sleep_misfire(&p, w.t0, w.t_want, w.kind);
+                }
+            }
+        }
+        let mut batched = LinkPowerTracker::new(true);
+        batched.apply_windows(&p, &windows);
+        assert_eq!(batched.low_time, single.low_time);
+        assert_eq!(batched.deep_time, single.deep_time);
+        assert_eq!(batched.transition_time, single.transition_time);
+        assert_eq!(batched.floor(), single.floor());
+        assert_eq!(batched.sleeps, single.sleeps);
+        let a = batched.timeline.as_ref().unwrap();
+        let b = single.timeline.as_ref().unwrap();
+        assert_eq!(
+            a.time_in(us(100_000), |s| s == LinkPower::Low),
+            b.time_in(us(100_000), |s| s == LinkPower::Low)
+        );
+        assert_eq!(
+            a.time_in(us(100_000), |s| s == LinkPower::Deep),
+            b.time_in(us(100_000), |s| s == LinkPower::Deep)
+        );
     }
 
     #[test]

@@ -18,22 +18,34 @@
 //! [`ibp_trace::Trace::validate`] cannot deadlock: every receive has a
 //! matching send and request discipline is enforced.
 //!
-//! ## Memory
+//! ## Memory and data layout
 //!
 //! All growable engine state lives in a [`ReplayScratch`] arena that is
-//! reused across replays: a pre-pass counts the sends of every (src, dst)
-//! pair (decomposing collectives through the same schedule the engine
-//! executes), prefix sums turn the counts into offsets into one flat
-//! arrival array, and parked waiters are per-pair slots (only the
-//! destination rank ever receives on a pair, so at most one rank can wait
-//! on it). [`replay`] keeps a thread-local scratch; sweeps that replay
-//! thousands of cells can pass their own via [`replay_with_scratch`].
+//! reused across replays. A single build pass over the trace lays every
+//! rank's micro-operations out as a flat structure-of-arrays **step
+//! stream** (parallel kind/arg/bytes/k vectors walked by a per-rank
+//! cursor), assigns each receive its arrival index up front, and counts
+//! the sends of every (src, dst) pair; prefix sums turn the counts into
+//! offsets into one flat arrival array, and parked waiters are per-pair
+//! slots (only the destination rank ever receives on a pair, so at most
+//! one rank can wait on it). Collective events expand through a memoized
+//! schedule cache keyed by (collective, root, bytes, nprocs), so a sweep
+//! decomposes each distinct collective once instead of once per cell.
+//! [`replay`] keeps a thread-local scratch; sweeps that replay thousands
+//! of cells can pass their own via [`replay_with_scratch`].
+//!
+//! Per-link *power* accounting is decoupled from the timing loop: sleep
+//! windows are resolved (timestamped) on the hot path but buffered, and
+//! each link's whole power timeline is advanced in one batched
+//! [`LinkPowerTracker::apply_windows`] pass after the run — bit-identical
+//! because a window's accounting depends only on its own fields and the
+//! floor left by its per-link predecessor.
 
 use crate::collectives::{for_each_micro, MicroOp};
 use crate::config::SimParams;
 use crate::fabric::Fabric;
 use crate::faults::{FaultConfig, FaultPlan, FaultStats};
-use crate::power::LinkPowerTracker;
+use crate::power::{LinkPowerTracker, SleepWindow};
 use crate::results::SimResult;
 use fxhash::FxHashMap;
 use ibp_core::{SleepKind, TraceAnnotations};
@@ -41,7 +53,7 @@ use ibp_simcore::{SimDuration, SimTime};
 use ibp_trace::{MpiOp, Rank, Trace};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Replay options.
@@ -150,12 +162,28 @@ impl std::error::Error for ReplayError {}
 /// Cost of posting a non-blocking operation (library bookkeeping only).
 const POST_OVERHEAD: SimDuration = SimDuration::from_ns(300);
 
-#[derive(Debug, Clone, Copy)]
-enum Step {
-    Send { to: Rank, bytes: u64 },
-    Recv { pair: u32, k: u32 },
-    IsendPost { to: Rank, bytes: u64, req: u32 },
-    WaitReq { req: u32 },
+/// Micro-step kinds of the flat step stream (see [`ReplayScratch`]).
+///
+/// The stream is structure-of-arrays: `step_kind[i]` says how to read the
+/// parallel `step_arg` / `step_bytes` / `step_k` slots at `i` (documented
+/// per variant), so the hot loop dispatches on a one-byte tag and reads
+/// dense arrays instead of matching a trace-event enum per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    /// Blocking send: `arg` = destination rank, `bytes` = payload.
+    Send,
+    /// Blocking receive: `arg` = pair id, `k` = arrival index.
+    Recv,
+    /// Non-blocking send post: `arg` = destination, `bytes` = payload,
+    /// `k` = request id.
+    IsendPost,
+    /// Non-blocking receive post (consumed at event expansion, never
+    /// scheduled): `arg` = pair id, `k` = arrival index, `bytes` =
+    /// request id.
+    IrecvPost,
+    /// Wait on a posted request: `arg` = request id.
+    WaitReq,
+    /// Event boundary: advance the event counter, resolve directives.
     OpDone,
 }
 
@@ -168,7 +196,11 @@ enum Req {
 struct RankState {
     t: SimTime,
     ev: usize,
-    micro: VecDeque<Step>,
+    /// Cursor into the scratch step stream (this rank's segment).
+    cur: usize,
+    /// Whether the cursor sits inside an expanded event (between the
+    /// event's expansion bookkeeping and its `OpDone`).
+    in_event: bool,
     reqs: FxHashMap<u32, Req>,
     next_directive: usize,
     pending_sleep: Option<(SimTime, SimDuration, SleepKind)>,
@@ -182,23 +214,102 @@ enum StepOutcome {
     EventDone,
 }
 
+/// What `advance_rank` did with its scheduling quantum.
+enum Advance {
+    /// The rank ran and re-enters scheduling at the given clock.
+    Run(SimTime),
+    /// The rank parked on a missing message or finished its trace.
+    Blocked,
+}
+
 /// "No rank is parked on this pair" sentinel for [`ReplayScratch`].
 const NO_WAITER: Rank = Rank::MAX;
 
+/// Memoization key of a collective schedule: (collective id, root,
+/// payload bytes, nprocs). A barrier shares the allreduce entry — it *is*
+/// a 1-byte allreduce (reduce + broadcast over the same trees).
+type SchedKey = (u8, Rank, u64, u32);
+
+const K_ALLREDUCE: u8 = 1;
+const K_BCAST: u8 = 2;
+const K_REDUCE: u8 = 3;
+const K_ALLGATHER: u8 = 4;
+const K_ALLTOALL: u8 = 5;
+
+/// Cache key for `op`, or `None` for point-to-point / request ops (which
+/// never go through the schedule cache).
+fn sched_key(op: &MpiOp, nprocs: u32) -> Option<SchedKey> {
+    match *op {
+        MpiOp::Barrier => Some((K_ALLREDUCE, 0, 1, nprocs)),
+        MpiOp::Allreduce { bytes } => Some((K_ALLREDUCE, 0, bytes, nprocs)),
+        MpiOp::Bcast { root, bytes } => Some((K_BCAST, root, bytes, nprocs)),
+        MpiOp::Reduce { root, bytes } => Some((K_REDUCE, root, bytes, nprocs)),
+        MpiOp::Allgather { bytes } => Some((K_ALLGATHER, 0, bytes, nprocs)),
+        MpiOp::Alltoall { bytes } => Some((K_ALLTOALL, 0, bytes, nprocs)),
+        _ => None,
+    }
+}
+
+/// A memoized collective schedule: every rank's micro-ops, flattened into
+/// parallel direction/peer arrays. Payload size is not stored — all
+/// micro-ops of one collective carry the same byte count, which lives in
+/// the cache key.
+#[derive(Debug)]
+struct CollSched {
+    /// Exclusive per-rank offsets into `send` / `peer` (`nprocs + 1`).
+    rank_base: Vec<u32>,
+    /// Micro-op direction: send (`true`) or receive (`false`).
+    send: Vec<bool>,
+    /// Peer rank of each micro-op.
+    peer: Vec<Rank>,
+}
+
+fn build_sched(op: &MpiOp, nprocs: u32) -> CollSched {
+    let mut sched = CollSched {
+        rank_base: Vec::with_capacity(nprocs as usize + 1),
+        send: Vec::new(),
+        peer: Vec::new(),
+    };
+    sched.rank_base.push(0);
+    for me in 0..nprocs {
+        for_each_micro(op, me, nprocs, &mut |m| match m {
+            MicroOp::SendTo { to, .. } => {
+                sched.send.push(true);
+                sched.peer.push(to);
+            }
+            MicroOp::RecvFrom { from, .. } => {
+                sched.send.push(false);
+                sched.peer.push(from);
+            }
+        });
+        sched.rank_base.push(sched.send.len() as u32);
+    }
+    sched
+}
+
+/// Entry bound on the schedule cache — far above what any sweep produces
+/// (distinct (collective, bytes, nprocs) combinations), a guard against
+/// unbounded growth under pathological byte diversity.
+const SCHED_CACHE_CAP: usize = 4096;
+
 /// Reusable buffers for the replay engine.
 ///
-/// A replay's growable state — the arrival arena, receive cursors, parked
-/// waiters, the step expansion buffer and the scheduler heap — lives here
-/// so that back-to-back replays (parameter sweeps run thousands) recycle
-/// the allocations instead of rebuilding `nprocs²` vectors every call.
+/// A replay's growable state — the SoA step stream, the arrival arena,
+/// receive cursors, parked waiters, buffered sleep windows, the memoized
+/// collective-schedule cache and the scheduler heap — lives here so that
+/// back-to-back replays (parameter sweeps run thousands) recycle the
+/// allocations instead of rebuilding `nprocs²` vectors every call.
 /// [`replay`] keeps one per thread automatically; hand a scratch to
 /// [`replay_with_scratch`] to control reuse explicitly.
 ///
-/// The arrival arena is flat: a precount pass tallies every pair's sends
-/// (walking the exact collective schedule the engine replays), an
-/// exclusive prefix sum turns the tallies into `base` offsets, and pair
-/// `p`'s arrivals occupy `times[base[p] .. base[p] + len[p]]`. Steady
-/// state replay therefore never reallocates or rehashes.
+/// The step stream is flat: one build pass expands every rank's events
+/// (collectives through the schedule cache) into parallel
+/// `step_kind` / `step_arg` / `step_bytes` / `step_k` arrays, with rank
+/// `r`'s segment at `rank_step_base[r] .. rank_step_base[r + 1]`. The
+/// same pass assigns receive arrival indices and tallies every pair's
+/// sends; an exclusive prefix sum turns the tallies into `base` offsets,
+/// and pair `p`'s arrivals occupy `times[base[p] .. base[p] + len[p]]`.
+/// Steady-state replay therefore never reallocates or rehashes.
 #[derive(Debug, Default)]
 pub struct ReplayScratch {
     /// Exclusive prefix sums of per-pair send counts (`pairs + 1` long).
@@ -213,10 +324,29 @@ pub struct ReplayScratch {
     parked_rank: Vec<Rank>,
     /// Which send index the parked rank waits for.
     parked_k: Vec<u32>,
-    /// Reusable event-expansion buffer.
-    step_buf: Vec<Step>,
     /// Runnable ranks, keyed by (clock, rank) — min first.
     heap: BinaryHeap<Reverse<(SimTime, Rank)>>,
+    /// Step stream: kind tags (see [`StepKind`] for slot meanings).
+    step_kind: Vec<StepKind>,
+    /// Step stream: peer rank / pair id / request id.
+    step_arg: Vec<u32>,
+    /// Step stream: payload bytes (request id for `IrecvPost`).
+    step_bytes: Vec<u64>,
+    /// Step stream: arrival index / request id.
+    step_k: Vec<u32>,
+    /// Per-rank segment starts in the step stream (`nprocs + 1`).
+    rank_step_base: Vec<usize>,
+    /// Flat per-event compute bursts — the only per-event trace field the
+    /// hot loop still reads; rank `r` owns
+    /// `ev_compute[rank_ev_base[r] .. rank_ev_base[r + 1]]`.
+    ev_compute: Vec<SimDuration>,
+    rank_ev_base: Vec<usize>,
+    /// Resolved sleep windows per rank, buffered during the timing run
+    /// and applied in one batched power pass afterwards.
+    windows: Vec<Vec<SleepWindow>>,
+    /// Memoized collective schedules, kept across `prepare` calls so a
+    /// sweep decomposes each distinct collective once, not once per cell.
+    sched: FxHashMap<SchedKey, CollSched>,
 }
 
 impl ReplayScratch {
@@ -226,7 +356,15 @@ impl ReplayScratch {
         Self::default()
     }
 
-    /// Size every arena for `trace` and reset per-run state.
+    /// Size every arena for `trace`, build the step stream, and reset
+    /// per-run state.
+    ///
+    /// One pass over the trace emits every micro step, counts each pair's
+    /// sends (prefix-summed into `base`), and assigns receives their
+    /// arrival indices. Assigning indices at build time is sound because
+    /// only a pair's destination rank ever receives on it and the engine
+    /// executes each rank's steps in program order — the indices are
+    /// exactly the ones runtime reservation would hand out.
     fn prepare(&mut self, trace: &Trace) {
         let nprocs = trace.nprocs;
         let pairs = (nprocs as usize) * (nprocs as usize);
@@ -239,33 +377,114 @@ impl ReplayScratch {
         self.parked_k.clear();
         self.parked_k.resize(pairs, 0);
         self.heap.clear();
-        self.step_buf.clear();
+        self.step_kind.clear();
+        self.step_arg.clear();
+        self.step_bytes.clear();
+        self.step_k.clear();
+        self.rank_step_base.clear();
+        self.ev_compute.clear();
+        self.rank_ev_base.clear();
+        self.windows.truncate(nprocs as usize);
+        self.windows.resize_with(nprocs as usize, Vec::new);
+        for w in &mut self.windows {
+            w.clear();
+        }
+        if self.sched.len() > SCHED_CACHE_CAP {
+            self.sched.clear();
+        }
 
-        // Exact per-pair send counts, accumulated shifted by one so the
-        // in-place prefix sum below yields exclusive base offsets.
+        // Per-pair send counts accumulate shifted by one so the in-place
+        // prefix sum below yields exclusive base offsets.
         self.base.clear();
         self.base.resize(pairs + 1, 0);
+
+        macro_rules! step {
+            ($kind:expr, $arg:expr, $bytes:expr, $k:expr) => {{
+                self.step_kind.push($kind);
+                self.step_arg.push($arg);
+                self.step_bytes.push($bytes);
+                self.step_k.push($k);
+            }};
+        }
+        macro_rules! recv_step {
+            ($from:expr, $me:expr) => {{
+                let pair = $from * nprocs + $me;
+                let k = self.recv_next[pair as usize];
+                self.recv_next[pair as usize] += 1;
+                step!(StepKind::Recv, pair, 0, k);
+            }};
+        }
         for (r, rank_trace) in trace.ranks.iter().enumerate() {
             let r = r as Rank;
+            self.rank_step_base.push(self.step_kind.len());
+            self.rank_ev_base.push(self.ev_compute.len());
             for ev in &rank_trace.events {
+                self.ev_compute.push(ev.compute_before);
                 match &ev.op {
-                    MpiOp::Send { to, .. }
-                    | MpiOp::Isend { to, .. }
-                    | MpiOp::Sendrecv { to, .. } => {
+                    MpiOp::Send { to, bytes } => {
                         self.base[(r * nprocs + *to) as usize + 1] += 1;
+                        step!(StepKind::Send, *to, *bytes, 0);
                     }
-                    MpiOp::Recv { .. }
-                    | MpiOp::Irecv { .. }
-                    | MpiOp::Wait { .. }
-                    | MpiOp::Waitall { .. } => {}
-                    op => for_each_micro(op, r, nprocs, &mut |m| {
-                        if let MicroOp::SendTo { to, .. } = m {
-                            self.base[(r * nprocs + to) as usize + 1] += 1;
+                    MpiOp::Recv { from, .. } => recv_step!(*from, r),
+                    MpiOp::Sendrecv {
+                        to,
+                        send_bytes,
+                        from,
+                        ..
+                    } => {
+                        self.base[(r * nprocs + *to) as usize + 1] += 1;
+                        step!(StepKind::Send, *to, *send_bytes, 0);
+                        recv_step!(*from, r);
+                    }
+                    MpiOp::Isend { to, bytes, req } => {
+                        self.base[(r * nprocs + *to) as usize + 1] += 1;
+                        step!(StepKind::IsendPost, *to, *bytes, *req);
+                    }
+                    MpiOp::Irecv { from, req, .. } => {
+                        let pair = *from * nprocs + r;
+                        let k = self.recv_next[pair as usize];
+                        self.recv_next[pair as usize] += 1;
+                        step!(StepKind::IrecvPost, pair, u64::from(*req), k);
+                    }
+                    MpiOp::Wait { req } => step!(StepKind::WaitReq, *req, 0, 0),
+                    MpiOp::Waitall { reqs } => {
+                        for &req in reqs {
+                            step!(StepKind::WaitReq, req, 0, 0);
                         }
-                    }),
+                    }
+                    op => {
+                        let key = sched_key(op, nprocs)
+                            .expect("point-to-point ops are handled above");
+                        self.sched.entry(key).or_insert_with(|| build_sched(op, nprocs));
+                        let sched = &self.sched[&key];
+                        let bytes = key.2;
+                        let lo = sched.rank_base[r as usize] as usize;
+                        let hi = sched.rank_base[r as usize + 1] as usize;
+                        for i in lo..hi {
+                            let peer = sched.peer[i];
+                            if sched.send[i] {
+                                self.base[(r * nprocs + peer) as usize + 1] += 1;
+                                self.step_kind.push(StepKind::Send);
+                                self.step_arg.push(peer);
+                                self.step_bytes.push(bytes);
+                                self.step_k.push(0);
+                            } else {
+                                let pair = peer * nprocs + r;
+                                let k = self.recv_next[pair as usize];
+                                self.recv_next[pair as usize] += 1;
+                                self.step_kind.push(StepKind::Recv);
+                                self.step_arg.push(pair);
+                                self.step_bytes.push(0);
+                                self.step_k.push(k);
+                            }
+                        }
+                    }
                 }
+                step!(StepKind::OpDone, 0, 0, 0);
             }
         }
+        self.rank_step_base.push(self.step_kind.len());
+        self.rank_ev_base.push(self.ev_compute.len());
         for p in 0..pairs {
             self.base[p + 1] += self.base[p];
         }
@@ -358,23 +577,25 @@ pub fn replay_with_scratch(
     };
 
     scratch.prepare(trace);
+    let ranks = (0..n)
+        .map(|r| RankState {
+            t: SimTime::ZERO,
+            ev: 0,
+            cur: scratch.rank_step_base[r as usize],
+            in_event: false,
+            reqs: FxHashMap::default(),
+            next_directive: 0,
+            pending_sleep: None,
+            power: LinkPowerTracker::new(opts.record_timelines),
+            done: false,
+        })
+        .collect();
     let mut engine = Replay {
         trace,
         ann,
         params: params.clone(),
         fabric: Fabric::new(params.clone(), n, opts.seed),
-        ranks: (0..n)
-            .map(|_| RankState {
-                t: SimTime::ZERO,
-                ev: 0,
-                micro: VecDeque::new(),
-                reqs: FxHashMap::default(),
-                next_directive: 0,
-                pending_sleep: None,
-                power: LinkPowerTracker::new(opts.record_timelines),
-                done: false,
-            })
-            .collect(),
+        ranks,
         scratch,
         parked: 0,
         faults,
@@ -385,6 +606,13 @@ pub fn replay_with_scratch(
         engine.scratch.heap.push(Reverse((SimTime::ZERO, r)));
     }
     engine.run()?;
+
+    // Batched power pass: the timing loop only buffered each link's
+    // resolved sleep windows; advance every link's power timeline in one
+    // slice call now that the run is over.
+    for (state, windows) in engine.ranks.iter_mut().zip(engine.scratch.windows.iter()) {
+        state.power.apply_windows(&engine.params, windows);
+    }
 
     let exec = engine
         .ranks
@@ -423,7 +651,9 @@ impl<'a> Replay<'a> {
 
     fn run(&mut self) -> Result<(), ReplayError> {
         while let Some(Reverse((_, r))) = self.scratch.heap.pop() {
-            self.advance_rank(r);
+            if let Advance::Run(t) = self.advance_rank(r) {
+                self.scratch.heap.push(Reverse((t, r)));
+            }
         }
         if let Some((r, s)) = self.ranks.iter().enumerate().find(|(_, s)| !s.done) {
             return Err(ReplayError::Deadlock {
@@ -435,50 +665,68 @@ impl<'a> Replay<'a> {
         Ok(())
     }
 
-    /// Advance rank `r` by one scheduling quantum.
+    /// Advance rank `r` as far as it can go in one scheduling quantum:
+    /// until it parks, finishes, or is preempted before a fabric send.
     ///
-    /// Exactly one micro step (or one event expansion) runs per scheduler
-    /// pop, and the rank re-enters the heap at its updated clock. This
-    /// keeps fabric channel claims in near-global time order: a send
-    /// executes only when its rank's clock is minimal among runnable
-    /// ranks, so contention outcomes do not depend on bookkeeping
-    /// artifacts of the rank iteration order.
-    fn advance_rank(&mut self, r: Rank) {
-        if self.ranks[r as usize].micro.is_empty() {
-            if !self.expand_next_event(r) {
-                return; // rank finished
+    /// Only *fabric-mutating* steps (`Send` / `IsendPost`) are gated on
+    /// the rank's clock being minimal among runnable ranks — channel
+    /// occupancy, pair sequence numbers and contention stats depend on
+    /// the global order of `Fabric::transfer` calls. Everything else
+    /// commutes with other ranks and runs eagerly without a heap round
+    /// trip: event expansion, compute, sleep-window buffering and
+    /// directive resolution are rank-local (misfire draws come from the
+    /// rank's own per-link fault stream, so their order per link is the
+    /// rank's program order either way), and arrival reads (`Recv` /
+    /// `WaitReq`) are order-independent — a delivered arrival time never
+    /// changes, and reading "too early" just parks the rank until the
+    /// sender wakes it at the exact same clock.
+    fn advance_rank(&mut self, r: Rank) -> Advance {
+        let ri = r as usize;
+        loop {
+            if !self.ranks[ri].in_event {
+                if !self.expand_next_event(r) {
+                    return Advance::Blocked; // rank finished
+                }
+                continue;
             }
-            // Compute (and overhead/penalty) advanced the clock; requeue
-            // so the operation itself executes in global time order.
-            let t = self.ranks[r as usize].t;
-            self.scratch.heap.push(Reverse((t, r)));
-            return;
-        }
-        match self.execute_step(r) {
-            StepOutcome::Ran | StepOutcome::EventDone => {
-                let t = self.ranks[r as usize].t;
-                self.scratch.heap.push(Reverse((t, r)));
+            let cur = self.ranks[ri].cur;
+            let kind = self.scratch.step_kind[cur];
+            if matches!(kind, StepKind::Send | StepKind::IsendPost) {
+                let t = self.ranks[ri].t;
+                if let Some(&Reverse(top)) = self.scratch.heap.peek() {
+                    if top < (t, r) {
+                        // Another rank is earlier: yield before touching
+                        // the fabric.
+                        return Advance::Run(t);
+                    }
+                }
             }
-            StepOutcome::Parked { pair, k } => {
-                // Only the pair's destination rank ever receives on it,
-                // so the slot is necessarily free.
-                let p = pair as usize;
-                debug_assert_eq!(self.scratch.parked_rank[p], NO_WAITER);
-                self.scratch.parked_rank[p] = r;
-                self.scratch.parked_k[p] = k;
-                self.parked += 1;
+            match self.execute_step(r, cur, kind) {
+                StepOutcome::Ran | StepOutcome::EventDone => {}
+                StepOutcome::Parked { pair, k } => {
+                    // Only the pair's destination rank ever receives on
+                    // it, so the slot is necessarily free.
+                    let p = pair as usize;
+                    debug_assert_eq!(self.scratch.parked_rank[p], NO_WAITER);
+                    self.scratch.parked_rank[p] = r;
+                    self.scratch.parked_k[p] = k;
+                    self.parked += 1;
+                    return Advance::Blocked;
+                }
             }
         }
     }
 
-    /// Expand the next trace event of rank `r` into micro steps, applying
-    /// compute, overhead, penalty and sleep finalisation. Returns `false`
-    /// when the rank's trace is exhausted (the rank is then finished).
+    /// Enter the next trace event of rank `r`: apply compute, overhead,
+    /// penalty and sleep resolution, and point the cursor at the event's
+    /// pre-built steps. Returns `false` when the rank's trace is
+    /// exhausted (the rank is then finished).
     fn expand_next_event(&mut self, r: Rank) -> bool {
         let ri = r as usize;
-        let rank_trace = &self.trace.ranks[ri];
         let ev = self.ranks[ri].ev;
-        if ev >= rank_trace.events.len() {
+        let ev_base = self.scratch.rank_ev_base[ri];
+        let n_events = self.scratch.rank_ev_base[ri + 1] - ev_base;
+        if ev >= n_events {
             // Trailing compute, final sleep resolution, done.
             let misfire = self.ranks[ri].pending_sleep.is_some()
                 && self
@@ -487,32 +735,42 @@ impl<'a> Replay<'a> {
                     .is_some_and(|plan| plan.wake_misfires(ri));
             let state = &mut self.ranks[ri];
             if !state.done {
-                let t = self.params.compute_end(state.t, rank_trace.final_compute);
+                let t = self
+                    .params
+                    .compute_end(state.t, self.trace.ranks[ri].final_compute);
                 state.t = t;
                 if let Some((t0, timer, kind)) = state.pending_sleep.take() {
-                    if misfire {
-                        // No later demand exists; the run's end bounds the
-                        // window. The rank is done, so no stall is charged.
-                        state.power.apply_sleep_misfire(&self.params, t0, t, kind);
+                    // No later demand exists; the run's end bounds the
+                    // window. A misfire here charges no stall (the rank
+                    // is done) but still voids the wake timer.
+                    let timer = if misfire {
                         self.fault_stats.wake_misfires += 1;
+                        None
                     } else {
-                        state.power.apply_sleep_kind(&self.params, t0, timer, t, kind);
-                    }
+                        Some(timer)
+                    };
+                    self.scratch.windows[ri].push(SleepWindow {
+                        t0,
+                        timer,
+                        t_want: t,
+                        kind,
+                    });
                 }
                 state.done = true;
             }
             return false;
         }
 
-        let event = &rank_trace.events[ev];
         let (overhead, penalty) = match self.ann {
             Some(a) => (a.ranks[ri].overhead[ev], a.ranks[ri].penalty[ev]),
             None => (SimDuration::ZERO, SimDuration::ZERO),
         };
+        let compute = self.scratch.ev_compute[ev_base + ev];
 
         // Compute burst (+ mechanism overhead), then the rank wants the
         // network: resolve any pending sleep against that demand, then
-        // serve the reactivation stall.
+        // serve the reactivation stall. Window *accounting* is buffered
+        // ([`ReplayScratch::windows`]) and applied after the run.
         {
             let misfire = self.ranks[ri].pending_sleep.is_some()
                 && self
@@ -520,18 +778,19 @@ impl<'a> Replay<'a> {
                     .as_mut()
                     .is_some_and(|plan| plan.wake_misfires(ri));
             let state = &mut self.ranks[ri];
-            state.t = self
-                .params
-                .compute_end(state.t, event.compute_before + overhead);
+            state.t = self.params.compute_end(state.t, compute + overhead);
             match state.pending_sleep.take() {
                 Some((t0, _timer, kind)) if misfire => {
                     // Misfired wake timer: lanes stay low until this
                     // demand, and the rank pays the full reactivation
                     // time *instead of* the runtime's predicted penalty
                     // (the reactive wake replaces the planned one).
-                    state
-                        .power
-                        .apply_sleep_misfire(&self.params, t0, state.t, kind);
+                    self.scratch.windows[ri].push(SleepWindow {
+                        t0,
+                        timer: None,
+                        t_want: state.t,
+                        kind,
+                    });
                     let react = match kind {
                         SleepKind::Wrps => self.params.t_react,
                         SleepKind::Deep => self.params.deep_t_react,
@@ -541,108 +800,46 @@ impl<'a> Replay<'a> {
                     self.fault_stats.misfire_stall += react;
                 }
                 Some((t0, timer, kind)) => {
-                    state
-                        .power
-                        .apply_sleep_kind(&self.params, t0, timer, state.t, kind);
+                    self.scratch.windows[ri].push(SleepWindow {
+                        t0,
+                        timer: Some(timer),
+                        t_want: state.t,
+                        kind,
+                    });
                     state.t += penalty;
                 }
                 None => state.t += penalty,
             }
         }
 
-        // Expand the operation into the recycled step buffer (drained
-        // into the rank's queue below, so it re-enters `prepare` empty).
-        let mut steps = std::mem::take(&mut self.scratch.step_buf);
-        match &event.op {
-            MpiOp::Send { to, bytes } => steps.push(Step::Send {
-                to: *to,
-                bytes: *bytes,
-            }),
-            MpiOp::Recv { from, bytes } => {
-                let _ = bytes;
-                let k = self.reserve_recv(*from, r);
-                steps.push(Step::Recv {
-                    pair: self.pair(*from, r),
-                    k,
-                });
-            }
-            MpiOp::Sendrecv {
-                to,
-                send_bytes,
-                from,
-                recv_bytes,
-            } => {
-                let _ = recv_bytes;
-                steps.push(Step::Send {
-                    to: *to,
-                    bytes: *send_bytes,
-                });
-                let k = self.reserve_recv(*from, r);
-                steps.push(Step::Recv {
-                    pair: self.pair(*from, r),
-                    k,
-                });
-            }
-            MpiOp::Isend { to, bytes, req } => steps.push(Step::IsendPost {
-                to: *to,
-                bytes: *bytes,
-                req: *req,
-            }),
-            MpiOp::Irecv { from, bytes, req } => {
-                let _ = bytes;
-                let k = self.reserve_recv(*from, r);
-                let pair = self.pair(*from, r);
-                self.ranks[ri].reqs.insert(*req, Req::Recv { pair, k });
-                self.ranks[ri].t += POST_OVERHEAD;
-            }
-            MpiOp::Wait { req } => steps.push(Step::WaitReq { req: *req }),
-            MpiOp::Waitall { reqs } => {
-                steps.extend(reqs.iter().map(|&req| Step::WaitReq { req }));
-            }
-            op => {
-                for_each_micro(op, r, self.trace.nprocs, &mut |m| {
-                    steps.push(match m {
-                        MicroOp::SendTo { to, bytes } => Step::Send { to, bytes },
-                        MicroOp::RecvFrom { from, bytes } => {
-                            let _ = bytes;
-                            let k = self.reserve_recv(from, r);
-                            Step::Recv {
-                                pair: self.pair(from, r),
-                                k,
-                            }
-                        }
-                    });
-                });
-            }
+        // The event's steps were laid out by `prepare`. A non-blocking
+        // receive is pure library bookkeeping and posts here, at
+        // expansion, leaving its `OpDone` as the only scheduled step.
+        self.ranks[ri].in_event = true;
+        let cur = self.ranks[ri].cur;
+        if self.scratch.step_kind[cur] == StepKind::IrecvPost {
+            let pair = self.scratch.step_arg[cur];
+            let req = self.scratch.step_bytes[cur] as u32;
+            let k = self.scratch.step_k[cur];
+            self.ranks[ri].reqs.insert(req, Req::Recv { pair, k });
+            self.ranks[ri].t += POST_OVERHEAD;
+            self.ranks[ri].cur = cur + 1;
         }
-        steps.push(Step::OpDone);
-        self.ranks[ri].micro.extend(steps.drain(..));
-        self.scratch.step_buf = steps;
         true
     }
 
-    fn reserve_recv(&mut self, from: Rank, me: Rank) -> u32 {
-        let p = self.pair(from, me) as usize;
-        let k = self.scratch.recv_next[p];
-        self.scratch.recv_next[p] += 1;
-        k
-    }
-
-    /// Execute the front micro step of rank `r`.
-    fn execute_step(&mut self, r: Rank) -> StepOutcome {
+    /// Execute the micro step at rank `r`'s cursor (`cur` and `kind`
+    /// come from the caller, which already loaded them to decide
+    /// whether to gate on the heap).
+    fn execute_step(&mut self, r: Rank, cur: usize, kind: StepKind) -> StepOutcome {
         let ri = r as usize;
-        let step = *self.ranks[ri].micro.front().expect("step available");
-        match step {
-            Step::Send { to, bytes } => {
-                self.ranks[ri].micro.pop_front();
-                let t0 = self.ranks[ri].t;
-                let (t, extra) = self.draw_send_fault(ri, t0, bytes);
-                self.deliver(r, to, t, bytes, extra);
-                self.ranks[ri].t = self.fabric.inject_done(t, bytes) + extra;
-                StepOutcome::Ran
-            }
-            Step::IsendPost { to, bytes, req } => {
-                self.ranks[ri].micro.pop_front();
+        match kind {
+            StepKind::Send => self.execute_send_run(r),
+            StepKind::IsendPost => {
+                let to = self.scratch.step_arg[cur];
+                let bytes = self.scratch.step_bytes[cur];
+                let req = self.scratch.step_k[cur];
+                self.ranks[ri].cur = cur + 1;
                 let t0 = self.ranks[ri].t;
                 let (t, extra) = self.draw_send_fault(ri, t0, bytes);
                 self.deliver(r, to, t, bytes, extra);
@@ -651,29 +848,34 @@ impl<'a> Replay<'a> {
                 self.ranks[ri].t += POST_OVERHEAD;
                 StepOutcome::Ran
             }
-            Step::Recv { pair, k } => match self.arrival(pair, k) {
-                Some(at) => {
-                    self.ranks[ri].micro.pop_front();
-                    self.ranks[ri].t = self.ranks[ri].t.max(at);
-                    StepOutcome::Ran
+            StepKind::Recv => {
+                let pair = self.scratch.step_arg[cur];
+                let k = self.scratch.step_k[cur];
+                match self.arrival(pair, k) {
+                    Some(at) => {
+                        self.ranks[ri].cur = cur + 1;
+                        self.ranks[ri].t = self.ranks[ri].t.max(at);
+                        StepOutcome::Ran
+                    }
+                    None => StepOutcome::Parked { pair, k },
                 }
-                None => StepOutcome::Parked { pair, k },
-            },
-            Step::WaitReq { req } => {
+            }
+            StepKind::WaitReq => {
+                let req = self.scratch.step_arg[cur];
                 let handle = *self.ranks[ri]
                     .reqs
                     .get(&req)
                     .expect("wait on unknown request (trace validated?)");
                 match handle {
                     Req::Send { done } => {
-                        self.ranks[ri].micro.pop_front();
+                        self.ranks[ri].cur = cur + 1;
                         self.ranks[ri].reqs.remove(&req);
                         self.ranks[ri].t = self.ranks[ri].t.max(done);
                         StepOutcome::Ran
                     }
                     Req::Recv { pair, k } => match self.arrival(pair, k) {
                         Some(at) => {
-                            self.ranks[ri].micro.pop_front();
+                            self.ranks[ri].cur = cur + 1;
                             self.ranks[ri].reqs.remove(&req);
                             self.ranks[ri].t = self.ranks[ri].t.max(at);
                             StepOutcome::Ran
@@ -682,8 +884,10 @@ impl<'a> Replay<'a> {
                     },
                 }
             }
-            Step::OpDone => {
-                self.ranks[ri].micro.pop_front();
+            StepKind::IrecvPost => unreachable!("IrecvPost is consumed at event expansion"),
+            StepKind::OpDone => {
+                self.ranks[ri].cur = cur + 1;
+                self.ranks[ri].in_event = false;
                 let ev = self.ranks[ri].ev;
                 self.ranks[ri].ev += 1;
                 if let Some(a) = self.ann {
@@ -706,6 +910,76 @@ impl<'a> Replay<'a> {
                 StepOutcome::EventDone
             }
         }
+    }
+
+    /// Execute the send at the cursor plus any directly following sends
+    /// of the same event, for as long as this rank stays the
+    /// minimum-clock runnable rank — the batched link-advancement fast
+    /// path. All fault draws go through one borrowed
+    /// [`crate::faults::LinkRun`], in exactly the order the single-step
+    /// path would draw them.
+    fn execute_send_run(&mut self, r: Rank) -> StepOutcome {
+        let ri = r as usize;
+        let nprocs = self.trace.nprocs;
+        let mut t = self.ranks[ri].t;
+        let mut cur = self.ranks[ri].cur;
+        let mut fault_run = self.faults.as_mut().map(|plan| plan.link_run(ri));
+        loop {
+            let to = self.scratch.step_arg[cur];
+            let bytes = self.scratch.step_bytes[cur];
+            let (t_inj, extra) = match &mut fault_run {
+                Some(run) => {
+                    let fault = run.send_fault(t);
+                    let mut t_inj = t;
+                    if fault.flapped {
+                        self.fault_stats.link_flaps += 1;
+                        self.fault_stats.flap_delay += fault.flap_delay;
+                        t_inj += fault.flap_delay;
+                    }
+                    let extra = if fault.degraded {
+                        let extra = FaultPlan::degraded_extra(&self.params, bytes);
+                        self.fault_stats.degraded_sends += 1;
+                        self.fault_stats.degraded_extra += extra;
+                        extra
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    (t_inj, extra)
+                }
+                None => (t, SimDuration::ZERO),
+            };
+            // Inject and wake any parked waiter (`deliver`, inlined: the
+            // borrowed fault run pins `self.faults`, but every field it
+            // touches is disjoint).
+            let arrival = self.fabric.transfer(t_inj, r, to, bytes) + extra;
+            let p = (r * nprocs + to) as usize;
+            let k = self.scratch.len[p];
+            self.scratch.times[self.scratch.base[p] + k as usize] = arrival;
+            self.scratch.len[p] = k + 1;
+            if self.scratch.parked_rank[p] != NO_WAITER && self.scratch.parked_k[p] == k {
+                let w = self.scratch.parked_rank[p];
+                self.scratch.parked_rank[p] = NO_WAITER;
+                self.parked -= 1;
+                let tw = self.ranks[w as usize].t;
+                self.scratch.heap.push(Reverse((tw, w)));
+            }
+            t = self.fabric.inject_done(t_inj, bytes) + extra;
+            cur += 1;
+            // Keep going only into another send (`OpDone` terminates every
+            // event, so `cur` is in bounds), and only while the scheduler
+            // would hand the quantum straight back to this rank anyway.
+            if self.scratch.step_kind[cur] != StepKind::Send {
+                break;
+            }
+            if let Some(&Reverse(top)) = self.scratch.heap.peek() {
+                if top < (t, r) {
+                    break;
+                }
+            }
+        }
+        self.ranks[ri].t = t;
+        self.ranks[ri].cur = cur;
+        StepOutcome::Ran
     }
 
     fn arrival(&self, pair: u32, k: u32) -> Option<SimTime> {

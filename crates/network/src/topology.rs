@@ -45,6 +45,26 @@ pub struct Route {
     pub hops: u32,
 }
 
+/// [`Route`] in fixed storage: a 2-level tree never needs more than four
+/// channels, so the hot path carries routes inline instead of allocating
+/// a `Vec` per message (see [`FatTree::route_inline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineRoute {
+    channels: [ChannelId; 4],
+    len: u8,
+    /// Switches traversed.
+    pub hops: u32,
+}
+
+impl InlineRoute {
+    /// Channels in traversal order.
+    #[inline]
+    #[must_use]
+    pub fn channels(&self) -> &[ChannelId] {
+        &self.channels[..self.len as usize]
+    }
+}
+
 impl FatTree {
     /// Build the tree described by `params`.
     ///
@@ -107,23 +127,40 @@ impl FatTree {
     /// # Panics
     /// Panics if `src == dst` (loopback traffic never enters the fabric).
     pub fn route(&self, src: Rank, dst: Rank, rng: &mut DetRng) -> Route {
+        let inline = self.route_inline(src, dst, rng);
+        Route {
+            channels: inline.channels().to_vec(),
+            hops: inline.hops,
+        }
+    }
+
+    /// [`FatTree::route`] without the `Vec`: the fabric calls this once
+    /// per message, so the channels come back in fixed inline storage.
+    /// Draws from `rng` exactly like [`FatTree::route`] (same route, same
+    /// stream position).
+    ///
+    /// # Panics
+    /// Panics if `src == dst` (loopback traffic never enters the fabric).
+    pub fn route_inline(&self, src: Rank, dst: Rank, rng: &mut DetRng) -> InlineRoute {
         assert_ne!(src, dst, "loopback route requested");
         let (sn, dn) = (self.node_of(src), self.node_of(dst));
         let (sl, dl) = (self.leaf_of(sn), self.leaf_of(dn));
         if sl == dl {
-            Route {
-                channels: vec![self.host_up(sn), self.host_down(dn)],
+            InlineRoute {
+                channels: [self.host_up(sn), self.host_down(dn), 0, 0],
+                len: 2,
                 hops: 1,
             }
         } else {
             let top = rng.index(self.top_count as usize) as u32;
-            Route {
-                channels: vec![
+            InlineRoute {
+                channels: [
                     self.host_up(sn),
                     self.up_channel(sl, top),
                     self.down_channel(top, dl),
                     self.host_down(dn),
                 ],
+                len: 4,
                 hops: 3,
             }
         }
@@ -204,6 +241,23 @@ mod tests {
             tops.insert(r.channels[1]);
         }
         assert!(tops.len() > 10, "only {} distinct up-channels used", tops.len());
+    }
+
+    #[test]
+    fn inline_route_matches_vec_route() {
+        // Same draw from the same stream position ⇒ identical channels
+        // and hops, same- and cross-leaf.
+        let t = tree(128);
+        for (src, dst) in [(0u32, 5u32), (0, 20), (17, 3), (100, 101)] {
+            let mut rng_a = DetRng::seed_from_u64(9);
+            let mut rng_b = DetRng::seed_from_u64(9);
+            for _ in 0..50 {
+                let vec_route = t.route(src, dst, &mut rng_a);
+                let inline = t.route_inline(src, dst, &mut rng_b);
+                assert_eq!(vec_route.channels, inline.channels());
+                assert_eq!(vec_route.hops, inline.hops);
+            }
+        }
     }
 
     #[test]

@@ -411,21 +411,28 @@ impl ConnWriter {
 
     /// The writer thread body: drain frames to the socket until the
     /// connection dies or every producer is gone and the queue is dry.
+    ///
+    /// Frames drain in batches — everything queued moves out under one
+    /// lock acquisition, with a single occupancy-gauge settlement for
+    /// the whole batch — so a burst of responses costs one lock/atomic
+    /// round instead of one per frame.
     fn writer_loop(&self, out: Stream) {
         let mut out = BufWriter::with_capacity(64 * 1024, out);
+        let mut batch: Vec<Vec<u8>> = Vec::new();
         loop {
-            let payload = {
+            {
                 let mut q = lock_ok(&self.q);
                 loop {
                     if q.dead {
                         return;
                     }
-                    if let Some(p) = q.frames.pop_front() {
-                        if q.frames.is_empty() {
-                            q.overload_pending = false;
-                        }
-                        self.metrics.writer_queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        break p;
+                    if !q.frames.is_empty() {
+                        batch.extend(q.frames.drain(..));
+                        q.overload_pending = false;
+                        self.metrics
+                            .writer_queue_depth
+                            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
+                        break;
                     }
                     if q.producers == 0 {
                         let _ = out.flush();
@@ -437,40 +444,53 @@ impl ConnWriter {
                         .unwrap_or_else(|e| e.into_inner())
                         .0;
                 }
-            };
-            match write_frame(&mut out, &payload) {
-                Ok(()) => {}
-                Err(ProtocolError::FrameTooLarge { len, max }) => {
-                    // The response outgrew the frame cap (a snapshot
-                    // embedding a long stream's grams can). Nothing hit
-                    // the wire yet, so tell the client in-band instead
-                    // of leaving it blocked on a reply that will never
-                    // come. The payload's session id sits at bytes 1–4.
-                    let session = payload
-                        .get(1..5)
-                        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
-                        .unwrap_or(CONNECTION_SESSION);
-                    let err = ServerFrame::Error {
-                        session,
-                        code: error_code::FRAME_TOO_LARGE,
-                        message: format!(
-                            "response frame of {len} bytes exceeds the {max}-byte cap"
-                        ),
-                    };
-                    if write_frame(&mut out, &err.encode()).is_err() {
-                        self.mark_dead(&mut out);
-                        return;
-                    }
-                }
-                Err(_) => {
-                    // A partial write leaves the stream mid-frame (and
-                    // a write timeout means the peer stopped reading);
-                    // no in-band recovery is possible. Drop the
-                    // connection so the client sees EOF instead of a
-                    // corrupt frame or a silent hang.
-                    self.mark_dead(&mut out);
+            }
+            for payload in batch.drain(..) {
+                if !self.write_one(&mut out, payload) {
                     return;
                 }
+            }
+        }
+    }
+
+    /// Write one frame, handling the too-large and fatal error paths.
+    /// Returns `false` when the connection is dead and the loop must
+    /// exit (any remaining batched frames were already settled out of
+    /// the occupancy gauge when they were drained).
+    fn write_one(&self, out: &mut BufWriter<Stream>, payload: Vec<u8>) -> bool {
+        match write_frame(out, &payload) {
+            Ok(()) => true,
+            Err(ProtocolError::FrameTooLarge { len, max }) => {
+                // The response outgrew the frame cap (a snapshot
+                // embedding a long stream's grams can). Nothing hit
+                // the wire yet, so tell the client in-band instead
+                // of leaving it blocked on a reply that will never
+                // come. The payload's session id sits at bytes 1–4.
+                let session = payload
+                    .get(1..5)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+                    .unwrap_or(CONNECTION_SESSION);
+                let err = ServerFrame::Error {
+                    session,
+                    code: error_code::FRAME_TOO_LARGE,
+                    message: format!(
+                        "response frame of {len} bytes exceeds the {max}-byte cap"
+                    ),
+                };
+                if write_frame(out, &err.encode()).is_err() {
+                    self.mark_dead(out);
+                    return false;
+                }
+                true
+            }
+            Err(_) => {
+                // A partial write leaves the stream mid-frame (and
+                // a write timeout means the peer stopped reading);
+                // no in-band recovery is possible. Drop the
+                // connection so the client sees EOF instead of a
+                // corrupt frame or a silent hang.
+                self.mark_dead(out);
+                false
             }
         }
     }

@@ -1,7 +1,10 @@
 //! Replay-engine semantics across crates: property tests on random (but
 //! consistent) traces, plus targeted MPI-semantics scenarios.
 
-use ibp_network::{replay, ReplayOptions, SimParams};
+use ibp_core::{annotate_trace_jobs, PowerConfig};
+use ibp_network::{
+    replay, replay_with_scratch, FaultConfig, ReplayOptions, ReplayScratch, SimParams,
+};
 use ibp_simcore::{DetRng, SimDuration};
 use ibp_trace::{MpiOp, Trace, TraceBuilder};
 use proptest::prelude::*;
@@ -95,6 +98,89 @@ proptest! {
             a.exec_time,
             b.exec_time
         );
+    }
+}
+
+/// Like [`random_spmd_trace`] but with a per-step payload size:
+/// exercises the replay scratch's collective-schedule cache across its
+/// full key space (collective kind × root × payload bytes × nprocs).
+fn random_sized_trace(nprocs: u32, schedule: &[(u8, u32)], seed: u64) -> Trace {
+    let mut b = TraceBuilder::new("random-sized", nprocs);
+    for r in 0..nprocs {
+        let mut rank_rng = DetRng::seed_from_u64(seed ^ (u64::from(r) << 32));
+        for &(s, sz) in schedule {
+            let bytes = u64::from(sz) + 1;
+            b.compute(
+                r,
+                SimDuration::from_us_f64(rank_rng.uniform_range(1.0, 200.0)),
+            );
+            let op = match s % 6 {
+                0 => MpiOp::Allreduce { bytes },
+                1 => MpiOp::Barrier,
+                2 => MpiOp::Bcast { root: s as u32 % nprocs, bytes },
+                3 => MpiOp::Reduce { root: (s as u32 + 1) % nprocs, bytes },
+                4 => MpiOp::Sendrecv {
+                    to: (r + 1) % nprocs,
+                    send_bytes: bytes,
+                    from: (r + nprocs - 1) % nprocs,
+                    recv_bytes: bytes,
+                },
+                _ => MpiOp::Allgather { bytes },
+            };
+            b.op(r, op);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The collective-schedule cache is semantically invisible: pushing a
+    /// stream of differently-shaped traces through ONE warm scratch —
+    /// annotated, with fault injection live — produces results identical
+    /// in every field to a fresh scratch per trace. A memoized expansion
+    /// leaking across (collective, root, bytes, nprocs) keys, or any
+    /// stale arena state surviving `prepare`, breaks this immediately.
+    #[test]
+    fn warm_schedule_cache_is_byte_identical(
+        nprocs in 2u32..13,
+        schedules in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), 0u32..(1 << 18)), 1..16),
+            2..4,
+        ),
+        seed in any::<u64>(),
+        fault_rate in 0.0f64..6.0,
+    ) {
+        let params = SimParams::paper();
+        let opts = ReplayOptions {
+            faults: (fault_rate > 0.01).then(|| FaultConfig::with_rate(seed, fault_rate)),
+            ..ReplayOptions::default()
+        };
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+        let mut warm = ReplayScratch::new();
+        for (i, sched) in schedules.iter().enumerate() {
+            // Vary the rank count per trace so the warm scratch also
+            // crosses nprocs boundaries between runs.
+            let n = 2 + (nprocs + i as u32) % 11;
+            let trace = random_sized_trace(n, sched, seed ^ (i as u64));
+            trace.validate().unwrap();
+            let ann = annotate_trace_jobs(&trace, &cfg, 1);
+            let a = replay_with_scratch(&trace, Some(&ann), &params, &opts, &mut warm)
+                .expect("warm replay");
+            let b = replay_with_scratch(
+                &trace, Some(&ann), &params, &opts, &mut ReplayScratch::new(),
+            )
+            .expect("fresh replay");
+            prop_assert_eq!(a.exec_time, b.exec_time);
+            prop_assert_eq!(&a.rank_finish, &b.rank_finish);
+            prop_assert_eq!(&a.link_low, &b.link_low);
+            prop_assert_eq!(&a.link_deep, &b.link_deep);
+            prop_assert_eq!(&a.link_transition, &b.link_transition);
+            prop_assert_eq!(&a.link_sleeps, &b.link_sleeps);
+            prop_assert_eq!(a.fabric, b.fabric);
+            prop_assert_eq!(a.faults, b.faults);
+        }
     }
 }
 

@@ -97,6 +97,49 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The persistent work-stealing pool is invisible in annotation
+    /// output: a trace big enough to clear the serial cutover (so
+    /// multi-job runs really fan out across pool workers) annotates
+    /// byte-identically at `--jobs` 1, 2, and 4. Work-stealing order is
+    /// nondeterministic; the output must not be.
+    #[test]
+    fn pool_annotation_byte_identical_across_jobs(
+        seed in any::<u64>(),
+        wide in any::<bool>(),
+    ) {
+        use ibp_core::{annotate_trace_jobs, PowerConfig, SERIAL_CUTOVER_EVENTS};
+
+        let nprocs: u32 = if wide { 8 } else { 4 };
+
+        // Size the workload to land just past the parallel cutover.
+        let probe = ibp_workloads::Alya { iterations: 32, ..Default::default() };
+        let per_iter = ibp_workloads::Workload::generate(&probe, nprocs, seed)
+            .ranks
+            .iter()
+            .map(|r| r.events.len())
+            .sum::<usize>()
+            / 32;
+        let iterations = 32.max((SERIAL_CUTOVER_EVENTS / per_iter + 2) as u32);
+        let alya = ibp_workloads::Alya { iterations, ..Default::default() };
+        let trace = ibp_workloads::Workload::generate(&alya, nprocs, seed);
+        let total: usize = trace.ranks.iter().map(|r| r.events.len()).sum();
+        prop_assert!(
+            total >= SERIAL_CUTOVER_EVENTS,
+            "trace too small to exercise the pool: {total} events"
+        );
+
+        let cfg = PowerConfig::paper(ibp_simcore::SimDuration::from_us(20), 0.01);
+        let jobs1 = annotate_trace_jobs(&trace, &cfg, 1);
+        let jobs2 = annotate_trace_jobs(&trace, &cfg, 2);
+        let jobs4 = annotate_trace_jobs(&trace, &cfg, 4);
+        prop_assert_eq!(&jobs1, &jobs2);
+        prop_assert_eq!(&jobs1, &jobs4);
+    }
+}
+
 #[test]
 fn faulted_cells_stay_identical_across_job_counts() {
     // Deterministic spot check with faults definitely on — the property

@@ -1,31 +1,53 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no crates.io access, so the workspace vendors
-//! a minimal, dependency-free thread pool that is source-compatible with
-//! the subset of rayon the sweep engine uses: [`ThreadPoolBuilder`]
-//! (`num_threads`, `build`), [`ThreadPool::current_num_threads`],
-//! [`ThreadPool::scope`] and [`Scope::spawn`].
+//! a dependency-free thread pool that is source-compatible with the subset
+//! of rayon the sweep engine uses: [`ThreadPoolBuilder`] (`num_threads`,
+//! `build`), [`ThreadPool::current_num_threads`], [`ThreadPool::scope`],
+//! [`Scope::spawn`] and the free [`scope`] function.
 //!
-//! Semantics differ from upstream rayon in one documented way: tasks
-//! spawned inside a scope are queued while the scope closure runs and
-//! start executing when the closure returns (upstream starts them
-//! immediately). The scope still does not return before every spawned
-//! task — including tasks spawned by other tasks — has completed, so the
-//! fork/join contract the callers rely on holds. Blocking inside the
-//! scope closure on work performed by spawned tasks would therefore
-//! deadlock; no caller in this workspace does that.
+//! ## Execution model
 //!
-//! There is no work stealing: workers pull whole tasks from a shared
-//! FIFO. The sweep engine submits one self-scheduling worker task per
-//! thread (each pulling cell indices from an atomic counter), so task
-//! granularity is not a bottleneck there.
+//! Each [`ThreadPool`] owns a set of **persistent** worker threads,
+//! spawned lazily on the first `scope` call and parked on a condvar
+//! between scopes, so back-to-back scopes (a sweep replaying thousands of
+//! cells, repeated `annotate_trace_jobs` calls) pay thread creation once
+//! per pool instead of once per scope. Workers are joined when the pool
+//! is dropped.
+//!
+//! Tasks start executing as soon as they are spawned (upstream rayon
+//! semantics). Scheduling is work-stealing: a task spawned from a worker
+//! of the pool lands on that worker's own deque (popped LIFO for cache
+//! locality), tasks from outside threads land on a shared injector queue,
+//! and idle workers steal FIFO from the injector and from other workers'
+//! deques. The thread that called `scope` *helps* — it runs queued tasks
+//! while waiting for its scope to complete — so a scope entered from
+//! inside a pool worker (nested fork/join) can never deadlock, even on a
+//! one-thread pool.
+//!
+//! A panicking task does not kill its worker: the payload is captured and
+//! re-thrown from the `scope` call that owns the task, mirroring
+//! upstream's propagation contract.
+//!
+//! ## The one `unsafe`
+//!
+//! Queued tasks borrow the scope's environment (`'env`), but they sit in
+//! queues owned by `'static` pool state, so [`Scope::spawn`] erases the
+//! lifetime with one `transmute`. This is sound because
+//! [`ThreadPool::scope`] does not return before every spawned task —
+//! including tasks spawned by other tasks — has finished running (the
+//! scope keeps a count of outstanding tasks and waits for it to reach
+//! zero), so no erased task can run after `'env` ends.
 
-#![forbid(unsafe_code)]
-
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Builds a [`ThreadPool`] (subset: `num_threads` only).
 #[derive(Debug, Default)]
@@ -34,8 +56,8 @@ pub struct ThreadPoolBuilder {
 }
 
 /// Error building a thread pool. The vendored pool cannot actually fail
-/// to build (threads are spawned lazily per scope), so this is only here
-/// for source compatibility with `rayon::ThreadPoolBuilder::build`.
+/// to build (workers are spawned lazily on first use), so this is only
+/// here for source compatibility with `rayon::ThreadPoolBuilder::build`.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -59,14 +81,18 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool.
+    /// Build the pool. Workers are not spawned until the first scope.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
             available_parallelism()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool {
+            threads,
+            core: OnceLock::new(),
+            handles: Mutex::new(Vec::new()),
+        })
     }
 }
 
@@ -77,82 +103,307 @@ fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// A fixed-width thread pool. Workers are OS threads spawned per
-/// [`ThreadPool::scope`] call via `std::thread::scope`, which keeps the
-/// implementation free of `unsafe` and of lifetime erasure; pool reuse
-/// across scopes only re-spawns threads, which is negligible next to the
-/// simulation work each scope carries.
-#[derive(Debug)]
-pub struct ThreadPool {
-    threads: usize,
+/// A lifetime-erased queued task (see the module docs for why erasure is
+/// sound here).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// (pool-core address, worker index) when the current thread is a
+    /// pool worker; lets `push`/`pop` route tasks to the local deque.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
 }
 
-type Task<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+/// Shared state of one pool's workers and queues.
+struct PoolCore {
+    /// Tasks submitted from threads outside the pool.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker; owner pops LIFO, thieves steal FIFO.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks queued anywhere. Incremented *before* the queue push and
+    /// decremented *after* a successful pop, so `queued == 0` proves the
+    /// queues are empty (the converse — a transiently positive count with
+    /// the task not yet visible — only costs a retry).
+    queued: AtomicUsize,
+    /// Parking lot for idle workers.
+    park_mx: Mutex<()>,
+    park_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolCore {
+    fn addr(&self) -> usize {
+        self as *const PoolCore as usize
+    }
+
+    /// Worker index of the current thread *if* it belongs to this pool.
+    fn my_index(&self) -> Option<usize> {
+        WORKER.with(|w| w.get()).and_then(|(addr, idx)| (addr == self.addr()).then_some(idx))
+    }
+
+    /// Queue a task: on the current worker's deque when called from
+    /// inside the pool, on the injector otherwise.
+    fn push(&self, task: Task) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        match self.my_index() {
+            Some(i) => self.locals[i].lock().expect("pool queue").push_back(task),
+            None => self.injector.lock().expect("pool queue").push_back(task),
+        }
+        // Taking the parking mutex orders this wake-up after any worker's
+        // "queues empty" re-check, so the notify cannot be lost between a
+        // worker's check and its wait.
+        drop(self.park_mx.lock().expect("pool parking lot"));
+        self.park_cv.notify_one();
+    }
+
+    /// Find a task: own deque (LIFO), then the injector, then steal from
+    /// the other workers' deques (FIFO). `me` is the caller's worker
+    /// index in this pool, if any.
+    fn pop(&self, me: Option<usize>) -> Option<Task> {
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        if let Some(i) = me {
+            if let Some(t) = self.locals[i].lock().expect("pool queue").pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().expect("pool queue").pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        for (j, q) in self.locals.iter().enumerate() {
+            if Some(j) == me {
+                continue;
+            }
+            if let Some(t) = q.lock().expect("pool queue").pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Body of a persistent worker thread.
+fn worker_loop(core: &Arc<PoolCore>, idx: usize) {
+    WORKER.with(|w| w.set(Some((core.addr(), idx))));
+    loop {
+        if let Some(task) = core.pop(Some(idx)) {
+            task();
+            continue;
+        }
+        let mut guard = core.park_mx.lock().expect("pool parking lot");
+        loop {
+            if core.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if core.queued.load(Ordering::SeqCst) > 0 {
+                break; // retry popping
+            }
+            guard = core.park_cv.wait(guard).expect("pool parking lot");
+        }
+    }
+}
+
+/// Per-scope completion state: the count of spawned-but-unfinished tasks
+/// and the condvar the scope's owner waits on.
+struct ScopeCore {
+    pool: Arc<PoolCore>,
+    pending: AtomicUsize,
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+    /// First captured task panic, re-thrown by the owning `scope` call.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeCore {
+    fn task_finished(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Serialize with the owner's pending re-check under `done_mx`
+            // so the final notify cannot be lost.
+            drop(self.done_mx.lock().expect("scope latch"));
+            self.done_cv.notify_all();
+        }
+    }
+}
 
 /// A fork/join scope handed to the [`ThreadPool::scope`] closure.
 pub struct Scope<'env> {
-    queue: Mutex<VecDeque<Task<'env>>>,
+    core: Arc<ScopeCore>,
+    /// Invariant over `'env`: a scope must not be coerced to a shorter
+    /// environment lifetime.
+    _env: PhantomData<fn(&'env ()) -> &'env ()>,
 }
 
 impl<'env> Scope<'env> {
-    /// Queue `body` for execution on the pool. The closure receives the
-    /// scope again so tasks can spawn further tasks.
+    /// Queue `body` for execution on the pool; it starts as soon as a
+    /// thread is free. The closure receives the scope again so tasks can
+    /// spawn further tasks.
     pub fn spawn<F>(&self, body: F)
     where
         F: FnOnce(&Scope<'env>) + Send + 'env,
     {
-        self.queue.lock().unwrap().push_back(Box::new(body));
+        self.core.pending.fetch_add(1, Ordering::SeqCst);
+        let core = Arc::clone(&self.core);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let scope = Scope {
+                core: Arc::clone(&core),
+                _env: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&scope))) {
+                let mut slot = core.panic.lock().expect("scope panic slot");
+                slot.get_or_insert(payload);
+            }
+            core.task_finished();
+        });
+        // SAFETY: `ThreadPool::scope` does not return until `pending`
+        // reaches zero, i.e. until this closure (and every closure it
+        // transitively spawns) has run to completion, so the erased task
+        // never outlives the `'env` borrows it captures.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
+        self.core.pool.push(task);
+    }
+}
+
+/// A fixed-width thread pool with persistent, lazily-spawned workers.
+pub struct ThreadPool {
+    threads: usize,
+    core: OnceLock<Arc<PoolCore>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("started", &self.core.get().is_some())
+            .finish()
     }
 }
 
 impl ThreadPool {
-    /// Number of worker threads a scope will use.
+    /// Number of worker threads the pool runs.
     pub fn current_num_threads(&self) -> usize {
         self.threads
     }
 
+    /// The shared core, spawning the persistent workers on first use.
+    fn core(&self) -> &Arc<PoolCore> {
+        self.core.get_or_init(|| {
+            let core = Arc::new(PoolCore {
+                injector: Mutex::new(VecDeque::new()),
+                locals: (0..self.threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+                queued: AtomicUsize::new(0),
+                park_mx: Mutex::new(()),
+                park_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            });
+            let mut handles = self.handles.lock().expect("pool handles");
+            for i in 0..self.threads {
+                let core = Arc::clone(&core);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ibp-pool-{i}"))
+                    .spawn(move || worker_loop(&core, i))
+                    .expect("spawn pool worker");
+                handles.push(handle);
+            }
+            core
+        })
+    }
+
     /// Run `f` with a [`Scope`]; returns after every spawned task (and
-    /// every task those tasks spawned) has completed.
+    /// every task those tasks spawned) has completed. The calling thread
+    /// runs queued tasks while it waits.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'env>) -> R,
     {
-        let sc = Scope {
-            queue: Mutex::new(VecDeque::new()),
-        };
-        let result = f(&sc);
-        std::thread::scope(|ts| {
-            for _ in 0..self.threads {
-                ts.spawn(|| loop {
-                    // Pop outside the match so the lock is not held while
-                    // the task runs.
-                    let task = sc.queue.lock().unwrap().pop_front();
-                    match task {
-                        Some(t) => t(&sc),
-                        // A worker may exit while another worker's task is
-                        // still running and about to spawn more: those new
-                        // tasks are drained by the worker that spawned
-                        // them when it loops, so the scope still completes
-                        // everything before returning.
-                        None => break,
-                    }
-                });
-            }
+        let sc = Arc::new(ScopeCore {
+            pool: Arc::clone(self.core()),
+            pending: AtomicUsize::new(0),
+            done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
         });
+        let scope = Scope {
+            core: Arc::clone(&sc),
+            _env: PhantomData,
+        };
+        let result = f(&scope);
+        drop(scope);
+        help_until_done(&sc);
+        let payload = sc.panic.lock().expect("scope panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
         result
     }
 }
 
-/// Run `f` with a scope on a throwaway pool sized to available
-/// parallelism (subset of `rayon::scope`).
+/// Wait for `sc.pending` to hit zero, running queued pool tasks in the
+/// meantime (the help step that makes nested same-pool scopes safe).
+fn help_until_done(sc: &ScopeCore) {
+    let me = sc.pool.my_index();
+    loop {
+        if sc.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        if let Some(task) = sc.pool.pop(me) {
+            task();
+            continue;
+        }
+        // Nothing runnable here: every outstanding task of this scope is
+        // executing on some other thread (or about to be queued by one).
+        // Sleep until the count hits zero; queue growth wakes the pool's
+        // workers, not us, and they make the progress.
+        let mut guard = sc.done_mx.lock().expect("scope latch");
+        loop {
+            if sc.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if sc.pool.queued.load(Ordering::SeqCst) > 0 {
+                break; // retry popping
+            }
+            guard = sc.done_cv.wait(guard).expect("scope latch");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(core) = self.core.get() {
+            core.shutdown.store(true, Ordering::SeqCst);
+            drop(core.park_mx.lock().expect("pool parking lot"));
+            core.park_cv.notify_all();
+            for handle in self.handles.lock().expect("pool handles").drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The process-wide pool behind the free [`scope`] function, sized to
+/// available parallelism. Callers that want a bounded number of
+/// concurrently running tasks spawn that many self-scheduling tasks
+/// (worker width only caps, never adds, concurrency).
+pub fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("global pool build is infallible")
+    })
+}
+
+/// Run `f` with a scope on the persistent [`global_pool`] (subset of
+/// `rayon::scope`).
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: FnOnce(&Scope<'env>) -> R,
 {
-    ThreadPool {
-        threads: available_parallelism(),
-    }
-    .scope(f)
+    global_pool().scope(f)
 }
 
 #[cfg(test)]
@@ -209,5 +460,88 @@ mod tests {
     fn zero_threads_means_available_parallelism() {
         let pool = ThreadPoolBuilder::new().build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_persist_across_scopes() {
+        // Two scopes on one pool must not respawn workers: record the
+        // worker identity (pool addr, index) seen by tasks in each scope
+        // and check the pool never grew beyond its width.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = pool.core.get().is_none();
+        assert!(before, "workers must be lazy");
+        for _ in 0..10 {
+            let hits = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 32);
+            let handles = pool.handles.lock().unwrap();
+            assert_eq!(handles.len(), 3, "scope respawned workers");
+        }
+    }
+
+    #[test]
+    fn nested_scope_on_same_pool_completes_even_single_threaded() {
+        // A worker blocking on an inner scope must help run that scope's
+        // tasks; otherwise a 1-thread pool would deadlock here.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                pool.scope(|inner| {
+                    for _ in 0..10 {
+                        inner.spawn(|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                hits.fetch_add(100, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 110);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(caught.is_err(), "panic must propagate out of scope()");
+        // The worker that ran the panicking task is still alive.
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn spawned_from_worker_lands_on_local_deque() {
+        // Smoke-check the stealing path: one task fans out many subtasks
+        // (which go to its local deque) and the other workers steal them.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|s| {
+                for _ in 0..64 {
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
 }
