@@ -85,7 +85,15 @@ fn bench_serve_roundtrip(c: &mut Criterion) {
     let stop = server.stop_flag();
     let handle = std::thread::spawn(move || server.run());
 
-    let load = LoadConfig { batch: 64, split: None, check: false, chaos: None, retry: Default::default() };
+    let load = LoadConfig {
+        batch: 64,
+        split: None,
+        check: false,
+        chaos: None,
+        retry: Default::default(),
+        drivers: 0,
+        open_rate: 0,
+    };
     let mut g = c.benchmark_group("hotpath");
     g.throughput(Throughput::Elements(events.len() as u64 * u64::from(sessions)));
     g.bench_function("serve_roundtrip", |b| {

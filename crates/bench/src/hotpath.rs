@@ -99,6 +99,13 @@ pub const INTERCEPT_PROBE: &str = "intercept_ns_per_call";
 /// predate the serving layer).
 pub const SERVE_PROBE: &str = "serve_roundtrip_ns_per_event";
 
+/// Name of the paged-serving probe: many sessions multiplexed over few
+/// driver connections with the LRU hot cap well below the session
+/// count, so every repetition pays real evict/rehydrate traffic
+/// through the snapshot store. Gated only when the baseline entry
+/// records it (older entries predate session paging).
+pub const SCALE_PROBE: &str = "serve_scale_ns_per_event";
+
 /// Name of the annotated-replay probe (the sweep engine's hot path).
 pub const REPLAY_PROBE: &str = "replay_ns_per_event";
 
@@ -305,6 +312,77 @@ pub fn probe_serve_roundtrip(iters: usize, sessions: usize, reps: u32) -> Probe 
     }
 }
 
+/// [`probe_serve_roundtrip`]'s scale-mode sibling: `sessions` sessions
+/// multiplexed over a handful of driver connections against a
+/// store-backed server whose LRU hot cap is an eighth of the session
+/// count, ns/event. Every repetition therefore pages engines to and
+/// from the snapshot store as the drivers round-robin the fleet — the
+/// steady-state cost of serving far more sessions than fit in memory.
+pub fn probe_serve_scale(iters: usize, sessions: usize, reps: u32) -> Probe {
+    use ibp_serve::{
+        run_load, Endpoint, LoadConfig, ServeConfig, Server, SessionSpec, SnapshotStore,
+    };
+
+    let stream = alya_stream(iters);
+    let events: Vec<(u16, u64)> = stream
+        .iter()
+        .map(|&(call, gap)| (call.id(), gap.as_ns()))
+        .collect();
+    let cfg = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    let specs: Vec<SessionSpec> = (0..sessions as u32)
+        .map(|rank| SessionSpec {
+            rank,
+            config: cfg.clone(),
+            events: events.clone(),
+            final_compute_ns: 0,
+            golden_directives: None,
+            golden_stats: None,
+        })
+        .collect();
+    let total_events = (events.len() * sessions) as u64;
+
+    let dir = std::env::temp_dir().join(format!("ibp-bench-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, _) = SnapshotStore::open(&dir.join("store")).expect("bench scale store");
+    let endpoint = Endpoint::Unix(dir.join("scale.sock"));
+    let server = Server::bind(
+        &endpoint,
+        ServeConfig {
+            workers: 2,
+            io_threads: 2,
+            max_hot_sessions: Some((sessions / 8).max(1)),
+            ..Default::default()
+        },
+    )
+    .expect("bench scale bind")
+    .with_store(std::sync::Arc::new(store));
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let load = LoadConfig {
+        batch: 64,
+        drivers: 8.min(sessions.max(1)),
+        ..Default::default()
+    };
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let report = run_load(&bound, specs.clone(), &load).expect("bench scale load");
+        assert_eq!(report.events_total, total_events);
+        total_events
+    });
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let summary = handle.join().expect("bench scale server thread");
+    assert!(summary.evictions > 0, "scale probe never paged: {summary:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+    Probe {
+        name: SCALE_PROBE.into(),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
 /// Run every probe at a size scaled by `iters` (the `--iters` flag;
 /// the default 2000 matches the criterion benches' 10k-call stream).
 pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
@@ -327,6 +405,7 @@ pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
         probe_annotate_big(8, big_iters, 1, reps),
         probe_annotate_big(8, big_iters, 4, reps),
         probe_serve_roundtrip((iters / 4).max(2), 4, reps),
+        probe_serve_scale((iters / 8).max(2), 48, reps),
     ]
 }
 

@@ -158,6 +158,12 @@ pub enum Command {
         endpoint: EndpointSpec,
         /// Worker threads applying event batches.
         workers: usize,
+        /// Event-loop (reactor) threads owning the sockets.
+        io_threads: usize,
+        /// LRU cap on in-memory session engines; excess sessions are
+        /// evicted to the snapshot store and rehydrated on touch
+        /// (requires `--store`).
+        max_hot_sessions: Option<usize>,
         /// Pending work items per session before its reader blocks.
         queue: usize,
         /// Emit unsolicited stats every N events per session (0 = off).
@@ -211,6 +217,19 @@ pub enum Command {
         retries: u32,
         /// Per-request response deadline, ms (0 = wait forever).
         deadline_ms: u64,
+        /// Scale mode: multiplex all sessions over this many driver
+        /// connections (0 = classic one-connection-per-session mode).
+        drivers: usize,
+        /// Scale mode: cap on session opens per second across all
+        /// drivers (0 = unlimited).
+        open_rate: u64,
+        /// Truncate every session's stream to its first N events
+        /// (0 = full stream) — the mostly-idle mix for high-session
+        /// scaling runs.
+        events_per_session: usize,
+        /// Append a `{sessions, events_per_sec, latency_p99_us, ...}`
+        /// point to the `scaling` section of this benchmark JSON.
+        scale_curve: Option<String>,
         /// Output path for the throughput/latency report JSON.
         output: Option<String>,
     },
@@ -292,6 +311,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--metrics-addr",
                     "--session",
                     "--interval-ms",
+                    "--io-threads",
+                    "--max-hot-sessions",
+                    "--drivers",
+                    "--open-rate",
+                    "--events-per-session",
+                    "--scale-curve",
                 ]
                 .contains(&a.as_str())
                 {
@@ -517,9 +542,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     None => Ok(default),
                 }
             };
+            let max_hot_sessions = match flag_val("--max-hot-sessions") {
+                Some(s) => Some(
+                    s.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or(format!("bad --max-hot-sessions: {s}"))?,
+                ),
+                None => None,
+            };
             Ok(Command::Serve {
                 endpoint: parse_endpoint()?,
                 workers: parse_count("--workers", 4)?,
+                io_threads: parse_count("--io-threads", 2)?,
+                max_hot_sessions,
                 queue: parse_count("--queue", 64)?,
                 stats_every,
                 session_limit,
@@ -589,6 +625,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 Some(s) => s.parse::<u64>().map_err(|_| format!("bad --deadline-ms: {s}"))?,
                 None => 10_000,
             };
+            // Scale-mode knobs: 0 is meaningful (mode off / unlimited),
+            // so these accept any u64 rather than going through
+            // parse_count.
+            let drivers = match flag_val("--drivers") {
+                Some(s) => s.parse::<usize>().map_err(|_| format!("bad --drivers: {s}"))?,
+                None => 0,
+            };
+            let open_rate = match flag_val("--open-rate") {
+                Some(s) => s.parse::<u64>().map_err(|_| format!("bad --open-rate: {s}"))?,
+                None => 0,
+            };
+            let events_per_session = match flag_val("--events-per-session") {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --events-per-session: {s}"))?,
+                None => 0,
+            };
             Ok(Command::Load {
                 app,
                 nprocs,
@@ -604,6 +657,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 chaos_seed,
                 retries,
                 deadline_ms,
+                drivers,
+                open_rate,
+                events_per_session,
+                scale_curve: flag_val("--scale-curve").map(str::to_string),
                 output: flag_val("-o").map(str::to_string),
             })
         }
@@ -628,15 +685,17 @@ USAGE:
   ibpower prv      <trace.json> [-o out.prv]
   ibpower exhibits <name> [--jobs N] [--serial] [--seed N] [--out DIR]
   ibpower bench-report [-o PATH] [--check] [--iters N] [--reps N] [--label S]
-  ibpower serve    (--uds PATH | --tcp ADDR) [--workers N] [--queue N]
-                   [--stats-every N] [--session-limit N] [--store DIR]
-                   [--persist-every N] [--write-queue N]
-                   [--idle-timeout-ms N] [--write-timeout-ms N]
-                   [--metrics-addr ADDR]
+  ibpower serve    (--uds PATH | --tcp ADDR) [--workers N] [--io-threads N]
+                   [--queue N] [--stats-every N] [--session-limit N]
+                   [--store DIR] [--persist-every N] [--max-hot-sessions N]
+                   [--write-queue N] [--idle-timeout-ms N]
+                   [--write-timeout-ms N] [--metrics-addr ADDR]
   ibpower load     <app> <nprocs> (--uds PATH | --tcp ADDR) [--sessions N]
                    [--batch N] [--seed N] [--split F] [--check] [--gt US]
                    [--disp F] [--chaos F] [--chaos-seed N] [--retries N]
-                   [--deadline-ms N] [-o report.json]
+                   [--deadline-ms N] [--drivers N] [--open-rate N]
+                   [--events-per-session N] [--scale-curve PATH]
+                   [-o report.json]
   ibpower stat     (--uds PATH | --tcp ADDR) [--session N]
   ibpower top      (--uds PATH | --tcp ADDR) [--interval-ms N] [--once]
 
@@ -694,6 +753,19 @@ DURABILITY & CHAOS:
                      up (default 8; gave-up sessions are reported in the
                      load summary, and force a --check failure)
   --deadline-ms N    per-request response deadline (default 10000)
+
+SCALE: the serve IO layer is a readiness-driven epoll reactor — connection
+  count costs a session table entry, not a thread. --io-threads N sets the
+  event-loop pool (default 2). --max-hot-sessions N (with --store) caps
+  in-memory session engines: least-recently-touched engines are evicted to
+  the snapshot store and transparently rehydrated on their next event, so
+  resident memory tracks the hot set, not the session count. On the load
+  side, --drivers N multiplexes all --sessions over N connections
+  (incompatible with --split/--chaos), --open-rate N paces session opens
+  per second, --events-per-session N truncates each stream for a
+  mostly-idle mix, and --scale-curve PATH appends a
+  {sessions, events_per_sec, latency_p99_us} point to the `scaling`
+  section of that benchmark JSON (e.g. BENCH_serve.json).
 
 OBSERVABILITY: `serve --metrics-addr ADDR` exposes every server counter
   and gauge in Prometheus text format over plain HTTP (scrape any path).
@@ -1002,6 +1074,8 @@ mod tests {
             Command::Serve {
                 endpoint: EndpointSpec::Uds("/tmp/ibp.sock".into()),
                 workers: 4,
+                io_threads: 2,
+                max_hot_sessions: None,
                 queue: 64,
                 stats_every: 0,
                 session_limit: None,
@@ -1022,6 +1096,8 @@ mod tests {
             Command::Serve {
                 endpoint: EndpointSpec::Tcp("127.0.0.1:9400".into()),
                 workers: 2,
+                io_threads: 2,
+                max_hot_sessions: None,
                 queue: 16,
                 stats_every: 500,
                 session_limit: Some(8),
@@ -1033,6 +1109,28 @@ mod tests {
                 metrics_addr: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_scale_flags() {
+        let c = parse(&argv(
+            "serve --uds a.sock --io-threads 4 --max-hot-sessions 1000 --store /var/ibp",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve { io_threads, max_hot_sessions, store, .. } => {
+                assert_eq!(io_threads, 4);
+                assert_eq!(max_hot_sessions, Some(1_000));
+                assert_eq!(store.as_deref(), Some("/var/ibp"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --uds a.sock --io-threads 0"))
+            .unwrap_err()
+            .contains("bad --io-threads"));
+        assert!(parse(&argv("serve --uds a.sock --max-hot-sessions 0"))
+            .unwrap_err()
+            .contains("bad --max-hot-sessions"));
     }
 
     #[test]
@@ -1164,6 +1262,10 @@ mod tests {
                 chaos_seed: 0xC4A0_5EED,
                 retries: 8,
                 deadline_ms: 10_000,
+                drivers: 0,
+                open_rate: 0,
+                events_per_session: 0,
+                scale_curve: None,
                 output: None,
             }
         );
@@ -1189,9 +1291,38 @@ mod tests {
                 chaos_seed: 0xC4A0_5EED,
                 retries: 8,
                 deadline_ms: 10_000,
+                drivers: 0,
+                open_rate: 0,
+                events_per_session: 0,
+                scale_curve: None,
                 output: Some("rep.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn parses_load_scale_flags() {
+        let c = parse(&argv(
+            "load alya 8 --uds a.sock --sessions 10000 --drivers 16 --open-rate 2000 \
+             --events-per-session 96 --scale-curve BENCH_serve.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Load { sessions, drivers, open_rate, events_per_session, scale_curve, .. } => {
+                assert_eq!(sessions, 10_000);
+                assert_eq!(drivers, 16);
+                assert_eq!(open_rate, 2_000);
+                assert_eq!(events_per_session, 96);
+                assert_eq!(scale_curve.as_deref(), Some("BENCH_serve.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("load alya 8 --uds a.sock --drivers x"))
+            .unwrap_err()
+            .contains("bad --drivers"));
+        assert!(parse(&argv("load alya 8 --uds a.sock --open-rate x"))
+            .unwrap_err()
+            .contains("bad --open-rate"));
     }
 
     #[test]

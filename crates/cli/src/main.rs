@@ -62,6 +62,17 @@ fn render_report(ep: &ibp_serve::Endpoint, report: &ibp_serve::ObsReport) -> Str
         "queues   : ready {} (limit {}/session), writer {}",
         s.ready_queue_depth, s.queue_depth_limit, s.writer_queue_depth
     );
+    if s.max_hot_sessions.is_some() || s.cold_sessions > 0 {
+        let cap = s
+            .max_hot_sessions
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "off".into());
+        let _ = writeln!(
+            out,
+            "paging   : {} hot / {} cold (cap {cap}), {} evictions, {} rehydrations",
+            s.hot_sessions, s.cold_sessions, sum.evictions, sum.sessions_rehydrated
+        );
+    }
     if let Some(st) = &s.store {
         let _ = writeln!(
             out,
@@ -472,7 +483,7 @@ fn run(cmd: Command) -> Result<(), String> {
         } => {
             use ibp_bench::hotpath::{
                 ReportEntry, Trajectory, INTERCEPT_PROBE, REPLAY_BIG_PROBE, REPLAY_PROBE,
-                SERVE_PROBE,
+                SCALE_PROBE, SERVE_PROBE,
             };
             let mut traj: Trajectory = match std::fs::read_to_string(&output) {
                 Ok(json) => serde_json::from_str(&json).map_err(|e| format!("{output}: {e}"))?,
@@ -544,6 +555,7 @@ fn run(cmd: Command) -> Result<(), String> {
                     Ok(())
                 };
                 gate_50(SERVE_PROBE)?;
+                gate_50(SCALE_PROBE)?;
                 gate_50(REPLAY_PROBE)?;
                 gate_50(REPLAY_BIG_PROBE)?;
             }
@@ -556,6 +568,8 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Serve {
             endpoint,
             workers,
+            io_threads,
+            max_hot_sessions,
             queue,
             stats_every,
             session_limit,
@@ -566,9 +580,14 @@ fn run(cmd: Command) -> Result<(), String> {
             write_timeout_ms,
             metrics_addr,
         } => {
+            if max_hot_sessions.is_some() && store.is_none() {
+                return Err("--max-hot-sessions needs --store (evicted engines live there)".into());
+            }
             let ep = endpoint.to_endpoint();
             let cfg = ibp_serve::ServeConfig {
                 workers,
+                io_threads,
+                max_hot_sessions,
                 queue_depth: queue,
                 stats_every,
                 session_limit,
@@ -600,14 +619,21 @@ fn run(cmd: Command) -> Result<(), String> {
                 }
                 server = server.with_store(std::sync::Arc::new(store));
             }
-            eprintln!("serving on {} ({workers} workers)", server.endpoint());
+            eprintln!(
+                "serving on {} ({workers} workers, {io_threads} io threads{})",
+                server.endpoint(),
+                max_hot_sessions
+                    .map(|n| format!(", hot cap {n}"))
+                    .unwrap_or_default()
+            );
             if let Some(addr) = server.metrics_endpoint() {
                 eprintln!("metrics    : http://{addr}/metrics (Prometheus text exposition)");
             }
-            // SIGINT/SIGTERM raise the stop flag: the accept loop
-            // breaks, in-flight work quiesces, and store-backed
-            // sessions are persisted before exit.
-            signal::drain_on_signals(server.stop_flag());
+            // SIGINT/SIGTERM raise the stop flag and poke the reactor's
+            // shutdown eventfd: the event loops wake immediately,
+            // in-flight work quiesces, and store-backed sessions are
+            // persisted before exit.
+            signal::drain_on_signals(server.stop_flag(), server.wake_fd());
             let summary = server.run();
             println!(
                 "sessions   : {} opened, {} closed",
@@ -617,6 +643,9 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("directives : {} streamed", summary.directives_sent);
             if summary.sessions_rehydrated > 0 {
                 println!("rehydrated : {} sessions from the store", summary.sessions_rehydrated);
+            }
+            if summary.evictions > 0 {
+                println!("evicted    : {} hot engines paged to the store", summary.evictions);
             }
             if summary.snapshots_persisted > 0 || summary.persist_failures > 0 {
                 println!(
@@ -658,6 +687,10 @@ fn run(cmd: Command) -> Result<(), String> {
             chaos_seed,
             retries,
             deadline_ms,
+            drivers,
+            open_rate,
+            events_per_session,
+            scale_curve,
             output,
         } => {
             let w = workload_of(&app, false).expect("validated by parse");
@@ -666,17 +699,35 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             let trace = w.generate(nprocs, seed);
             let cfg = power_config(gt_us, displacement);
+            // --events-per-session truncates every stream to its first N
+            // events (the mostly-idle mix for scaling runs). Parity
+            // goldens cannot come from annotate_rank then — it annotates
+            // the full rank — so truncated scale runs skip --check's
+            // golden comparison rather than compare against the wrong
+            // reference.
+            if events_per_session > 0 && check {
+                return Err(
+                    "--events-per-session truncates streams; offline goldens cover full \
+                     ranks only, so combining it with --check would compare against the \
+                     wrong reference"
+                        .into(),
+                );
+            }
             let specs: Vec<ibp_serve::SessionSpec> = (0..sessions)
                 .map(|i| {
                     let rank = &trace.ranks[i % nprocs as usize];
                     let golden = check.then(|| ibp_core::annotate_rank(rank, &cfg));
+                    let mut events: Vec<(u16, u64)> = rank
+                        .call_stream()
+                        .map(|(call, gap)| (call.id(), gap.as_ns()))
+                        .collect();
+                    if events_per_session > 0 {
+                        events.truncate(events_per_session);
+                    }
                     ibp_serve::SessionSpec {
                         rank: rank.rank,
                         config: cfg.clone(),
-                        events: rank
-                            .call_stream()
-                            .map(|(call, gap)| (call.id(), gap.as_ns()))
-                            .collect(),
+                        events,
                         final_compute_ns: rank.final_compute.as_ns(),
                         golden_directives: golden.as_ref().map(|g| g.directives.clone()),
                         golden_stats: golden.map(|g| g.stats),
@@ -694,14 +745,17 @@ fn run(cmd: Command) -> Result<(), String> {
                     deadline_ms,
                     ..Default::default()
                 },
+                drivers,
+                open_rate,
             };
             let report = ibp_serve::run_load(&ep, specs, &load_cfg)
                 .map_err(|e| format!("load against {ep}: {e}"))?;
             println!(
-                "{app} @{nprocs}: {} sessions, batch {batch}{}{}",
+                "{app} @{nprocs}: {} sessions, batch {batch}{}{}{}",
                 report.sessions,
                 split.map(|f| format!(", split {f}")).unwrap_or_default(),
-                chaos.map(|f| format!(", chaos {f}")).unwrap_or_default()
+                chaos.map(|f| format!(", chaos {f}")).unwrap_or_default(),
+                if drivers > 0 { format!(", {drivers} drivers") } else { String::new() }
             );
             println!(
                 "events     : {} in {:.2} s  ({:.0} events/s)",
@@ -729,6 +783,47 @@ fn run(cmd: Command) -> Result<(), String> {
                     "parity     : {}",
                     if report.parity_ok { "ok (matches offline annotate)" } else { "MISMATCH" }
                 );
+            }
+            if let Some(path) = scale_curve {
+                // Append one {sessions, drivers, throughput, latency}
+                // point to the `scaling` array of the benchmark JSON,
+                // creating file and array as needed. Everything else in
+                // the file (e.g. the 8-session baseline report) is
+                // preserved.
+                use serde::Value;
+                let mut doc: Value = match std::fs::read_to_string(&path) {
+                    Ok(json) => serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Value::Map(Vec::new()),
+                    Err(e) => return Err(format!("{path}: {e}")),
+                };
+                let Value::Map(entries) = &mut doc else {
+                    return Err(format!("{path}: top level is not a JSON object"));
+                };
+                let point = Value::Map(vec![
+                    ("sessions".into(), Value::U64(report.sessions as u64)),
+                    ("drivers".into(), Value::U64(drivers as u64)),
+                    ("open_rate".into(), Value::U64(open_rate)),
+                    ("events_per_session".into(), Value::U64(events_per_session as u64)),
+                    ("events_total".into(), Value::U64(report.events_total)),
+                    ("events_per_sec".into(), Value::F64(report.events_per_sec)),
+                    ("latency_p50_us".into(), Value::F64(report.latency_p50_us)),
+                    ("latency_p99_us".into(), Value::F64(report.latency_p99_us)),
+                    ("latency_max_us".into(), Value::F64(report.latency_max_us)),
+                ]);
+                let scaling = match entries.iter_mut().position(|(k, _)| k == "scaling") {
+                    Some(i) => &mut entries[i].1,
+                    None => {
+                        entries.push(("scaling".into(), Value::Seq(Vec::new())));
+                        &mut entries.last_mut().expect("just pushed").1
+                    }
+                };
+                let Value::Seq(points) = scaling else {
+                    return Err(format!("{path}: `scaling` is not an array"));
+                };
+                points.push(point);
+                let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+                println!("scaling    : point appended to {path}");
             }
             if let Some(path) = output {
                 let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;

@@ -6,26 +6,39 @@
 //! `signal(2)`, which `std` does not expose — a three-line FFI
 //! declaration against the libc every Unix binary already links keeps
 //! the workspace free of new dependencies. This is the only unsafe
-//! code in the binary; the handler body is a single atomic store,
-//! which is async-signal-safe.
+//! code in the binary.
+//!
+//! The reactor sleeps in `epoll_wait`, so the flag alone would only be
+//! observed at the next timeout tick. The handler therefore also pokes
+//! the server's eventfd waker ([`epoll::notify_raw`]) so the event
+//! loop wakes immediately and begins the drain. Both operations — an
+//! atomic store and a `write(2)` on an eventfd — are async-signal-safe.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
 extern "C" fn raise_stop(_signum: i32) {
     if let Some(flag) = STOP.get() {
         flag.store(true, Ordering::Relaxed);
     }
+    let fd = WAKE_FD.load(Ordering::Relaxed);
+    if fd >= 0 {
+        epoll::notify_raw(fd);
+    }
 }
 
-/// Install SIGINT and SIGTERM handlers that raise `flag`. Installing
-/// twice keeps the first flag (the handlers are process-global).
-pub fn drain_on_signals(flag: Arc<AtomicBool>) {
+/// Install SIGINT and SIGTERM handlers that raise `flag` and poke the
+/// reactor's shutdown eventfd `wake_fd` so the drain starts without
+/// waiting for the next poll timeout. Installing twice keeps the first
+/// flag (the handlers are process-global).
+pub fn drain_on_signals(flag: Arc<AtomicBool>, wake_fd: std::os::fd::RawFd) {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let _ = STOP.set(flag);
+    WAKE_FD.store(wake_fd, Ordering::Relaxed);
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }

@@ -12,7 +12,10 @@
 //! one thread per session, like a real PMPI shim fleet — measuring
 //! aggregate throughput and per-batch directive latency, optionally
 //! exercising the snapshot/restore reconnect path and checking
-//! end-to-end parity against offline golden annotations.
+//! end-to-end parity against offline golden annotations. With
+//! [`LoadConfig::drivers`] set, the fleet is instead multiplexed over
+//! a handful of driver connections (scale mode) with a paced open
+//! ramp, which is how the 10k+-session scaling runs are driven.
 //!
 //! ## Resilience
 //!
@@ -44,6 +47,8 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::Serialize;
 use std::io::{BufReader, BufWriter};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A blocking protocol client over one connection.
@@ -392,12 +397,17 @@ fn reconnectable(e: &ProtocolError) -> bool {
         | ProtocolError::Unexpected(_)
         | ProtocolError::UnknownKind(_)
         | ProtocolError::Malformed { .. } => true,
+        // DUPLICATE_SESSION is transient after an abandon: the server
+        // refuses to resurrect an id until the dead connection's
+        // teardown persist finishes, so backing off and retrying is
+        // exactly right.
         ProtocolError::Remote { code, .. } => matches!(
             *code,
             error_code::OVERLOAD
                 | error_code::UNKNOWN_SESSION
                 | error_code::INTERNAL
                 | error_code::MALFORMED
+                | error_code::DUPLICATE_SESSION
         ),
         _ => false,
     }
@@ -439,6 +449,17 @@ pub struct LoadConfig {
     pub chaos: Option<ChaosConfig>,
     /// Reconnect/backoff/deadline policy.
     pub retry: RetryPolicy,
+    /// Scale mode: multiplex all sessions over this many driver
+    /// connections (round-robin partition by session id) instead of
+    /// one connection + one thread per session. `0` keeps the classic
+    /// per-session mode. A thread per session stops working around a
+    /// few thousand sessions; drivers make 10k+ sessions drivable from
+    /// one process. Incompatible with `split` and `chaos`.
+    pub drivers: usize,
+    /// Scale mode: cap on session `Open`s per second across all
+    /// drivers (`0` = unlimited). Bounds the open ramp so a fleet
+    /// arriving at once does not hit a cold server as a single burst.
+    pub open_rate: u64,
 }
 
 impl Default for LoadConfig {
@@ -449,6 +470,8 @@ impl Default for LoadConfig {
             check: false,
             chaos: None,
             retry: RetryPolicy::default(),
+            drivers: 0,
+            open_rate: 0,
         }
     }
 }
@@ -523,6 +546,9 @@ pub fn run_load(
     specs: Vec<SessionSpec>,
     cfg: &LoadConfig,
 ) -> Result<LoadReport, ProtocolError> {
+    if cfg.drivers > 0 {
+        return run_load_scale(endpoint, specs, cfg);
+    }
     let sessions = specs.len();
     let start = Instant::now();
     let handles: Vec<_> = specs
@@ -555,8 +581,18 @@ pub fn run_load(
     if let Some(e) = first_err {
         return Err(e);
     }
-    let elapsed_s = start.elapsed().as_secs_f64();
+    Ok(aggregate(outcomes, latencies_ns, sessions, start.elapsed().as_secs_f64(), cfg.check))
+}
 
+/// Fold per-session outcomes and batch latencies into a [`LoadReport`]
+/// (shared by the classic and scale drivers).
+fn aggregate(
+    mut outcomes: Vec<SessionOutcome>,
+    mut latencies_ns: Vec<u64>,
+    sessions: usize,
+    elapsed_s: f64,
+    parity_checked: bool,
+) -> LoadReport {
     outcomes.sort_by_key(|o| o.session);
     latencies_ns.sort_unstable();
     let pct = |q: f64| -> f64 {
@@ -570,9 +606,8 @@ pub fn run_load(
     let directives_total: u64 = outcomes.iter().map(|o| o.directives).sum();
     let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
     let gave_up: u64 = outcomes.iter().filter(|o| o.gave_up).count() as u64;
-    let parity_checked = cfg.check;
     let parity_ok = !parity_checked || outcomes.iter().all(|o| o.parity_ok != Some(false));
-    Ok(LoadReport {
+    LoadReport {
         sessions,
         events_total,
         directives_total,
@@ -587,7 +622,180 @@ pub fn run_load(
         parity_checked,
         parity_ok,
         per_session: outcomes,
-    })
+    }
+}
+
+/// Scale mode: partition the fleet round-robin over `cfg.drivers`
+/// connections, each multiplexing its share of sessions (synchronous
+/// request/response, traffic localized to a bounded active window per
+/// driver — see [`drive_partition`]). The `Open` ramp is paced
+/// globally by [`LoadConfig::open_rate`].
+fn run_load_scale(
+    endpoint: &Endpoint,
+    specs: Vec<SessionSpec>,
+    cfg: &LoadConfig,
+) -> Result<LoadReport, ProtocolError> {
+    if cfg.split.is_some() || cfg.chaos.is_some() {
+        return Err(ProtocolError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "scale mode (drivers > 0) is incompatible with --split and chaos injection",
+        )));
+    }
+    let sessions = specs.len();
+    let drivers = cfg.drivers.min(sessions.max(1));
+    let start = Instant::now();
+    let open_tickets = Arc::new(AtomicU64::new(0));
+    let mut parts: Vec<Vec<(u32, SessionSpec)>> = (0..drivers).map(|_| Vec::new()).collect();
+    for (i, spec) in specs.into_iter().enumerate() {
+        parts[i % drivers].push((i as u32, spec));
+    }
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|part| {
+            let endpoint = endpoint.clone();
+            let cfg = cfg.clone();
+            let tickets = Arc::clone(&open_tickets);
+            std::thread::spawn(move || drive_partition(&endpoint, part, &cfg, &tickets, start))
+        })
+        .collect();
+
+    let mut outcomes = Vec::with_capacity(sessions);
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok((outs, lats))) => {
+                outcomes.extend(outs);
+                latencies_ns.extend(lats);
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| {
+                    Some(ProtocolError::Unexpected("driver thread panicked".into()))
+                })
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(aggregate(outcomes, latencies_ns, sessions, start.elapsed().as_secs_f64(), cfg.check))
+}
+
+/// Sleep until this open's ticket comes due under the global
+/// opens-per-second cap.
+fn pace_open(tickets: &AtomicU64, rate: u64, start: Instant) {
+    if rate == 0 {
+        return;
+    }
+    let ticket = tickets.fetch_add(1, Ordering::Relaxed);
+    let due = Duration::from_nanos(ticket.saturating_mul(1_000_000_000) / rate);
+    let elapsed = start.elapsed();
+    if due > elapsed {
+        std::thread::sleep(due - elapsed);
+    }
+}
+
+/// Sessions a scale-mode driver actively streams at once. Every
+/// session in the partition is *open* for the whole run — the point of
+/// scale mode is a fleet of concurrent sessions — but traffic cycles
+/// through a bounded window of them: a session gets batches until its
+/// stream drains and it closes, then the window refills from the idle
+/// backlog. That is the mostly-idle traffic mix real fleets show
+/// (COUNTDOWN's observation that most MPI time is wait time), and it
+/// is the access pattern a `--max-hot-sessions` LRU is designed for —
+/// the hot set is the active windows, not the whole fleet. Round-robin
+/// over *all* sessions would instead be the LRU's pathological case
+/// (every touch a miss at any cap below the session count).
+const ACTIVE_WINDOW: usize = 32;
+
+/// One scale-mode driver: open every session in the partition (paced),
+/// then stream a sliding [`ACTIVE_WINDOW`] of sessions to completion,
+/// closing each as it drains. Parity journals are kept only under
+/// `check` — at 10k+ sessions the journals, not the sockets, would
+/// otherwise dominate client memory — and each is dropped at its
+/// session's close.
+#[allow(clippy::type_complexity)]
+fn drive_partition(
+    endpoint: &Endpoint,
+    part: Vec<(u32, SessionSpec)>,
+    cfg: &LoadConfig,
+    tickets: &AtomicU64,
+    start: Instant,
+) -> Result<(Vec<SessionOutcome>, Vec<u64>), ProtocolError> {
+    let batch = cfg.batch.max(1);
+    let opts = ConnectOptions { chaos: None, read_timeout_ms: cfg.retry.deadline_ms };
+    let mut client = Client::connect_with(endpoint, &opts)?;
+    for (id, spec) in &part {
+        pace_open(tickets, cfg.open_rate, start);
+        client.open(*id, spec.rank, &spec.config)?;
+    }
+
+    let mut cursors = vec![0usize; part.len()];
+    let mut directive_counts = vec![0u64; part.len()];
+    let mut journals: Vec<Vec<LaneDirective>> = vec![Vec::new(); part.len()];
+    let mut latencies_ns = Vec::new();
+    let mut outcomes = Vec::with_capacity(part.len());
+
+    let mut active: Vec<usize> = (0..part.len().min(ACTIVE_WINDOW)).collect();
+    let mut next_idle = active.len();
+    while !active.is_empty() {
+        let mut i = 0;
+        while i < active.len() {
+            let k = active[i];
+            let (id, spec) = &part[k];
+            let total = spec.events.len();
+            if cursors[k] < total {
+                let end = (cursors[k] + batch).min(total);
+                let t0 = Instant::now();
+                let (applied, fresh) = client.send_events(*id, &spec.events[cursors[k]..end])?;
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                directive_counts[k] += fresh.len() as u64;
+                if cfg.check {
+                    journals[k].extend(fresh);
+                }
+                cursors[k] = (applied as usize).min(total).max(end);
+            }
+            if cursors[k] >= total {
+                let (tail, _total_directives, stats) =
+                    client.close(*id, spec.final_compute_ns)?;
+                directive_counts[k] += tail.len() as u64;
+                let parity_ok = if cfg.check {
+                    let mut journal = std::mem::take(&mut journals[k]);
+                    journal.extend(tail);
+                    spec.golden_directives.as_ref().map(|golden| {
+                        let mut ok = &journal == golden;
+                        if let Some(gs) = &spec.golden_stats {
+                            ok &= gs == &stats;
+                        }
+                        ok
+                    })
+                } else {
+                    None
+                };
+                outcomes.push(SessionOutcome {
+                    session: *id,
+                    rank: spec.rank,
+                    events: cursors[k] as u64,
+                    directives: directive_counts[k],
+                    reconnects: 0,
+                    gave_up: false,
+                    parity_ok,
+                });
+                // Retire this window slot and pull the next idle
+                // session in; `swap_remove` moved an unvisited entry
+                // to `i`, so don't advance.
+                active.swap_remove(i);
+                if next_idle < part.len() {
+                    active.push(next_idle);
+                    next_idle += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    Ok((outcomes, latencies_ns))
 }
 
 type SessionRun = (SessionOutcome, Vec<u64>);

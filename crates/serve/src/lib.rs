@@ -14,9 +14,12 @@
 //!   format and its panic-free decoder;
 //! * [`session`] — one engine instance with incremental apply and
 //!   snapshot/restore;
-//! * [`server`] — listener, per-connection readers and writer threads,
-//!   bounded worker pool with panic isolation, per-session mailboxes
-//!   (backpressure) and bounded outbound queues (overload shedding);
+//! * [`server`] — the epoll reactor: a fixed pool of event-loop
+//!   threads owning all connections nonblocking (frame reassembly,
+//!   eventfd wakers, shutdown eventfd), a bounded worker pool with
+//!   panic isolation, per-session mailboxes (backpressure), bounded
+//!   outbound queues (overload shedding), sharded session tables, and
+//!   LRU engine paging (`max_hot_sessions`) over the snapshot store;
 //! * [`store`] — the durable snapshot store: crash-safe persistence of
 //!   session state so a restarted server can rehydrate mid-stream
 //!   sessions;

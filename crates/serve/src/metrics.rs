@@ -26,7 +26,7 @@
 //! — changing any of them is a deliberate, reviewed act (regenerate
 //! with `IBP_UPDATE_GOLDEN=1`).
 
-use crate::server::ServeSummary;
+use crate::server::{ServeSummary, SESSION_TABLE_SHARDS};
 use ibp_network::LinkPower;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -64,8 +64,13 @@ pub struct MetricsRegistry {
     pub snapshots_persisted: AtomicU64,
     /// Persist attempts that failed — counter.
     pub persist_failures: AtomicU64,
-    /// Sessions rehydrated from the store — counter.
+    /// Sessions rehydrated from the store (empty-body `Restore`, or
+    /// transparently when work arrived for an evicted session) —
+    /// counter.
     pub sessions_rehydrated: AtomicU64,
+    /// Hot session engines evicted to the store by the LRU pager —
+    /// counter.
+    pub evictions: AtomicU64,
     /// `Query` frames answered — counter.
     pub queries_answered: AtomicU64,
     /// Prometheus scrapes served — counter.
@@ -77,6 +82,14 @@ pub struct MetricsRegistry {
     /// Encoded response frames queued across all connection writers —
     /// gauge.
     pub writer_queue_depth: AtomicU64,
+    /// Sessions whose engine is resident in memory — gauge.
+    pub hot_sessions: AtomicU64,
+    /// Sessions evicted to the snapshot store, rehydrated on touch —
+    /// gauge.
+    pub cold_sessions: AtomicU64,
+    /// Registry occupancy per session-table shard — labeled gauge
+    /// (`ibp_session_shard_sessions{shard="N"}`).
+    pub session_shards: [AtomicU64; SESSION_TABLE_SHARDS],
 }
 
 /// One metric's identity for the exposition: Prometheus type keyword,
@@ -87,7 +100,7 @@ struct MetricDesc {
     help: &'static str,
 }
 
-const COUNTERS: [MetricDesc; 13] = [
+const COUNTERS: [MetricDesc; 14] = [
     MetricDesc { kind: "counter", name: "ibp_sessions_opened_total", help: "Sessions opened (fresh or restored)." },
     MetricDesc { kind: "counter", name: "ibp_sessions_closed_total", help: "Sessions that finished with a Close frame." },
     MetricDesc { kind: "counter", name: "ibp_events_applied_total", help: "Intercepted MPI events applied across all sessions." },
@@ -98,16 +111,27 @@ const COUNTERS: [MetricDesc; 13] = [
     MetricDesc { kind: "counter", name: "ibp_worker_respawns_total", help: "Worker threads respawned by the supervisor." },
     MetricDesc { kind: "counter", name: "ibp_snapshots_persisted_total", help: "Session records persisted to the snapshot store." },
     MetricDesc { kind: "counter", name: "ibp_persist_failures_total", help: "Persist attempts that failed (disk errors)." },
-    MetricDesc { kind: "counter", name: "ibp_sessions_rehydrated_total", help: "Sessions rehydrated from the store by an empty-body Restore." },
+    MetricDesc { kind: "counter", name: "ibp_sessions_rehydrated_total", help: "Sessions rehydrated from the store (empty-body Restore, or transparently on touch after eviction)." },
+    MetricDesc { kind: "counter", name: "ibp_evictions_total", help: "Hot session engines evicted to the store by the LRU pager." },
     MetricDesc { kind: "counter", name: "ibp_queries_answered_total", help: "Query introspection frames answered." },
     MetricDesc { kind: "counter", name: "ibp_scrapes_served_total", help: "Prometheus scrapes served by the metrics endpoint." },
 ];
 
-const GAUGES: [MetricDesc; 3] = [
+const GAUGES: [MetricDesc; 5] = [
     MetricDesc { kind: "gauge", name: "ibp_sessions_live", help: "Live sessions currently tracked by the server." },
     MetricDesc { kind: "gauge", name: "ibp_ready_queue_depth", help: "Sessions waiting in the worker ready queue." },
     MetricDesc { kind: "gauge", name: "ibp_writer_queue_depth", help: "Encoded response frames queued across all connection writers." },
+    MetricDesc { kind: "gauge", name: "ibp_hot_sessions", help: "Sessions whose engine is resident in memory." },
+    MetricDesc { kind: "gauge", name: "ibp_cold_sessions", help: "Sessions evicted to the snapshot store, rehydrated on touch." },
 ];
+
+/// The per-shard occupancy gauge, rendered with a `shard` label — the
+/// one labeled metric in the exposition.
+const SHARD_GAUGE: MetricDesc = MetricDesc {
+    kind: "gauge",
+    name: "ibp_session_shard_sessions",
+    help: "Registry occupancy per session-table shard.",
+};
 
 impl MetricsRegistry {
     /// Snapshot the lifetime counters as a [`ServeSummary`] (the value
@@ -126,11 +150,12 @@ impl MetricsRegistry {
             snapshots_persisted: self.snapshots_persisted.load(Ordering::Relaxed),
             persist_failures: self.persist_failures.load(Ordering::Relaxed),
             sessions_rehydrated: self.sessions_rehydrated.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Values of the counters in [`COUNTERS`] order.
-    fn counter_values(&self) -> [u64; 13] {
+    fn counter_values(&self) -> [u64; 14] {
         [
             self.sessions_opened.load(Ordering::Relaxed),
             self.sessions_closed.load(Ordering::Relaxed),
@@ -143,17 +168,20 @@ impl MetricsRegistry {
             self.snapshots_persisted.load(Ordering::Relaxed),
             self.persist_failures.load(Ordering::Relaxed),
             self.sessions_rehydrated.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
             self.queries_answered.load(Ordering::Relaxed),
             self.scrapes_served.load(Ordering::Relaxed),
         ]
     }
 
     /// Values of the gauges in [`GAUGES`] order.
-    fn gauge_values(&self) -> [u64; 3] {
+    fn gauge_values(&self) -> [u64; 5] {
         [
             self.sessions_live.load(Ordering::Relaxed),
             self.ready_queue_depth.load(Ordering::Relaxed),
             self.writer_queue_depth.load(Ordering::Relaxed),
+            self.hot_sessions.load(Ordering::Relaxed),
+            self.cold_sessions.load(Ordering::Relaxed),
         ]
     }
 
@@ -171,6 +199,17 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# HELP {} {}", desc.name, desc.help);
             let _ = writeln!(out, "# TYPE {} {}", desc.name, desc.kind);
             let _ = writeln!(out, "{} {}", desc.name, value);
+        }
+        let _ = writeln!(out, "# HELP {} {}", SHARD_GAUGE.name, SHARD_GAUGE.help);
+        let _ = writeln!(out, "# TYPE {} {}", SHARD_GAUGE.name, SHARD_GAUGE.kind);
+        for (shard, occupancy) in self.session_shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{}{{shard=\"{}\"}} {}",
+                SHARD_GAUGE.name,
+                shard,
+                occupancy.load(Ordering::Relaxed)
+            );
         }
         out
     }
@@ -290,6 +329,12 @@ pub struct ServerProbe {
     pub ready_queue_depth: u32,
     /// Encoded response frames queued across all connection writers.
     pub writer_queue_depth: u32,
+    /// Sessions whose engine is resident in memory right now.
+    pub hot_sessions: u32,
+    /// Sessions evicted to the snapshot store, rehydrated on touch.
+    pub cold_sessions: u32,
+    /// The LRU pager's hot-set cap, when session paging is enabled.
+    pub max_hot_sessions: Option<u32>,
     /// Snapshot-store stats, when a store is attached.
     pub store: Option<StoreProbe>,
     /// Transport fault-injection intensity, when the server wraps
@@ -407,6 +452,21 @@ mod tests {
     }
 
     #[test]
+    fn exposition_renders_one_sample_per_shard() {
+        let m = MetricsRegistry::default();
+        m.session_shards[3].store(11, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        for shard in 0..SESSION_TABLE_SHARDS {
+            let expected = if shard == 3 { 11 } else { 0 };
+            let line = format!("ibp_session_shard_sessions{{shard=\"{shard}\"}} {expected}");
+            assert!(text.contains(&line), "missing {line} in:\n{text}");
+        }
+        let help_lines =
+            text.lines().filter(|l| l.starts_with("# HELP ibp_session_shard_sessions")).count();
+        assert_eq!(help_lines, 1, "shard gauge HELP emitted once");
+    }
+
+    #[test]
     fn counter_names_follow_the_contract() {
         for desc in &COUNTERS {
             assert!(desc.name.starts_with("ibp_"), "{}", desc.name);
@@ -465,6 +525,9 @@ mod tests {
                 queue_depth_limit: 64,
                 ready_queue_depth: 1,
                 writer_queue_depth: 3,
+                hot_sessions: 2,
+                cold_sessions: 1,
+                max_hot_sessions: Some(2),
                 store: Some(StoreProbe { sessions: 2, closed: 1, complete_histories: 2 }),
                 chaos_intensity: Some(0.05),
             },

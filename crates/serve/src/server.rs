@@ -3,46 +3,57 @@
 //! ## Threading model
 //!
 //! ```text
-//! listener thread ──accept──▶ one reader thread per connection
-//!          │                        │  Open/Restore handled inline
-//!          │ supervises             │  Events/Flush/Snapshot/Close pushed
-//!          ▼ (respawn on death)     ▼  into the session's bounded mailbox
-//!    worker pool          per-session mailbox (VecDeque, cap = queue_depth)
-//!          ▲                        │  first push marks the session ready
-//!          │                        ▼
-//!          └────────────── ready queue
-//!                                   │ a worker drains one session at a time
-//!                                   ▼
-//!                  per-connection outbound queue (bounded, shed-oldest)
-//!                                   │
-//!                                   ▼
-//!                  per-connection writer thread ──▶ socket
+//!  event-loop threads (io_threads; loop 0 also owns the listener)
+//!    epoll ──▶ per-connection state machine (frame reassembly)
+//!    │             │  Open/Restore/Query handled inline
+//!    │             │  Events/Flush/Snapshot/Close pushed into the
+//!    │             ▼  session's bounded mailbox
+//!    │   per-session mailbox (VecDeque, cap = queue_depth)
+//!    │             │  first push marks the session ready
+//!    │             ▼
+//!    │        ready queue ◀── worker pool (supervised, respawned)
+//!    │             │  a worker drains one session at a time
+//!    │             ▼
+//!    │   per-connection outbound queue (bounded, shed-oldest)
+//!    │             │  worker push kicks the owning loop's eventfd
+//!    └──◀──────────┘  loop encodes + writes on writability
 //! ```
 //!
+//! Connections are nonblocking and owned by a small fixed pool of
+//! event-loop threads (round-robin at accept). Each loop runs a
+//! level-triggered [`epoll`] poller over its connections, one `eventfd`
+//! waker (for worker→loop notifications), and the shared shutdown
+//! eventfd; loop 0 additionally owns the listening socket, so accept
+//! readiness — not a sleep poll — drives new connections.
+//!
 //! **Backpressure (inbound).** A session's mailbox holds at most
-//! `queue_depth` pending work items. When it is full the connection's
-//! reader thread blocks in `push` — it stops reading that socket, so
-//! the kernel's flow control eventually pushes back on the client. A
-//! slow *sender* therefore throttles its own connection only.
-//! (Sessions multiplexed on one connection share that connection's
-//! reader, so they share its fate — clients wanting full isolation
-//! open one connection per session, as the load generator does.)
+//! `queue_depth` pending work items. When it is full the connection
+//! *parks*: the loop stashes the unroutable work item, stops reading
+//! that socket (drops `EPOLLIN` interest), and registers a waiter on
+//! the mailbox. The worker's next `pop` re-arms the connection through
+//! the loop's waker — the parked item is retried, reading resumes, and
+//! kernel flow control meanwhile pushes back on the client. A slow
+//! *sender* therefore throttles its own connection only. (Sessions
+//! multiplexed on one connection share that connection's read path, so
+//! they share its fate — clients wanting full isolation open one
+//! connection per session.)
 //!
 //! **Overload shedding (outbound).** Responses are never written from
-//! worker threads. Each connection owns a bounded outbound queue
-//! drained by a dedicated writer thread; workers enqueue and move on,
-//! so a client that stops *reading* its socket can no longer stall the
-//! worker pool (the §12 limitation this design replaces). When a
-//! connection's queue overflows, the oldest queued responses are shed
-//! and a single in-band [`ServerFrame::Error`] with
+//! worker threads. Each connection owns a bounded outbound queue;
+//! workers enqueue, kick the owning event loop, and move on, so a
+//! client that stops *reading* its socket can no longer stall the
+//! worker pool. When a connection's queue overflows, the oldest queued
+//! responses are shed and a single in-band [`ServerFrame::Error`] with
 //! [`error_code::OVERLOAD`] tells the client its response stream has a
 //! gap — the resilient client reconnects and restores. Memory per
-//! connection stays bounded no matter how slow the reader.
+//! connection stays bounded no matter how slow the reader: queued
+//! frames move to the write buffer only once it has fully drained.
 //!
 //! **Fairness.** A worker drains at most [`DRAIN_QUANTUM`] items from
 //! one mailbox per scheduling turn, then re-enqueues the session, so a
 //! continuously-fed session cannot pin a worker while other ready
-//! sessions wait.
+//! sessions wait. Event loops read at most a fixed budget per
+//! connection per wake before moving on (level triggering re-notifies).
 //!
 //! **Ordering.** The `scheduled` flag inside the mailbox mutex
 //! guarantees at most one outstanding ready-queue entry per session, so
@@ -50,45 +61,71 @@
 //! arrival order. The flag is cleared under the same lock that observes
 //! the queue empty, so a concurrent push either sees `scheduled == true`
 //! (the worker has not yet drained its item) or re-schedules the
-//! session — a wakeup can never be lost. A worker whose quantum expires
-//! with items still queued keeps the flag set and re-enqueues the cell
-//! itself, preserving the single-drainer invariant.
+//! session — a wakeup can never be lost. The park/unpark handshake has
+//! the same shape: the waiter is installed under the mailbox lock that
+//! observed it full, and a non-empty mailbox is by construction
+//! scheduled, so a future `pop` (which fires the waiter) is guaranteed.
+//!
+//! **Session table sharding.** The live-session registry is split
+//! across [`SESSION_TABLE_SHARDS`] independently locked shards (hash =
+//! `id % shards`), so Open/lookup/Close from different event loops
+//! never serialize on one table lock; per-shard occupancy is exported
+//! as a labelled gauge.
+//!
+//! **Session paging (LRU eviction).** With `max_hot_sessions` set (and
+//! a store attached), only that many *hot* engines live in memory. When
+//! a hot-add overflows the cap, the least-recently-touched idle session
+//! is persisted to the [`SnapshotStore`] and its engine dropped
+//! (`Cold`); the cell, mailbox, and outbound plumbing stay. Work
+//! arriving for a cold session transparently rehydrates it from its
+//! record first (`sessions_rehydrated`), which may in turn evict
+//! another — millions of mostly-idle sessions fit in bounded memory.
+//! Eviction persists *while holding the engine lock*, so a concurrent
+//! rehydrate can never read a stale record.
 //!
 //! **Panic isolation.** Each work item is applied under
 //! `catch_unwind`: a panic poisons nothing (locks are acquired
-//! poison-tolerantly), drops only the offending session, and answers
-//! the client with an [`error_code::INTERNAL`] error. The listener
-//! additionally supervises the worker pool and respawns any thread
-//! that dies.
+//! poison-tolerantly), retires only the offending session, and answers
+//! the client with an [`error_code::INTERNAL`] error. The `run` thread
+//! supervises the worker pool and respawns any thread that dies.
 //!
 //! **Durability.** With a [`SnapshotStore`] attached, sessions persist
 //! their full learned state (plus directive history) every
-//! `persist_every` applied events, before every `Close`
-//! acknowledgement, and in a final sweep when the server drains. A
-//! restarted server rehydrates them for clients that `Restore` with an
-//! empty snapshot body. See the `store` module docs for the crash-
-//! safety contract.
+//! `persist_every` applied events, on every eviction, before every
+//! `Close` acknowledgement, when their connection drops, and in a
+//! final sweep when the server drains. A restarted server rehydrates
+//! them for clients that `Restore` with an empty snapshot body. See
+//! the `store` module docs for the crash-safety contract.
+//!
+//! **Shutdown.** [`Server::stop_flag`] plus [`Server::wake_fd`] (an
+//! eventfd every loop watches) give signal handlers a bounded-latency
+//! drain path: one atomic store and one `write(2)`, both
+//! async-signal-safe, and every loop wakes immediately instead of
+//! finishing a poll quantum. Loops also tick every [`TICK_MS`] so a
+//! bare `stop` store (no wake) still drains promptly.
 
 use crate::chaos::ChaosConfig;
 use crate::metrics::{
     spawn_exporter, MetricsRegistry, ObsReport, ServerProbe, SessionProbe, StoreProbe,
 };
 use crate::protocol::{
-    decode_client, error_code, read_frame_header, verify_frame_crc, write_frame, ClientFrame,
-    ProtocolError, ServerFrame, CONNECTION_SESSION, FRAME_HEADER_LEN,
+    decode_client, error_code, read_frame_header, verify_frame_crc, ClientFrame, ProtocolError,
+    ServerFrame, CONNECTION_SESSION, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 use crate::session::Session;
 use crate::store::{SnapshotStore, StoreRecord, RECORD_VERSION};
+use epoll::{Events, Interest, Poller, Waker};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
-use std::io::{BufWriter, Read, Write};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
 /// Lock a mutex tolerating poisoning: every critical section in this
@@ -173,6 +210,27 @@ impl Stream {
         }
     }
 
+    /// Switch the underlying socket between blocking and nonblocking
+    /// mode (the reactor runs every accepted connection nonblocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Chaos(s) => s.get_ref().set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw fd, for epoll registration. Chaos wrappers register the
+    /// inner transport fd — fault injection happens on read/write, not
+    /// on readiness.
+    pub fn raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Chaos(s) => s.get_ref().raw_fd(),
+        }
+    }
+
     /// Shut down both directions so the peer sees EOF immediately.
     pub fn shutdown(&self) -> std::io::Result<()> {
         match self {
@@ -216,7 +274,13 @@ impl Write for Stream {
 pub struct ServeConfig {
     /// Worker threads applying event batches (the bounded pool).
     pub workers: usize,
-    /// Pending work items per session before its reader blocks.
+    /// Event-loop (reactor) threads owning the nonblocking
+    /// connections. Loop 0 also owns the listener. Two saturate the
+    /// protocol path for most deployments; raise for very high
+    /// connection counts.
+    pub io_threads: usize,
+    /// Pending work items per session before its connection parks
+    /// (stops reading) for backpressure.
     pub queue_depth: usize,
     /// Emit an unsolicited [`ServerFrame::Stats`] every this many events
     /// per session (0 disables; `Flush` always answers immediately).
@@ -229,16 +293,21 @@ pub struct ServeConfig {
     pub write_queue: usize,
     /// Drop a connection when no frame arrives for this many
     /// milliseconds (0 disables). Abandoned connections otherwise hold
-    /// their reader thread until the process exits.
+    /// their registration until the process exits.
     pub idle_timeout_ms: u64,
-    /// Socket write timeout for response frames, milliseconds (0
-    /// disables). A connection whose peer stops reading for this long
-    /// is dropped.
+    /// Drop a connection whose peer has not accepted any bytes for
+    /// this many milliseconds while responses are pending (0 disables).
     pub write_timeout_ms: u64,
     /// Persist each store-backed session every this many applied
     /// events (0 = only on `Close` and at drain). Ignored without a
     /// store.
     pub persist_every: u64,
+    /// Cap on *hot* (in-memory) session engines; the least-recently
+    /// touched idle engines beyond it are evicted to the snapshot
+    /// store and rehydrated transparently on their next work item.
+    /// Requires a store ([`Server::with_store`]); ignored without one.
+    /// `None` keeps every open session hot.
+    pub max_hot_sessions: Option<usize>,
     /// Serve Prometheus text exposition over plaintext HTTP/1.0 on
     /// this address (e.g. `127.0.0.1:9464`; port 0 picks a free port).
     /// `None` disables the exporter; the [`MetricsRegistry`] is live
@@ -258,6 +327,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 4,
+            io_threads: 2,
             queue_depth: 64,
             stats_every: 0,
             session_limit: None,
@@ -265,6 +335,7 @@ impl Default for ServeConfig {
             idle_timeout_ms: 0,
             write_timeout_ms: 30_000,
             persist_every: 256,
+            max_hot_sessions: None,
             metrics_addr: None,
             chaos: None,
             panic_on_call: None,
@@ -296,19 +367,44 @@ pub struct ServeSummary {
     pub snapshots_persisted: u64,
     /// Persist attempts that failed (disk errors).
     pub persist_failures: u64,
-    /// Sessions rehydrated from the store by an empty-body `Restore`.
+    /// Sessions rehydrated from the store (empty-body `Restore`, or
+    /// transparently when work arrived for an evicted session).
     pub sessions_rehydrated: u64,
+    /// Hot session engines evicted to the store by the LRU pager.
+    pub evictions: u64,
 }
 
-/// Everything shared by the listener, readers, and workers.
+/// Shards in the live-session registry. Session id modulo this picks
+/// the shard, so lookups from different event loops rarely contend.
+pub const SESSION_TABLE_SHARDS: usize = 8;
+
+/// Reactor poll quantum: the upper bound on how stale idle/write
+/// timeout checks and a waker-less stop request can get.
+const TICK_MS: i32 = 25;
+
+/// Everything shared by the event loops and workers.
 struct Shared {
     cfg: ServeConfig,
     metrics: Arc<MetricsRegistry>,
-    stop: AtomicBool,
+    /// Raised to stop the server (public flag, shared with
+    /// [`Server::stop_flag`]).
+    stop: Arc<AtomicBool>,
+    /// Raised once the event loops have drained; workers exit instead
+    /// of waiting for more work.
+    drain: AtomicBool,
     store: Option<Arc<SnapshotStore>>,
     /// Every live session, for `Query` fleet probes and the drain
-    /// sweep. Weak: a dropped connection's cells must not leak here.
-    registry: Mutex<HashMap<u32, Weak<SessionCell>>>,
+    /// sweep, sharded by `id % SESSION_TABLE_SHARDS`. Weak: a dropped
+    /// connection's cells must not leak here.
+    shards: Vec<Mutex<HashMap<u32, Weak<SessionCell>>>>,
+    /// LRU recency order over hot sessions (only used when
+    /// `max_hot_sessions` is set).
+    lru: Mutex<LruState>,
+    /// The shutdown eventfd every loop watches; `notify` gives signal
+    /// handlers and `session_limit` a bounded-latency drain.
+    shutdown: Arc<Waker>,
+    /// Monotonic accepted-connection counter (chaos reseeding).
+    conn_seq: AtomicU64,
 }
 
 enum Work {
@@ -326,47 +422,53 @@ const DRAIN_QUANTUM: usize = 32;
 
 struct OutboundState {
     frames: VecDeque<Vec<u8>>,
-    /// Producer handles alive (reader + session cells). The writer
-    /// thread exits after flushing once this reaches zero.
-    producers: usize,
     /// Set when the socket died: producers drop their frames instead
     /// of queueing.
     dead: bool,
     /// An overload error frame is already queued; coalesces repeat
     /// shed bursts into one in-band notification.
     overload_pending: bool,
+    /// A loop service request for this connection is already pending;
+    /// coalesces a burst of pushes into one eventfd kick.
+    flush_queued: bool,
 }
 
 /// One connection's bounded outbound queue. Workers push encoded
-/// frames without ever blocking on the socket; a dedicated writer
-/// thread drains it.
-struct ConnWriter {
+/// frames without ever blocking on the socket and kick the owning
+/// event loop, which encodes and writes them on writability.
+struct ConnTx {
     q: Mutex<OutboundState>,
-    ready: Condvar,
     cap: usize,
     metrics: Arc<MetricsRegistry>,
+    /// The event loop that owns the connection's socket.
+    home: Arc<LoopHandle>,
+    /// The connection's token in that loop.
+    token: u64,
 }
 
-impl ConnWriter {
-    fn new(cap: usize, metrics: Arc<MetricsRegistry>) -> Arc<ConnWriter> {
-        Arc::new(ConnWriter {
+impl ConnTx {
+    fn new(cap: usize, metrics: Arc<MetricsRegistry>, home: Arc<LoopHandle>, token: u64) -> Arc<ConnTx> {
+        Arc::new(ConnTx {
             q: Mutex::new(OutboundState {
                 frames: VecDeque::new(),
-                producers: 0,
                 dead: false,
                 overload_pending: false,
+                flush_queued: false,
             }),
-            ready: Condvar::new(),
             // Room for at least one response plus the overload error.
             cap: cap.max(2),
             metrics,
+            home,
+            token,
         })
     }
 
     /// Queue one encoded frame, shedding the oldest entries (plus one
     /// in-band overload error) when the queue is full. Never blocks on
-    /// the socket. Returns frames shed.
-    fn push(&self, payload: Vec<u8>) -> u64 {
+    /// the socket. `wake` kicks the owning loop (callers already on
+    /// that loop skip it — the loop flushes after servicing the
+    /// connection anyway). Returns frames shed.
+    fn push(&self, payload: Vec<u8>, wake: bool) -> u64 {
         let mut q = lock_ok(&self.q);
         if q.dead {
             return 0;
@@ -393,6 +495,10 @@ impl ConnWriter {
             }
         }
         q.frames.push_back(payload);
+        let kick = wake && !q.flush_queued;
+        if kick {
+            q.flush_queued = true;
+        }
         drop(q);
         // Net change to the fleet-wide writer-queue occupancy gauge.
         if queued >= shed {
@@ -400,103 +506,35 @@ impl ConnWriter {
         } else {
             self.metrics.writer_queue_depth.fetch_sub(shed - queued, Ordering::Relaxed);
         }
-        self.ready.notify_one();
+        if kick {
+            self.home.request_service(self.token);
+        }
         shed
     }
 
-    fn attach_producer(self: &Arc<Self>) -> WriterHandle {
-        lock_ok(&self.q).producers += 1;
-        WriterHandle { conn: Arc::clone(self) }
-    }
-
-    /// The writer thread body: drain frames to the socket until the
-    /// connection dies or every producer is gone and the queue is dry.
-    ///
-    /// Frames drain in batches — everything queued moves out under one
-    /// lock acquisition, with a single occupancy-gauge settlement for
-    /// the whole batch — so a burst of responses costs one lock/atomic
-    /// round instead of one per frame.
-    fn writer_loop(&self, out: Stream) {
-        let mut out = BufWriter::with_capacity(64 * 1024, out);
-        let mut batch: Vec<Vec<u8>> = Vec::new();
-        loop {
-            {
-                let mut q = lock_ok(&self.q);
-                loop {
-                    if q.dead {
-                        return;
-                    }
-                    if !q.frames.is_empty() {
-                        batch.extend(q.frames.drain(..));
-                        q.overload_pending = false;
-                        self.metrics
-                            .writer_queue_depth
-                            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
-                        break;
-                    }
-                    if q.producers == 0 {
-                        let _ = out.flush();
-                        return;
-                    }
-                    q = self
-                        .ready
-                        .wait_timeout(q, Duration::from_millis(100))
-                        .unwrap_or_else(|e| e.into_inner())
-                        .0;
-                }
-            }
-            for payload in batch.drain(..) {
-                if !self.write_one(&mut out, payload) {
-                    return;
-                }
-            }
+    /// Drain every queued frame for the owning loop to encode. Clears
+    /// the kick-coalescing flag under the same lock, so pushes after
+    /// this drain re-notify.
+    fn take_batch(&self, into: &mut Vec<Vec<u8>>) {
+        let mut q = lock_ok(&self.q);
+        if q.frames.is_empty() {
+            q.flush_queued = false;
+            return;
         }
+        into.extend(q.frames.drain(..));
+        q.overload_pending = false;
+        q.flush_queued = false;
+        self.metrics
+            .writer_queue_depth
+            .fetch_sub(into.len() as u64, Ordering::Relaxed);
     }
 
-    /// Write one frame, handling the too-large and fatal error paths.
-    /// Returns `false` when the connection is dead and the loop must
-    /// exit (any remaining batched frames were already settled out of
-    /// the occupancy gauge when they were drained).
-    fn write_one(&self, out: &mut BufWriter<Stream>, payload: Vec<u8>) -> bool {
-        match write_frame(out, &payload) {
-            Ok(()) => true,
-            Err(ProtocolError::FrameTooLarge { len, max }) => {
-                // The response outgrew the frame cap (a snapshot
-                // embedding a long stream's grams can). Nothing hit
-                // the wire yet, so tell the client in-band instead
-                // of leaving it blocked on a reply that will never
-                // come. The payload's session id sits at bytes 1–4.
-                let session = payload
-                    .get(1..5)
-                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
-                    .unwrap_or(CONNECTION_SESSION);
-                let err = ServerFrame::Error {
-                    session,
-                    code: error_code::FRAME_TOO_LARGE,
-                    message: format!(
-                        "response frame of {len} bytes exceeds the {max}-byte cap"
-                    ),
-                };
-                if write_frame(out, &err.encode()).is_err() {
-                    self.mark_dead(out);
-                    return false;
-                }
-                true
-            }
-            Err(_) => {
-                // A partial write leaves the stream mid-frame (and
-                // a write timeout means the peer stopped reading);
-                // no in-band recovery is possible. Drop the
-                // connection so the client sees EOF instead of a
-                // corrupt frame or a silent hang.
-                self.mark_dead(out);
-                false
-            }
-        }
+    fn is_empty(&self) -> bool {
+        lock_ok(&self.q).frames.is_empty()
     }
 
-    fn mark_dead(&self, out: &mut BufWriter<Stream>) {
-        let _ = out.get_ref().shutdown();
+    /// The socket died: drop queued frames and refuse new ones.
+    fn mark_dead(&self) {
         let mut q = lock_ok(&self.q);
         q.dead = true;
         self.metrics
@@ -506,30 +544,31 @@ impl ConnWriter {
     }
 }
 
-/// A producer token for a connection's outbound queue. Dropping the
-/// last one lets the writer thread flush and exit.
-struct WriterHandle {
-    conn: Arc<ConnWriter>,
-}
-
-impl Clone for WriterHandle {
-    fn clone(&self) -> Self {
-        self.conn.attach_producer()
-    }
-}
-
-impl Drop for WriterHandle {
-    fn drop(&mut self) {
-        lock_ok(&self.conn.q).producers -= 1;
-        self.conn.ready.notify_one();
-    }
-}
-
 // ------------------------------------------------------------- sessions
+
+/// Where a worker's `pop` should send its "mailbox has space again"
+/// signal: the loop (and connection token) parked on this mailbox.
+struct Waiter {
+    home: Arc<LoopHandle>,
+    token: u64,
+}
 
 struct MailboxState {
     deque: VecDeque<Work>,
     scheduled: bool,
+    /// A parked connection waiting for space (at most one: a session's
+    /// frames all arrive on one connection).
+    waiter: Option<Waiter>,
+}
+
+/// A session engine's residency state. `Cold` keeps the cell (mailbox,
+/// registry entry, connection plumbing) while the engine itself lives
+/// only in the snapshot store; `Retired` is terminal (closed or
+/// panicked).
+enum SessionSlot {
+    Hot(Box<Session>),
+    Cold,
+    Retired,
 }
 
 /// One live session plus its mailbox and its connection's outbound
@@ -538,50 +577,61 @@ struct SessionCell {
     id: u32,
     /// The rank the session annotates, copied out of the session so a
     /// `Query` probe can still label a cell whose engine is checked out
-    /// by a worker (or already retired).
+    /// by a worker (or paged out, or already retired).
     rank: u32,
-    state: Mutex<Option<Session>>,
+    state: Mutex<SessionSlot>,
     mailbox: Mutex<MailboxState>,
-    space: Condvar,
     cap: usize,
-    writer: WriterHandle,
+    tx: Arc<ConnTx>,
+    /// For residency-gauge accounting on drop and LRU upkeep.
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Outcome of a non-blocking mailbox push.
+enum PushOutcome {
+    /// Queued; `true` means the session must be (re-)scheduled.
+    Queued(bool),
+    /// Mailbox full: the work item comes back, the waiter was
+    /// installed, and the connection must park (stop reading) until
+    /// the next `pop` fires it.
+    Full(Work),
 }
 
 impl SessionCell {
-    /// Push work, blocking while the mailbox is full (backpressure).
-    /// Returns whether the session must be (re-)scheduled.
-    fn push(&self, work: Work, stop: &AtomicBool) -> bool {
+    /// Push work without blocking. When the mailbox is full, install
+    /// `waiter` (under the same lock that observed fullness — a
+    /// concurrent `pop` therefore cannot miss it) and hand the work
+    /// back for the connection to stash.
+    fn try_push(&self, work: Work, waiter: impl FnOnce() -> Waiter) -> PushOutcome {
         let mut mb = lock_ok(&self.mailbox);
-        while mb.deque.len() >= self.cap {
-            if stop.load(Ordering::Relaxed) {
-                return false;
-            }
-            let (guard, _) = self
-                .space
-                .wait_timeout(mb, Duration::from_millis(100))
-                .unwrap_or_else(|e| e.into_inner());
-            mb = guard;
+        if mb.deque.len() >= self.cap {
+            mb.waiter = Some(waiter());
+            return PushOutcome::Full(work);
         }
         mb.deque.push_back(work);
         let needs_schedule = !mb.scheduled;
         mb.scheduled = true;
-        needs_schedule
+        PushOutcome::Queued(needs_schedule)
     }
 
     /// Pop the next work item; clears `scheduled` (under the same lock)
-    /// when the mailbox is empty.
+    /// when the mailbox is empty, and fires any parked connection's
+    /// waiter now that there is space.
     fn pop(&self) -> Option<Work> {
-        let mut mb = lock_ok(&self.mailbox);
-        match mb.deque.pop_front() {
-            Some(w) => {
-                self.space.notify_one();
-                Some(w)
+        let (work, waiter) = {
+            let mut mb = lock_ok(&self.mailbox);
+            match mb.deque.pop_front() {
+                Some(w) => (Some(w), mb.waiter.take()),
+                None => {
+                    mb.scheduled = false;
+                    (None, mb.waiter.take())
+                }
             }
-            None => {
-                mb.scheduled = false;
-                None
-            }
+        };
+        if let Some(w) = waiter {
+            w.home.request_service(w.token);
         }
+        work
     }
 
     /// Called when a drain quantum expires while the worker still holds
@@ -600,28 +650,280 @@ impl SessionCell {
     }
 }
 
+impl Drop for SessionCell {
+    fn drop(&mut self) {
+        // Keep the residency gauges honest when a connection drops its
+        // cells without a clean Close.
+        let slot = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
+        match slot {
+            SessionSlot::Hot(_) => {
+                self.metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
+            }
+            SessionSlot::Cold => {
+                self.metrics.cold_sessions.fetch_sub(1, Ordering::Relaxed);
+            }
+            SessionSlot::Retired => {}
+        }
+    }
+}
+
+// ------------------------------------------------------------ LRU pager
+
+/// Recency order over hot sessions: `order` maps a monotonically
+/// increasing touch sequence to the session, `pos` finds a session's
+/// current sequence for O(log n) re-touch. Stale entries (evicted,
+/// retired, or dropped cells) are skipped at pop time.
+#[derive(Default)]
+struct LruState {
+    seq: u64,
+    order: BTreeMap<u64, Weak<SessionCell>>,
+    pos: HashMap<u32, u64>,
+}
+
+impl LruState {
+    fn touch(&mut self, cell: &Arc<SessionCell>) {
+        if let Some(old) = self.pos.remove(&cell.id) {
+            self.order.remove(&old);
+        }
+        self.seq += 1;
+        self.order.insert(self.seq, Arc::downgrade(cell));
+        self.pos.insert(cell.id, self.seq);
+    }
+
+    fn remove(&mut self, id: u32) {
+        if let Some(seq) = self.pos.remove(&id) {
+            self.order.remove(&seq);
+        }
+    }
+
+    fn pop_oldest(&mut self) -> Option<Weak<SessionCell>> {
+        let (seq, weak) = self.order.pop_first()?;
+        self.pos.retain(|_, s| *s != seq);
+        Some(weak)
+    }
+}
+
+/// True when the pager is active (a cap *and* a store: eviction without
+/// a store would lose engines, so the cap is ignored then).
+fn paging_enabled(shared: &Shared) -> bool {
+    shared.cfg.max_hot_sessions.is_some() && shared.store.is_some()
+}
+
+/// Record a hot session as most-recently used.
+fn lru_touch(shared: &Shared, cell: &Arc<SessionCell>) {
+    if paging_enabled(shared) {
+        lock_ok(&shared.lru).touch(cell);
+    }
+}
+
+/// Evict least-recently-used hot engines until the hot set fits the
+/// cap. Lock order: the LRU lock is only ever held alone; a victim's
+/// engine lock is taken with `try_lock` (busy engines are re-touched
+/// and retried later) and the store's lock is only taken *under* the
+/// engine lock — the same order `ensure_hot` uses, so a rehydrate can
+/// never interleave with a half-finished eviction of the same session.
+fn maybe_evict(shared: &Shared) {
+    let Some(cap) = shared.cfg.max_hot_sessions else { return };
+    let Some(store) = shared.store.as_ref() else { return };
+    let metrics = &shared.metrics;
+    // Bounded sweep: every iteration either evicts, discards a stale
+    // entry, or re-touches a busy victim; the budget stops a pathological
+    // all-busy spin (the next hot-add retries).
+    let mut budget = 4096usize;
+    while metrics.hot_sessions.load(Ordering::Relaxed) as usize > cap && budget > 0 {
+        budget -= 1;
+        let Some(weak) = lock_ok(&shared.lru).pop_oldest() else { break };
+        let Some(cell) = weak.upgrade() else { continue };
+        let mut guard = match cell.state.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // A worker holds the engine: it is plainly not idle.
+                // Back of the queue, try the next-oldest instead.
+                lru_touch(shared, &cell);
+                continue;
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        };
+        if !matches!(&*guard, SessionSlot::Hot(_)) {
+            continue; // already evicted or retired under us
+        }
+        let SessionSlot::Hot(sess) = std::mem::replace(&mut *guard, SessionSlot::Cold) else {
+            unreachable!("checked Hot above");
+        };
+        let record = StoreRecord {
+            record_version: RECORD_VERSION,
+            session: cell.id,
+            rank: sess.rank,
+            events: sess.events_applied(),
+            closed: false,
+            history_complete: sess.history_complete(),
+            directives: sess.history(),
+            snapshot: sess.snapshot(),
+        };
+        // Persist *inside* the engine lock: a concurrent work item for
+        // this session blocks on the lock until the record is written,
+        // so its rehydrate reads exactly this state. The fast variant
+        // skips the fsyncs — rename-atomicity is what rehydration
+        // correctness needs; paging throughput must not be bounded by
+        // sync latency (close and drain still persist durably).
+        match store.persist_fast(&record) {
+            Ok(()) => {
+                metrics.snapshots_persisted.fetch_add(1, Ordering::Relaxed);
+                metrics.evictions.fetch_add(1, Ordering::Relaxed);
+                metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
+                metrics.cold_sessions.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Disk trouble: keep the engine hot (dropping it would
+                // lose state) and stop evicting for now.
+                metrics.persist_failures.fetch_add(1, Ordering::Relaxed);
+                *guard = SessionSlot::Hot(sess);
+                drop(guard);
+                lru_touch(shared, &cell);
+                break;
+            }
+        }
+    }
+}
+
+/// Make a cell's engine resident, rehydrating from the store when it
+/// was evicted. Called with the engine lock held; returns `true` when
+/// a rehydration happened (the caller then runs `maybe_evict` after
+/// releasing the lock). On failure the cell retires and the client
+/// gets an INTERNAL error.
+fn ensure_hot(
+    guard: &mut MutexGuard<'_, SessionSlot>,
+    cell: &SessionCell,
+    shared: &Shared,
+) -> Result<bool, String> {
+    if matches!(&**guard, SessionSlot::Hot(_)) {
+        return Ok(false);
+    }
+    let Some(store) = shared.store.as_ref() else {
+        return Err(format!("session {} was evicted but the store is gone", cell.id));
+    };
+    let record = match store.load(cell.id) {
+        Ok(Some(r)) => r,
+        Ok(None) => {
+            return Err(format!("evicted session {} has no stored record", cell.id));
+        }
+        Err(e) => return Err(format!("snapshot store read failed: {e}")),
+    };
+    match Session::restore_from_record(&record) {
+        Ok(sess) => {
+            **guard = SessionSlot::Hot(Box::new(sess));
+            shared.metrics.cold_sessions.fetch_sub(1, Ordering::Relaxed);
+            shared.metrics.hot_sessions.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.sessions_rehydrated.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        }
+        Err(e) => Err(format!("evicted session {} failed to rehydrate: {e}", cell.id)),
+    }
+}
+
+/// Terminal transition: drop the engine (if any), fix the residency
+/// gauges, and forget the LRU entry. Used by `Close`, worker panics,
+/// and rehydration failures.
+fn retire_cell(cell: &SessionCell, shared: &Shared) -> Option<Box<Session>> {
+    let mut guard = lock_ok(&cell.state);
+    let prev = std::mem::replace(&mut *guard, SessionSlot::Retired);
+    drop(guard);
+    let out = match prev {
+        SessionSlot::Hot(sess) => {
+            shared.metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
+            Some(sess)
+        }
+        SessionSlot::Cold => {
+            shared.metrics.cold_sessions.fetch_sub(1, Ordering::Relaxed);
+            None
+        }
+        SessionSlot::Retired => None,
+    };
+    if paging_enabled(shared) {
+        lock_ok(&shared.lru).remove(cell.id);
+    }
+    out
+}
+
+// ------------------------------------------------------------- listener
+
 enum Listener {
     Tcp(TcpListener),
     Unix(UnixListener, PathBuf),
 }
 
 impl Listener {
+    /// Accept one connection, nonblocking, ready for epoll.
     fn accept(&self) -> std::io::Result<Stream> {
         match self {
             Listener::Tcp(l) => {
                 let (s, _) = l.accept()?;
-                s.set_nonblocking(false)?;
+                s.set_nonblocking(true)?;
                 s.set_nodelay(true)?;
                 Ok(Stream::Tcp(s))
             }
             Listener::Unix(l, _) => {
                 let (s, _) = l.accept()?;
-                s.set_nonblocking(false)?;
+                s.set_nonblocking(true)?;
                 Ok(Stream::Unix(s))
             }
         }
     }
+
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
 }
+
+// ----------------------------------------------------------- loop handle
+
+/// The cross-thread face of one event loop: workers (and the accept
+/// path) talk to a loop only through its handle.
+struct LoopHandle {
+    /// Wakes the loop's poller.
+    waker: Waker,
+    /// Connection tokens needing service (outbound flush or unpark).
+    pending: Mutex<Vec<u64>>,
+    /// Freshly accepted connections for this loop to adopt.
+    inbox: Mutex<Vec<(u64, Stream)>>,
+}
+
+impl LoopHandle {
+    fn new() -> std::io::Result<LoopHandle> {
+        Ok(LoopHandle {
+            waker: Waker::new()?,
+            pending: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Ask the loop to service `token` (flush its outbound queue or
+    /// retry its parked work item).
+    fn request_service(&self, token: u64) {
+        lock_ok(&self.pending).push(token);
+        self.waker.notify();
+    }
+
+    /// Hand a freshly accepted connection (with its chaos sequence
+    /// number) to the loop.
+    fn dispatch(&self, seq: u64, stream: Stream) {
+        lock_ok(&self.inbox).push((seq, stream));
+        self.waker.notify();
+    }
+
+    fn take_pending(&self) -> Vec<u64> {
+        std::mem::take(&mut lock_ok(&self.pending))
+    }
+
+    fn take_inbox(&self) -> Vec<(u64, Stream)> {
+        std::mem::take(&mut lock_ok(&self.inbox))
+    }
+}
+
+// --------------------------------------------------------------- server
 
 /// The streaming prediction server. [`Server::bind`], then
 /// (optionally) [`Server::with_store`], then [`Server::run`].
@@ -634,6 +936,8 @@ pub struct Server {
     metrics: Arc<MetricsRegistry>,
     metrics_bound: Option<SocketAddr>,
     exporter: Option<std::thread::JoinHandle<()>>,
+    loops: Vec<Arc<LoopHandle>>,
+    shutdown: Arc<Waker>,
 }
 
 impl Server {
@@ -669,6 +973,12 @@ impl Server {
             }
             None => (None, None),
         };
+        // Reactor plumbing is allocated here too, for the same reason:
+        // fd exhaustion surfaces as a bind error, not a mid-serve panic.
+        let loops = (0..cfg.io_threads.max(1))
+            .map(|_| LoopHandle::new().map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let shutdown = Arc::new(Waker::new()?);
         Ok(Server {
             listener,
             cfg,
@@ -678,12 +988,15 @@ impl Server {
             metrics,
             metrics_bound,
             exporter,
+            loops,
+            shutdown,
         })
     }
 
     /// Attach a durable snapshot store: sessions persist periodically
-    /// and on `Close`, drain flushes every live session, and clients
-    /// can rehydrate with an empty-body `Restore`.
+    /// and on `Close`, drain flushes every live session, clients can
+    /// rehydrate with an empty-body `Restore`, and `max_hot_sessions`
+    /// eviction becomes available.
     #[must_use]
     pub fn with_store(mut self, store: Arc<SnapshotStore>) -> Server {
         self.store = Some(store);
@@ -713,10 +1026,21 @@ impl Server {
     /// A flag that stops [`Server::run`] when set from another thread.
     /// Raising it triggers a graceful drain: accepting stops, in-flight
     /// work quiesces, and (with a store) every live session is
-    /// persisted before `run` returns.
+    /// persisted before `run` returns. Pair with [`Server::wake_fd`]
+    /// for bounded-latency drains; a bare store is still noticed within
+    /// one [`TICK_MS`] poll quantum.
     #[must_use]
     pub fn stop_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
+    }
+
+    /// The shutdown eventfd: after storing the stop flag, write 8
+    /// bytes here (see `epoll::notify_raw` — async-signal-safe) and
+    /// every event loop wakes immediately instead of finishing its
+    /// poll quantum. Valid for the life of the server.
+    #[must_use]
+    pub fn wake_fd(&self) -> RawFd {
+        self.shutdown.raw_fd()
     }
 
     /// Accept and serve connections until the stop flag is raised or
@@ -726,9 +1050,13 @@ impl Server {
         let shared = Arc::new(Shared {
             cfg: self.cfg.clone(),
             metrics: Arc::clone(&self.metrics),
-            stop: AtomicBool::new(false),
+            stop: Arc::clone(&self.stop),
+            drain: AtomicBool::new(false),
             store: self.store.clone(),
-            registry: Mutex::new(HashMap::new()),
+            shards: (0..SESSION_TABLE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            lru: Mutex::new(LruState::default()),
+            shutdown: Arc::clone(&self.shutdown),
+            conn_seq: AtomicU64::new(0),
         });
         let (ready_tx, ready_rx) = mpsc::channel::<Arc<SessionCell>>();
         let ready_rx = Arc::new(Mutex::new(ready_rx));
@@ -743,8 +1071,33 @@ impl Server {
             .map(|_| spawn_worker(&shared))
             .collect();
 
-        let mut readers = Vec::new();
-        let mut conn_seq = 0u64;
+        // Event loops: loop 0 owns the listener.
+        let listener = Arc::new(self.listener);
+        let (life_tx, life_rx) = mpsc::channel::<()>();
+        let loop_threads: Vec<_> = self
+            .loops
+            .iter()
+            .enumerate()
+            .map(|(idx, handle)| {
+                let shared = Arc::clone(&shared);
+                let handle = Arc::clone(handle);
+                let peers = self.loops.clone();
+                let ready = ready_tx.clone();
+                let life = life_tx.clone();
+                let listener = (idx == 0).then(|| Arc::clone(&listener));
+                std::thread::spawn(move || {
+                    let mut reactor = Reactor::new(shared, handle, peers, ready, listener);
+                    reactor.run();
+                    drop(reactor);
+                    let _ = life.send(());
+                })
+            })
+            .collect();
+        drop(life_tx);
+
+        // Supervise: respawn dead workers, watch the stop flag and the
+        // session limit. Loop exits (lifecycle channel) wake this
+        // thread instantly; otherwise it ticks at 100ms.
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 break;
@@ -754,9 +1107,9 @@ impl Server {
                     break;
                 }
             }
-            // Supervise the pool: a worker only ever exits early if
-            // something escaped its panic isolation — replace it so
-            // capacity cannot silently ratchet down to zero.
+            // A worker only ever exits early if something escaped its
+            // panic isolation — replace it so capacity cannot silently
+            // ratchet down to zero.
             for w in workers.iter_mut() {
                 if w.is_finished() {
                     shared.metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
@@ -765,47 +1118,38 @@ impl Server {
                     let _ = dead.join();
                 }
             }
-            match self.listener.accept() {
-                Ok(stream) => {
-                    let shared = Arc::clone(&shared);
-                    let ready = ready_tx.clone();
-                    let seq = conn_seq;
-                    conn_seq += 1;
-                    readers.push(std::thread::spawn(move || {
-                        serve_connection(stream, seq, &shared, &ready);
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
-                Err(_) => {
-                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(Duration::from_millis(2));
-                }
+            match life_rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(()) | Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
 
-        // Graceful drain: stop readers and workers, then flush every
-        // live store-backed session so a restart can rehydrate it.
-        shared.stop.store(true, Ordering::Relaxed);
+        // Graceful drain: stop the loops (each persists and closes its
+        // connections on the way out), then the workers, then flush
+        // every store-backed session still registered.
         self.stop.store(true, Ordering::Relaxed);
-        for r in readers {
-            let _ = r.join();
+        shared.shutdown.notify();
+        for t in loop_threads {
+            let _ = t.join();
         }
+        shared.drain.store(true, Ordering::Relaxed);
         drop(ready_tx);
         for w in workers {
             let _ = w.join();
         }
         if shared.store.is_some() {
-            let cells: Vec<Arc<SessionCell>> = lock_ok(&shared.registry)
-                .values()
-                .filter_map(Weak::upgrade)
-                .collect();
-            for cell in cells {
-                persist_cell(&cell, &shared, false);
+            for shard in &shared.shards {
+                let cells: Vec<Arc<SessionCell>> =
+                    lock_ok(shard).values().filter_map(Weak::upgrade).collect();
+                for cell in cells {
+                    persist_cell(&cell, &shared, false);
+                }
             }
         }
-        if let Listener::Unix(_, path) = &self.listener {
+        if let Some(store) = shared.store.as_ref() {
+            let _ = store.flush_manifest();
+        }
+        if let Listener::Unix(_, path) = &*listener {
             let _ = std::fs::remove_file(path);
         }
         // The public stop flag is set (just above), which is what the
@@ -817,205 +1161,583 @@ impl Server {
         shared.metrics.summary()
     }
 }
+// -------------------------------------------------------------- reactor
 
-/// Fill `buf` completely, retrying read timeouts while the server runs.
-/// `Ok(false)` means a clean EOF before the first byte. `idle` bounds
-/// the total wait (None = wait forever, as long as the server runs).
-fn fill(
-    r: &mut impl Read,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-    idle: Option<Duration>,
-) -> Result<bool, ProtocolError> {
-    let started = Instant::now();
-    let mut got = 0;
-    while got < buf.len() {
-        if stop.load(Ordering::Relaxed) {
-            return Err(ProtocolError::Io(std::io::Error::new(
-                std::io::ErrorKind::Interrupted,
-                "server shutting down",
-            )));
-        }
-        if let Some(limit) = idle {
-            if started.elapsed() >= limit {
-                return Err(ProtocolError::Io(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "connection idle timeout",
-                )));
-            }
-        }
-        match r.read(&mut buf[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Ok(false)
-                } else {
-                    Err(ProtocolError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-frame",
-                    )))
-                }
-            }
-            Ok(n) => got += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(ProtocolError::Io(e)),
+/// Reserved poller tokens; connections start above them.
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const TOKEN_SHUTDOWN: u64 = 2;
+const TOKEN_FIRST_CONN: u64 = 3;
+
+/// Per-read scratch size and the per-connection read budget per wake
+/// (level triggering re-notifies anything left unread).
+const READ_CHUNK: usize = 64 * 1024;
+const READS_PER_WAKE: usize = 8;
+
+/// Frame-reassembly phase of one connection.
+enum ConnPhase {
+    /// Waiting for the 6-byte client hello.
+    Hello,
+    /// Streaming length-prefixed frames.
+    Frames,
+}
+
+/// One nonblocking connection owned by an event loop.
+struct Conn {
+    stream: Stream,
+    fd: RawFd,
+    tx: Arc<ConnTx>,
+    /// Unparsed inbound bytes (compacted after each parse pass).
+    rd: Vec<u8>,
+    phase: ConnPhase,
+    /// Encoded outbound bytes not yet accepted by the kernel.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Scratch for draining the outbound queue without re-allocating.
+    batch: Vec<Vec<u8>>,
+    sessions: HashMap<u32, Arc<SessionCell>>,
+    /// A work item that did not fit its session's mailbox; the
+    /// connection is parked (not reading) until it goes through.
+    paused: Option<(u32, Work)>,
+    last_activity: Instant,
+    write_blocked_since: Option<Instant>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Stop reading and tear down once the outbound side drains.
+    closing: bool,
+}
+
+/// One event-loop thread: a poller over its connections, its handle's
+/// waker, the shared shutdown eventfd, and (loop 0) the listener.
+struct Reactor {
+    shared: Arc<Shared>,
+    handle: Arc<LoopHandle>,
+    /// Every loop's handle, for round-robin accept dispatch (loop 0).
+    peers: Vec<Arc<LoopHandle>>,
+    ready: mpsc::Sender<Arc<SessionCell>>,
+    listener: Option<Arc<Listener>>,
+    poller: Option<Poller>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn new(
+        shared: Arc<Shared>,
+        handle: Arc<LoopHandle>,
+        peers: Vec<Arc<LoopHandle>>,
+        ready: mpsc::Sender<Arc<SessionCell>>,
+        listener: Option<Arc<Listener>>,
+    ) -> Reactor {
+        Reactor {
+            shared,
+            handle,
+            peers,
+            ready,
+            listener,
+            poller: Poller::new().ok(),
+            conns: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            scratch: vec![0u8; READ_CHUNK],
         }
     }
-    Ok(true)
+
+    fn run(&mut self) {
+        let Some(poller) = self.poller.take() else {
+            // Epoll itself failed (fd exhaustion after bind): nothing
+            // to serve with. The supervisor notices via the lifecycle
+            // channel; counted so the condition is observable.
+            self.shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if poller.add(self.handle.waker.raw_fd(), TOKEN_WAKER, Interest::READ).is_err()
+            || poller
+                .add(self.shared.shutdown.raw_fd(), TOKEN_SHUTDOWN, Interest::READ)
+                .is_err()
+        {
+            self.shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(l) = &self.listener {
+            let _ = poller.add(l.raw_fd(), TOKEN_LISTENER, Interest::READ);
+        }
+        let mut events = Events::with_capacity(512);
+        let mut touched: Vec<u64> = Vec::new();
+        loop {
+            let _ = poller.wait(&mut events, TICK_MS);
+            if self.shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            touched.clear();
+            let mut accept_ready = false;
+            for ev in events.iter() {
+                match ev.token {
+                    TOKEN_WAKER => self.handle.waker.drain(),
+                    TOKEN_SHUTDOWN => {} // stop flag checked at loop top
+                    TOKEN_LISTENER => accept_ready = true,
+                    token => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            if ev.is_error() && conn.rd.is_empty() {
+                                conn.closing = true;
+                            }
+                            if ev.writable() {
+                                conn.write_blocked_since = None;
+                            }
+                            if ev.readable() {
+                                self.read_conn(&poller, token);
+                            }
+                            touched.push(token);
+                        }
+                    }
+                }
+            }
+            if accept_ready {
+                self.accept_burst(&poller);
+            }
+            for (seq, stream) in self.handle.take_inbox() {
+                self.adopt(&poller, seq, stream);
+            }
+            for token in self.handle.take_pending() {
+                if self.conns.contains_key(&token) {
+                    self.retry_paused(&poller, token);
+                    touched.push(token);
+                }
+            }
+            for &token in &touched {
+                self.service(&poller, token);
+            }
+            self.sweep_timeouts(&poller);
+        }
+        // Drain: persist and close every connection this loop owns.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(&poller, token);
+        }
+    }
+
+    /// Accept until the listener would block, dispatching connections
+    /// round-robin across the loops (only loop 0 runs this).
+    fn accept_burst(&mut self, poller: &Poller) {
+        let Some(listener) = self.listener.clone() else { return };
+        loop {
+            match listener.accept() {
+                Ok(stream) => {
+                    let seq = self.shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                    let target = (seq % self.peers.len() as u64) as usize;
+                    if Arc::ptr_eq(&self.peers[target], &self.handle) {
+                        self.adopt(poller, seq, stream);
+                    } else {
+                        self.peers[target].dispatch(seq, stream);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Accept errors (EMFILE and friends) must not hot
+                    // loop on level-triggered listener readability.
+                    self.shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(2));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Take ownership of an accepted connection: wrap it in chaos (the
+    /// per-connection reseed keeps fault schedules deterministic per
+    /// accept sequence), register it, and start the handshake.
+    fn adopt(&mut self, poller: &Poller, seq: u64, stream: Stream) {
+        let stream = match &self.shared.cfg.chaos {
+            Some(chaos) => chaos
+                .reseeded(chaos.seed ^ (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .wrap(stream),
+            None => stream,
+        };
+        let fd = stream.raw_fd();
+        let token = self.next_token;
+        self.next_token += 1;
+        if poller.add(fd, token, Interest::READ).is_err() {
+            self.shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.shutdown();
+            return;
+        }
+        let tx = ConnTx::new(
+            self.shared.cfg.write_queue,
+            Arc::clone(&self.shared.metrics),
+            Arc::clone(&self.handle),
+            token,
+        );
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                fd,
+                tx,
+                rd: Vec::new(),
+                phase: ConnPhase::Hello,
+                outbuf: Vec::new(),
+                outpos: 0,
+                batch: Vec::new(),
+                sessions: HashMap::new(),
+                paused: None,
+                last_activity: Instant::now(),
+                write_blocked_since: None,
+                interest: Interest::READ,
+                closing: false,
+            },
+        );
+    }
+
+    /// Pull bytes off the socket (bounded per wake) and run the parser
+    /// over whatever accumulated.
+    fn read_conn(&mut self, poller: &Poller, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.closing || conn.paused.is_some() {
+            return;
+        }
+        for _ in 0..READS_PER_WAKE {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // EOF. Every client in this protocol shuts down
+                    // both directions, so a read-side EOF means the
+                    // conversation is over: tear down (after flushing
+                    // anything already queued outbound).
+                    conn.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rd.extend_from_slice(&self.scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    if n < self.scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.closing = true;
+                    break;
+                }
+            }
+        }
+        self.parse_conn(poller, token);
+    }
+
+    /// Run the frame parser over a connection's buffered bytes,
+    /// routing complete frames until the buffer runs dry, the session
+    /// mailbox parks us, or a protocol error ends the connection.
+    fn parse_conn(&mut self, _poller: &Poller, token: u64) {
+        let shared = Arc::clone(&self.shared);
+        let metrics = &shared.metrics;
+        let mut pos = 0usize;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.closing || conn.paused.is_some() {
+                break;
+            }
+            match conn.phase {
+                ConnPhase::Hello => {
+                    if conn.rd.len() - pos < 6 {
+                        break;
+                    }
+                    let hello = &conn.rd[pos..pos + 6];
+                    if hello[..4] != crate::protocol::MAGIC
+                        || u16::from_le_bytes([hello[4], hello[5]])
+                            != crate::protocol::PROTOCOL_VERSION
+                    {
+                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.closing = true;
+                        break;
+                    }
+                    pos += 6;
+                    conn.phase = ConnPhase::Frames;
+                    // Our hello goes straight into the write buffer —
+                    // it is not a length-prefixed frame.
+                    conn.outbuf.extend_from_slice(&crate::protocol::MAGIC);
+                    conn.outbuf
+                        .extend_from_slice(&crate::protocol::PROTOCOL_VERSION.to_le_bytes());
+                }
+                ConnPhase::Frames => {
+                    if conn.rd.len() - pos < FRAME_HEADER_LEN {
+                        break;
+                    }
+                    let mut header = [0u8; FRAME_HEADER_LEN];
+                    header.copy_from_slice(&conn.rd[pos..pos + FRAME_HEADER_LEN]);
+                    let (len, crc) = match read_frame_header(header) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            send_error(
+                                &conn.tx,
+                                metrics,
+                                CONNECTION_SESSION,
+                                error_code::MALFORMED,
+                                e.to_string(),
+                            );
+                            conn.closing = true;
+                            break;
+                        }
+                    };
+                    if conn.rd.len() - pos - FRAME_HEADER_LEN < len {
+                        break;
+                    }
+                    let payload = &conn.rd[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len];
+                    // The transport corrupting bytes (or an undecodable
+                    // frame) means framing itself can no longer be
+                    // trusted: tell the client if the wire still works,
+                    // then drop the connection.
+                    if let Err(e) = verify_frame_crc(crc, payload) {
+                        send_error(
+                            &conn.tx,
+                            metrics,
+                            CONNECTION_SESSION,
+                            error_code::MALFORMED,
+                            e.to_string(),
+                        );
+                        conn.closing = true;
+                        break;
+                    }
+                    let frame = match decode_client(payload) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            send_error(
+                                &conn.tx,
+                                metrics,
+                                CONNECTION_SESSION,
+                                error_code::MALFORMED,
+                                e.to_string(),
+                            );
+                            conn.closing = true;
+                            break;
+                        }
+                    };
+                    pos += FRAME_HEADER_LEN + len;
+                    route(frame, token, self);
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.rd.drain(..pos.min(conn.rd.len()));
+        }
+    }
+
+    /// Retry a parked connection's stashed work item, then resume
+    /// parsing whatever is already buffered (level-triggered epoll will
+    /// not re-report bytes we have already read).
+    fn retry_paused(&mut self, poller: &Poller, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let Some((session, work)) = conn.paused.take() else { return };
+        let Some(cell) = conn.sessions.get(&session).cloned() else { return };
+        let is_close = matches!(work, Work::Close(_));
+        let handle = Arc::clone(&self.handle);
+        match cell.try_push(work, || Waiter { home: handle, token }) {
+            PushOutcome::Queued(needs_schedule) => {
+                if is_close {
+                    conn.sessions.remove(&session);
+                }
+                if needs_schedule {
+                    self.shared.metrics.ready_queue_depth.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.ready.send(cell);
+                }
+                self.parse_conn(poller, token);
+            }
+            PushOutcome::Full(work) => {
+                self.conns.get_mut(&token).expect("conn present").paused = Some((session, work));
+            }
+        }
+    }
+
+    /// Flush the outbound side, settle poller interest, and tear down
+    /// if the connection is finished.
+    fn service(&mut self, poller: &Poller, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        // Move queued frames into the write buffer only once the
+        // previous buffer fully drained: queue-resident frames stay
+        // sheddable, so a dead-slow reader costs bounded memory.
+        let mut dead = false;
+        loop {
+            if conn.outpos < conn.outbuf.len() {
+                match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.outpos += n;
+                        conn.write_blocked_since = None;
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if conn.write_blocked_since.is_none() {
+                            conn.write_blocked_since = Some(Instant::now());
+                        }
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Mid-frame write failure: no in-band recovery
+                        // is possible; drop the connection so the
+                        // client sees EOF instead of a corrupt frame.
+                        dead = true;
+                        break;
+                    }
+                }
+            } else {
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                let mut batch = std::mem::take(&mut conn.batch);
+                conn.tx.take_batch(&mut batch);
+                if batch.is_empty() {
+                    conn.batch = batch;
+                    break;
+                }
+                for payload in batch.drain(..) {
+                    encode_frame(&mut conn.outbuf, payload);
+                }
+                conn.batch = batch;
+            }
+        }
+        if dead {
+            conn.tx.mark_dead();
+            self.close_conn(poller, token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let out_pending = conn.outpos < conn.outbuf.len() || !conn.tx.is_empty();
+        if conn.closing && !out_pending {
+            self.close_conn(poller, token);
+            return;
+        }
+        let want_read = !conn.closing && conn.paused.is_none();
+        let want = match (want_read, out_pending) {
+            (true, true) => Interest::READ.and(Interest::WRITE),
+            (true, false) => Interest::READ,
+            (false, true) => Interest::WRITE,
+            // Parked with nothing to write: stay registered with write
+            // interest only — a socket writable-and-idle reports
+            // nothing new, and errors/hangups always surface.
+            (false, false) => Interest::WRITE,
+        };
+        if want != conn.interest && poller.modify(conn.fd, token, want).is_ok() {
+            conn.interest = want;
+        }
+    }
+
+    /// Enforce idle and write-stall timeouts (checked once per poll
+    /// quantum; `TICK_MS` bounds the slack).
+    fn sweep_timeouts(&mut self, poller: &Poller) {
+        let idle = self.shared.cfg.idle_timeout_ms;
+        let wstall = self.shared.cfg.write_timeout_ms;
+        if idle == 0 && wstall == 0 {
+            return;
+        }
+        let now = Instant::now();
+        let mut doomed: Vec<u64> = Vec::new();
+        for (token, conn) in &self.conns {
+            if idle > 0
+                && !conn.closing
+                && now.duration_since(conn.last_activity) >= Duration::from_millis(idle)
+            {
+                doomed.push(*token);
+                continue;
+            }
+            if wstall > 0 {
+                if let Some(since) = conn.write_blocked_since {
+                    if now.duration_since(since) >= Duration::from_millis(wstall) {
+                        doomed.push(*token);
+                    }
+                }
+            }
+        }
+        for token in doomed {
+            if let Some(conn) = self.conns.get(&token) {
+                conn.tx.mark_dead();
+            }
+            self.close_conn(poller, token);
+        }
+    }
+
+    /// Tear a connection down: persist every session the client never
+    /// closed (a restart or reconnect then rehydrates from the state
+    /// at disconnect instead of the last periodic persist — work still
+    /// queued in mailboxes is deliberately not waited for; the record
+    /// is consistent at some applied-event count and the resume
+    /// protocol resends the tail), kill the outbound queue, close the
+    /// socket, and prune the registry shards.
+    fn close_conn(&mut self, poller: &Poller, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        if self.shared.store.is_some() {
+            for cell in conn.sessions.values() {
+                persist_cell(cell, &self.shared, false);
+            }
+        }
+        conn.tx.mark_dead();
+        let _ = poller.delete(conn.fd);
+        let _ = conn.stream.shutdown();
+        drop(conn);
+        prune_registry(&self.shared);
+    }
+}
+
+/// Append one length-prefixed frame to the write buffer, converting
+/// the too-large case into an in-band error (the response outgrew the
+/// frame cap — a snapshot embedding a long stream's grams can; nothing
+/// hit the wire yet, so tell the client instead of leaving it blocked
+/// on a reply that will never come). The payload's session id sits at
+/// bytes 1–4.
+fn encode_frame(outbuf: &mut Vec<u8>, payload: Vec<u8>) {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        let session = payload
+            .get(1..5)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+            .unwrap_or(CONNECTION_SESSION);
+        let err = ServerFrame::Error {
+            session,
+            code: error_code::FRAME_TOO_LARGE,
+            message: format!(
+                "response frame of {len} bytes exceeds the {max}-byte cap",
+                len = payload.len(),
+                max = MAX_FRAME_LEN
+            ),
+        };
+        return encode_frame(outbuf, err.encode());
+    }
+    let crc = crate::protocol::crc32(&payload);
+    outbuf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    outbuf.extend_from_slice(&crc.to_le_bytes());
+    outbuf.extend_from_slice(&payload);
 }
 
 /// Queue a response on the connection's outbound queue (never blocks
-/// on the socket).
-fn send_frame(writer: &ConnWriter, frame: &ServerFrame) {
-    writer.push(frame.encode());
+/// on the socket). `wake` routes through the owning loop's eventfd;
+/// callers already on that loop pass `false` and flush in `service`.
+fn send_frame(tx: &ConnTx, frame: &ServerFrame) {
+    tx.push(frame.encode(), true);
 }
 
-fn send_error(
-    writer: &ConnWriter,
-    metrics: &MetricsRegistry,
-    session: u32,
-    code: u16,
-    message: String,
-) {
+fn send_frame_local(tx: &ConnTx, frame: &ServerFrame) {
+    tx.push(frame.encode(), false);
+}
+
+fn send_error(tx: &ConnTx, metrics: &MetricsRegistry, session: u32, code: u16, message: String) {
     metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-    send_frame(writer, &ServerFrame::Error { session, code, message });
+    // Errors are rare and sent from both loops and workers: always
+    // wake (a redundant self-wake costs one eventfd write).
+    send_frame(tx, &ServerFrame::Error { session, code, message });
 }
+// -------------------------------------------------------------- routing
 
-/// One connection's read loop: handshake, then route frames until EOF,
-/// a protocol error, or server shutdown. Responses flow through the
-/// connection's writer thread.
-fn serve_connection(
-    stream: Stream,
-    conn_seq: u64,
-    shared: &Arc<Shared>,
-    ready: &mpsc::Sender<Arc<SessionCell>>,
-) {
-    let stream = match &shared.cfg.chaos {
-        Some(chaos) => chaos
-            .reseeded(chaos.seed ^ (conn_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-            .wrap(stream),
-        None => stream,
-    };
-    let metrics = &shared.metrics;
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    if shared.cfg.write_timeout_ms > 0 {
-        let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
-    }
-    let mut write_half = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => {
-            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    let mut reader = stream;
-    let idle = (shared.cfg.idle_timeout_ms > 0)
-        .then(|| Duration::from_millis(shared.cfg.idle_timeout_ms));
-
-    // Handshake: validate the client's hello, then answer with ours —
-    // written directly; the writer thread takes over afterwards.
-    let mut hello = [0u8; 6];
-    match fill(&mut reader, &mut hello, &shared.stop, idle) {
-        Ok(true) => {}
-        _ => return,
-    }
-    if hello[..4] != crate::protocol::MAGIC {
-        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    let peer = u16::from_le_bytes([hello[4], hello[5]]);
-    if peer != crate::protocol::PROTOCOL_VERSION {
-        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    if crate::protocol::write_hello(&mut write_half).is_err() {
-        return;
-    }
-
-    let conn = ConnWriter::new(shared.cfg.write_queue, Arc::clone(&shared.metrics));
-    let writer_handle = conn.attach_producer();
-    let writer_thread = {
-        let conn = Arc::clone(&conn);
-        std::thread::spawn(move || conn.writer_loop(write_half))
-    };
-
-    let mut sessions: HashMap<u32, Arc<SessionCell>> = HashMap::new();
-    loop {
-        let mut header = [0u8; FRAME_HEADER_LEN];
-        match fill(&mut reader, &mut header, &shared.stop, idle) {
-            Ok(true) => {}
-            Ok(false) => break, // clean EOF at a frame boundary
-            Err(_) => break,
-        }
-        let (len, crc) = match read_frame_header(header) {
-            Ok(v) => v,
-            Err(e) => {
-                send_error(&conn, metrics, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
-                break;
-            }
-        };
-        let mut payload = vec![0u8; len];
-        if !matches!(fill(&mut reader, &mut payload, &shared.stop, idle), Ok(true)) {
-            break;
-        }
-        if let Err(e) = verify_frame_crc(crc, &payload) {
-            // The transport corrupted bytes; nothing after this point
-            // can be trusted (framing may be lost entirely). Tell the
-            // client if the wire still works, then drop the connection.
-            send_error(&conn, metrics, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
-            break;
-        }
-        let frame = match decode_client(&payload) {
-            Ok(f) => f,
-            Err(e) => {
-                send_error(&conn, metrics, CONNECTION_SESSION, error_code::MALFORMED, e.to_string());
-                break;
-            }
-        };
-        route(frame, &mut sessions, shared, ready, &conn, &writer_handle);
-    }
-    // Persist every session the client never closed before abandoning
-    // it: a restart (or this client reconnecting after a transport
-    // fault) then rehydrates from the state at disconnect instead of
-    // the last periodic persist. Work still queued in the mailbox is
-    // deliberately not waited for — the record is consistent at some
-    // applied-event count and the resume protocol resends the tail.
-    if shared.store.is_some() {
-        for cell in sessions.values() {
-            persist_cell(cell, shared, false);
-        }
-    }
-    // Dropping `sessions` abandons any session the client never closed;
-    // queued work still drains (workers hold their own Arcs and their
-    // own producer tokens via the cells) but the session no longer
-    // counts toward `session_limit`. The writer thread exits once the
-    // last producer token drops.
-    drop(sessions);
-    prune_registry(shared);
-    drop(writer_handle);
-    reader.shutdown().ok();
-    let _ = writer_thread.join();
-}
-
-fn route(
-    frame: ClientFrame,
-    sessions: &mut HashMap<u32, Arc<SessionCell>>,
-    shared: &Arc<Shared>,
-    ready: &mpsc::Sender<Arc<SessionCell>>,
-    conn: &Arc<ConnWriter>,
-    writer_handle: &WriterHandle,
-) {
+/// Handle one decoded client frame on the owning event loop.
+/// Open/Restore/Query answer inline; Events/Flush/Snapshot/Close go
+/// through the session mailbox (and may park the connection).
+fn route(frame: ClientFrame, token: u64, r: &mut Reactor) {
+    let shared = Arc::clone(&r.shared);
     let metrics = &shared.metrics;
     match frame {
         ClientFrame::Open { session, rank, config } => {
-            if sessions.contains_key(&session) {
+            let Some(conn) = r.conns.get_mut(&token) else { return };
+            if conn.sessions.contains_key(&session) {
                 send_error(
-                    conn,
+                    &conn.tx,
                     metrics,
                     session,
                     error_code::DUPLICATE_SESSION,
@@ -1023,38 +1745,63 @@ fn route(
                 );
                 return;
             }
-            let cell = new_cell(session, Session::open(rank, *config), shared, writer_handle);
-            register(shared, session, &cell);
-            sessions.insert(session, cell);
+            if live_elsewhere(&shared, session) {
+                send_error(
+                    &conn.tx,
+                    metrics,
+                    session,
+                    error_code::DUPLICATE_SESSION,
+                    format!("session {session} is still live on another connection"),
+                );
+                return;
+            }
+            let cell = new_cell(session, Session::open(rank, *config), &shared, &conn.tx);
+            register(&shared, session, &cell);
+            conn.sessions.insert(session, Arc::clone(&cell));
             metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
-            send_frame(conn, &ServerFrame::OpenAck { session, events_applied: 0 });
+            send_frame_local(&conn.tx, &ServerFrame::OpenAck { session, events_applied: 0 });
+            lru_touch(&shared, &cell);
+            maybe_evict(&shared);
         }
         ClientFrame::Restore { session, snapshot } => {
-            if sessions.contains_key(&session) {
+            let Some(conn) = r.conns.get_mut(&token) else { return };
+            if conn.sessions.contains_key(&session) {
                 send_error(
-                    conn,
+                    &conn.tx,
                     metrics,
                     session,
                     error_code::DUPLICATE_SESSION,
                     format!("session {session} is already open"),
+                );
+                return;
+            }
+            if live_elsewhere(&shared, session) {
+                send_error(
+                    &conn.tx,
+                    metrics,
+                    session,
+                    error_code::DUPLICATE_SESSION,
+                    format!("session {session} is still live on another connection"),
                 );
                 return;
             }
             if snapshot.is_empty() {
-                restore_from_store(session, sessions, shared, conn, writer_handle);
+                restore_from_store(session, token, r);
                 return;
             }
             match Session::restore(&snapshot) {
                 Ok(restored) => {
                     let events_applied = restored.events_applied();
-                    let cell = new_cell(session, restored, shared, writer_handle);
-                    register(shared, session, &cell);
-                    sessions.insert(session, cell);
+                    let cell = new_cell(session, restored, &shared, &conn.tx);
+                    register(&shared, session, &cell);
+                    conn.sessions.insert(session, Arc::clone(&cell));
                     metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                    send_frame(conn, &ServerFrame::OpenAck { session, events_applied });
+                    send_frame_local(&conn.tx, &ServerFrame::OpenAck { session, events_applied });
+                    lru_touch(&shared, &cell);
+                    maybe_evict(&shared);
                 }
                 Err(e) => send_error(
-                    conn,
+                    &conn.tx,
                     metrics,
                     session,
                     error_code::BAD_SNAPSHOT,
@@ -1063,55 +1810,104 @@ fn route(
             }
         }
         ClientFrame::Events { session, events } => {
-            enqueue(sessions, session, Work::Events(events), shared, ready, conn);
+            try_enqueue(r, token, session, Work::Events(events));
         }
         ClientFrame::Flush { session } => {
-            enqueue(sessions, session, Work::Flush, shared, ready, conn);
+            try_enqueue(r, token, session, Work::Flush);
         }
         ClientFrame::Snapshot { session } => {
-            enqueue(sessions, session, Work::Snapshot, shared, ready, conn);
+            try_enqueue(r, token, session, Work::Snapshot);
         }
         ClientFrame::Close { session, final_compute_ns } => {
-            let routed = enqueue(
-                sessions,
-                session,
-                Work::Close(final_compute_ns),
-                shared,
-                ready,
-                conn,
-            );
-            if routed {
-                // No further frames may address this id on this
-                // connection (a later Open may reuse it for a new
-                // session).
-                sessions.remove(&session);
-            }
+            try_enqueue(r, token, session, Work::Close(final_compute_ns));
         }
         ClientFrame::Query { session } => {
-            // Answered inline on the reader thread, like Open/Restore:
+            // Answered inline on the event loop, like Open/Restore:
             // the report samples engines via try_lock and never enters
             // any mailbox, so a mid-stream query cannot reorder or
             // delay session work.
-            let report = build_report(shared, session);
+            let report = build_report(&shared, session);
             metrics.queries_answered.fetch_add(1, Ordering::Relaxed);
-            send_frame(conn, &ServerFrame::QueryReply { session, report: Box::new(report) });
+            let Some(conn) = r.conns.get_mut(&token) else { return };
+            send_frame_local(
+                &conn.tx,
+                &ServerFrame::QueryReply { session, report: Box::new(report) },
+            );
         }
     }
+}
+
+/// Route mailbox-bound work, parking the connection on a full mailbox.
+/// A routed `Close` retires the id on this connection (no further
+/// frames may address it; a later Open may reuse it for a new session).
+fn try_enqueue(r: &mut Reactor, token: u64, session: u32, work: Work) {
+    let shared = Arc::clone(&r.shared);
+    let Some(conn) = r.conns.get_mut(&token) else { return };
+    let Some(cell) = conn.sessions.get(&session).cloned() else {
+        send_error(
+            &conn.tx,
+            &shared.metrics,
+            session,
+            error_code::UNKNOWN_SESSION,
+            format!("session {session} is not open"),
+        );
+        return;
+    };
+    let is_close = matches!(work, Work::Close(_));
+    let handle = Arc::clone(&r.handle);
+    match cell.try_push(work, || Waiter { home: handle, token }) {
+        PushOutcome::Queued(needs_schedule) => {
+            if is_close {
+                conn.sessions.remove(&session);
+            }
+            if needs_schedule {
+                shared.metrics.ready_queue_depth.fetch_add(1, Ordering::Relaxed);
+                let _ = r.ready.send(cell);
+            }
+        }
+        PushOutcome::Full(work) => {
+            conn.paused = Some((session, work));
+        }
+    }
+}
+
+/// Which registry shard a session id lives in.
+fn shard_of(id: u32) -> usize {
+    id as usize % SESSION_TABLE_SHARDS
+}
+
+/// Store one shard's occupancy and re-derive the fleet gauge (a sum of
+/// the per-shard atomics — no shard locks needed).
+fn refresh_shard_gauge(shared: &Shared, idx: usize, len: usize) {
+    shared.metrics.session_shards[idx].store(len as u64, Ordering::Relaxed);
+    let total: u64 = shared
+        .metrics
+        .session_shards
+        .iter()
+        .map(|g| g.load(Ordering::Relaxed))
+        .sum();
+    shared.metrics.sessions_live.store(total, Ordering::Relaxed);
 }
 
 /// Assemble the [`ObsReport`] answering a `Query` for `target`
 /// ([`CONNECTION_SESSION`] = fleet view). Engine state is sampled with
 /// `try_lock`: a cell whose engine is checked out by a worker yields a
-/// `busy` probe instead of blocking the reader behind the worker.
+/// `busy` probe instead of blocking the loop behind the worker, and an
+/// evicted (cold) cell likewise probes busy — its engine lives in the
+/// store, not in memory.
 fn build_report(shared: &Shared, target: u32) -> ObsReport {
     let metrics = &shared.metrics;
-    let mut cells: Vec<Arc<SessionCell>> = {
-        let mut reg = lock_ok(&shared.registry);
-        reg.retain(|_, w| w.strong_count() > 0);
-        reg.values().filter_map(Weak::upgrade).collect()
-    };
+    let mut cells: Vec<Arc<SessionCell>> = Vec::new();
+    for (idx, shard) in shared.shards.iter().enumerate() {
+        let len = {
+            let mut reg = lock_ok(shard);
+            reg.retain(|_, w| w.strong_count() > 0);
+            cells.extend(reg.values().filter_map(Weak::upgrade));
+            reg.len()
+        };
+        refresh_shard_gauge(shared, idx, len);
+    }
     cells.sort_by_key(|c| c.id);
-    metrics.sessions_live.store(cells.len() as u64, Ordering::Relaxed);
     let mut probes = Vec::new();
     for cell in &cells {
         if target != CONNECTION_SESSION && cell.id != target {
@@ -1119,16 +1915,16 @@ fn build_report(shared: &Shared, target: u32) -> ObsReport {
         }
         let mailbox_depth = lock_ok(&cell.mailbox).deque.len() as u32;
         let probe = match cell.state.try_lock() {
-            Ok(guard) => match guard.as_ref() {
-                Some(sess) => sess.probe(cell.id, mailbox_depth),
-                None => SessionProbe::busy(cell.id, cell.rank, mailbox_depth),
+            Ok(guard) => match &*guard {
+                SessionSlot::Hot(sess) => sess.probe(cell.id, mailbox_depth),
+                _ => SessionProbe::busy(cell.id, cell.rank, mailbox_depth),
             },
             Err(std::sync::TryLockError::WouldBlock) => {
                 SessionProbe::busy(cell.id, cell.rank, mailbox_depth)
             }
-            Err(std::sync::TryLockError::Poisoned(p)) => match p.into_inner().as_ref() {
-                Some(sess) => sess.probe(cell.id, mailbox_depth),
-                None => SessionProbe::busy(cell.id, cell.rank, mailbox_depth),
+            Err(std::sync::TryLockError::Poisoned(p)) => match &*p.into_inner() {
+                SessionSlot::Hot(sess) => sess.probe(cell.id, mailbox_depth),
+                _ => SessionProbe::busy(cell.id, cell.rank, mailbox_depth),
             },
         };
         probes.push(probe);
@@ -1149,6 +1945,9 @@ fn build_report(shared: &Shared, target: u32) -> ObsReport {
             queue_depth_limit: shared.cfg.queue_depth.max(1) as u32,
             ready_queue_depth: metrics.ready_queue_depth.load(Ordering::Relaxed) as u32,
             writer_queue_depth: metrics.writer_queue_depth.load(Ordering::Relaxed) as u32,
+            hot_sessions: metrics.hot_sessions.load(Ordering::Relaxed) as u32,
+            cold_sessions: metrics.cold_sessions.load(Ordering::Relaxed) as u32,
+            max_hot_sessions: shared.cfg.max_hot_sessions.map(|c| c as u32),
             store,
             chaos_intensity: shared.cfg.chaos.as_ref().map(ChaosConfig::fault_rate),
         },
@@ -1157,30 +1956,28 @@ fn build_report(shared: &Shared, target: u32) -> ObsReport {
 }
 
 /// Drop registry entries whose cells are gone and refresh the
-/// `sessions_live` gauge.
+/// occupancy gauges.
 fn prune_registry(shared: &Shared) {
-    let mut reg = lock_ok(&shared.registry);
-    reg.retain(|_, w| w.strong_count() > 0);
-    shared
-        .metrics
-        .sessions_live
-        .store(reg.len() as u64, Ordering::Relaxed);
+    for (idx, shard) in shared.shards.iter().enumerate() {
+        let len = {
+            let mut reg = lock_ok(shard);
+            reg.retain(|_, w| w.strong_count() > 0);
+            reg.len()
+        };
+        refresh_shard_gauge(shared, idx, len);
+    }
 }
 
 /// Handle an empty-body `Restore`: rehydrate the session from the
 /// snapshot store, answering `OpenAck` (resume position) plus a
 /// `Directives` frame replaying the stored history.
-fn restore_from_store(
-    session: u32,
-    sessions: &mut HashMap<u32, Arc<SessionCell>>,
-    shared: &Arc<Shared>,
-    conn: &Arc<ConnWriter>,
-    writer_handle: &WriterHandle,
-) {
+fn restore_from_store(session: u32, token: u64, r: &mut Reactor) {
+    let shared = Arc::clone(&r.shared);
     let metrics = &shared.metrics;
+    let Some(conn) = r.conns.get_mut(&token) else { return };
     let Some(store) = shared.store.as_ref() else {
         send_error(
-            conn,
+            &conn.tx,
             metrics,
             session,
             error_code::NO_SNAPSHOT,
@@ -1192,7 +1989,7 @@ fn restore_from_store(
         Ok(Some(r)) if r.history_complete => r,
         Ok(Some(_)) => {
             send_error(
-                conn,
+                &conn.tx,
                 metrics,
                 session,
                 error_code::NO_SNAPSHOT,
@@ -1205,7 +2002,7 @@ fn restore_from_store(
         }
         Ok(None) => {
             send_error(
-                conn,
+                &conn.tx,
                 metrics,
                 session,
                 error_code::NO_SNAPSHOT,
@@ -1215,7 +2012,7 @@ fn restore_from_store(
         }
         Err(e) => {
             send_error(
-                conn,
+                &conn.tx,
                 metrics,
                 session,
                 error_code::INTERNAL,
@@ -1226,25 +2023,30 @@ fn restore_from_store(
     };
     match Session::restore_from_record(&record) {
         Ok(restored) => {
-            let cell = new_cell(session, restored, shared, writer_handle);
-            register(shared, session, &cell);
-            sessions.insert(session, cell);
+            let cell = new_cell(session, restored, &shared, &conn.tx);
+            register(&shared, session, &cell);
+            conn.sessions.insert(session, Arc::clone(&cell));
             metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
             metrics.sessions_rehydrated.fetch_add(1, Ordering::Relaxed);
-            send_frame(conn, &ServerFrame::OpenAck { session, events_applied: record.events });
+            send_frame_local(
+                &conn.tx,
+                &ServerFrame::OpenAck { session, events_applied: record.events },
+            );
             // Replay the stored history so the client can rebuild its
             // parity accounting from event 0 before resuming.
-            send_frame(
-                conn,
+            send_frame_local(
+                &conn.tx,
                 &ServerFrame::Directives {
                     session,
                     events_applied: record.events,
                     directives: record.directives,
                 },
             );
+            lru_touch(&shared, &cell);
+            maybe_evict(&shared);
         }
         Err(e) => send_error(
-            conn,
+            &conn.tx,
             metrics,
             session,
             error_code::BAD_SNAPSHOT,
@@ -1257,55 +2059,58 @@ fn new_cell(
     id: u32,
     session: Session,
     shared: &Arc<Shared>,
-    writer_handle: &WriterHandle,
+    tx: &Arc<ConnTx>,
 ) -> Arc<SessionCell> {
+    shared.metrics.hot_sessions.fetch_add(1, Ordering::Relaxed);
     Arc::new(SessionCell {
         id,
         rank: session.rank,
-        state: Mutex::new(Some(session)),
-        mailbox: Mutex::new(MailboxState { deque: VecDeque::new(), scheduled: false }),
-        space: Condvar::new(),
+        state: Mutex::new(SessionSlot::Hot(Box::new(session))),
+        mailbox: Mutex::new(MailboxState {
+            deque: VecDeque::new(),
+            scheduled: false,
+            waiter: None,
+        }),
         cap: shared.cfg.queue_depth.max(1),
-        writer: writer_handle.clone(),
+        tx: Arc::clone(tx),
+        metrics: Arc::clone(&shared.metrics),
     })
+}
+
+/// Whether a non-retired cell for this id is still reachable anywhere
+/// on the server: another connection's live (or paged-out) session, or
+/// a dropped connection whose teardown persist has not finished yet.
+/// `Open` and `Restore` refuse while this holds — a second cell for
+/// the same id would race the first one's persists for the store
+/// record (two lineages interleaving through evict/rehydrate), and a
+/// store restore could resurrect state the live cell is about to
+/// overwrite. Both teardown paths persist *before* releasing the cell
+/// (`close_conn` before dropping the connection's `Arc`s, `Close`
+/// before marking the slot `Retired`), so once this returns false the
+/// store record is final and restoring from it is safe.
+fn live_elsewhere(shared: &Shared, session: u32) -> bool {
+    let reg = lock_ok(&shared.shards[shard_of(session)]);
+    let Some(cell) = reg.get(&session).and_then(|w| w.upgrade()) else {
+        return false;
+    };
+    let slot = lock_ok(&cell.state);
+    !matches!(&*slot, SessionSlot::Retired)
 }
 
 /// Track a live session for `Query` fleet probes and (with a store)
 /// the drain sweep.
 fn register(shared: &Shared, session: u32, cell: &Arc<SessionCell>) {
-    let mut reg = lock_ok(&shared.registry);
-    reg.retain(|_, w| w.strong_count() > 0);
-    reg.insert(session, Arc::downgrade(cell));
-    shared
-        .metrics
-        .sessions_live
-        .store(reg.len() as u64, Ordering::Relaxed);
+    let idx = shard_of(session);
+    let len = {
+        let mut reg = lock_ok(&shared.shards[idx]);
+        reg.retain(|_, w| w.strong_count() > 0);
+        reg.insert(session, Arc::downgrade(cell));
+        reg.len()
+    };
+    refresh_shard_gauge(shared, idx, len);
 }
 
-fn enqueue(
-    sessions: &mut HashMap<u32, Arc<SessionCell>>,
-    session: u32,
-    work: Work,
-    shared: &Arc<Shared>,
-    ready: &mpsc::Sender<Arc<SessionCell>>,
-    conn: &Arc<ConnWriter>,
-) -> bool {
-    let Some(cell) = sessions.get(&session) else {
-        send_error(
-            conn,
-            &shared.metrics,
-            session,
-            error_code::UNKNOWN_SESSION,
-            format!("session {session} is not open"),
-        );
-        return false;
-    };
-    if cell.push(work, &shared.stop) {
-        shared.metrics.ready_queue_depth.fetch_add(1, Ordering::Relaxed);
-        let _ = ready.send(Arc::clone(cell));
-    }
-    true
-}
+// --------------------------------------------------------------- workers
 
 fn worker_loop(
     ready: &Mutex<mpsc::Receiver<Arc<SessionCell>>>,
@@ -1314,7 +2119,7 @@ fn worker_loop(
 ) {
     loop {
         // Workers hold a `requeue` sender, so the channel never
-        // disconnects while they live — poll the stop flag instead of
+        // disconnects while they live — poll the drain flag instead of
         // relying on `recv` erroring out at shutdown.
         let cell = {
             let rx = lock_ok(ready);
@@ -1326,7 +2131,7 @@ fn worker_loop(
                 cell
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.stop.load(Ordering::Relaxed) {
+                if shared.drain.load(Ordering::Relaxed) {
                     return;
                 }
                 continue;
@@ -1344,9 +2149,9 @@ fn worker_loop(
                     }));
                     if caught.is_err() {
                         shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
-                        *lock_ok(&cell.state) = None;
+                        retire_cell(&cell, shared);
                         send_error(
-                            &cell.writer.conn,
+                            &cell.tx,
                             &shared.metrics,
                             cell.id,
                             error_code::INTERNAL,
@@ -1372,27 +2177,33 @@ fn worker_loop(
 
 /// Build and persist a [`StoreRecord`] for a live cell. `closing`
 /// marks the record closed (persisted just before the `Closed` ack so
-/// a crash in between is recoverable by re-closing).
+/// a crash in between is recoverable by re-closing). The disk write
+/// happens *under* the engine lock — the same order the eviction pager
+/// uses — so no stale record can ever overwrite a newer one. A cold
+/// cell is already durable (eviction persisted it); nothing to do.
 fn persist_cell(cell: &SessionCell, shared: &Shared, closing: bool) {
     let Some(store) = shared.store.as_ref() else { return };
-    let record = {
-        let mut guard = lock_ok(&cell.state);
-        let Some(sess) = guard.as_mut() else { return };
-        let record = StoreRecord {
-            record_version: RECORD_VERSION,
-            session: cell.id,
-            rank: sess.rank,
-            events: sess.events_applied(),
-            closed: closing,
-            history_complete: sess.history_complete(),
-            directives: sess.history(),
-            snapshot: sess.snapshot(),
-        };
-        sess.mark_persisted();
-        record
+    let mut guard = lock_ok(&cell.state);
+    let SessionSlot::Hot(sess) = &mut *guard else { return };
+    let record = StoreRecord {
+        record_version: RECORD_VERSION,
+        session: cell.id,
+        rank: sess.rank,
+        events: sess.events_applied(),
+        closed: closing,
+        history_complete: sess.history_complete(),
+        directives: sess.history(),
+        snapshot: sess.snapshot(),
     };
-    // Disk I/O happens outside the session lock.
-    match store.persist(&record) {
+    sess.mark_persisted();
+    // Close records are the durable milestone (fsynced); periodic
+    // checkpoints take the fast path — losing one to a crash resumes
+    // the session from an older checkpoint, which the resume protocol
+    // already handles, and a worker pool that fsyncs every
+    // `--persist-every` events cannot sustain fleet-scale throughput.
+    let persisted =
+        if closing { store.persist(&record) } else { store.persist_fast(&record) };
+    match persisted {
         Ok(()) => {
             shared.metrics.snapshots_persisted.fetch_add(1, Ordering::Relaxed);
         }
@@ -1402,20 +2213,34 @@ fn persist_cell(cell: &SessionCell, shared: &Shared, closing: bool) {
     }
 }
 
-fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
+fn handle_work(cell: &Arc<SessionCell>, work: Work, shared: &Shared) {
     let metrics = &shared.metrics;
-    let writer = &cell.writer.conn;
+    let tx = &cell.tx;
     let mut guard = lock_ok(&cell.state);
-    let Some(sess) = guard.as_mut() else {
+    if matches!(&*guard, SessionSlot::Retired) {
         drop(guard);
         send_error(
-            writer,
+            tx,
             metrics,
             cell.id,
             error_code::UNKNOWN_SESSION,
             format!("session {} already closed", cell.id),
         );
         return;
+    }
+    // Paged out? Rehydrate before touching the work item (this is the
+    // transparent half of `max_hot_sessions`).
+    let rehydrated = match ensure_hot(&mut guard, cell, shared) {
+        Ok(r) => r,
+        Err(message) => {
+            drop(guard);
+            retire_cell(cell, shared);
+            send_error(tx, metrics, cell.id, error_code::INTERNAL, message);
+            return;
+        }
+    };
+    let SessionSlot::Hot(sess) = &mut *guard else {
+        unreachable!("ensure_hot leaves the slot hot");
     };
     match work {
         Work::Events(events) => {
@@ -1441,14 +2266,11 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
                 && sess.events_since_persist() >= shared.cfg.persist_every;
             drop(guard);
             send_frame(
-                writer,
+                tx,
                 &ServerFrame::Directives { session: cell.id, events_applied, directives },
             );
             if let Some(stats) = stats {
-                send_frame(
-                    writer,
-                    &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
-                );
+                send_frame(tx, &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) });
             }
             if persist {
                 persist_cell(cell, shared, false);
@@ -1458,31 +2280,58 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
             let stats = sess.stats();
             sess.mark_stats_emitted();
             drop(guard);
-            send_frame(
-                writer,
-                &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) },
-            );
+            send_frame(tx, &ServerFrame::Stats { session: cell.id, stats: Box::new(stats) });
         }
         Work::Snapshot => {
             let snapshot = sess.snapshot_bytes();
             drop(guard);
-            send_frame(writer, &ServerFrame::SnapshotData { session: cell.id, snapshot });
+            send_frame(tx, &ServerFrame::SnapshotData { session: cell.id, snapshot });
         }
         Work::Close(final_compute_ns) => {
-            drop(guard);
-            // Persist the pre-close state first: a crash between this
-            // point and the `Closed` ack leaves a record the client
-            // can restore and re-close — the deterministic finish
-            // re-issues identical final directives.
-            persist_cell(cell, shared, true);
-            let mut guard = lock_ok(&cell.state);
-            let sess = guard.take().expect("session present: checked above");
-            drop(guard);
-            {
-                let mut reg = lock_ok(&shared.registry);
-                reg.remove(&cell.id);
-                metrics.sessions_live.store(reg.len() as u64, Ordering::Relaxed);
+            // Persist the pre-close state first, still under the
+            // engine lock (so the eviction pager can never interleave):
+            // a crash between this point and the `Closed` ack leaves a
+            // record the client can restore and re-close — the
+            // deterministic finish re-issues identical final
+            // directives.
+            if let Some(store) = shared.store.as_ref() {
+                let record = StoreRecord {
+                    record_version: RECORD_VERSION,
+                    session: cell.id,
+                    rank: sess.rank,
+                    events: sess.events_applied(),
+                    closed: true,
+                    history_complete: sess.history_complete(),
+                    directives: sess.history(),
+                    snapshot: sess.snapshot(),
+                };
+                sess.mark_persisted();
+                match store.persist(&record) {
+                    Ok(()) => {
+                        metrics.snapshots_persisted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        metrics.persist_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
+            let SessionSlot::Hot(sess) = std::mem::replace(&mut *guard, SessionSlot::Retired)
+            else {
+                unreachable!("slot is hot: established above");
+            };
+            metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
+            drop(guard);
+            if paging_enabled(shared) {
+                lock_ok(&shared.lru).remove(cell.id);
+            }
+            let idx = shard_of(cell.id);
+            let len = {
+                let mut reg = lock_ok(&shared.shards[idx]);
+                reg.remove(&cell.id);
+                reg.len()
+            };
+            refresh_shard_gauge(shared, idx, len);
+            let sess = *sess;
             let events_applied = sess.events_applied();
             let (fresh, directives_total, stats) = sess.close(final_compute_ns);
             metrics
@@ -1491,7 +2340,7 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
             metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
             if !fresh.is_empty() {
                 send_frame(
-                    writer,
+                    tx,
                     &ServerFrame::Directives {
                         session: cell.id,
                         events_applied,
@@ -1500,13 +2349,24 @@ fn handle_work(cell: &SessionCell, work: Work, shared: &Shared) {
                 );
             }
             send_frame(
-                writer,
+                tx,
                 &ServerFrame::Closed {
                     session: cell.id,
                     directives_total,
                     stats: Box::new(stats),
                 },
             );
+            return;
+        }
+    }
+    // Recency upkeep for the pager: the session was just touched, and
+    // if rehydrating it pushed the hot set over the cap, evict the
+    // least-recently-used engine (never this one — it was touched
+    // last).
+    if paging_enabled(shared) {
+        lru_touch(shared, cell);
+        if rehydrated {
+            maybe_evict(shared);
         }
     }
 }

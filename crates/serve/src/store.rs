@@ -64,6 +64,14 @@ pub const MANIFEST_NAME: &str = "MANIFEST.json";
 
 const RECORD_HEADER_LEN: usize = 12; // magic + len + crc
 
+/// Persists between manifest rewrites. The manifest is advisory (open
+/// rebuilds it from the records), so batching its rewrite is safe: a
+/// crash at worst leaves it up to this many persists stale, which the
+/// next open reports as `manifest_ok: false` and heals. At 100k
+/// sessions a per-persist rewrite would serialise every eviction
+/// behind an O(sessions) JSON dump + fsync.
+const MANIFEST_BATCH: u64 = 64;
+
 /// One persisted session: everything needed to resume its stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreRecord {
@@ -144,13 +152,17 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// A directory of crash-safe session records. Cheap to share behind an
 /// `Arc`; all methods take `&self`.
 ///
-/// The index mutex serialises persists (including the manifest
-/// rewrite). At the current scale — thousands of sessions, persists
-/// every few hundred events — this is far from the bottleneck; the
-/// 100k-session work will batch manifest updates.
+/// The index mutex serialises persists. The manifest rewrite is
+/// batched — every [`MANIFEST_BATCH`] persists, on
+/// [`SnapshotStore::flush_manifest`], and on drop — so steady-state
+/// eviction traffic pays one record write per persist, not an
+/// O(sessions) manifest dump too.
 pub struct SnapshotStore {
     dir: PathBuf,
     index: Mutex<HashMap<u32, StoreEntry>>,
+    /// Persists since the last manifest rewrite. Only mutated under
+    /// the index lock; atomic so `flush_manifest` works on `&self`.
+    dirty_persists: AtomicU64,
 }
 
 impl std::fmt::Debug for SnapshotStore {
@@ -232,7 +244,11 @@ impl SnapshotStore {
             Err(e) => return Err(e),
         }
 
-        let store = SnapshotStore { dir: dir.to_path_buf(), index: Mutex::new(index) };
+        let store = SnapshotStore {
+            dir: dir.to_path_buf(),
+            index: Mutex::new(index),
+            dirty_persists: AtomicU64::new(0),
+        };
         store.write_manifest(&store.lock_index())?;
         Ok((store, report))
     }
@@ -276,6 +292,23 @@ impl SnapshotStore {
     /// Atomically persist `record`, replacing any previous record for
     /// the session, and update the manifest.
     pub fn persist(&self, record: &StoreRecord) -> io::Result<()> {
+        self.persist_impl(record, true)
+    }
+
+    /// [`persist`](Self::persist) minus the fsyncs — still written to a
+    /// temp file and atomically renamed, so a *reader* never sees a
+    /// half record, but the data may sit in the page cache when the
+    /// call returns. The LRU pager uses this on the eviction hot path:
+    /// an eviction persist that a crash swallows leaves the same
+    /// recovery state as crashing just before the eviction (the CRC
+    /// rejects any torn record on open), and paging throughput must
+    /// not be bounded by the disk's sync latency. Close and drain
+    /// persists keep the fully durable path.
+    pub fn persist_fast(&self, record: &StoreRecord) -> io::Result<()> {
+        self.persist_impl(record, false)
+    }
+
+    fn persist_impl(&self, record: &StoreRecord, sync: bool) -> io::Result<()> {
         let payload = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
             .into_bytes();
@@ -295,8 +328,24 @@ impl SnapshotStore {
         // of the same session cannot interleave their rename+manifest
         // steps.
         let mut index = self.lock_index();
-        self.write_atomic(&record_file_name(record.session), &bytes)?;
+        self.write_atomic_with(&record_file_name(record.session), &bytes, sync)?;
         index.insert(record.session, entry_of(record));
+        if self.dirty_persists.fetch_add(1, Ordering::Relaxed) + 1 >= MANIFEST_BATCH {
+            self.dirty_persists.store(0, Ordering::Relaxed);
+            self.write_manifest(&index)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the manifest now if any persists landed since the last
+    /// rewrite. Called on server drain (and from `Drop`) so a clean
+    /// shutdown always leaves the manifest in agreement with the
+    /// records; a no-op when nothing is pending.
+    pub fn flush_manifest(&self) -> io::Result<()> {
+        let index = self.lock_index();
+        if self.dirty_persists.swap(0, Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
         self.write_manifest(&index)
     }
 
@@ -347,6 +396,13 @@ impl SnapshotStore {
     /// tmp + fsync + rename + dir fsync: the target name only ever
     /// points at a complete, flushed file.
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.write_atomic_with(name, bytes, true)
+    }
+
+    /// [`write_atomic`](Self::write_atomic) with the fsyncs made
+    /// optional (`sync: false` is the pager's fast path — rename-atomic
+    /// but page-cache-durable only).
+    fn write_atomic_with(&self, name: &str, bytes: &[u8], sync: bool) -> io::Result<()> {
         let tmp = self.dir.join(format!(
             "{name}.tmp-{}-{}",
             std::process::id(),
@@ -354,7 +410,9 @@ impl SnapshotStore {
         ));
         let mut f = fs::File::create(&tmp)?;
         f.write_all(bytes)?;
-        f.sync_all()?;
+        if sync {
+            f.sync_all()?;
+        }
         drop(f);
         match fs::rename(&tmp, self.dir.join(name)) {
             Ok(()) => {}
@@ -367,10 +425,20 @@ impl SnapshotStore {
         // correctness (the data file is already durable; at worst the
         // directory entry reverts to the previous consistent record
         // after a crash), and some filesystems reject directory fsync.
-        if let Ok(d) = fs::File::open(&self.dir) {
-            let _ = d.sync_all();
+        if sync {
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
         }
         Ok(())
+    }
+}
+
+impl Drop for SnapshotStore {
+    fn drop(&mut self) {
+        // Best-effort: the manifest is advisory, and open() heals a
+        // stale one, so a failed flush here loses nothing.
+        let _ = self.flush_manifest();
     }
 }
 
@@ -559,6 +627,32 @@ mod tests {
         drop(store);
         let (_, report) = SnapshotStore::open(&dir).unwrap();
         assert!(report.manifest_ok);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_rewrite_is_deferred_until_flush() {
+        let dir = temp_dir("batch");
+        let (store, _) = SnapshotStore::open(&dir).unwrap();
+        store.persist(&sample_record(5, 40)).unwrap();
+        // Below the batch threshold: the on-disk manifest still shows
+        // the empty store open() wrote.
+        let manifest: Manifest =
+            serde_json::from_str(&fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap()).unwrap();
+        assert!(manifest.sessions.is_empty(), "manifest rewrite must be deferred");
+
+        store.flush_manifest().unwrap();
+        let manifest: Manifest =
+            serde_json::from_str(&fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap()).unwrap();
+        assert_eq!(manifest.sessions.len(), 1);
+        assert_eq!(manifest.sessions[0].session, 5);
+
+        // Dropping the store flushes too: a second persist then drop
+        // leaves the manifest in agreement on reopen.
+        store.persist(&sample_record(6, 24)).unwrap();
+        drop(store);
+        let (_, report) = SnapshotStore::open(&dir).unwrap();
+        assert!(report.manifest_ok, "{report:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -155,6 +155,7 @@ fn chaos_with_mid_stream_splits_preserves_parity() {
             check: true,
             chaos: Some(ChaosConfig::with_intensity(0xBA, 0.03)),
             retry: soak_retry(),
+            ..Default::default()
         },
         true,
     );
@@ -183,7 +184,7 @@ fn chaos_without_store_still_converges() {
 
 /// The counter fields of a `ServeSummary` as a flat vector, for
 /// scrape-to-scrape monotonicity checks.
-fn counter_vec(s: &ibp_serve::ServeSummary) -> [u64; 11] {
+fn counter_vec(s: &ibp_serve::ServeSummary) -> [u64; 12] {
     [
         s.sessions_opened,
         s.sessions_closed,
@@ -196,6 +197,7 @@ fn counter_vec(s: &ibp_serve::ServeSummary) -> [u64; 11] {
         s.snapshots_persisted,
         s.persist_failures,
         s.sessions_rehydrated,
+        s.evictions,
     ]
 }
 
@@ -224,7 +226,7 @@ fn metrics_coherent_under_chaos() {
         let scrape_stop = Arc::clone(&scrape_stop);
         std::thread::spawn(move || {
             let mut scraper = Client::connect(&bound).expect("scraper connect");
-            let mut prev: Option<[u64; 11]> = None;
+            let mut prev: Option<[u64; 12]> = None;
             let mut scrapes = 0u32;
             while !scrape_stop.load(Ordering::Relaxed) {
                 let report = scraper.query_server().expect("mid-chaos query");

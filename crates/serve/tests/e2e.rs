@@ -160,6 +160,78 @@ fn mid_stream_queries_do_not_perturb_the_stream() {
 }
 
 #[test]
+fn scale_mode_multiplexes_sessions_with_parity() {
+    // Scale mode: many sessions over few driver connections, with the
+    // LRU hot cap well below the session count, must still match the
+    // offline annotation per session — and must really have paged.
+    let endpoint = temp_uds("scale");
+    let specs = specs_for(AppKind::Alya, 4, 24, true);
+    let server = Server::bind(
+        &endpoint,
+        ServeConfig {
+            workers: 2,
+            io_threads: 2,
+            max_hot_sessions: Some(6),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let store_dir = std::env::temp_dir()
+        .join("ibp-serve-e2e")
+        .join(format!("scale-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let (store, _) = ibp_serve::SnapshotStore::open(&store_dir).expect("store");
+    let server = server.with_store(std::sync::Arc::new(store));
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let report = run_load(
+        &bound,
+        specs,
+        &LoadConfig {
+            batch: 48,
+            check: true,
+            drivers: 4,
+            open_rate: 4_000,
+            ..Default::default()
+        },
+    )
+    .expect("scale load");
+    assert!(report.parity_checked && report.parity_ok, "scale parity failed: {report:?}");
+    assert_eq!(report.per_session.len(), 24);
+
+    stop.store(true, Ordering::Relaxed);
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.sessions_closed, 24, "{summary:?}");
+    assert!(summary.evictions > 0, "hot cap 6 < 24 sessions must evict: {summary:?}");
+    assert!(summary.sessions_rehydrated > 0, "evicted sessions were touched: {summary:?}");
+    assert_eq!(summary.worker_panics, 0, "{summary:?}");
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn scale_mode_rejects_split_and_chaos() {
+    let endpoint = temp_uds("scale-invalid");
+    let server = Server::bind(&endpoint, ServeConfig::default()).expect("bind");
+    let bound = server.endpoint().clone();
+    let stop = server.stop_flag();
+    let handle = std::thread::spawn(move || server.run());
+    let err = run_load(
+        &bound,
+        specs_for(AppKind::Alya, 4, 2, false),
+        &LoadConfig { drivers: 2, split: Some(0.5), ..Default::default() },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, ProtocolError::Io(e) if e.kind() == std::io::ErrorKind::InvalidInput),
+        "got {err:?}"
+    );
+    stop.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn session_limit_stops_the_server() {
     let endpoint = temp_uds("limit");
     let server = Server::bind(

@@ -30,6 +30,7 @@ fn distinct_registry() -> MetricsRegistry {
         &m.snapshots_persisted,
         &m.persist_failures,
         &m.sessions_rehydrated,
+        &m.evictions,
         &m.queries_answered,
         &m.scrapes_served,
     ]
@@ -38,11 +39,20 @@ fn distinct_registry() -> MetricsRegistry {
     {
         c.store(101 + i as u64, Ordering::Relaxed);
     }
-    for (i, g) in [&m.sessions_live, &m.ready_queue_depth, &m.writer_queue_depth]
-        .into_iter()
-        .enumerate()
+    for (i, g) in [
+        &m.sessions_live,
+        &m.ready_queue_depth,
+        &m.writer_queue_depth,
+        &m.hot_sessions,
+        &m.cold_sessions,
+    ]
+    .into_iter()
+    .enumerate()
     {
         g.store(201 + i as u64, Ordering::Relaxed);
+    }
+    for (i, g) in m.session_shards.iter().enumerate() {
+        g.store(301 + i as u64, Ordering::Relaxed);
     }
     m
 }
@@ -73,6 +83,7 @@ fn summary_json_schema_is_stable() {
         "snapshots_persisted",
         "persist_failures",
         "sessions_rehydrated",
+        "evictions",
     ] {
         assert!(json.contains(&format!("\"{field}\"")), "missing {field} in {json}");
     }

@@ -1,0 +1,407 @@
+//! Offline stand-in for an epoll binding crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a dependency-free readiness layer over raw `libc` FFI — the same
+//! pattern as the vendored rayon facade and the CLI's SIGINT handler. It
+//! wraps exactly the five kernel facilities the serve reactor needs:
+//!
+//! - [`Poller`] — an `epoll(7)` instance: `add`/`modify`/`delete` register
+//!   file descriptors with a caller-chosen `u64` token, [`Poller::wait`]
+//!   blocks (with a millisecond timeout) and fills an [`Events`] buffer.
+//!   Registration is **level-triggered**: a readable/writable fd keeps
+//!   reporting until drained, so a consumer that stops mid-frame is
+//!   re-notified on the next `wait` without edge-triggered bookkeeping.
+//! - [`Waker`] — an `eventfd(2)` wrapper to interrupt a `wait` from any
+//!   thread. [`Waker::notify`] is a single `write(2)` and therefore
+//!   async-signal-safe; [`notify_raw`] exposes the same call on a raw fd
+//!   for signal handlers that can only stash an `i32` in a static.
+//! - [`set_nonblocking`] — `fcntl(F_SETFL, O_NONBLOCK)` on an arbitrary
+//!   fd, for sockets accepted or connected through std (std only exposes
+//!   nonblocking mode on the concrete socket types).
+//!
+//! All `unsafe` in the workspace's IO path lives here, behind safe
+//! wrappers: every syscall result is checked and surfaced as
+//! [`std::io::Error`], fds are closed on drop, and the `epoll_event`
+//! layout matches the kernel ABI (packed on x86-64, natural alignment
+//! elsewhere — the same `cfg` split libc uses).
+//!
+//! Linux-only by construction, like the rest of the serve layer's
+//! `AsRawFd` plumbing.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// Raw syscall surface. Numeric constants are the asm-generic Linux ABI
+// values shared by x86-64 and aarch64 (the two targets this workspace
+// builds on).
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+/// Kernel `struct epoll_event`. x86-64 packs it to 12 bytes (a quirk
+/// preserved since the 32-bit ABI); every other architecture uses
+/// natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// What to watch a registered fd for. Combine with [`Interest::and`];
+/// error/hang-up conditions are always reported regardless of interest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Wake when the fd has bytes to read (or the peer closed).
+    pub const READ: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Wake when the fd can accept writes without blocking.
+    pub const WRITE: Interest = Interest(EPOLLOUT);
+    /// Union of two interests.
+    pub fn and(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+    /// True if this interest includes readability.
+    pub fn is_read(self) -> bool {
+        self.0 & EPOLLIN != 0
+    }
+    /// True if this interest includes writability.
+    pub fn is_write(self) -> bool {
+        self.0 & EPOLLOUT != 0
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    bits: u32,
+}
+
+impl Event {
+    /// The fd has data (or EOF, or an error — anything a `read` call
+    /// would observe without blocking).
+    pub fn readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+    /// A `write` would make progress (or fail immediately).
+    pub fn writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+    /// The peer hung up or the fd errored; the connection is dead even
+    /// if no bytes are pending.
+    pub fn is_error(&self) -> bool {
+        self.bits & (EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// Fixed-capacity buffer `wait` fills; reuse it across calls to keep the
+/// event loop allocation-free.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Buffer holding at most `cap` events per `wait` (more stay queued
+    /// in the kernel and surface on the next call — level triggering
+    /// makes truncation harmless).
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the most recent `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            token: e.data,
+            bits: e.events,
+        })
+    }
+
+    /// Number of events delivered by the most recent `wait`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the most recent `wait` timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance. Closed on drop.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create a fresh epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with `token`; level-triggered.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest.0)
+    }
+
+    /// Change the interest set (and token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest.0)
+    }
+
+    /// Remove a registered fd. Safe to call on an already-closed fd
+    /// (the error is surfaced, callers usually ignore it — closing an
+    /// fd deregisters it anyway).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`-1` blocks indefinitely, `0` polls). Returns the number
+    /// of events written into `events`. A signal interrupting the wait
+    /// reports as zero events rather than an error — reactor loops treat
+    /// both as a tick.
+    pub fn wait(&self, events: &mut Events, timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.buf.as_mut_ptr(),
+                events.buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`]: an eventfd registered like any
+/// other fd. `notify` from anywhere (including a signal handler — it is
+/// one `write(2)`); the owning loop calls `drain` when the token fires.
+/// The same waker may be registered in several pollers at once (the
+/// serve layer points every event loop at one shutdown waker).
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Fresh nonblocking eventfd.
+    pub fn new() -> io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register with a [`Poller`] (readable when notified).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wake every poller watching this waker. Never blocks: if the
+    /// counter is already saturated the pending wakeup suffices.
+    pub fn notify(&self) {
+        notify_raw(self.fd);
+    }
+
+    /// Reset the counter so the (level-triggered) fd stops reporting
+    /// readable. Call from the loop that owns the registration.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// [`Waker::notify`] on a raw eventfd. Async-signal-safe (one `write`);
+/// exists so a signal handler holding only an `AtomicI32` fd can kick
+/// the reactor without constructing a `Waker`.
+pub fn notify_raw(fd: RawFd) {
+    let one: u64 = 1;
+    let buf = one.to_ne_bytes();
+    unsafe { write(fd, buf.as_ptr(), buf.len()) };
+}
+
+/// Switch any fd to nonblocking mode (std only exposes this on the
+/// concrete listener/stream types, not on `AsRawFd` generically).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn socket_readability_round_trip() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing written yet: a zero-timeout wait reports nothing.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        assert!(events.is_empty());
+
+        a.write_all(b"ping").unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable());
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 1);
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn peer_close_reports_readable_for_eof() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(4);
+        assert!(poller.wait(&mut events, 1000).unwrap() >= 1);
+        assert!(events.iter().next().unwrap().readable());
+    }
+
+    #[test]
+    fn modify_switches_between_read_and_write_interest() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh socket is writable but not readable.
+        poller.add(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        poller
+            .modify(b.as_raw_fd(), 4, Interest::READ.and(Interest::WRITE))
+            .unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 4);
+        assert!(ev.writable());
+        assert!(!ev.is_error());
+        poller.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        drop(a);
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.raw_fd(), 99, Interest::READ).unwrap();
+
+        let w = waker.clone();
+        let t = std::thread::spawn(move || w.notify());
+        let mut events = Events::with_capacity(4);
+        assert_eq!(poller.wait(&mut events, 2000).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().token, 99);
+        t.join().unwrap();
+
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+
+        // notify_raw matches Waker::notify.
+        notify_raw(waker.raw_fd());
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        waker.drain();
+    }
+
+    #[test]
+    fn set_nonblocking_makes_reads_would_block() {
+        let (_a, mut b) = UnixStream::pair().unwrap();
+        set_nonblocking(b.as_raw_fd()).unwrap();
+        let mut buf = [0u8; 8];
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn one_waker_wakes_multiple_pollers() {
+        let waker = Waker::new().unwrap();
+        let p1 = Poller::new().unwrap();
+        let p2 = Poller::new().unwrap();
+        p1.add(waker.raw_fd(), 1, Interest::READ).unwrap();
+        p2.add(waker.raw_fd(), 2, Interest::READ).unwrap();
+        waker.notify();
+        let mut events = Events::with_capacity(2);
+        assert_eq!(p1.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(p2.wait(&mut events, 1000).unwrap(), 1);
+    }
+}
