@@ -11,6 +11,7 @@
 //! | Table IV (PPA overheads) | [`table4`] / `table4` |
 //! | Figs. 7–9 (savings + slowdown per displacement) | [`figures`] / `fig7`–`fig9` |
 //! | Fig. 10 (GT sweep) | [`gt_select`] / `fig10` |
+//! | Generation × sleep-depth frontier (extension) | [`generation`] |
 //!
 //! [`paper_ref`] holds the published values so every binary prints
 //! ours-vs-paper columns, and `EXPERIMENTS.md` is assembled from the same
@@ -22,6 +23,7 @@
 pub mod exhibits;
 pub mod experiment;
 pub mod extensions;
+pub mod generation;
 pub mod gt_select;
 pub mod output;
 pub mod paper_ref;
@@ -35,6 +37,9 @@ pub use experiment::{
     RunConfig, RunResult,
 };
 pub use exhibits::{fig10, figure, table1, table3, table4, ExhibitGrid};
+pub use generation::{
+    generation_frontier, render_generation_frontier, GenerationFrontierRow, FRONTIER_GENERATIONS,
+};
 pub use gt_select::{choose_gt, select, sweep, GtPoint, GT_GRID_US};
 pub use output::{bin_main, OutputDir};
 pub use report::Table;

@@ -115,6 +115,13 @@ pub const REPLAY_PROBE: &str = "replay_ns_per_event";
 /// entries predate the probe).
 pub const REPLAY_BIG_PROBE: &str = "replay_big_ns_per_event";
 
+/// Name of the depth-ladder replay probe: annotated replay under the
+/// full three-rung sleep ladder, so the tracker's batched
+/// `apply_windows` path carries WRPS, rate-reduction, and deep-sleep
+/// windows in one stream. Gated only when the baseline entry records
+/// it (older entries predate the ladder).
+pub const LADDER_PROBE: &str = "ladder_apply_windows_ns_per_event";
+
 fn min_ns_per_elem<F: FnMut() -> u64>(reps: u32, mut run: F) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut elems = 0;
@@ -204,6 +211,59 @@ fn replay_probe_named(nprocs: u32, iters: usize, reps: u32, name: &str) -> Probe
     });
     Probe {
         name: name.into(),
+        ns_per_elem: ns,
+        elems,
+        reps,
+    }
+}
+
+/// Annotated replay under the full depth ladder, ns/event, reported as
+/// [`LADDER_PROBE`]. The trace's idle periods cycle through the three
+/// rungs' profitability bands (300 µs → WRPS, 2 ms → rate reduction,
+/// 20 ms → deep sleep), so every repetition drives the power tracker's
+/// batched window accounting across all depths — the path the ladder
+/// generalized — and the probe asserts the deeper rungs really engaged.
+pub fn probe_ladder_apply_windows(nprocs: u32, iters: usize, reps: u32) -> Probe {
+    let mut b = ibp_trace::TraceBuilder::new("bench-ladder", nprocs);
+    for it in 0..iters {
+        for r in 0..nprocs {
+            let lead = if it == 0 { 0 } else { 20_000 };
+            b.compute(r, SimDuration::from_us(lead));
+            b.op(
+                r,
+                ibp_trace::MpiOp::Sendrecv {
+                    to: (r + 1) % nprocs,
+                    send_bytes: 2048,
+                    from: (r + nprocs - 1) % nprocs,
+                    recv_bytes: 2048,
+                },
+            );
+            b.compute(r, SimDuration::from_us(300));
+            b.op(r, ibp_trace::MpiOp::Allreduce { bytes: 8 });
+            b.compute(r, SimDuration::from_us(2_000));
+            b.op(r, ibp_trace::MpiOp::Allreduce { bytes: 8 });
+        }
+    }
+    let trace = b.build();
+    let cfg = ibp_network::IbGeneration::Qdr
+        .ladder()
+        .power_config(SimDuration::from_us(20), 0.01);
+    let ann = annotate_trace_jobs(&trace, &cfg, 1);
+    let params = SimParams::paper();
+    let opts = ReplayOptions::default();
+    let events: u64 = trace.ranks.iter().map(|r| r.events.len() as u64).sum();
+    let mut scratch = ReplayScratch::new();
+    let (ns, elems) = min_ns_per_elem(reps, || {
+        let r = replay_with_scratch(&trace, Some(&ann), &params, &opts, &mut scratch)
+            .expect("bench ladder replay");
+        assert!(
+            r.mean_rate_fraction() > 0.0 && r.mean_deep_fraction() > 0.0,
+            "ladder probe never reached its deeper rungs"
+        );
+        events
+    });
+    Probe {
+        name: LADDER_PROBE.into(),
         ns_per_elem: ns,
         elems,
         reps,
@@ -400,6 +460,9 @@ pub fn run_all(iters: usize, reps: u32) -> Vec<Probe> {
         probe_ppa_scan((3 * iters / 2).max(12), reps),
         probe_replay(8, replay_iters, reps),
         probe_replay_big(16, replay_big_iters, reps),
+        // Enough periods that the predictor trains and the ladder's
+        // deeper rungs engage even at the CLI's minimum --iters.
+        probe_ladder_apply_windows(8, replay_iters.max(30), reps),
         probe_annotate(8, replay_iters, 1, reps),
         probe_annotate(8, replay_iters, 4, reps),
         probe_annotate_big(8, big_iters, 1, reps),

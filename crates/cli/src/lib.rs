@@ -125,7 +125,7 @@ pub enum Command {
     /// Regenerate paper exhibits on the parallel sweep engine.
     Exhibits {
         /// Exhibit name (`all`, `table1`, `table3`, `table4`,
-        /// `fig7`–`fig10`).
+        /// `fig7`–`fig10`, `generation_frontier`).
         name: String,
         /// Worker threads (0 = available parallelism / `IBP_JOBS`).
         jobs: usize,
@@ -464,10 +464,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "exhibits" => {
             let name = positional
                 .first()
-                .ok_or("missing <exhibit> (all|table1|table3|table4|fig7|fig8|fig9|fig10)")?
+                .ok_or(
+                    "missing <exhibit> \
+                     (all|table1|table3|table4|fig7|fig8|fig9|fig10|generation_frontier)",
+                )?
                 .to_string();
-            const KNOWN: [&str; 8] = [
-                "all", "table1", "table3", "table4", "fig7", "fig8", "fig9", "fig10",
+            const KNOWN: [&str; 9] = [
+                "all",
+                "table1",
+                "table3",
+                "table4",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "generation_frontier",
             ];
             if !KNOWN.contains(&name.as_str()) {
                 return Err(format!("unknown exhibit '{name}'"));
@@ -701,12 +712,16 @@ USAGE:
 
 APPS: gromacs, alya, wrf, nas-bt, nas-mg (nas-bt needs square nprocs)
 
-EXHIBITS: all, table1, table3, table4, fig7, fig8, fig9, fig10 — run on the
-  parallel sweep engine (traces and baselines memoized per key; results are
-  byte-identical for any --jobs value). --jobs N sets the worker count
-  (default: IBP_JOBS, else all cores); --serial forces the in-thread path;
-  --out DIR overrides the results directory (default: IBP_RESULTS_DIR or
-  results/). Each results JSON gets a <name>.stats.json with cache counters.
+EXHIBITS: all, table1, table3, table4, fig7, fig8, fig9, fig10,
+  generation_frontier — run on the parallel sweep engine (traces and
+  baselines memoized per key; results are byte-identical for any --jobs
+  value). --jobs N sets the worker count (default: IBP_JOBS, else all
+  cores); --serial forces the in-thread path; --out DIR overrides the
+  results directory (default: IBP_RESULTS_DIR or results/). Each results
+  JSON gets a <name>.stats.json with cache counters. generation_frontier
+  sweeps the five apps across IB generations (QDR/FDR/EDR/HDR) × three
+  sleep policies (wrps, deep, full depth ladder) and reports each
+  point's savings, slowdown, and whole-switch saving.
 
 FAULTS & RESILIENCE:
   --fault-rate F   inject link faults (wake misfires, flaps, 1X degrades)
@@ -1009,6 +1024,13 @@ mod tests {
                 out: Some("tmp/r".into()),
             }
         );
+        match parse(&argv("exhibits generation_frontier --jobs 2")).unwrap() {
+            Command::Exhibits { name, jobs, .. } => {
+                assert_eq!(name, "generation_frontier");
+                assert_eq!(jobs, 2);
+            }
+            other => panic!("{other:?}"),
+        }
         let c = parse(&argv("exhibits all --serial")).unwrap();
         match c {
             Command::Exhibits {

@@ -95,10 +95,12 @@ fn render_report(ep: &ibp_serve::Endpoint, report: &ibp_serve::ObsReport) -> Str
     }
     let _ = writeln!(
         out,
-        "\n{:<5} {:<5} {:<6} {:<5} {:>5} {:>9} {:>7} {:>9} {:>8} {:>4} {:>5} {:>7} {:>9} {:>6}",
+        "\n{:<5} {:<5} {:<4} {:<6} {:<5} {:<5} {:>5} {:>9} {:>7} {:>9} {:>8} {:>4} {:>5} {:>7} {:>9} {:>6}",
         "SESS",
         "RANK",
+        "GEN",
         "STATE",
+        "DEPTH",
         "WIDTH",
         "GB/S",
         "EVENTS",
@@ -114,12 +116,15 @@ fn render_report(ep: &ibp_serve::Endpoint, report: &ibp_serve::ObsReport) -> Str
     for p in &report.sessions {
         // A busy row means the probe raced a worker holding the engine;
         // only identity and queue depth are live, so render the link
-        // columns as unknown rather than the placeholder defaults.
-        let (state, width, speed) = if p.busy {
-            ("busy".to_string(), "-".to_string(), "-".to_string())
+        // columns as unknown rather than the placeholder defaults. The
+        // generation is hardware identity, not engine state — always
+        // live.
+        let (state, depth, width, speed) = if p.busy {
+            ("busy".to_string(), "-", "-".to_string(), "-".to_string())
         } else {
             (
                 p.power_state.label().to_string(),
+                p.sleep_depth.map_or("-", ibp_core::SleepKind::label),
                 format!("{}X", p.lane_width),
                 format!("{:.0}", p.power_state.speed_gbps()),
             )
@@ -138,10 +143,12 @@ fn render_report(ep: &ibp_serve::Endpoint, report: &ibp_serve::ObsReport) -> Str
             .unwrap_or_else(|| "-".to_string());
         let _ = writeln!(
             out,
-            "{:<5} {:<5} {:<6} {:<5} {:>5} {:>9} {:>7} {:>9} {:>8} {:>4} {:>5} {:>7} {:>9} {:>6}",
+            "{:<5} {:<5} {:<4} {:<6} {:<5} {:<5} {:>5} {:>9} {:>7} {:>9} {:>8} {:>4} {:>5} {:>7} {:>9} {:>6}",
             p.session,
             p.rank,
+            p.generation.name(),
             state,
+            depth,
             width,
             speed,
             p.events_applied,
@@ -330,6 +337,7 @@ fn run(cmd: Command) -> Result<(), String> {
                     "{}",
                     ibp_trace::viz::render_timelines(&rows, end, 100, |s| match s {
                         LinkPower::Low => '.',
+                        LinkPower::Rate => '-',
                         LinkPower::Deep => 'o',
                         LinkPower::Full => '#',
                         LinkPower::Transition => '+',
@@ -445,6 +453,12 @@ fn run(cmd: Command) -> Result<(), String> {
                     print!("{}", exhibits::render_fig10(&data));
                     out.write_json("fig10.json", &data).map_err(io)?;
                 }
+                "generation_frontier" => {
+                    let rows = ibp_analysis::generation_frontier(&engine, seed)
+                        .map_err(|e| format!("generation_frontier: {e}"))?;
+                    print!("{}", ibp_analysis::render_generation_frontier(&rows));
+                    out.write_json("generation_frontier.json", &rows).map_err(io)?;
+                }
                 "all" => {
                     let t1 = exhibits::table1(&engine, &grid, seed);
                     out.write_json("table1.json", &t1).map_err(io)?;
@@ -458,6 +472,9 @@ fn run(cmd: Command) -> Result<(), String> {
                     }
                     let f10 = exhibits::fig10(&engine, seed);
                     out.write_json("fig10.json", &f10).map_err(io)?;
+                    let frontier = ibp_analysis::generation_frontier(&engine, seed)
+                        .map_err(|e| format!("generation_frontier: {e}"))?;
+                    out.write_json("generation_frontier.json", &frontier).map_err(io)?;
                     println!("all exhibit JSONs written to {}", out.root().display());
                 }
                 other => unreachable!("validated by parse: {other}"),
@@ -482,8 +499,8 @@ fn run(cmd: Command) -> Result<(), String> {
             label,
         } => {
             use ibp_bench::hotpath::{
-                ReportEntry, Trajectory, INTERCEPT_PROBE, REPLAY_BIG_PROBE, REPLAY_PROBE,
-                SCALE_PROBE, SERVE_PROBE,
+                ReportEntry, Trajectory, INTERCEPT_PROBE, LADDER_PROBE, REPLAY_BIG_PROBE,
+                REPLAY_PROBE, SCALE_PROBE, SERVE_PROBE,
             };
             let mut traj: Trajectory = match std::fs::read_to_string(&output) {
                 Ok(json) => serde_json::from_str(&json).map_err(|e| format!("{output}: {e}"))?,
@@ -558,6 +575,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 gate_50(SCALE_PROBE)?;
                 gate_50(REPLAY_PROBE)?;
                 gate_50(REPLAY_BIG_PROBE)?;
+                gate_50(LADDER_PROBE)?;
             }
             traj.entries.push(entry);
             let json = serde_json::to_string_pretty(&traj).map_err(|e| e.to_string())?;

@@ -24,6 +24,11 @@ pub enum PowerPolicy {
     /// (millisecond-class reactivation, much deeper power state);
     /// shorter idles still use WRPS.
     DeepSleep,
+    /// The full depth ladder: for every predicted idle, commit to the
+    /// deepest state — deep sleep, rate reduction, then WRPS — whose
+    /// wake cost fits inside the prediction minus the guard band
+    /// (Rodríguez-Pérez-style multi-state opportunistic sleeping).
+    Ladder,
 }
 
 /// The depth chosen for one sleep window.
@@ -31,8 +36,27 @@ pub enum PowerPolicy {
 pub enum SleepKind {
     /// Lane-width reduction (4X → 1X), `T_react ≈ 10 µs`, 43% draw.
     Wrps,
+    /// Rate reduction: all four lanes drop to the lowest signalling
+    /// rate (retrain ≈ 100 µs, ~25% draw).
+    Rate,
     /// Deep switch sleep, `T_react ≈ 1 ms`, ~10% draw.
     Deep,
+}
+
+impl SleepKind {
+    /// All depths, shallowest first.
+    pub const ALL: [SleepKind; 3] = [SleepKind::Wrps, SleepKind::Rate, SleepKind::Deep];
+
+    /// Short lower-case label (`wrps` / `rate` / `deep`), used for
+    /// metric labels and table columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepKind::Wrps => "wrps",
+            SleepKind::Rate => "rate",
+            SleepKind::Deep => "deep",
+        }
+    }
 }
 
 /// Adaptive resilience controller parameters (misprediction-storm
@@ -160,6 +184,17 @@ pub struct PowerConfig {
     pub deep_t_react: SimDuration,
     /// Relative power draw of the deep state.
     pub deep_power_fraction: f64,
+    /// Minimum predicted idle for a rate-reduction sleep (only with
+    /// [`PowerPolicy::Ladder`]).
+    #[serde(default = "default_rate_threshold")]
+    pub rate_threshold: SimDuration,
+    /// Retrain time of the rate-reduced state (lanes renegotiate back
+    /// to full signalling rate).
+    #[serde(default = "default_rate_t_react")]
+    pub rate_t_react: SimDuration,
+    /// Relative power draw of the rate-reduced state.
+    #[serde(default = "default_rate_power_fraction")]
+    pub rate_power_fraction: f64,
     /// Adaptive resilience controller (disabled by default).
     #[serde(default)]
     pub resilience: ResilienceConfig,
@@ -171,6 +206,18 @@ pub struct PowerConfig {
 
 fn default_occurrence_window() -> usize {
     crate::pattern::DEFAULT_OCCURRENCE_WINDOW
+}
+
+fn default_rate_threshold() -> SimDuration {
+    SimDuration::from_us(500)
+}
+
+fn default_rate_t_react() -> SimDuration {
+    SimDuration::from_us(100)
+}
+
+fn default_rate_power_fraction() -> f64 {
+    0.25
 }
 
 impl PowerConfig {
@@ -206,6 +253,9 @@ impl PowerConfig {
             deep_threshold: SimDuration::from_ms(5),
             deep_t_react: SimDuration::from_ms(1),
             deep_power_fraction: 0.10,
+            rate_threshold: default_rate_threshold(),
+            rate_t_react: default_rate_t_react(),
+            rate_power_fraction: default_rate_power_fraction(),
             resilience: ResilienceConfig::default(),
             occurrence_window: default_occurrence_window(),
         }
@@ -262,10 +312,27 @@ impl PowerConfig {
         self
     }
 
+    /// Enable the full sleep-depth ladder (off by default): each
+    /// predicted idle commits to the deepest of deep sleep, rate
+    /// reduction, or WRPS whose wake cost fits inside the prediction.
+    ///
+    /// # Panics
+    /// Panics if the configured ladder violates its ordering invariants
+    /// (power floors must strictly deepen, wake latencies must not
+    /// shrink with depth, thresholds must cover two reactivations).
+    pub fn with_ladder(mut self) -> Self {
+        self.policy = PowerPolicy::Ladder;
+        if let Err(e) = self.validate() {
+            panic!("invalid sleep ladder: {e}");
+        }
+        self
+    }
+
     /// Reactivation time of a sleep kind.
     pub fn react_of(&self, kind: SleepKind) -> SimDuration {
         match kind {
             SleepKind::Wrps => self.t_react,
+            SleepKind::Rate => self.rate_t_react,
             SleepKind::Deep => self.deep_t_react,
         }
     }
@@ -274,7 +341,18 @@ impl PowerConfig {
     pub fn draw_of(&self, kind: SleepKind) -> f64 {
         match kind {
             SleepKind::Wrps => self.low_power_fraction,
+            SleepKind::Rate => self.rate_power_fraction,
             SleepKind::Deep => self.deep_power_fraction,
+        }
+    }
+
+    /// Minimum predicted idle that makes a sleep kind eligible under
+    /// the ladder policy.
+    pub fn threshold_of(&self, kind: SleepKind) -> SimDuration {
+        match kind {
+            SleepKind::Wrps => SimDuration::ZERO,
+            SleepKind::Rate => self.rate_threshold,
+            SleepKind::Deep => self.deep_threshold,
         }
     }
 
@@ -293,15 +371,48 @@ impl PowerConfig {
         displacement: f64,
         predicted_idle: SimDuration,
     ) -> Option<(SleepKind, SimDuration)> {
-        if self.policy == PowerPolicy::DeepSleep && predicted_idle >= self.deep_threshold {
-            let safety = predicted_idle.mul_f64(displacement) + self.deep_t_react;
-            let timer = predicted_idle.saturating_sub(safety);
-            if timer > self.deep_t_react {
-                return Some((SleepKind::Deep, timer));
+        match self.policy {
+            PowerPolicy::WidthReduction => {}
+            PowerPolicy::DeepSleep => {
+                if predicted_idle >= self.deep_threshold {
+                    if let Some(timer) =
+                        self.depth_timer_with(displacement, predicted_idle, SleepKind::Deep)
+                    {
+                        return Some((SleepKind::Deep, timer));
+                    }
+                }
+            }
+            PowerPolicy::Ladder => {
+                // Deepest first: commit to the deepest state whose wake
+                // cost fits inside the prediction minus the guard band.
+                for kind in [SleepKind::Deep, SleepKind::Rate] {
+                    if predicted_idle < self.threshold_of(kind) {
+                        continue;
+                    }
+                    if let Some(timer) = self.depth_timer_with(displacement, predicted_idle, kind)
+                    {
+                        return Some((kind, timer));
+                    }
+                }
             }
         }
         self.lane_off_timer_with(displacement, predicted_idle)
             .map(|t| (SleepKind::Wrps, t))
+    }
+
+    /// Algorithm 3's timer generalized to an arbitrary sleep depth:
+    /// `timer = idle − (idle·displacement + react)`, profitable only
+    /// when the result exceeds the depth's own reactivation time.
+    fn depth_timer_with(
+        &self,
+        displacement: f64,
+        predicted_idle: SimDuration,
+        kind: SleepKind,
+    ) -> Option<SimDuration> {
+        let react = self.react_of(kind);
+        let safety = predicted_idle.mul_f64(displacement) + react;
+        let timer = predicted_idle.saturating_sub(safety);
+        (timer > react).then_some(timer)
     }
 
     /// Check every invariant the runtime's arithmetic depends on,
@@ -325,9 +436,31 @@ impl PowerConfig {
             return Err("declaration policy below the bi-gram minimum".into());
         }
         if !(0.0..=1.0).contains(&self.low_power_fraction)
+            || !(0.0..=1.0).contains(&self.rate_power_fraction)
             || !(0.0..=1.0).contains(&self.deep_power_fraction)
         {
             return Err("power fractions must be in [0, 1]".into());
+        }
+        if self.policy == PowerPolicy::Ladder {
+            if !(self.deep_power_fraction < self.rate_power_fraction
+                && self.rate_power_fraction < self.low_power_fraction)
+            {
+                return Err(format!(
+                    "ladder power floors must strictly deepen: deep {} < rate {} < wrps {}",
+                    self.deep_power_fraction, self.rate_power_fraction, self.low_power_fraction
+                ));
+            }
+            if self.rate_t_react < self.t_react || self.deep_t_react < self.rate_t_react {
+                return Err(format!(
+                    "ladder wake latencies must not shrink with depth: wrps {} <= rate {} <= deep {}",
+                    self.t_react, self.rate_t_react, self.deep_t_react
+                ));
+            }
+            if self.rate_threshold < self.rate_t_react * 2
+                || self.deep_threshold < self.deep_t_react * 2
+            {
+                return Err("ladder thresholds below 2x their reactivation time".into());
+            }
         }
         let r = &self.resilience;
         if r.enabled {
@@ -459,5 +592,75 @@ mod tests {
     fn low_power_saving_is_complement() {
         let c = PowerConfig::default();
         assert!((c.low_power_saving() - 0.57).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_picks_deepest_profitable_state() {
+        let c = PowerConfig::paper(SimDuration::from_us(20), 0.01).with_ladder();
+        // 10 ms ≥ deep_threshold (5 ms): deep wins.
+        let (kind, _) = c.plan_sleep(SimDuration::from_ms(10)).unwrap();
+        assert_eq!(kind, SleepKind::Deep);
+        // 1 ms: below the deep threshold, above the rate threshold.
+        let (kind, timer) = c.plan_sleep(SimDuration::from_ms(1)).unwrap();
+        assert_eq!(kind, SleepKind::Rate);
+        assert!(timer > c.rate_t_react);
+        // 100 µs: too short for a rate retrain, WRPS still profitable.
+        let (kind, _) = c.plan_sleep(SimDuration::from_us(100)).unwrap();
+        assert_eq!(kind, SleepKind::Wrps);
+        // 20 µs: nothing profitable.
+        assert!(c.plan_sleep(SimDuration::from_us(20)).is_none());
+    }
+
+    #[test]
+    fn ladder_timer_follows_algorithm3_per_depth() {
+        let c = PowerConfig::paper(SimDuration::from_us(20), 0.10).with_ladder();
+        // idle = 1 ms: safety = 100 µs + 100 µs retrain → timer 800 µs.
+        let (kind, timer) = c.plan_sleep(SimDuration::from_ms(1)).unwrap();
+        assert_eq!(kind, SleepKind::Rate);
+        assert_eq!(timer, SimDuration::from_us(800));
+    }
+
+    #[test]
+    fn default_policy_never_emits_rate_or_deep() {
+        let c = PowerConfig::default();
+        for us in [30, 100, 600, 6_000, 60_000] {
+            if let Some((kind, _)) = c.plan_sleep(SimDuration::from_us(us)) {
+                assert_eq!(kind, SleepKind::Wrps, "paper config must stay WRPS-only");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_validate_rejects_inverted_floors() {
+        let mut c = PowerConfig::default().with_ladder();
+        c.rate_power_fraction = 0.05; // below the deep floor
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("strictly deepen"), "{err}");
+        let mut c = PowerConfig::default().with_ladder();
+        c.rate_t_react = SimDuration::from_us(1);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("wake latencies"), "{err}");
+    }
+
+    #[test]
+    fn sleep_kind_labels() {
+        assert_eq!(SleepKind::Wrps.label(), "wrps");
+        assert_eq!(SleepKind::Rate.label(), "rate");
+        assert_eq!(SleepKind::Deep.label(), "deep");
+    }
+
+    #[test]
+    fn old_wire_configs_still_parse() {
+        // A config serialized before the ladder fields existed must
+        // deserialize with the default (paper-identical) ladder values.
+        let mut v = PowerConfig::default().to_value();
+        let serde::Value::Map(entries) = &mut v else {
+            panic!("config serializes as an object");
+        };
+        entries.retain(|(k, _)| {
+            !matches!(k.as_str(), "rate_threshold" | "rate_t_react" | "rate_power_fraction")
+        });
+        let back = PowerConfig::from_value(&v).unwrap();
+        assert_eq!(back, PowerConfig::default());
     }
 }

@@ -447,6 +447,7 @@ impl RankRuntime {
                         let span = p.timer.min(gap).saturating_sub(react);
                         match p.kind {
                             SleepKind::Wrps => self.stats.low_power_time += span,
+                            SleepKind::Rate => self.stats.rate_time += span,
                             SleepKind::Deep => self.stats.deep_time += span,
                         }
                     }

@@ -32,7 +32,12 @@ use serde::{Deserialize, Serialize};
 
 /// Version stamp embedded in every snapshot. Bump on layout changes so
 /// a server can reject snapshots from an incompatible build.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial layout (two-depth `SleepKind`, no ladder fields).
+/// * 2 — sleep-depth ladder: `SleepKind::Rate`, `RankStats::rate_time`,
+///   and the `rate_*` ladder parameters in [`PowerConfig`].
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A snapshot failed validation on restore.
 ///

@@ -45,6 +45,9 @@ pub struct RankStats {
     pub low_power_time: SimDuration,
     /// Nominal time spent in the deep switch-sleep state (§VI extension).
     pub deep_time: SimDuration,
+    /// Nominal time spent in the rate-reduced state (ladder policy).
+    #[serde(default)]
+    pub rate_time: SimDuration,
     /// Total reactivation stall injected into this rank.
     pub total_penalty: SimDuration,
     /// Nominal (communication-free) duration of the rank's trace.
@@ -130,6 +133,7 @@ impl RankStats {
         self.lane_off_count += other.lane_off_count;
         self.low_power_time += other.low_power_time;
         self.deep_time += other.deep_time;
+        self.rate_time += other.rate_time;
         self.total_penalty += other.total_penalty;
         self.nominal_duration += other.nominal_duration;
         self.storms += other.storms;

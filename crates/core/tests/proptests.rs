@@ -199,8 +199,44 @@ proptest! {
                 prop_assert!(timer > cfg.t_react);
                 prop_assert!(timer + cfg.t_react <= idle);
             }
+            Some((SleepKind::Rate, _)) => {
+                prop_assert!(false, "rate sleep emitted under the deep-sleep policy");
+            }
             None => {
                 prop_assert!(idle.as_us_f64() < 25.0, "profitable idle ignored: {idle}");
+            }
+        }
+    }
+
+    /// Under the full ladder, every emitted depth obeys its own
+    /// threshold and Algorithm 3 profitability bound, and the planner
+    /// never picks a shallower state when a deeper one was profitable.
+    #[test]
+    fn plan_sleep_ladder_depth_selection(idle_us in 0u64..100_000_000, disp in 0.0f64..0.5) {
+        use ibp_core::SleepKind;
+        let cfg = PowerConfig::paper(SimDuration::from_us(20), disp).with_ladder();
+        let idle = SimDuration::from_us(idle_us);
+        match cfg.plan_sleep(idle) {
+            Some((kind, timer)) => {
+                prop_assert!(idle >= cfg.threshold_of(kind));
+                prop_assert!(timer > cfg.react_of(kind));
+                // Deeper rungs were either below threshold or unprofitable.
+                for deeper in SleepKind::ALL.iter().rev() {
+                    if *deeper == kind {
+                        break;
+                    }
+                    let safety = idle.mul_f64(cfg.displacement) + cfg.react_of(*deeper);
+                    prop_assert!(
+                        idle < cfg.threshold_of(*deeper)
+                            || idle.saturating_sub(safety) <= cfg.react_of(*deeper),
+                        "planner skipped profitable {deeper:?} for {kind:?} at idle {idle}"
+                    );
+                }
+            }
+            None => {
+                // Not even WRPS was profitable.
+                let safety = idle.mul_f64(cfg.displacement) + cfg.t_react;
+                prop_assert!(idle.saturating_sub(safety) <= cfg.t_react);
             }
         }
     }

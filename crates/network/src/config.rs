@@ -28,10 +28,40 @@ pub struct SimParams {
     pub t_react: SimDuration,
     /// Deep-sleep reactivation time (buffers/crossbar; §VI extension).
     pub deep_t_react: SimDuration,
+    /// Retrain time of the rate-reduced state (ladder middle rung).
+    #[serde(default = "default_rate_t_react")]
+    pub rate_t_react: SimDuration,
+    /// Relative power draw of a link in rate-reduced mode.
+    #[serde(default = "default_rate_power_fraction")]
+    pub rate_power_fraction: f64,
+    /// Relative power draw of a link in deep sleep.
+    #[serde(default = "default_deep_power_fraction")]
+    pub deep_power_fraction: f64,
+    /// The link generation being modelled (QDR unless a caller asked
+    /// for another rung of the generation ladder; see
+    /// [`crate::genlink::IbGeneration::sim_params`]).
+    #[serde(default)]
+    pub generation: crate::genlink::IbGeneration,
 }
 
 /// Relative draw of the deep sleep state (buffers/crossbar down).
 pub const DEEP_POWER_FRACTION: f64 = 0.10;
+
+/// Relative draw of the rate-reduced state (all lanes at the lowest
+/// signalling rate).
+pub const RATE_POWER_FRACTION: f64 = 0.25;
+
+fn default_rate_t_react() -> SimDuration {
+    SimDuration::from_us(100)
+}
+
+fn default_rate_power_fraction() -> f64 {
+    RATE_POWER_FRACTION
+}
+
+fn default_deep_power_fraction() -> f64 {
+    DEEP_POWER_FRACTION
+}
 
 impl Default for SimParams {
     /// Table II: XGFT(2;18,14;1,18), 40 Gb/s, 2 KB segments, 1 µs MPI
@@ -49,6 +79,10 @@ impl Default for SimParams {
             low_power_fraction: 0.43,
             t_react: SimDuration::from_us(10),
             deep_t_react: SimDuration::from_ms(1),
+            rate_t_react: default_rate_t_react(),
+            rate_power_fraction: default_rate_power_fraction(),
+            deep_power_fraction: default_deep_power_fraction(),
+            generation: crate::genlink::IbGeneration::Qdr,
         }
     }
 }
@@ -57,6 +91,13 @@ impl SimParams {
     /// The paper's configuration (alias for [`Default`]).
     pub fn paper() -> Self {
         Self::default()
+    }
+
+    /// Parameters for a link generation (alias for
+    /// [`crate::genlink::IbGeneration::sim_params`]).
+    #[must_use]
+    pub fn for_generation(generation: crate::genlink::IbGeneration) -> Self {
+        generation.sim_params()
     }
 
     /// Total node slots in the fat tree.
@@ -169,5 +210,34 @@ mod tests {
         let d = SimParams::paper().describe();
         assert!(d.contains("XGFT(2;18,14;1,18)"));
         assert!(d.contains("40 Gbit/s"));
+    }
+
+    #[test]
+    fn pre_ladder_params_still_parse() {
+        use serde::{Deserialize, Serialize};
+        let mut v = SimParams::paper().to_value();
+        let serde::Value::Map(entries) = &mut v else {
+            panic!("params serialize as an object");
+        };
+        entries.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "rate_t_react" | "rate_power_fraction" | "deep_power_fraction" | "generation"
+            )
+        });
+        let back = SimParams::from_value(&v).unwrap();
+        assert_eq!(back, SimParams::paper());
+    }
+
+    #[test]
+    fn generation_params_only_change_bandwidth_and_tag() {
+        use crate::genlink::IbGeneration;
+        let p = SimParams::for_generation(IbGeneration::Hdr);
+        assert_eq!(p.bandwidth_bps, 200e9);
+        assert_eq!(p.generation, IbGeneration::Hdr);
+        let mut back_to_paper = p;
+        back_to_paper.bandwidth_bps = 40e9;
+        back_to_paper.generation = IbGeneration::Qdr;
+        assert_eq!(back_to_paper, SimParams::paper());
     }
 }

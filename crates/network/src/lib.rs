@@ -23,6 +23,7 @@ pub mod collectives;
 pub mod config;
 pub mod fabric;
 pub mod faults;
+pub mod genlink;
 pub mod power;
 pub mod replay;
 pub mod results;
@@ -31,9 +32,10 @@ pub mod topology;
 pub mod xgft;
 
 pub use collectives::{decompose, for_each_micro, MicroOp};
-pub use config::{SimParams, DEEP_POWER_FRACTION};
+pub use config::{SimParams, DEEP_POWER_FRACTION, RATE_POWER_FRACTION};
 pub use fabric::{Fabric, FabricStats};
 pub use faults::{FaultConfig, FaultPlan, FaultStats, SendFault};
+pub use genlink::{IbGeneration, LadderRung, SleepLadder};
 pub use power::{LinkPower, LinkPowerTracker};
 pub use replay::{replay, replay_with_scratch, ReplayError, ReplayOptions, ReplayScratch};
 pub use results::SimResult;

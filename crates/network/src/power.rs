@@ -20,6 +20,9 @@ pub enum LinkPower {
     Full,
     /// One lane active, three off (WRPS 1X mode, 43% of nominal).
     Low,
+    /// All four lanes at the lowest signalling rate (ladder middle
+    /// rung, ~25% draw).
+    Rate,
     /// Switch buffers/crossbar down too (§VI deep sleep, ~10% draw).
     Deep,
     /// Lanes shifting between modes (billed at full power).
@@ -27,44 +30,77 @@ pub enum LinkPower {
 }
 
 impl LinkPower {
-    /// Relative power draw of the state.
+    /// Relative power draw of the state (rate/deep floors at their
+    /// standard-ladder values; see [`LinkPower::relative_draw_in`] for
+    /// parameter-driven accounting).
     #[inline]
     #[must_use]
     pub fn relative_draw(self, low_fraction: f64) -> f64 {
         match self {
             LinkPower::Full | LinkPower::Transition => 1.0,
             LinkPower::Low => low_fraction,
+            LinkPower::Rate => crate::config::RATE_POWER_FRACTION,
             LinkPower::Deep => crate::config::DEEP_POWER_FRACTION,
+        }
+    }
+
+    /// Relative power draw of the state under a parameter set.
+    #[inline]
+    #[must_use]
+    pub fn relative_draw_in(self, params: &SimParams) -> f64 {
+        match self {
+            LinkPower::Full | LinkPower::Transition => 1.0,
+            LinkPower::Low => params.low_power_fraction,
+            LinkPower::Rate => params.rate_power_fraction,
+            LinkPower::Deep => params.deep_power_fraction,
         }
     }
 
     /// The state a link is in while a runtime's sleep directive is
     /// outstanding: no pending sleep means all lanes up; a WRPS sleep
-    /// is the 1X low-power mode; a deep sleep powers the port down.
+    /// is the 1X low-power mode; a rate sleep keeps all lanes up at the
+    /// lowest signalling rate; a deep sleep powers the port down.
     /// This is the readout `ibpower stat`/`top` render per session.
     #[must_use]
     pub fn from_pending_sleep(pending: Option<SleepKind>) -> LinkPower {
         match pending {
             None => LinkPower::Full,
             Some(SleepKind::Wrps) => LinkPower::Low,
+            Some(SleepKind::Rate) => LinkPower::Rate,
             Some(SleepKind::Deep) => LinkPower::Deep,
         }
     }
 
-    /// Active lanes in this state (the paper's links are 4X).
+    /// Active lanes in this state (the paper's links are 4X). Rate
+    /// reduction keeps every lane up — only the signalling rate drops.
     #[must_use]
     pub fn lane_width(self) -> u8 {
         match self {
-            LinkPower::Full | LinkPower::Transition => 4,
+            LinkPower::Full | LinkPower::Transition | LinkPower::Rate => 4,
             LinkPower::Low => 1,
             LinkPower::Deep => 0,
         }
     }
 
-    /// Signalling rate at this width, Gb/s (QDR: 10 Gb/s per lane).
+    /// Signalling rate at this state, Gb/s, for the paper's QDR links
+    /// (see [`LinkPower::speed_gbps_for`] for other generations).
     #[must_use]
     pub fn speed_gbps(self) -> f64 {
-        f64::from(self.lane_width()) * 10.0
+        self.speed_gbps_for(crate::genlink::IbGeneration::Qdr)
+    }
+
+    /// Signalling rate at this state for a link generation, Gb/s:
+    /// width reduction keeps the per-lane rate on one lane, rate
+    /// reduction keeps all lanes at a quarter of the per-lane rate
+    /// (QDR's rate rung is SDR signalling), deep sleep carries nothing.
+    #[must_use]
+    pub fn speed_gbps_for(self, generation: crate::genlink::IbGeneration) -> f64 {
+        match self {
+            LinkPower::Full | LinkPower::Transition => generation.link_gbps(),
+            LinkPower::Low => generation.per_lane_gbps(),
+            LinkPower::Rate => generation.link_gbps() / 4.0,
+            LinkPower::Deep => 0.0,
+        }
     }
 
     /// `ibstat`-style state label.
@@ -73,6 +109,7 @@ impl LinkPower {
         match self {
             LinkPower::Full => "Full",
             LinkPower::Low => "Low",
+            LinkPower::Rate => "Rate",
             LinkPower::Deep => "Deep",
             LinkPower::Transition => "Trans",
         }
@@ -101,6 +138,8 @@ pub struct LinkPowerTracker {
     pub timeline: Option<StateTimeline<LinkPower>>,
     /// Accumulated time in WRPS low-power mode.
     pub low_time: SimDuration,
+    /// Accumulated time in the rate-reduced state.
+    pub rate_time: SimDuration,
     /// Accumulated time in the deep sleep state.
     pub deep_time: SimDuration,
     /// Accumulated transition time.
@@ -118,6 +157,7 @@ impl LinkPowerTracker {
         LinkPowerTracker {
             timeline: record.then(|| StateTimeline::new(LinkPower::Full)),
             low_time: SimDuration::ZERO,
+            rate_time: SimDuration::ZERO,
             deep_time: SimDuration::ZERO,
             transition_time: SimDuration::ZERO,
             floor: SimTime::ZERO,
@@ -188,10 +228,12 @@ impl LinkPowerTracker {
     ) -> SimDuration {
         let react = match kind {
             SleepKind::Wrps => params.t_react,
+            SleepKind::Rate => params.rate_t_react,
             SleepKind::Deep => params.deep_t_react,
         };
         let state = match kind {
             SleepKind::Wrps => LinkPower::Low,
+            SleepKind::Rate => LinkPower::Rate,
             SleepKind::Deep => LinkPower::Deep,
         };
         let t0 = t0.max(self.floor);
@@ -216,6 +258,7 @@ impl LinkPowerTracker {
         }
         match kind {
             SleepKind::Wrps => self.low_time += low_span,
+            SleepKind::Rate => self.rate_time += low_span,
             SleepKind::Deep => self.deep_time += low_span,
         }
         self.transition_time += full_again.since(wake) + off_end.since(t0);
@@ -247,9 +290,11 @@ impl LinkPowerTracker {
         }
         let t = total.as_secs_f64();
         let low = (self.low_time.as_secs_f64() / t).min(1.0);
+        let rate = (self.rate_time.as_secs_f64() / t).min(1.0);
         let deep = (self.deep_time.as_secs_f64() / t).min(1.0);
         1.0 - low * (1.0 - params.low_power_fraction)
-            - deep * (1.0 - crate::config::DEEP_POWER_FRACTION)
+            - rate * (1.0 - params.rate_power_fraction)
+            - deep * (1.0 - params.deep_power_fraction)
     }
 }
 
@@ -363,6 +408,12 @@ mod tests {
                 t_want: us(1900),
                 kind: SleepKind::Deep,
             },
+            SleepWindow {
+                t0: us(4000),
+                timer: Some(dur(900)),
+                t_want: us(6000),
+                kind: SleepKind::Rate,
+            },
         ];
         let mut single = LinkPowerTracker::new(true);
         for w in &windows {
@@ -378,6 +429,7 @@ mod tests {
         let mut batched = LinkPowerTracker::new(true);
         batched.apply_windows(&p, &windows);
         assert_eq!(batched.low_time, single.low_time);
+        assert_eq!(batched.rate_time, single.rate_time);
         assert_eq!(batched.deep_time, single.deep_time);
         assert_eq!(batched.transition_time, single.transition_time);
         assert_eq!(batched.floor(), single.floor());
@@ -399,5 +451,58 @@ mod tests {
         assert_eq!(LinkPower::Full.relative_draw(0.43), 1.0);
         assert_eq!(LinkPower::Transition.relative_draw(0.43), 1.0);
         assert_eq!(LinkPower::Low.relative_draw(0.43), 0.43);
+        assert_eq!(LinkPower::Rate.relative_draw(0.43), 0.25);
+        assert_eq!(LinkPower::Deep.relative_draw(0.43), 0.10);
+        let p = SimParams::paper();
+        for s in [
+            LinkPower::Full,
+            LinkPower::Low,
+            LinkPower::Rate,
+            LinkPower::Deep,
+            LinkPower::Transition,
+        ] {
+            assert_eq!(s.relative_draw_in(&p), s.relative_draw(p.low_power_fraction));
+        }
+    }
+
+    #[test]
+    fn rate_window_uses_rate_react_and_floor() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(true);
+        // Rate sleep at t=1 ms with a 900 µs timer: the 100 µs retrain
+        // bounds the state on both sides.
+        let span = t.apply_sleep_kind(&p, us(1000), dur(900), us(10_000), SleepKind::Rate);
+        // Rate-reduced from 1100 to 1900 µs.
+        assert_eq!(span, dur(800));
+        assert_eq!(t.rate_time, dur(800));
+        assert_eq!(t.low_time, SimDuration::ZERO);
+        assert_eq!(t.transition_time, dur(200));
+        assert_eq!(t.floor(), us(2000));
+        let tl = t.timeline.as_ref().unwrap();
+        assert_eq!(tl.time_in(us(10_000), |s| s == LinkPower::Rate), dur(800));
+    }
+
+    #[test]
+    fn mean_power_blends_all_three_depths() {
+        let p = SimParams::paper();
+        let mut t = LinkPowerTracker::new(false);
+        t.low_time = dur(100);
+        t.rate_time = dur(200);
+        t.deep_time = dur(300);
+        let draw = t.mean_relative_power(&p, dur(1000));
+        let want = 1.0 - 0.1 * (1.0 - 0.43) - 0.2 * (1.0 - 0.25) - 0.3 * (1.0 - 0.10);
+        assert!((draw - want).abs() < 1e-12, "{draw} vs {want}");
+    }
+
+    #[test]
+    fn speeds_scale_with_generation() {
+        use crate::genlink::IbGeneration;
+        assert_eq!(LinkPower::Full.speed_gbps(), 40.0);
+        assert_eq!(LinkPower::Low.speed_gbps(), 10.0);
+        assert_eq!(LinkPower::Rate.speed_gbps(), 10.0);
+        assert_eq!(LinkPower::Deep.speed_gbps(), 0.0);
+        assert_eq!(LinkPower::Full.speed_gbps_for(IbGeneration::Hdr), 200.0);
+        assert_eq!(LinkPower::Low.speed_gbps_for(IbGeneration::Hdr), 50.0);
+        assert_eq!(LinkPower::Rate.speed_gbps_for(IbGeneration::Hdr), 50.0);
     }
 }

@@ -624,6 +624,7 @@ pub fn replay_with_scratch(
         exec_time: exec.since(SimTime::ZERO),
         rank_finish: engine.ranks.iter().map(|s| s.t).collect(),
         link_low: engine.ranks.iter().map(|s| s.power.low_time).collect(),
+        link_rate: engine.ranks.iter().map(|s| s.power.rate_time).collect(),
         link_deep: engine.ranks.iter().map(|s| s.power.deep_time).collect(),
         link_transition: engine
             .ranks
@@ -640,6 +641,8 @@ pub fn replay_with_scratch(
         }),
         fabric: engine.fabric.stats(),
         low_power_fraction: params.low_power_fraction,
+        rate_power_fraction: params.rate_power_fraction,
+        deep_power_fraction: params.deep_power_fraction,
         faults: engine.fault_stats,
     })
 }
@@ -728,11 +731,13 @@ impl<'a> Replay<'a> {
         let n_events = self.scratch.rank_ev_base[ri + 1] - ev_base;
         if ev >= n_events {
             // Trailing compute, final sleep resolution, done.
-            let misfire = self.ranks[ri].pending_sleep.is_some()
-                && self
+            let misfire = match self.ranks[ri].pending_sleep {
+                Some((_, _, kind)) => self
                     .faults
                     .as_mut()
-                    .is_some_and(|plan| plan.wake_misfires(ri));
+                    .is_some_and(|plan| plan.wake_misfires_at(ri, kind)),
+                None => false,
+            };
             let state = &mut self.ranks[ri];
             if !state.done {
                 let t = self
@@ -772,11 +777,13 @@ impl<'a> Replay<'a> {
         // serve the reactivation stall. Window *accounting* is buffered
         // ([`ReplayScratch::windows`]) and applied after the run.
         {
-            let misfire = self.ranks[ri].pending_sleep.is_some()
-                && self
+            let misfire = match self.ranks[ri].pending_sleep {
+                Some((_, _, kind)) => self
                     .faults
                     .as_mut()
-                    .is_some_and(|plan| plan.wake_misfires(ri));
+                    .is_some_and(|plan| plan.wake_misfires_at(ri, kind)),
+                None => false,
+            };
             let state = &mut self.ranks[ri];
             state.t = self.params.compute_end(state.t, compute + overhead);
             match state.pending_sleep.take() {
@@ -793,6 +800,7 @@ impl<'a> Replay<'a> {
                     });
                     let react = match kind {
                         SleepKind::Wrps => self.params.t_react,
+                        SleepKind::Rate => self.params.rate_t_react,
                         SleepKind::Deep => self.params.deep_t_react,
                     };
                     state.t += react;

@@ -14,6 +14,9 @@ pub struct SimResult {
     pub rank_finish: Vec<SimTime>,
     /// Per-rank host-link low-power (WRPS) time.
     pub link_low: Vec<SimDuration>,
+    /// Per-rank host-link rate-reduced time (ladder middle rung; zero
+    /// unless the ladder policy is on).
+    pub link_rate: Vec<SimDuration>,
     /// Per-rank host-link deep-sleep time (§VI extension; zero under the
     /// paper's baseline WRPS policy).
     pub link_deep: Vec<SimDuration>,
@@ -27,6 +30,10 @@ pub struct SimResult {
     pub fabric: FabricStats,
     /// Relative draw of the low-power state (from the parameters used).
     pub low_power_fraction: f64,
+    /// Relative draw of the rate-reduced state.
+    pub rate_power_fraction: f64,
+    /// Relative draw of the deep-sleep state.
+    pub deep_power_fraction: f64,
     /// Fault-injection accounting (all zeros on a reliable fabric).
     pub faults: FaultStats,
 }
@@ -38,45 +45,50 @@ impl SimResult {
         self.rank_finish.len()
     }
 
+    /// Mean fraction of the run spent in a state, averaged over ranks.
+    fn mean_fraction(&self, per_rank: &[SimDuration]) -> f64 {
+        if self.exec_time.is_zero() || per_rank.is_empty() {
+            return 0.0;
+        }
+        let total = self.exec_time.as_secs_f64();
+        per_rank
+            .iter()
+            .map(|l| (l.as_secs_f64() / total).min(1.0))
+            .sum::<f64>()
+            / per_rank.len() as f64
+    }
+
     /// Fraction of the run each rank's host link spent in low power,
     /// averaged over ranks.
     #[must_use]
     pub fn mean_low_fraction(&self) -> f64 {
-        if self.exec_time.is_zero() || self.link_low.is_empty() {
-            return 0.0;
-        }
-        let total = self.exec_time.as_secs_f64();
-        self.link_low
-            .iter()
-            .map(|l| (l.as_secs_f64() / total).min(1.0))
-            .sum::<f64>()
-            / self.link_low.len() as f64
+        self.mean_fraction(&self.link_low)
     }
 
-    /// IB switch power saving (%) relative to always-on links — the
-    /// paper's Figs. 7a/8a/9a metric: each port in low-power mode draws
-    /// `low_power_fraction` of nominal, so the saving is
-    /// `(1 − low_power_fraction) × low-time share`, averaged over the
-    /// managed (host-facing) ports.
+    /// Fraction of the run each rank's host link spent rate-reduced,
+    /// averaged over ranks.
     #[must_use]
-    pub fn power_saving_pct(&self) -> f64 {
-        100.0 * (1.0 - self.low_power_fraction) * self.mean_low_fraction()
-            + 100.0 * (1.0 - crate::config::DEEP_POWER_FRACTION) * self.mean_deep_fraction()
+    pub fn mean_rate_fraction(&self) -> f64 {
+        self.mean_fraction(&self.link_rate)
     }
 
     /// Fraction of the run each rank's host link spent in deep sleep,
     /// averaged over ranks.
     #[must_use]
     pub fn mean_deep_fraction(&self) -> f64 {
-        if self.exec_time.is_zero() || self.link_deep.is_empty() {
-            return 0.0;
-        }
-        let total = self.exec_time.as_secs_f64();
-        self.link_deep
-            .iter()
-            .map(|l| (l.as_secs_f64() / total).min(1.0))
-            .sum::<f64>()
-            / self.link_deep.len() as f64
+        self.mean_fraction(&self.link_deep)
+    }
+
+    /// IB switch power saving (%) relative to always-on links — the
+    /// paper's Figs. 7a/8a/9a metric: each port in a sleep state draws
+    /// that state's fraction of nominal, so the saving sums
+    /// `(1 − state fraction) × state-time share` over the three depths,
+    /// averaged over the managed (host-facing) ports.
+    #[must_use]
+    pub fn power_saving_pct(&self) -> f64 {
+        100.0 * (1.0 - self.low_power_fraction) * self.mean_low_fraction()
+            + 100.0 * (1.0 - self.rate_power_fraction) * self.mean_rate_fraction()
+            + 100.0 * (1.0 - self.deep_power_fraction) * self.mean_deep_fraction()
     }
 
     /// Mean relative power draw of the managed links (1.0 = always-on).
@@ -109,12 +121,15 @@ mod tests {
                 .map(|_| SimTime::from_us(exec_us))
                 .collect(),
             link_low: low_us.iter().map(|&l| SimDuration::from_us(l)).collect(),
+            link_rate: vec![SimDuration::ZERO; low_us.len()],
             link_deep: vec![SimDuration::ZERO; low_us.len()],
             link_transition: vec![SimDuration::ZERO; low_us.len()],
             link_sleeps: vec![0; low_us.len()],
             timelines: None,
             fabric: FabricStats::default(),
             low_power_fraction: 0.43,
+            rate_power_fraction: 0.25,
+            deep_power_fraction: 0.10,
             faults: FaultStats::default(),
         }
     }
@@ -131,6 +146,16 @@ mod tests {
     fn asymmetric_ranks_average() {
         let r = result(1000, &[1000, 0]);
         assert!((r.mean_low_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_savings_stack() {
+        // One rank: 20% low, 30% rate, 40% deep.
+        let mut r = result(1000, &[200]);
+        r.link_rate = vec![SimDuration::from_us(300)];
+        r.link_deep = vec![SimDuration::from_us(400)];
+        let want = 100.0 * (0.2 * (1.0 - 0.43) + 0.3 * (1.0 - 0.25) + 0.4 * (1.0 - 0.10));
+        assert!((r.power_saving_pct() - want).abs() < 1e-9);
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub struct SwitchPowerModel {
     /// Per-port link draw in WRPS 1X mode, relative to the port's full
     /// link draw.
     pub wrps_fraction: f64,
+    /// Per-port link draw in rate-reduced mode (ladder middle rung),
+    /// relative to the port's full link draw.
+    #[serde(default = "default_rate_fraction")]
+    pub rate_fraction: f64,
+}
+
+fn default_rate_fraction() -> f64 {
+    crate::config::RATE_POWER_FRACTION
 }
 
 impl Default for SwitchPowerModel {
@@ -55,6 +63,7 @@ impl Default for SwitchPowerModel {
             crossbar_share: 0.12,
             control_share: 0.06,
             wrps_fraction: 0.43,
+            rate_fraction: default_rate_fraction(),
         }
     }
 }
@@ -78,19 +87,49 @@ pub struct SwitchPowerReport {
 }
 
 impl SwitchPowerModel {
-    /// Validate the share decomposition.
-    ///
-    /// # Panics
-    /// Panics if the shares do not sum to ~1 or any is negative.
-    pub fn validate(&self) {
+    /// Validate the share decomposition. Returns a message naming the
+    /// offending field (the `PowerConfig::validate` convention) rather
+    /// than panicking, so hostile or fat-fingered model files surface as
+    /// CLI errors instead of aborts. Float range checks double as NaN
+    /// rejection.
+    pub fn validate(&self) -> Result<(), String> {
         let sum = self.link_share + self.buffer_share + self.crossbar_share + self.control_share;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "component shares must sum to 1, got {sum}"
-        );
-        assert!(self.ports > 0, "switch needs ports");
-        assert!(self.nominal_w > 0.0);
-        assert!((0.0..=1.0).contains(&self.wrps_fraction));
+        if (sum - 1.0).abs() >= 1e-9 || sum.is_nan() {
+            return Err(format!("component shares must sum to 1, got {sum}"));
+        }
+        let shares = [
+            ("link_share", self.link_share),
+            ("buffer_share", self.buffer_share),
+            ("crossbar_share", self.crossbar_share),
+            ("control_share", self.control_share),
+        ];
+        for (name, s) in shares {
+            if !(0.0..=1.0).contains(&s) {
+                return Err(format!("{name} must be in [0, 1], got {s}"));
+            }
+        }
+        if self.ports == 0 {
+            return Err("switch needs at least one port".to_string());
+        }
+        if self.nominal_w <= 0.0 || !self.nominal_w.is_finite() {
+            return Err(format!(
+                "nominal_w must be positive and finite, got {}",
+                self.nominal_w
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.wrps_fraction) {
+            return Err(format!(
+                "wrps_fraction must be in [0, 1], got {}",
+                self.wrps_fraction
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.rate_fraction) {
+            return Err(format!(
+                "rate_fraction must be in [0, 1], got {}",
+                self.rate_fraction
+            ));
+        }
+        Ok(())
     }
 
     /// Full-power draw of one port's link PHY, W.
@@ -109,7 +148,26 @@ impl SwitchPowerModel {
     /// when *all* managed ports are deep-sleeping — the crossbar
     /// proportionally; control power never goes away.
     pub fn mean_power_w(&self, managed: u32, low_frac: f64, deep_frac: f64) -> f64 {
-        self.validate();
+        self.mean_power_ladder_w(managed, low_frac, 0.0, deep_frac)
+    }
+
+    /// [`SwitchPowerModel::mean_power_w`] with all three ladder depths:
+    /// `rate_frac` is the mean fraction each managed port spent
+    /// rate-reduced. Rate reduction scales only the PHYs (every lane
+    /// stays up, slower); buffers and crossbar behave as in WRPS.
+    ///
+    /// # Panics
+    /// Panics if the model itself is invalid (callers building models
+    /// from external input must [`SwitchPowerModel::validate`] first) or
+    /// if `managed` exceeds the port count.
+    pub fn mean_power_ladder_w(
+        &self,
+        managed: u32,
+        low_frac: f64,
+        rate_frac: f64,
+        deep_frac: f64,
+    ) -> f64 {
+        self.validate().expect("switch power model invalid");
         assert!(managed <= self.ports, "more managed ports than ports");
         let managed_f = f64::from(managed);
         let ports_f = f64::from(self.ports);
@@ -118,13 +176,16 @@ impl SwitchPowerModel {
         let crossbar_w = self.nominal_w * self.crossbar_share;
         let control_w = self.nominal_w * self.control_share;
 
-        // Link PHYs: managed ports reduce to wrps_fraction during WRPS
-        // and to ~0 during deep sleep (one lane's PLL stays up; fold it
-        // into control); unmanaged ports stay at full draw.
+        // Link PHYs: managed ports reduce to wrps_fraction during WRPS,
+        // to rate_fraction while rate-reduced, and to ~0 during deep
+        // sleep (one lane's PLL stays up; fold it into control);
+        // unmanaged ports stay at full draw.
         let per_port_link = link_w / ports_f;
         let managed_link = managed_f
             * per_port_link
-            * (1.0 - low_frac - deep_frac + low_frac * self.wrps_fraction);
+            * (1.0 - low_frac - rate_frac - deep_frac
+                + low_frac * self.wrps_fraction
+                + rate_frac * self.rate_fraction);
         let unmanaged_link = (ports_f - managed_f) * per_port_link;
 
         // Buffers: per-port, off during deep sleep only.
@@ -147,8 +208,9 @@ impl SwitchPowerModel {
     pub fn report(&self, result: &SimResult, duration: SimDuration) -> SwitchPowerReport {
         let managed = result.nprocs() as u32;
         let low = result.mean_low_fraction();
+        let rate = result.mean_rate_fraction();
         let deep = result.mean_deep_fraction();
-        let managed_w = self.mean_power_w(managed, low, deep);
+        let managed_w = self.mean_power_ladder_w(managed, low, rate, deep);
         let secs = duration.as_secs_f64();
         SwitchPowerReport {
             managed_w,
@@ -168,7 +230,7 @@ mod tests {
     #[test]
     fn default_shares_are_consistent() {
         let m = SwitchPowerModel::default();
-        m.validate();
+        m.validate().unwrap();
         assert!((m.link_w_per_port() - 130.0 * 0.64 / 36.0).abs() < 1e-9);
     }
 
@@ -224,12 +286,15 @@ mod tests {
             exec_time: SimDuration::from_secs(10),
             rank_finish: vec![SimTime::from_secs(10); n],
             link_low: vec![SimDuration::from_secs(5); n], // half the run low
+            link_rate: vec![SimDuration::ZERO; n],
             link_deep: vec![SimDuration::ZERO; n],
             link_transition: vec![SimDuration::ZERO; n],
             link_sleeps: vec![1; n],
             timelines: None,
             fabric: FabricStats::default(),
             low_power_fraction: 0.43,
+            rate_power_fraction: 0.25,
+            deep_power_fraction: 0.10,
             faults: crate::faults::FaultStats::default(),
         };
         let rep = m.report(&result, result.exec_time);
@@ -243,12 +308,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sum to 1")]
-    fn bad_shares_rejected() {
+    fn bad_shares_rejected_with_typed_error() {
         let m = SwitchPowerModel {
             link_share: 0.9,
             ..SwitchPowerModel::default()
         };
-        m.validate();
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("sum to 1"), "{err}");
+        let m = SwitchPowerModel {
+            ports: 0,
+            ..SwitchPowerModel::default()
+        };
+        assert!(m.validate().unwrap_err().contains("port"));
+        let m = SwitchPowerModel {
+            nominal_w: f64::NAN,
+            ..SwitchPowerModel::default()
+        };
+        assert!(m.validate().unwrap_err().contains("nominal_w"));
+        let m = SwitchPowerModel {
+            rate_fraction: 1.5,
+            ..SwitchPowerModel::default()
+        };
+        assert!(m.validate().unwrap_err().contains("rate_fraction"));
+    }
+
+    #[test]
+    fn rate_rung_sits_between_wrps_and_deep() {
+        let m = SwitchPowerModel::default();
+        let wrps = m.mean_power_ladder_w(36, 1.0, 0.0, 0.0);
+        let rate = m.mean_power_ladder_w(36, 0.0, 1.0, 0.0);
+        let deep = m.mean_power_ladder_w(36, 0.0, 0.0, 1.0);
+        assert!(deep < rate && rate < wrps, "{deep} < {rate} < {wrps}");
+        // All ports rate-reduced: PHYs at 25%, everything else nominal.
+        let expect = 130.0 * (0.64 * 0.25 + 0.36);
+        assert!((rate - expect).abs() < 1e-9, "{rate} vs {expect}");
+        // Depth-unaware entry point is the rate_frac = 0 special case.
+        assert_eq!(m.mean_power_w(36, 0.3, 0.2), m.mean_power_ladder_w(36, 0.3, 0.0, 0.2));
     }
 }

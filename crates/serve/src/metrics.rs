@@ -27,7 +27,8 @@
 //! with `IBP_UPDATE_GOLDEN=1`).
 
 use crate::server::{ServeSummary, SESSION_TABLE_SHARDS};
-use ibp_network::LinkPower;
+use ibp_core::SleepKind;
+use ibp_network::{IbGeneration, LinkPower};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -87,6 +88,12 @@ pub struct MetricsRegistry {
     /// Sessions evicted to the snapshot store, rehydrated on touch —
     /// gauge.
     pub cold_sessions: AtomicU64,
+    /// Hot sessions whose engine holds an armed sleep directive, per
+    /// depth in [`SleepKind::ALL`] order — labeled gauge
+    /// (`ibp_sessions_asleep{depth="wrps|rate|deep"}`). Evicted (cold)
+    /// engines are not counted; their pending depth re-registers on
+    /// rehydration.
+    pub sessions_asleep: [AtomicU64; SleepKind::ALL.len()],
     /// Registry occupancy per session-table shard — labeled gauge
     /// (`ibp_session_shard_sessions{shard="N"}`).
     pub session_shards: [AtomicU64; SESSION_TABLE_SHARDS],
@@ -125,8 +132,15 @@ const GAUGES: [MetricDesc; 5] = [
     MetricDesc { kind: "gauge", name: "ibp_cold_sessions", help: "Sessions evicted to the snapshot store, rehydrated on touch." },
 ];
 
-/// The per-shard occupancy gauge, rendered with a `shard` label — the
-/// one labeled metric in the exposition.
+/// The per-depth sleep gauge, rendered with a `depth` label (one
+/// sample per [`SleepKind`]).
+const DEPTH_GAUGE: MetricDesc = MetricDesc {
+    kind: "gauge",
+    name: "ibp_sessions_asleep",
+    help: "Hot sessions whose engine holds an armed sleep directive, by depth.",
+};
+
+/// The per-shard occupancy gauge, rendered with a `shard` label.
 const SHARD_GAUGE: MetricDesc = MetricDesc {
     kind: "gauge",
     name: "ibp_session_shard_sessions",
@@ -185,6 +199,22 @@ impl MetricsRegistry {
         ]
     }
 
+    /// Move one session's armed-sleep depth between gauge buckets: its
+    /// depth was `from` before an engine transition and is `to` after.
+    /// `None` means no armed sleep (full power, or not resident).
+    /// Relaxed atomics only — safe on the event hot path.
+    pub fn sleep_depth_changed(&self, from: Option<SleepKind>, to: Option<SleepKind>) {
+        if from == to {
+            return;
+        }
+        if let Some(k) = from {
+            self.sessions_asleep[k as usize].fetch_sub(1, Ordering::Relaxed);
+        }
+        if let Some(k) = to {
+            self.sessions_asleep[k as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Render the registry as Prometheus text exposition (format
     /// version 0.0.4). The output — names, HELP strings, ordering,
     /// whitespace — is byte-pinned by the committed golden fixture.
@@ -199,6 +229,17 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# HELP {} {}", desc.name, desc.help);
             let _ = writeln!(out, "# TYPE {} {}", desc.name, desc.kind);
             let _ = writeln!(out, "{} {}", desc.name, value);
+        }
+        let _ = writeln!(out, "# HELP {} {}", DEPTH_GAUGE.name, DEPTH_GAUGE.help);
+        let _ = writeln!(out, "# TYPE {} {}", DEPTH_GAUGE.name, DEPTH_GAUGE.kind);
+        for (kind, occupancy) in SleepKind::ALL.iter().zip(self.sessions_asleep.iter()) {
+            let _ = writeln!(
+                out,
+                "{}{{depth=\"{}\"}} {}",
+                DEPTH_GAUGE.name,
+                kind.label(),
+                occupancy.load(Ordering::Relaxed)
+            );
         }
         let _ = writeln!(out, "# HELP {} {}", SHARD_GAUGE.name, SHARD_GAUGE.help);
         let _ = writeln!(out, "# TYPE {} {}", SHARD_GAUGE.name, SHARD_GAUGE.kind);
@@ -239,6 +280,15 @@ pub struct SessionProbe {
     /// Link power state implied by the engine's outstanding sleep
     /// directive.
     pub power_state: LinkPower,
+    /// IB generation of the modelled link (`QDR`, `FDR`, ...). Older
+    /// peers omit the field; it defaults to the paper's QDR hardware.
+    /// A plain `Copy` enum, so probing stays allocation-free.
+    #[serde(default)]
+    pub generation: IbGeneration,
+    /// Depth of the engine's armed sleep directive, `None` at full
+    /// power. Defaults to `None` when an older peer omits the field.
+    #[serde(default)]
+    pub sleep_depth: Option<SleepKind>,
     /// Active lanes at that state (4X / 1X / 0).
     pub lane_width: u8,
     /// Pattern phase while predicting: slot being matched.
@@ -285,6 +335,8 @@ impl SessionProbe {
             directives_sent: 0,
             predicting: false,
             power_state: LinkPower::Full,
+            generation: IbGeneration::default(),
+            sleep_depth: None,
             lane_width: LinkPower::Full.lane_width(),
             pattern_slot: None,
             pattern_progress: None,
@@ -467,6 +519,22 @@ mod tests {
     }
 
     #[test]
+    fn exposition_renders_one_sample_per_sleep_depth() {
+        let m = MetricsRegistry::default();
+        m.sleep_depth_changed(None, Some(SleepKind::Rate));
+        m.sleep_depth_changed(None, Some(SleepKind::Rate));
+        m.sleep_depth_changed(Some(SleepKind::Rate), Some(SleepKind::Deep));
+        m.sleep_depth_changed(Some(SleepKind::Wrps), Some(SleepKind::Wrps)); // no-op
+        let text = m.render_prometheus();
+        assert!(text.contains("ibp_sessions_asleep{depth=\"wrps\"} 0"), "{text}");
+        assert!(text.contains("ibp_sessions_asleep{depth=\"rate\"} 1"), "{text}");
+        assert!(text.contains("ibp_sessions_asleep{depth=\"deep\"} 1"), "{text}");
+        let help_lines =
+            text.lines().filter(|l| l.starts_with("# HELP ibp_sessions_asleep")).count();
+        assert_eq!(help_lines, 1, "depth gauge HELP emitted once");
+    }
+
+    #[test]
     fn counter_names_follow_the_contract() {
         for desc in &COUNTERS {
             assert!(desc.name.starts_with("ibp_"), "{}", desc.name);
@@ -539,6 +607,8 @@ mod tests {
                 directives_sent: 400,
                 predicting: true,
                 power_state: LinkPower::Low,
+                generation: IbGeneration::Qdr,
+                sleep_depth: Some(SleepKind::Wrps),
                 lane_width: 1,
                 pattern_slot: Some(2),
                 pattern_progress: Some(1),

@@ -409,6 +409,7 @@ fn sleep_kind_byte(kind: SleepKind) -> u8 {
     match kind {
         SleepKind::Wrps => 0,
         SleepKind::Deep => 1,
+        SleepKind::Rate => 2,
     }
 }
 
@@ -416,6 +417,7 @@ fn sleep_kind_of(byte: u8) -> Option<SleepKind> {
     match byte {
         0 => Some(SleepKind::Wrps),
         1 => Some(SleepKind::Deep),
+        2 => Some(SleepKind::Rate),
         _ => None,
     }
 }

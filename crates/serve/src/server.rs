@@ -772,6 +772,10 @@ fn maybe_evict(shared: &Shared) {
                 metrics.evictions.fetch_add(1, Ordering::Relaxed);
                 metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
                 metrics.cold_sessions.fetch_add(1, Ordering::Relaxed);
+                // Cold engines leave the per-depth sleep gauge; the
+                // record's snapshot re-registers the depth on
+                // rehydration.
+                metrics.sleep_depth_changed(sess.pending_depth(), None);
             }
             Err(_) => {
                 // Disk trouble: keep the engine hot (dropping it would
@@ -811,6 +815,7 @@ fn ensure_hot(
     };
     match Session::restore_from_record(&record) {
         Ok(sess) => {
+            shared.metrics.sleep_depth_changed(None, sess.pending_depth());
             **guard = SessionSlot::Hot(Box::new(sess));
             shared.metrics.cold_sessions.fetch_sub(1, Ordering::Relaxed);
             shared.metrics.hot_sessions.fetch_add(1, Ordering::Relaxed);
@@ -831,6 +836,7 @@ fn retire_cell(cell: &SessionCell, shared: &Shared) -> Option<Box<Session>> {
     let out = match prev {
         SessionSlot::Hot(sess) => {
             shared.metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
+            shared.metrics.sleep_depth_changed(sess.pending_depth(), None);
             Some(sess)
         }
         SessionSlot::Cold => {
@@ -2062,6 +2068,9 @@ fn new_cell(
     tx: &Arc<ConnTx>,
 ) -> Arc<SessionCell> {
     shared.metrics.hot_sessions.fetch_add(1, Ordering::Relaxed);
+    // A fresh open contributes nothing; a restore whose snapshot
+    // carries an armed sleep re-registers its depth.
+    shared.metrics.sleep_depth_changed(None, session.pending_depth());
     Arc::new(SessionCell {
         id,
         rank: session.rank,
@@ -2251,7 +2260,9 @@ fn handle_work(cell: &Arc<SessionCell>, work: Work, shared: &Shared) {
                 );
             }
             metrics.events_applied.fetch_add(events.len() as u64, Ordering::Relaxed);
+            let depth_before = sess.pending_depth();
             let (events_applied, directives) = sess.apply(&events);
+            metrics.sleep_depth_changed(depth_before, sess.pending_depth());
             metrics
                 .directives_sent
                 .fetch_add(directives.len() as u64, Ordering::Relaxed);
@@ -2320,6 +2331,7 @@ fn handle_work(cell: &Arc<SessionCell>, work: Work, shared: &Shared) {
                 unreachable!("slot is hot: established above");
             };
             metrics.hot_sessions.fetch_sub(1, Ordering::Relaxed);
+            metrics.sleep_depth_changed(sess.pending_depth(), None);
             drop(guard);
             if paging_enabled(shared) {
                 lock_ok(&shared.lru).remove(cell.id);

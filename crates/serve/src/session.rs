@@ -4,8 +4,8 @@
 use crate::metrics::SessionProbe;
 use crate::protocol::{ProtocolError, WireEvent};
 use crate::store::StoreRecord;
-use ibp_core::{LaneDirective, PowerConfig, RankRuntime, RankStats, RuntimeSnapshot};
-use ibp_network::LinkPower;
+use ibp_core::{LaneDirective, PowerConfig, RankRuntime, RankStats, RuntimeSnapshot, SleepKind};
+use ibp_network::{IbGeneration, LinkPower};
 use ibp_simcore::SimDuration;
 use ibp_trace::MpiCall;
 
@@ -180,13 +180,22 @@ impl Session {
         self.runtime.snapshot()
     }
 
+    /// Depth of the engine's armed (pending) sleep directive, `None`
+    /// when the link is at full power. The worker loop diffs this
+    /// across `apply` to keep the per-depth fleet gauge current.
+    #[must_use]
+    pub fn pending_depth(&self) -> Option<SleepKind> {
+        self.runtime.pending_sleep().map(|(k, _)| k)
+    }
+
     /// Sample the engine's live state into a [`SessionProbe`] — the
     /// per-link row `ibpower stat`/`top` render. Read-only: probing
     /// never advances the engine or touches its learned state.
     #[must_use]
     pub fn probe(&self, session_id: u32, mailbox_depth: u32) -> SessionProbe {
         let stats = self.runtime.stats();
-        let power_state = LinkPower::from_pending_sleep(self.runtime.pending_sleep().map(|(k, _)| k));
+        let sleep_depth = self.pending_depth();
+        let power_state = LinkPower::from_pending_sleep(sleep_depth);
         let phase = self.runtime.pattern_phase();
         let (recent_pattern, recent_timing) = self.runtime.resilience_windows();
         SessionProbe {
@@ -197,6 +206,11 @@ impl Session {
             directives_sent: self.directives_sent as u64,
             predicting: self.runtime.predicting(),
             power_state,
+            // The serve stack models the paper's link; derive its
+            // generation from the full-width rate so a future
+            // generation-parametric server reports the right name.
+            generation: IbGeneration::from_rate_gbps(LinkPower::Full.speed_gbps()),
+            sleep_depth,
             lane_width: power_state.lane_width(),
             pattern_slot: phase.map(|(slot, _, _)| slot as u32),
             pattern_progress: phase.map(|(_, progress, _)| progress as u32),
@@ -324,6 +338,12 @@ mod tests {
         assert_eq!(probe.directives_sent, directives);
         assert_eq!(probe.mailbox_depth, 3);
         assert_eq!(probe.lane_width, probe.power_state.lane_width());
+        assert_eq!(probe.generation, IbGeneration::Qdr, "serve models the paper link");
+        assert_eq!(
+            probe.power_state,
+            LinkPower::from_pending_sleep(probe.sleep_depth),
+            "probe depth and power state describe the same armed sleep"
+        );
         // Probing twice is idempotent: no engine state advances.
         assert_eq!(sess.probe(7, 3), probe);
     }

@@ -52,6 +52,7 @@ fn main() {
         "{}",
         render_timelines(&rows, end, 100, |s| match s {
             LinkPower::Low => '.',
+            LinkPower::Rate => '-',
             LinkPower::Deep => 'o',
             LinkPower::Full => '#',
             LinkPower::Transition => '+',

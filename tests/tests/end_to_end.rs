@@ -165,6 +165,7 @@ fn gromacs_timelines_render_like_fig6() {
         .collect();
     let art = ibp_trace::viz::render_timelines(&rows, end, 80, |s| match s {
         LinkPower::Low => '.',
+        LinkPower::Rate => '-',
         LinkPower::Deep => 'o',
         LinkPower::Full => '#',
         LinkPower::Transition => '+',

@@ -64,3 +64,15 @@ fn golden_fig9() {
     let fig = exhibits::figure(engine(), &small_grid(), 0.01, SEED);
     assert_matches_golden("fig9.json", &fig);
 }
+
+#[test]
+fn golden_generation_frontier() {
+    let rows = ibp_analysis::generation_frontier(engine(), SEED)
+        .expect("standard generation hardware validates");
+    assert_eq!(
+        rows.len(),
+        ibp_analysis::FRONTIER_GENERATIONS.len() * 5 * 3,
+        "4 generations x 5 apps x 3 policies"
+    );
+    assert_matches_golden("generation_frontier.json", &rows);
+}

@@ -51,6 +51,9 @@ fn distinct_registry() -> MetricsRegistry {
     {
         g.store(201 + i as u64, Ordering::Relaxed);
     }
+    for (i, g) in m.sessions_asleep.iter().enumerate() {
+        g.store(401 + i as u64, Ordering::Relaxed);
+    }
     for (i, g) in m.session_shards.iter().enumerate() {
         g.store(301 + i as u64, Ordering::Relaxed);
     }

@@ -1,7 +1,8 @@
 //! Property-based cross-crate invariants of the power accounting and the
 //! prediction mechanism.
 
-use ibp_core::{annotate_rank, PowerConfig, RankRuntime};
+use ibp_core::{annotate_rank, PowerConfig, RankRuntime, SleepKind};
+use ibp_network::IbGeneration;
 use ibp_simcore::{DetRng, SimDuration};
 use ibp_trace::{MpiCall, MpiOp, TraceBuilder};
 use proptest::prelude::*;
@@ -168,5 +169,129 @@ proptest! {
                 max_gap
             );
         }
+    }
+
+    /// A generation's ladder stays ordered for any (GT, displacement)
+    /// the sweep could hand it: the built `PowerConfig` validates, and
+    /// each deeper depth keeps a strictly lower draw with a wake
+    /// latency at least as long.
+    #[test]
+    fn ladder_configs_validate_for_any_sweep_point(
+        gt_us in 20u64..1_000,
+        disp in 0.0f64..0.5,
+        gen_idx in 0usize..IbGeneration::ALL.len(),
+    ) {
+        let gen = IbGeneration::ALL[gen_idx];
+        let cfg = gen.ladder().power_config(SimDuration::from_us(gt_us), disp);
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        for pair in SleepKind::ALL.windows(2) {
+            prop_assert!(cfg.draw_of(pair[1]) < cfg.draw_of(pair[0]));
+            prop_assert!(cfg.react_of(pair[1]) >= cfg.react_of(pair[0]));
+        }
+    }
+}
+
+/// Every generation's sleep ladder trades wake latency for power:
+/// deeper rungs have strictly lower power floors, wake latencies and
+/// transition energies at least as large. Exhaustive over the enum —
+/// stronger than sampling.
+#[test]
+fn deeper_rungs_trade_latency_for_power_in_every_generation() {
+    for gen in IbGeneration::ALL {
+        let ladder = gen.ladder();
+        for pair in SleepKind::ALL.windows(2) {
+            let (shallow, deep) = (ladder.rung(pair[0]), ladder.rung(pair[1]));
+            assert!(
+                deep.power_fraction < shallow.power_fraction,
+                "{gen:?}: {:?} floor {} not below {:?} floor {}",
+                pair[1], deep.power_fraction, pair[0], shallow.power_fraction
+            );
+            assert!(
+                deep.wake_latency >= shallow.wake_latency,
+                "{gen:?}: {:?} wakes faster than {:?}",
+                pair[1], pair[0]
+            );
+            assert!(
+                deep.transition_energy_j >= shallow.transition_energy_j,
+                "{gen:?}: {:?} transition cheaper than {:?}",
+                pair[1], pair[0]
+            );
+        }
+    }
+}
+
+/// Per-lane (and hence full-link) signalling rates rise monotonically
+/// through the generation ladder, matching the IB standard name table.
+#[test]
+fn generation_rates_rise_monotonically() {
+    for pair in IbGeneration::ALL.windows(2) {
+        assert!(
+            pair[1].per_lane_gbps() > pair[0].per_lane_gbps(),
+            "{:?} per-lane rate not above {:?}",
+            pair[1], pair[0]
+        );
+        assert!(pair[1].link_gbps() > pair[0].link_gbps());
+    }
+}
+
+/// The extension's bit-identity guarantee, run end-to-end over all
+/// five paper applications: a ladder-disabled (paper-policy) run from
+/// today's config produces byte-identical directives, stats, and
+/// replay timing to one driven by a pre-ladder configuration file (the
+/// ladder-era keys stripped, serde defaults filling them back in).
+#[test]
+fn ladder_disabled_runs_match_the_paper_baseline_on_all_apps() {
+    use ibp_workloads::AppKind;
+    use serde::{Deserialize, Serialize};
+
+    let cfg_now = PowerConfig::paper(SimDuration::from_us(20), 0.01);
+    // A config file written before the ladder landed: no rate-rung
+    // keys at all.
+    let mut v = cfg_now.to_value();
+    let serde::Value::Map(entries) = &mut v else {
+        panic!("config serializes as an object");
+    };
+    entries.retain(|(k, _)| {
+        !matches!(k.as_str(), "rate_threshold" | "rate_t_react" | "rate_power_fraction")
+    });
+    let cfg_pre = PowerConfig::from_value(&v).expect("pre-ladder config parses");
+    assert_eq!(cfg_pre, cfg_now);
+
+    let params_now = ibp_network::SimParams::paper();
+    let mut pv = params_now.to_value();
+    let serde::Value::Map(entries) = &mut pv else {
+        panic!("params serialize as an object");
+    };
+    entries.retain(|(k, _)| k != "generation");
+    let params_pre = ibp_network::SimParams::from_value(&pv).expect("pre-ladder params parse");
+
+    for app in AppKind::ALL {
+        let w = app.workload();
+        // 4 ranks suits every app (square for BT, power of two for MG).
+        let trace = w.generate(4, 11);
+        let ann_now = ibp_core::annotate_trace(&trace, &cfg_now);
+        let ann_pre = ibp_core::annotate_trace(&trace, &cfg_pre);
+        for (a, b) in ann_now.ranks.iter().zip(&ann_pre.ranks) {
+            assert_eq!(
+                serde_json::to_string(&a.directives).unwrap(),
+                serde_json::to_string(&b.directives).unwrap(),
+                "{app:?}: directives diverge"
+            );
+            assert_eq!(a.stats, b.stats, "{app:?}: stats diverge");
+            for d in &a.directives {
+                assert_eq!(d.kind, SleepKind::Wrps, "{app:?}: ladder-off run left WRPS");
+            }
+        }
+        let opts = ibp_network::ReplayOptions::default();
+        let now = ibp_network::replay(&trace, Some(&ann_now), &params_now, &opts).unwrap();
+        let pre = ibp_network::replay(&trace, Some(&ann_pre), &params_pre, &opts).unwrap();
+        assert_eq!(now.exec_time, pre.exec_time, "{app:?}: replay timing diverges");
+        assert_eq!(
+            now.power_saving_pct().to_bits(),
+            pre.power_saving_pct().to_bits(),
+            "{app:?}: power accounting diverges"
+        );
+        assert_eq!(now.mean_rate_fraction(), 0.0, "{app:?}: rate rung engaged while off");
+        assert_eq!(now.mean_deep_fraction(), 0.0, "{app:?}: deep rung engaged while off");
     }
 }
